@@ -1,0 +1,75 @@
+"""[ablation] Upstream computation elimination (prior work [6]) vs ARU.
+
+The paper's §3.2: earlier dead-timestamp work proposed *eliminating
+upstream computations* from downstream virtual-time knowledge, but "such
+techniques have shown limited success [6]. The cause ... upstream threads
+tend to be quicker than downstream threads. As a result, it generally
+becomes too late to eliminate upstream computations."
+
+This bench implements that technique (the :class:`CheckDead` syscall —
+skip computing an output whose timestamp every downstream cursor already
+passed) and measures it against ARU on the tracker. Because get-latest
+cursors always trail production, the check almost never fires:
+computation elimination removes (essentially) none of the waste, while
+ARU removes almost all of it — quantitative support for the paper's
+design pivot from reclamation to rate control.
+"""
+
+from repro.apps import TrackerConfig, build_tracker
+from repro.aru import aru_disabled, aru_max
+from repro.bench import cluster_for, format_table
+from repro.metrics import PostmortemAnalyzer
+from repro.runtime import Runtime, RuntimeConfig
+
+HORIZON = 90.0
+
+
+def _run(label, aru, ce):
+    graph = build_tracker(TrackerConfig(computation_elimination=ce))
+    runtime = Runtime(
+        graph,
+        RuntimeConfig(cluster=cluster_for("config1"), aru=aru, seed=0),
+    )
+    trace = runtime.run(until=HORIZON)
+    pm = PostmortemAnalyzer(trace)
+    ce_skips = sum(
+        graph.attrs(t)["params"].get("ce_skips", 0)
+        for t in graph.threads()
+    )
+    upstream_iters = sum(
+        len(trace.iterations_of(t))
+        for t in ("change_detection", "histogram", "target_detect1",
+                  "target_detect2")
+    )
+    return [
+        label,
+        100 * pm.wasted_computation_fraction,
+        100 * pm.wasted_memory_fraction,
+        ce_skips,
+        100 * ce_skips / max(1, upstream_iters + ce_skips),
+    ]
+
+
+def _sweep():
+    return [
+        _run("DGC alone", aru_disabled(), ce=False),
+        _run("DGC + comp-elim [6]", aru_disabled(), ce=True),
+        _run("DGC + ARU-max", aru_max(), ce=False),
+    ]
+
+
+def test_computation_elimination_vs_aru(benchmark, emit):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["mechanism", "% Comp wasted", "% Mem wasted", "CE skips",
+         "CE fire rate %"],
+        rows,
+        title="[ablation] computation elimination (prior work) vs ARU — config1",
+    )
+    emit("abl_dgc_ce", table)
+    by = {r[0]: r for r in rows}
+    # the paper's claim: CE barely helps (cursors trail production) ...
+    assert by["DGC + comp-elim [6]"][4] < 5.0  # fires on < 5% of iterations
+    assert by["DGC + comp-elim [6]"][1] > 0.8 * by["DGC alone"][1]
+    # ... while ARU removes nearly all waste
+    assert by["DGC + ARU-max"][1] < 0.1 * by["DGC alone"][1]

@@ -1,0 +1,50 @@
+"""[ablation] Garbage-collector comparison under the tracker (no ARU).
+
+The paper's §2/§4 situate ARU against the GC lineage: traditional
+reachability GC cannot reclaim skipped items at all; transparent GC frees
+behind the application-wide virtual-time low-water mark; dead-timestamp
+GC (the paper's substrate) frees per-channel as soon as every consumer's
+cursor passes. This bench reproduces that hierarchy on the tracker:
+
+``null >= ref >> tgc >= dgc`` in memory footprint.
+
+(`ref` leaks every skipped item exactly like `null` on single-consumer
+channels — the motivating observation for timestamp-based GC.)
+"""
+
+from repro.aru import aru_disabled
+from repro.bench import format_table, run_tracker_once
+
+GCS = ("null", "ref", "tgc", "dgc")
+HORIZON = 60.0  # null/ref grow linearly; keep the horizon moderate
+
+
+def _sweep():
+    rows = []
+    for gc in GCS:
+        run = run_tracker_once(
+            "config1", aru_disabled(), seed=0, horizon=HORIZON, gc=gc
+        )
+        rows.append([
+            gc,
+            run.mem_mean / 1e6,
+            run.mem_peak / 1e6,
+            run.throughput,
+        ])
+    return rows
+
+
+def test_gc_hierarchy(benchmark, emit):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["GC", "Mem mean (MB)", "Mem peak (MB)", "fps"],
+        rows,
+        title="[ablation] GC algorithms, tracker without ARU — config1",
+    )
+    emit("abl_gc", table)
+    mem = {r[0]: r[1] for r in rows}
+    assert mem["dgc"] <= mem["tgc"] * 1.05
+    assert mem["tgc"] < mem["ref"]
+    assert mem["ref"] <= mem["null"] * 1.001
+    # DGC reclaims the overwhelming majority of what null retains
+    assert mem["dgc"] < 0.25 * mem["null"]

@@ -1,0 +1,65 @@
+"""[ablation] Collection lag: how DGC's pass interval inflates footprints.
+
+Our eager DGC frees an item the instant the last cursor passes it, which
+is why our absolute footprints undercut the paper's (whose collector ran
+as periodic runtime work). This bench sweeps the DGC pass interval on the
+no-ARU tracker: the mean footprint climbs with lag and crosses the
+paper's 33.6 MB at an interval of roughly half a second — and throughput
+*falls* as it climbs, because resident channel memory feeds back into
+compute speed (the cache-pressure channel the paper's config-1 analysis
+relies on). Collection promptness is itself a resource-utilization
+parameter.
+"""
+
+from repro.aru import aru_disabled
+from repro.bench import cluster_for, format_table
+from repro.gc import DeadTimestampGC
+from repro.metrics import PostmortemAnalyzer, throughput_fps
+from repro.runtime import Runtime, RuntimeConfig
+
+INTERVALS = (0.0, 0.25, 0.5, 1.0)
+HORIZON = 90.0
+
+
+def _run(interval):
+    from repro.apps import build_tracker
+
+    runtime = Runtime(
+        build_tracker(),
+        RuntimeConfig(
+            cluster=cluster_for("config1"),
+            gc=DeadTimestampGC(interval=interval),
+            aru=aru_disabled(),
+            seed=0,
+        ),
+    )
+    trace = runtime.run(until=HORIZON)
+    pm = PostmortemAnalyzer(trace)
+    return [
+        f"{interval:.2f}s" if interval else "eager",
+        pm.footprint().mean() / 1e6,
+        pm.footprint().peak() / 1e6,
+        throughput_fps(trace),
+    ]
+
+
+def _sweep():
+    return [_run(interval) for interval in INTERVALS]
+
+
+def test_gc_lag_inflates_footprint(benchmark, emit):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["DGC pass interval", "Mem mean (MB)", "Mem peak (MB)", "fps"],
+        rows,
+        title="[ablation] DGC collection lag — tracker without ARU, config1",
+    )
+    emit("abl_gc_lag", table)
+    means = [r[1] for r in rows]
+    fps = [r[3] for r in rows]
+    # footprint grows monotonically (within tolerance) with lag ...
+    assert means[-1] > means[0] * 1.3
+    assert all(b >= a * 0.95 for a, b in zip(means, means[1:]))
+    # ... and throughput degrades with it through memory pressure
+    assert fps[-1] < fps[0]
+    assert all(b <= a * 1.05 for a, b in zip(fps, fps[1:]))

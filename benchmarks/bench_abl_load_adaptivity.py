@@ -1,0 +1,84 @@
+"""[ablation] Feedback adaptivity under transient external load.
+
+§1 motivates *dynamic* resource utilization with "dynamic phenomena such
+as current load, for which [static] tools are inapplicable". This bench
+injects a background CPU burst on the shared node during the middle third
+of a tracker run (ARU-min, config 1) and watches the loop adapt:
+
+* during the burst, detector STPs inflate, the propagated summary-STP
+  rises, and the digitizer's throttle target follows it up;
+* after the burst the target comes back down — the loop re-accelerates
+  production rather than staying stuck at the degraded rate;
+* waste stays low *throughout* — adaptation, not a static setting, is
+  what keeps production matched to consumption.
+"""
+
+import numpy as np
+
+from repro.apps import build_tracker
+from repro.aru import aru_min
+from repro.bench import cluster_for, format_table
+from repro.cluster import LoadSpec
+from repro.metrics import PostmortemAnalyzer, control_series, throughput_fps
+from repro.runtime import Runtime, RuntimeConfig
+
+HORIZON = 150.0
+BURST = (50.0, 100.0)
+LOAD_THREADS = 6
+
+
+def _phase_stats(series, lo, hi):
+    mask = (series.times >= lo) & (series.times < hi)
+    mask &= ~np.isnan(series.throttle_target)
+    if not mask.any():
+        return float("nan")
+    return float(np.mean(series.throttle_target[mask]))
+
+
+def _run():
+    load = LoadSpec(node="node0", start=BURST[0], stop=BURST[1],
+                    threads=LOAD_THREADS, burst_s=0.05)
+    runtime = Runtime(
+        build_tracker(),
+        RuntimeConfig(cluster=cluster_for("config1"), aru=aru_min(), seed=0,
+                      loads=(load,)),
+    )
+    trace = runtime.run(until=HORIZON)
+    series = control_series(trace, "digitizer")
+    pm = PostmortemAnalyzer(trace)
+    phases = {
+        "before (0-50s)": (5.0, BURST[0]),
+        "burst (50-100s)": (BURST[0] + 5.0, BURST[1]),
+        "after (100-150s)": (BURST[1] + 5.0, HORIZON),
+    }
+    rows = []
+    for label, (lo, hi) in phases.items():
+        target = _phase_stats(series, lo, hi)
+        outs = [it for it in trace.sink_iterations() if lo <= it.t_end < hi]
+        fps = len(outs) / (hi - lo)
+        rows.append([label, target * 1e3, fps])
+    return rows, pm.wasted_memory_fraction
+
+
+def test_loop_tracks_load_transient(benchmark, emit):
+    rows, waste = benchmark.pedantic(_run, rounds=1, iterations=1)
+    table = format_table(
+        ["phase", "digitizer target (ms)", "delivered fps"],
+        rows,
+        title=(
+            f"[ablation] ARU-min tracking a {LOAD_THREADS}-thread CPU burst "
+            f"on node0 during t=[{BURST[0]:.0f},{BURST[1]:.0f}]s — tracker, "
+            f"config1 (overall wasted mem {100 * waste:.1f}%)"
+        ),
+    )
+    emit("abl_load_adaptivity", table)
+    target = {r[0]: r[1] for r in rows}
+    fps = {r[0]: r[2] for r in rows}
+    # the throttle target rises under load and recovers afterwards
+    assert target["burst (50-100s)"] > 1.2 * target["before (0-50s)"]
+    assert target["after (100-150s)"] < 1.15 * target["before (0-50s)"]
+    # throughput dips during the burst and recovers
+    assert fps["burst (50-100s)"] < fps["before (0-50s)"]
+    assert fps["after (100-150s)"] > 0.9 * fps["before (0-50s)"]
+    # adaptation keeps waste low across the whole run
+    assert waste < 0.30

@@ -1,0 +1,49 @@
+"""[fig 7] Wasted memory and wasted computation percentages.
+
+Regenerates the paper's figure-7 table: the fraction of memory
+byte-seconds and compute seconds spent on items that never reach the end
+of the pipeline.
+
+Paper (config 1): 66.0/25.2 (No ARU), 4.1/2.8 (min), 0.3/0.2 (max) %
+Paper (config 2): 60.7/24.4 (No ARU), 7.2/4.0 (min), 4.8/2.1 (max) %
+
+Shape target: >50 % waste without ARU; ARU-max directs "almost all
+resources towards useful work" (< 5 %).
+"""
+
+from repro.bench import PAPER, fig7_waste_table, format_table
+
+
+def _paper_table(config: str) -> str:
+    rows = [
+        [p, v["wasted_mem"], v["wasted_comp"]]
+        for p, v in PAPER[config].items()
+        if "wasted_mem" in v
+    ]
+    return format_table(
+        ["policy", "% Mem wasted", "% Comp wasted"],
+        rows,
+        title=f"[fig 7] PAPER reference — {config}",
+    )
+
+
+def test_fig7_config1(tracker_grid, benchmark, emit):
+    table, rows = benchmark.pedantic(
+        lambda: fig7_waste_table(tracker_grid, "config1"), rounds=1, iterations=1
+    )
+    emit("fig07_config1", table + "\n\n" + _paper_table("config1"))
+    waste = {r[0]: r[1] for r in rows}
+    assert waste["No ARU"] > 50.0
+    assert waste["ARU-max"] < 5.0
+    assert waste["No ARU"] > waste["ARU-min"] > waste["ARU-max"]
+
+
+def test_fig7_config2(tracker_grid, benchmark, emit):
+    table, rows = benchmark.pedantic(
+        lambda: fig7_waste_table(tracker_grid, "config2"), rounds=1, iterations=1
+    )
+    emit("fig07_config2", table + "\n\n" + _paper_table("config2"))
+    waste = {r[0]: r[1] for r in rows}
+    comp = {r[0]: r[2] for r in rows}
+    assert waste["No ARU"] > 50.0 and waste["ARU-max"] < 5.0
+    assert comp["No ARU"] > 5 * comp["ARU-max"]

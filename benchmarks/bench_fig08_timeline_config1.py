@@ -1,0 +1,53 @@
+"""[fig 8] Memory-footprint-over-time panels, config 1 (single node).
+
+Regenerates the paper's figure 8: four side-by-side memory-usage-vs-time
+traces sharing one scale — IGC, ARU-max, ARU-min, No-ARU (left to right
+in the paper). Rendered here as ASCII panels plus CSV series under
+``benchmarks/results/`` for external plotting.
+
+Shape target: the four panels order IGC <= ARU-max < ARU-min << No-ARU at
+(almost) every instant, and ARU dramatically flattens the fluctuations
+("how ARU reduces fluctuations in the application memory pressure over
+time").
+"""
+
+import numpy as np
+
+from repro.bench import ascii_timeline, timeline_csv
+
+PANELS = ("ARU-max", "ARU-min", "No ARU")
+
+
+def _render(grid, config, results_dir):
+    run0 = {p: grid[(config, p)].runs[0] for p in PANELS}
+    # The IGC panel is the application's theoretical floor: the smallest
+    # per-policy postmortem bound (see fig6_memory_table).
+    igc = min(
+        (r.igc_footprint for r in run0.values()), key=lambda tl: tl.mean()
+    )
+    timelines = {"IGC": igc}
+    timelines.update({p: run0[p].footprint for p in PANELS})
+    y_max = max(tl.peak() for tl in timelines.values())
+    charts = []
+    for label, tl in timelines.items():
+        charts.append(ascii_timeline(tl, width=68, height=10,
+                                     title=f"--- {label} ({config}) ---",
+                                     y_max=y_max))
+        slug = label.lower().replace(" ", "").replace("-", "")
+        (results_dir / f"fig_{config}_{slug}.csv").write_text(timeline_csv(tl))
+    return timelines, "\n\n".join(charts)
+
+
+def test_fig8_timelines_config1(tracker_grid, benchmark, emit, results_dir):
+    timelines, text = benchmark.pedantic(
+        lambda: _render(tracker_grid, "config1", results_dir),
+        rounds=1, iterations=1,
+    )
+    emit("fig08_config1", text)
+    means = {label: tl.mean() for label, tl in timelines.items()}
+    assert means["IGC"] <= means["ARU-max"] * 1.05
+    assert means["ARU-max"] < means["ARU-min"] < means["No ARU"]
+    # pointwise dominance most of the time: No-ARU above ARU-max
+    _, no_vals = timelines["No ARU"].sample(200)
+    _, mx_vals = timelines["ARU-max"].sample(200)
+    assert np.mean(no_vals > mx_vals) > 0.8

@@ -1,0 +1,22 @@
+"""[fig 9] Memory-footprint-over-time panels, config 2 (five nodes).
+
+Same panels as figure 8 on the distributed configuration (one task per
+node, channels co-located with producers, Gigabit interconnect). See
+``bench_fig08_timeline_config1.py`` for the rendering and shape targets.
+"""
+
+import numpy as np
+
+from bench_fig08_timeline_config1 import _render
+
+
+def test_fig9_timelines_config2(tracker_grid, benchmark, emit, results_dir):
+    timelines, text = benchmark.pedantic(
+        lambda: _render(tracker_grid, "config2", results_dir),
+        rounds=1, iterations=1,
+    )
+    emit("fig09_config2", text)
+    means = {label: tl.mean() for label, tl in timelines.items()}
+    assert means["ARU-max"] < means["ARU-min"] < means["No ARU"]
+    # ARU flattens fluctuations: std far below the unthrottled baseline
+    assert timelines["ARU-max"].std() < 0.6 * timelines["No ARU"].std()

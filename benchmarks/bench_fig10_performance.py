@@ -1,0 +1,57 @@
+"""[fig 10] Latency, throughput and jitter of the tracker.
+
+Regenerates the paper's figure-10 table for both configurations:
+throughput (fps, mean and across-run STD), latency (ms, mean and
+across-run STD), and jitter (ms).
+
+Paper (config 1): fps 3.30/4.68/4.18, lat 661/594/350, jitter 77/34/46
+Paper (config 2): fps 4.27/4.47/3.53, lat 648/605/480, jitter 96/89/162
+
+Shape targets (§5.2): ARU *improves* latency (max most, by aggressive
+throttling — items never wait in buffers); ARU-min sustains the highest
+throughput; ARU-max trades throughput away (consumers intermittently
+starve), which also worsens its jitter in config 2.
+"""
+
+from repro.bench import PAPER, fig10_performance_table, format_table
+
+
+def _paper_table(config: str) -> str:
+    rows = [
+        [p, v["fps"], v["fps_std"], v["lat"], v["lat_std"], v["jitter"]]
+        for p, v in PAPER[config].items()
+        if "fps" in v
+    ]
+    return format_table(
+        ["policy", "fps mean", "fps STD", "lat mean (ms)", "lat STD (ms)",
+         "jitter (ms)"],
+        rows,
+        title=f"[fig 10] PAPER reference — {config}",
+    )
+
+
+def test_fig10_config1(tracker_grid, benchmark, emit):
+    table, rows = benchmark.pedantic(
+        lambda: fig10_performance_table(tracker_grid, "config1"),
+        rounds=1, iterations=1,
+    )
+    emit("fig10_config1", table + "\n\n" + _paper_table("config1"))
+    fps = {r[0]: r[1] for r in rows}
+    lat = {r[0]: r[3] for r in rows}
+    assert lat["ARU-max"] < lat["ARU-min"] < lat["No ARU"]
+    assert fps["ARU-min"] >= fps["ARU-max"]
+    assert fps["ARU-min"] >= 0.98 * fps["No ARU"]
+
+
+def test_fig10_config2(tracker_grid, benchmark, emit):
+    table, rows = benchmark.pedantic(
+        lambda: fig10_performance_table(tracker_grid, "config2"),
+        rounds=1, iterations=1,
+    )
+    emit("fig10_config2", table + "\n\n" + _paper_table("config2"))
+    fps = {r[0]: r[1] for r in rows}
+    lat = {r[0]: r[3] for r in rows}
+    jit = {r[0]: r[5] for r in rows}
+    assert lat["ARU-max"] < lat["No ARU"]
+    assert fps["ARU-max"] < fps["No ARU"]            # the §5.2 artifact
+    assert jit["ARU-max"] > max(jit["No ARU"], jit["ARU-min"])

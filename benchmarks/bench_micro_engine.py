@@ -1,0 +1,66 @@
+"""[micro] Engine and channel primitive throughput.
+
+True repeated-measurement micro-benchmarks (multiple rounds) of the
+substrate: DES event dispatch rate, channel put/get cycles, and the
+end-to-end simulation rate of the tracker (simulated seconds per wall
+second). These guard against performance regressions in the kernel that
+would make the table benches impractically slow.
+"""
+
+from repro.aru import aru_disabled
+from repro.bench import run_tracker_once
+from repro.cluster import Node, NodeSpec
+from repro.gc import make_gc
+from repro.metrics import TraceRecorder
+from repro.runtime import Channel, Item
+from repro.sim import Engine, RngRegistry
+from repro.vt import LATEST
+
+N_EVENTS = 20_000
+N_OPS = 5_000
+
+
+def _spin_engine():
+    eng = Engine()
+
+    def ticker(eng, n):
+        for _ in range(n):
+            yield eng.timeout(0.001)
+
+    eng.process(ticker(eng, N_EVENTS))
+    eng.run()
+    return eng.events_processed
+
+
+def test_engine_event_rate(benchmark):
+    events = benchmark(_spin_engine)
+    assert events >= N_EVENTS
+
+
+def _put_get_cycle():
+    eng = Engine()
+    node = Node(eng, NodeSpec(name="n0"), RngRegistry(0))
+    rec = TraceRecorder(record_stp=False)
+    ch = Channel(eng, "ch", node, recorder=rec, gc=make_gc("dgc"))
+    prod = ch.register_producer("p")
+    cons = ch.register_consumer("c")
+    for ts in range(N_OPS):
+        ch.commit_put(prod, Item(ts=ts, size=64), t=float(ts))
+        view = ch.commit_get(cons, LATEST, t=float(ts))
+        ch.release(view._item, t=float(ts))
+    return ch.total_puts
+
+
+def test_channel_put_get_rate(benchmark):
+    puts = benchmark(_put_get_cycle)
+    assert puts == N_OPS
+
+
+def test_tracker_simulation_rate(benchmark):
+    """One 30-simulated-second tracker run; wall time is the metric."""
+    run = benchmark.pedantic(
+        lambda: run_tracker_once("config1", aru_disabled(), seed=0, horizon=30.0),
+        rounds=3,
+        iterations=1,
+    )
+    assert run.frames_delivered > 30

@@ -1,0 +1,43 @@
+"""Shared fixtures for the benchmark harness.
+
+The full (config x policy x seed) grid is simulated once per pytest
+session and shared by the fig-6/7/8/9/10 benches; each bench then times
+its own analysis/rendering stage and emits its table both to the terminal
+(visible in ``bench_output.txt``) and to ``benchmarks/results/``.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.bench import DEFAULT_SEEDS, run_grid
+
+#: Simulated seconds per run. 120 s covers several hundred output frames.
+HORIZON = 120.0
+SEEDS = DEFAULT_SEEDS
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def tracker_grid():
+    """The paper's full §5 grid: 2 configs x 3 policies x 3 seeds."""
+    return run_grid(seeds=SEEDS, horizon=HORIZON)
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def emit(capsys, results_dir):
+    """Print through pytest's capture *and* persist to results/<name>.txt."""
+
+    def _emit(name: str, text: str):
+        with capsys.disabled():
+            print(f"\n{text}\n")
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _emit

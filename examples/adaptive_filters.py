@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""The paper's future work, implemented: STP noise filters.
+
+§3.3.2 observes that OS-scheduling variance makes summary-STP values
+noisy, causing "non-smooth production rate for producer threads", and
+leaves smoothing filters to future work. This example runs the tracker on
+a very noisy node with and without an EWMA filter on the feedback path,
+prints the resulting performance, and draws the digitizer's throttle
+target over time so the smoothing is visible.
+
+Run:  python examples/adaptive_filters.py
+"""
+
+import numpy as np
+
+from repro.apps import build_tracker
+from repro.aru import aru_max
+from repro.cluster import config1_spec
+from repro.metrics import jitter, throughput_fps
+from repro.runtime import Runtime, RuntimeConfig
+
+NOISE = 0.35
+HORIZON = 120.0
+
+
+def sparkline(values, width=72) -> str:
+    blocks = " .:-=+*#%@"
+    arr = np.asarray(values, dtype=float)
+    if len(arr) > width:
+        idx = np.linspace(0, len(arr) - 1, width).astype(int)
+        arr = arr[idx]
+    lo, hi = arr.min(), arr.max()
+    span = (hi - lo) or 1.0
+    return "".join(blocks[int((v - lo) / span * (len(blocks) - 1))] for v in arr)
+
+
+def run(aru_cfg):
+    cluster = config1_spec(sched_noise_cv=NOISE)
+    runtime = Runtime(
+        build_tracker(), RuntimeConfig(cluster=cluster, aru=aru_cfg, seed=0)
+    )
+    trace = runtime.run(until=HORIZON)
+    targets = [
+        s.throttle_target
+        for s in trace.stp_samples
+        if s.thread == "digitizer" and s.throttle_target is not None
+    ]
+    return trace, targets
+
+
+def main() -> None:
+    print(f"Tracker on one node with heavy scheduling noise "
+          f"(cv={NOISE}), ARU-max.\n")
+    for label, cfg in (
+        ("unfiltered (published ARU)", aru_max()),
+        ("EWMA(0.2) on summary-STP", aru_max(summary_filter="ewma:0.2")),
+    ):
+        trace, targets = run(cfg)
+        print(f"{label}:")
+        print(f"  digitizer throttle target over time "
+              f"[{min(targets) * 1e3:.0f}..{max(targets) * 1e3:.0f} ms]:")
+        print(f"  {sparkline(targets)}")
+        print(f"  throughput {throughput_fps(trace):.2f} fps, "
+              f"output jitter {jitter(trace) * 1e3:.0f} ms, "
+              f"target std {np.std(targets) * 1e3:.0f} ms\n")
+    print("The filter steadies the control signal: higher throughput, "
+          "smoother output.")
+
+
+if __name__ == "__main__":
+    main()

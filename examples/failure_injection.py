@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Failure injection: what happens when a pipeline stage dies.
+
+Runs the tracker in three phases — healthy, then with target_detect2
+killed mid-run — and renders a per-thread activity Gantt so the fallout
+is visible: the GUI (which joins both detectors) stops delivering, the
+remaining stages block or keep producing into channels whose dead
+consumer no longer advances its cursors, and memory starts pooling in
+exactly those channels.
+
+Run:  python examples/failure_injection.py
+"""
+
+from repro.apps import build_tracker
+from repro.aru import aru_min
+from repro.bench import cluster_for
+from repro.metrics import gantt
+from repro.runtime import Runtime, RuntimeConfig
+
+PHASE = 30.0
+
+
+def main() -> None:
+    runtime = Runtime(
+        build_tracker(),
+        RuntimeConfig(cluster=cluster_for("config1"), aru=aru_min(), seed=0),
+    )
+    runtime.advance(PHASE)
+    healthy_outputs = len(runtime.recorder.sink_iterations())
+    healthy_mem = runtime.stats()["nodes"]["node0"]["mem_in_use"]
+
+    print(f"t={PHASE:.0f}s: killing target_detect2 ...\n")
+    runtime.kill_thread("target_detect2", reason="injected fault")
+    runtime.advance(PHASE)
+    trace = runtime.finalize()
+
+    outputs_after = len(trace.sink_iterations()) - healthy_outputs
+    mem_after = runtime.stats()["nodes"]["node0"]["mem_in_use"]
+
+    print(gantt(trace, width=72))
+    print()
+    print(f"GUI frames delivered:  first {PHASE:.0f}s: {healthy_outputs}   "
+          f"second {PHASE:.0f}s: {outputs_after}")
+    print(f"resident channel memory: {healthy_mem / 1e6:.1f} MB -> "
+          f"{mem_after / 1e6:.1f} MB")
+    print()
+    print("After the kill, the GUI blocks forever on C9 — its iteration")
+    print("never completes, so its line goes quiet. Detector 1 keeps")
+    print("working but its output is never consumed, and C5/C8's dead")
+    print("consumer stops advancing cursors, so their items can no longer")
+    print("be collected — memory pools exactly there.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""The paper's figures 3 and 4, live: min vs max compression operators.
+
+Five consumers report the exact summary-STP values of the paper's worked
+example — 337, 139, 273, 544 and 420 ms. Under the conservative ``min``
+operator the producer settles at the *fastest* consumer's period
+(139 ms, fig. 3); under the aggressive ``max`` operator it settles at the
+*slowest* (544 ms, fig. 4), eliminating all waste for a fully
+data-dependent pipeline.
+
+Run:  python examples/fan_out_pipeline.py
+"""
+
+from repro.apps import StageCost, fan_out
+from repro.aru import aru_max, aru_min
+from repro.cluster import ClusterSpec, NodeSpec
+from repro.metrics import PostmortemAnalyzer
+from repro.runtime import Runtime, RuntimeConfig
+
+#: Consumer service times from the paper's fig. 3 (seconds).
+FIG3_PERIODS = (0.337, 0.139, 0.273, 0.544, 0.420)
+
+
+def main() -> None:
+    cluster = ClusterSpec(
+        nodes=(NodeSpec(name="node0", sched_noise_cv=0.02),), name="demo"
+    )
+    print("Consumers B..F advertise summary-STPs of "
+          + ", ".join(f"{p * 1e3:.0f}ms" for p in FIG3_PERIODS) + "\n")
+    for aru, expected in ((aru_min(), min(FIG3_PERIODS)),
+                          (aru_max(), max(FIG3_PERIODS))):
+        graph = fan_out([StageCost(p, cv=0.05) for p in FIG3_PERIODS],
+                        source_period=0.02)
+        runtime = Runtime(graph, RuntimeConfig(cluster=cluster, aru=aru, seed=0))
+        trace = runtime.run(until=90.0)
+        late = [it for it in trace.iterations_of("A") if it.t_start > 30.0]
+        period = sum(it.duration for it in late) / len(late)
+        pm = PostmortemAnalyzer(trace)
+        print(
+            f"{aru.name}: producer A settled at {period * 1e3:6.1f} ms "
+            f"(expected ~{expected * 1e3:.0f} ms); "
+            f"wasted memory {pm.wasted_memory_fraction:.1%}"
+        )
+    print("\nmin sustains the fastest consumer (safe for independent sinks);")
+    print("max matches the slowest (valid only under full data dependency).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""ARU on real OS threads, with genuine numpy vision kernels.
+
+Runs a miniature tracker — camera, motion mask, detector, display — as
+actual ``threading`` threads for a few wall-clock seconds. The camera
+synthesizes real frames; the mask stage runs a real background
+subtraction; the detector scores real histogram intersections. ARU
+feedback throttles the camera to the detector's measured pace.
+
+Run:  python examples/live_threads.py [--seconds 4] [--no-aru]
+"""
+
+import argparse
+
+from repro.apps import vision
+from repro.aru import aru_disabled, aru_min
+from repro.metrics import PostmortemAnalyzer, throughput_fps
+from repro.rt_threads import ThreadedRuntime
+from repro.runtime import Get, PeriodicitySync, Put, Sleep, TaskGraph
+
+SHAPE = (240, 256, 3)  # big enough that detection is the bottleneck
+FRAME_BYTES = SHAPE[0] * SHAPE[1] * SHAPE[2]
+
+
+def camera(ctx):
+    ts = 0
+    while True:
+        yield Sleep(0.004)  # 250 fps camera, far faster than detection
+        frame = vision.make_frame(ctx.rng, ts, SHAPE)
+        yield Put("frames", ts=ts, size=FRAME_BYTES, payload=frame)
+        ts += 1
+        yield PeriodicitySync()
+
+
+def masker(ctx):
+    while True:
+        view = yield Get("frames")
+        mask = vision.background_subtract(view.payload)
+        yield Put("masks", ts=view.ts, size=mask.nbytes, payload=(view.payload, mask))
+        yield PeriodicitySync()
+
+
+def detector(ctx):
+    model = None
+    while True:
+        view = yield Get("masks")
+        frame, mask = view.payload
+        if model is None:
+            model = vision.color_histogram(frame)
+        loc = vision.detect_target(frame, mask, model, patch=8)
+        yield Put("locations", ts=view.ts, size=64, payload=loc)
+        yield PeriodicitySync()
+
+
+def display(ctx):
+    while True:
+        view = yield Get("locations")
+        y, x, score = view.payload
+        ctx.params.setdefault("seen", []).append((view.ts, y, x, round(score, 3)))
+        yield PeriodicitySync()
+
+
+def build() -> TaskGraph:
+    g = TaskGraph("live-mini-tracker")
+    g.add_thread("camera", camera)
+    g.add_thread("masker", masker)
+    g.add_thread("detector", detector)
+    g.add_thread("display", display, sink=True, params={})
+    for chan in ("frames", "masks", "locations"):
+        g.add_channel(chan)
+    g.connect("camera", "frames").connect("frames", "masker")
+    g.connect("masker", "masks").connect("masks", "detector")
+    g.connect("detector", "locations").connect("locations", "display")
+    return g
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seconds", type=float, default=4.0)
+    parser.add_argument("--no-aru", action="store_true")
+    args = parser.parse_args()
+
+    aru = aru_disabled() if args.no_aru else aru_min()
+    graph = build()
+    executor = ThreadedRuntime(graph, aru=aru, compute_mode="noop")
+    print(f"Running {args.seconds:.0f}s of real threads with {aru.name} ...")
+    trace = executor.run(duration=args.seconds)
+
+    pm = PostmortemAnalyzer(trace)
+    produced = len(trace.iterations_of("camera"))
+    shown = trace.sink_iterations()
+    print(f"camera produced {produced} frames; display showed {len(shown)} "
+          f"({throughput_fps(trace):.1f} fps)")
+    print(f"wasted memory {pm.wasted_memory_fraction:.1%}, "
+          f"wasted computation {pm.wasted_computation_fraction:.1%}")
+    seen = graph.attrs("display")["params"].get("seen", [])[-3:]
+    for ts, y, x, score in seen:
+        print(f"  frame {ts}: target at ({y:3d},{x:3d}) score={score}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""The paper's full evaluation: the color-based people tracker.
+
+Reruns §5 end to end — both cluster configurations, all three policies —
+and prints the figure-6/7/10 tables plus the shape-check report against
+the published numbers.
+
+Run:  python examples/people_tracker.py [--horizon SECONDS] [--seeds N]
+"""
+
+import argparse
+
+from repro.bench import (
+    fig6_memory_table,
+    fig7_waste_table,
+    fig10_performance_table,
+    format_shape_report,
+    run_grid,
+    shape_checks,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--horizon", type=float, default=120.0,
+                        help="simulated seconds per run (default 120)")
+    parser.add_argument("--seeds", type=int, default=2,
+                        help="number of seeds to average over (default 2)")
+    args = parser.parse_args()
+
+    print(f"Simulating 2 configs x 3 policies x {args.seeds} seeds "
+          f"x {args.horizon:.0f}s ...\n")
+    grid = run_grid(seeds=tuple(range(args.seeds)), horizon=args.horizon)
+
+    for config in ("config1", "config2"):
+        print(fig6_memory_table(grid, config)[0], end="\n\n")
+        print(fig7_waste_table(grid, config)[0], end="\n\n")
+        print(fig10_performance_table(grid, config)[0], end="\n\n")
+
+    print(format_shape_report(shape_checks(grid)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Lets ``pip install -e . --no-build-isolation`` work in offline
+environments that lack the ``wheel`` package (pip falls back to the
+``setup.py develop`` code path). Configuration lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,63 @@
+"""pystampede-aru — Adaptive Resource Utilization via feedback control.
+
+A from-scratch Python reproduction of Mandviwala, Harel, Ramachandran &
+Knobe, *"Adaptive Resource Utilization via Feedback Control for Streaming
+Applications"* (IPDPS Workshops, 2005): a Stampede-style streaming runtime
+(timestamped channels/queues + task threads), the ARU feedback mechanism
+(sustainable-thread-period measurement + backward summary-STP propagation
++ source throttling), four garbage collectors (REF/TGC/DGC/IGC), a
+discrete-event cluster simulator standing in for the paper's 17-node SMP
+testbed, and the color-based people-tracker evaluation.
+
+Quickstart
+----------
+See ``examples/quickstart.py`` for an end-to-end pipeline.
+
+The public API is re-exported lazily from the subpackages; import the
+subpackage directly for anything not listed in ``__all__``.
+"""
+
+from __future__ import annotations
+
+__version__ = "1.0.0"
+
+# Re-exported lazily to keep `import repro` cheap.
+_LAZY = {
+    "Engine": "repro.sim",
+    "RngRegistry": "repro.sim",
+    "Timestamp": "repro.vt",
+    "ClusterSpec": "repro.cluster",
+    "NodeSpec": "repro.cluster",
+    "Runtime": "repro.runtime",
+    "RuntimeConfig": "repro.runtime",
+    "TaskGraph": "repro.runtime",
+    "Get": "repro.runtime",
+    "Put": "repro.runtime",
+    "Compute": "repro.runtime",
+    "PeriodicitySync": "repro.runtime",
+    "AruConfig": "repro.aru",
+    "MIN_OPERATOR": "repro.aru",
+    "MAX_OPERATOR": "repro.aru",
+    "TraceRecorder": "repro.metrics",
+    "PostmortemAnalyzer": "repro.metrics",
+    "build_tracker": "repro.apps",
+    "TrackerConfig": "repro.apps",
+}
+
+__all__ = sorted(_LAZY) + ["__version__"]
+
+
+def __getattr__(name: str):
+    target = _LAZY.get(name)
+    if target is None:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(target)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return __all__

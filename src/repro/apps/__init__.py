@@ -1,0 +1,62 @@
+"""Applications: the people tracker, gesture/stereo pipelines, and
+generic workload generators."""
+
+from repro.apps.gesture import GestureConfig, build_gesture
+from repro.apps.stereo import StereoConfig, build_stereo
+from repro.apps.tracker import (
+    CHANNELS,
+    FRAME_BYTES,
+    HIST_BYTES,
+    LOCATION_BYTES,
+    MASK_BYTES,
+    THREADS,
+    TrackerConfig,
+    build_tracker,
+    tracker_placement,
+)
+from repro.apps.vision import (
+    DEFAULT_FRAME_SHAPE,
+    StageCost,
+    background_subtract,
+    color_histogram,
+    detect_target,
+    make_frame,
+)
+from repro.apps.workloads import (
+    fan_in,
+    fan_out,
+    linear_pipeline,
+    make_sink,
+    make_source,
+    make_worker,
+    work_queue_pool,
+)
+
+__all__ = [
+    "TrackerConfig",
+    "build_tracker",
+    "GestureConfig",
+    "build_gesture",
+    "StereoConfig",
+    "build_stereo",
+    "tracker_placement",
+    "THREADS",
+    "CHANNELS",
+    "FRAME_BYTES",
+    "MASK_BYTES",
+    "HIST_BYTES",
+    "LOCATION_BYTES",
+    "StageCost",
+    "make_frame",
+    "background_subtract",
+    "color_histogram",
+    "detect_target",
+    "DEFAULT_FRAME_SHAPE",
+    "linear_pipeline",
+    "fan_out",
+    "fan_in",
+    "work_queue_pool",
+    "make_source",
+    "make_worker",
+    "make_sink",
+]

@@ -1,0 +1,109 @@
+"""Gesture recognition: the paper's §1 sliding-window workload.
+
+*"A gesture recognition module may need to analyze a sliding window over
+a video stream."* The pipeline:
+
+``camera -> C_frames -> features -> C_feat -> recognizer -> C_gest -> ui``
+
+The recognizer keeps the last ``window`` feature items pinned with
+``Get(hold=True)``/``Release`` while newer frames keep flowing — the
+consumption pattern that makes window consumers both memory-hungry and
+dependent on the runtime's reference management. Under ARU the camera
+throttles to the recognizer's pace and the pinned window becomes the
+dominant (and irreducible) memory term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps.vision import StageCost
+from repro.errors import ConfigError
+from repro.runtime.graph import TaskGraph
+from repro.runtime.syscalls import (
+    Compute,
+    Get,
+    PeriodicitySync,
+    Put,
+    Release,
+    Sleep,
+)
+
+
+@dataclass(frozen=True)
+class GestureConfig:
+    """Knobs of the gesture-recognition workload."""
+
+    frame_period: float = 1.0 / 30.0
+    frame_bytes: int = 300_000
+    feature_bytes: int = 20_000
+    gesture_bytes: int = 128
+    window: int = 8
+    feature_cost: StageCost = field(default_factory=lambda: StageCost(0.02, 0.1))
+    #: Cost of analyzing the whole window each iteration.
+    recognize_cost: StageCost = field(default_factory=lambda: StageCost(0.12, 0.15))
+    ui_cost: StageCost = field(default_factory=lambda: StageCost(0.005, 0.05))
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ConfigError("window must be >= 1")
+
+
+def camera_task(ctx):
+    cfg: GestureConfig = ctx.params["cfg"]
+    ts = 0
+    while True:
+        yield Sleep(cfg.frame_period)
+        yield Put("C_frames", ts=ts, size=cfg.frame_bytes)
+        ts += 1
+        yield PeriodicitySync()
+
+
+def feature_task(ctx):
+    cfg: GestureConfig = ctx.params["cfg"]
+    while True:
+        frame = yield Get("C_frames")
+        yield Compute(cfg.feature_cost.sample(ctx.rng, frame.ts))
+        yield Put("C_feat", ts=frame.ts, size=cfg.feature_bytes)
+        yield PeriodicitySync()
+
+
+def recognizer_task(ctx):
+    """Analyze a sliding window of the most recent feature vectors."""
+    cfg: GestureConfig = ctx.params["cfg"]
+    window = []
+    while True:
+        view = yield Get("C_feat", hold=True)
+        window.append(view)
+        if len(window) > cfg.window:
+            yield Release(window.pop(0))
+        yield Compute(
+            cfg.recognize_cost.sample(ctx.rng, view.ts)
+            * len(window) / cfg.window
+        )
+        yield Put("C_gest", ts=view.ts, size=cfg.gesture_bytes)
+        yield PeriodicitySync()
+
+
+def ui_task(ctx):
+    cfg: GestureConfig = ctx.params["cfg"]
+    while True:
+        gesture = yield Get("C_gest")
+        yield Compute(cfg.ui_cost.sample(ctx.rng, gesture.ts))
+        yield PeriodicitySync()
+
+
+def build_gesture(cfg: GestureConfig | None = None) -> TaskGraph:
+    """The four-stage gesture pipeline."""
+    cfg = cfg or GestureConfig()
+    g = TaskGraph("gesture")
+    g.add_thread("camera", camera_task, params={"cfg": cfg})
+    g.add_thread("features", feature_task, params={"cfg": cfg})
+    g.add_thread("recognizer", recognizer_task, params={"cfg": cfg})
+    g.add_thread("ui", ui_task, sink=True, params={"cfg": cfg})
+    g.add_channel("C_frames").add_channel("C_feat").add_channel("C_gest")
+    g.connect("camera", "C_frames").connect("C_frames", "features")
+    g.connect("features", "C_feat").connect("C_feat", "recognizer")
+    g.connect("recognizer", "C_gest").connect("C_gest", "ui")
+    g.validate()
+    return g

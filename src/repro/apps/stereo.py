@@ -1,0 +1,113 @@
+"""Stereo vision: the paper's §1 corresponding-timestamps workload.
+
+*"A stereo module in an interactive vision application may require images
+with corresponding timestamps from multiple cameras to compute its
+output."* The pipeline:
+
+``cam_left --+--> C_left  --+
+             |              +--> stereo -> C_depth -> viewer
+``cam_right -+--> C_right --+``
+
+The stereo matcher takes the latest left frame, then requests the right
+frame with the *same* timestamp (a timed exact get — the right camera
+produces every timestamp, but possibly later). Pairs must satisfy
+:func:`repro.vt.corresponds` within the configured threshold; pairs that
+miss the deadline are dropped and counted.
+
+Two *source* threads make this the interesting ARU case: both cameras
+receive summary-STP feedback and throttle independently to the stereo
+stage's pace, staying mutually rate-matched without any direct
+coordination between them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps.vision import StageCost
+from repro.errors import ConfigError
+from repro.runtime.graph import TaskGraph
+from repro.runtime.syscalls import Compute, Get, PeriodicitySync, Put, Sleep
+from repro.vt.timestamp import corresponds
+
+
+@dataclass(frozen=True)
+class StereoConfig:
+    """Knobs of the stereo workload."""
+
+    frame_period: float = 1.0 / 30.0
+    frame_bytes: int = 370_000
+    depth_bytes: int = 150_000
+    #: Jitter between the two cameras' shutters (fraction of the period).
+    shutter_jitter: float = 0.1
+    #: How long the matcher waits for the corresponding right frame.
+    pair_timeout: float = 0.5
+    #: Correspondence threshold in virtual-time units (paper footnote 1).
+    ts_threshold: int = 0
+    stereo_cost: StageCost = field(default_factory=lambda: StageCost(0.15, 0.12))
+    viewer_cost: StageCost = field(default_factory=lambda: StageCost(0.01, 0.05))
+
+    def __post_init__(self) -> None:
+        if self.pair_timeout <= 0:
+            raise ConfigError("pair_timeout must be positive")
+        if not 0 <= self.shutter_jitter < 1:
+            raise ConfigError("shutter_jitter must be in [0, 1)")
+
+
+def camera_task(ctx):
+    """One camera; ``ctx.params['channel']`` selects left or right."""
+    cfg: StereoConfig = ctx.params["cfg"]
+    channel: str = ctx.params["channel"]
+    ts = 0
+    while True:
+        jitter = cfg.frame_period * cfg.shutter_jitter
+        pause = cfg.frame_period + float(ctx.rng.uniform(-jitter, jitter))
+        yield Sleep(max(1e-6, pause))
+        yield Put(channel, ts=ts, size=cfg.frame_bytes)
+        ts += 1
+        yield PeriodicitySync()
+
+
+def stereo_task(ctx):
+    """Join corresponding frames; drop pairs that miss the deadline."""
+    cfg: StereoConfig = ctx.params["cfg"]
+    while True:
+        left = yield Get("C_left")
+        right = yield Get("C_right", request=left.ts, timeout=cfg.pair_timeout)
+        if right is None:
+            ctx.params["dropped_pairs"] = ctx.params.get("dropped_pairs", 0) + 1
+            yield PeriodicitySync()
+            continue
+        if not corresponds(left.ts, right.ts, threshold=cfg.ts_threshold):
+            raise AssertionError(  # pragma: no cover - exact get guarantees it
+                f"non-corresponding pair {left.ts} / {right.ts}"
+            )
+        yield Compute(cfg.stereo_cost.sample(ctx.rng, left.ts))
+        yield Put("C_depth", ts=left.ts, size=cfg.depth_bytes)
+        ctx.params["paired"] = ctx.params.get("paired", 0) + 1
+        yield PeriodicitySync()
+
+
+def viewer_task(ctx):
+    cfg: StereoConfig = ctx.params["cfg"]
+    while True:
+        depth = yield Get("C_depth")
+        yield Compute(cfg.viewer_cost.sample(ctx.rng, depth.ts))
+        yield PeriodicitySync()
+
+
+def build_stereo(cfg: StereoConfig | None = None) -> TaskGraph:
+    """The two-camera stereo pipeline."""
+    cfg = cfg or StereoConfig()
+    g = TaskGraph("stereo")
+    g.add_thread("cam_left", camera_task, params={"cfg": cfg, "channel": "C_left"})
+    g.add_thread("cam_right", camera_task,
+                 params={"cfg": cfg, "channel": "C_right"})
+    g.add_thread("stereo", stereo_task, params={"cfg": cfg})
+    g.add_thread("viewer", viewer_task, sink=True, params={"cfg": cfg})
+    g.add_channel("C_left").add_channel("C_right").add_channel("C_depth")
+    g.connect("cam_left", "C_left").connect("C_left", "stereo")
+    g.connect("cam_right", "C_right").connect("C_right", "stereo")
+    g.connect("stereo", "C_depth").connect("C_depth", "viewer")
+    g.validate()
+    return g

@@ -1,0 +1,277 @@
+"""The color-based people tracker — the paper's evaluation application.
+
+Topology (fig. 5; channels C1–C9):
+
+::
+
+                 +------ C1 -----> ChangeDetection --- C4 ---> TD1
+                 |                        \\----------- C5 ---> TD2
+    Digitizer ---+------ C2 -----> Histogram -------- C7 ---> TD1
+                 |                        \\----------- C8 ---> TD2
+                 +------ C3 -----> TD1, TD2
+                                   TD1 --- C6 ---> GUI
+                                   TD2 --- C9 ---> GUI
+
+Six threads implement the five tasks (two target-detection threads, one
+per color model). Item sizes follow §5: frames 738 kB, masks 246 kB,
+histogram models 981 kB, detections 68 B.
+
+Every consumer uses get-latest (the ARU assumption of §3.3.3); the GUI is
+the sink. :func:`build_tracker` returns the :class:`TaskGraph`;
+:func:`tracker_placement` gives the paper's config-2 mapping (channels on
+their producers' nodes, one task per node, both detection threads sharing
+the detection task's node).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.apps import vision
+from repro.apps.vision import StageCost
+from repro.errors import ConfigError
+from repro.runtime.graph import TaskGraph
+from repro.runtime.syscalls import CheckDead, Compute, Get, PeriodicitySync, Put, Sleep
+
+FRAME_BYTES = 738_000
+MASK_BYTES = 246_000
+HIST_BYTES = 981_000
+LOCATION_BYTES = 68
+
+
+@dataclass(frozen=True)
+class TrackerConfig:
+    """All knobs of the tracker workload.
+
+    Defaults are calibrated so the *shape* of the paper's results holds on
+    the simulated cluster: target detection is the bottleneck (~4 fps),
+    the digitizer runs at camera rate (30 fps) unless throttled, and the
+    two detection threads differ enough for the min/max operator gap to
+    show.
+    """
+
+    frame_period: float = 1.0 / 30.0
+    grab_cost: StageCost = field(default_factory=lambda: StageCost(0.006, 0.08))
+    change_detection_cost: StageCost = field(
+        default_factory=lambda: StageCost(0.080, 0.12, activity_amp=0.10)
+    )
+    histogram_cost: StageCost = field(
+        default_factory=lambda: StageCost(0.130, 0.12, activity_amp=0.10)
+    )
+    target_detect1_cost: StageCost = field(
+        default_factory=lambda: StageCost(0.175, 0.15, activity_amp=0.15)
+    )
+    target_detect2_cost: StageCost = field(
+        default_factory=lambda: StageCost(0.205, 0.15, activity_amp=0.15)
+    )
+    gui_cost: StageCost = field(default_factory=lambda: StageCost(0.018, 0.10))
+    frame_bytes: int = FRAME_BYTES
+    mask_bytes: int = MASK_BYTES
+    hist_bytes: int = HIST_BYTES
+    location_bytes: int = LOCATION_BYTES
+    #: Build real numpy payloads (slower; used by live-threads examples).
+    synthesize_payloads: bool = False
+    frame_shape: tuple = vision.DEFAULT_FRAME_SHAPE
+    #: Optional bound on every channel (items). ``None`` = unbounded
+    #: Stampede semantics; a small bound enables the back-pressure
+    #: flow-control baseline used by the ablation benches.
+    channel_capacity: Optional[int] = None
+    #: Upstream computation elimination (the dead-timestamp technique of
+    #: the paper's earlier work [6]): mid-pipeline stages skip computing
+    #: outputs whose timestamp is already dead downstream. The paper
+    #: reports this has "limited success"; the ablation bench measures
+    #: how rarely it can fire under get-latest consumption.
+    computation_elimination: bool = False
+
+    def with_(self, **changes) -> "TrackerConfig":
+        return replace(self, **changes)
+
+
+# ---------------------------------------------------------------------------
+# Task bodies
+# ---------------------------------------------------------------------------
+
+
+def digitizer_task(ctx):
+    """Grab a frame every ``frame_period`` and publish it to C1/C2/C3."""
+    cfg: TrackerConfig = ctx.params["cfg"]
+    ts = 0
+    while True:
+        grab = cfg.grab_cost.sample(ctx.rng, ts)
+        yield Compute(grab)
+        yield Sleep(max(0.0, cfg.frame_period - grab))  # camera pacing
+        payload = (
+            vision.make_frame(ctx.rng, ts, cfg.frame_shape)
+            if cfg.synthesize_payloads
+            else None
+        )
+        for chan in ("C1", "C2", "C3"):
+            yield Put(chan, ts=ts, size=cfg.frame_bytes, payload=payload)
+        ts += 1
+        yield PeriodicitySync()
+
+
+def change_detection_task(ctx):
+    """Motion mask from the latest frame -> C4 (for TD1) and C5 (for TD2)."""
+    cfg: TrackerConfig = ctx.params["cfg"]
+    while True:
+        frame = yield Get("C1")
+        if cfg.computation_elimination:
+            dead4 = yield CheckDead("C4", frame.ts)
+            dead5 = yield CheckDead("C5", frame.ts)
+            if dead4 and dead5:
+                ctx.params["ce_skips"] = ctx.params.get("ce_skips", 0) + 1
+                yield PeriodicitySync()
+                continue
+        yield Compute(cfg.change_detection_cost.sample(ctx.rng, frame.ts))
+        payload = (
+            vision.background_subtract(frame.payload)
+            if cfg.synthesize_payloads and frame.payload is not None
+            else None
+        )
+        yield Put("C4", ts=frame.ts, size=cfg.mask_bytes, payload=payload)
+        yield Put("C5", ts=frame.ts, size=cfg.mask_bytes, payload=payload)
+        yield PeriodicitySync()
+
+
+def histogram_task(ctx):
+    """Color-histogram model from the latest frame -> C7 and C8."""
+    cfg: TrackerConfig = ctx.params["cfg"]
+    while True:
+        frame = yield Get("C2")
+        if cfg.computation_elimination:
+            dead7 = yield CheckDead("C7", frame.ts)
+            dead8 = yield CheckDead("C8", frame.ts)
+            if dead7 and dead8:
+                ctx.params["ce_skips"] = ctx.params.get("ce_skips", 0) + 1
+                yield PeriodicitySync()
+                continue
+        yield Compute(cfg.histogram_cost.sample(ctx.rng, frame.ts))
+        payload = (
+            vision.color_histogram(frame.payload)
+            if cfg.synthesize_payloads and frame.payload is not None
+            else None
+        )
+        yield Put("C7", ts=frame.ts, size=cfg.hist_bytes, payload=payload)
+        yield Put("C8", ts=frame.ts, size=cfg.hist_bytes, payload=payload)
+        yield PeriodicitySync()
+
+
+def target_detection_task(ctx):
+    """Track one color model: latest frame + mask + histogram -> location."""
+    cfg: TrackerConfig = ctx.params["cfg"]
+    cost: StageCost = ctx.params["cost"]
+    mask_chan: str = ctx.params["mask_chan"]
+    hist_chan: str = ctx.params["hist_chan"]
+    out_chan: str = ctx.params["out_chan"]
+    while True:
+        frame = yield Get("C3")
+        mask = yield Get(mask_chan)
+        hist = yield Get(hist_chan)
+        if cfg.computation_elimination:
+            dead = yield CheckDead(out_chan, frame.ts)
+            if dead:
+                ctx.params["ce_skips"] = ctx.params.get("ce_skips", 0) + 1
+                yield PeriodicitySync()
+                continue
+        yield Compute(cost.sample(ctx.rng, frame.ts))
+        location = None
+        if (
+            cfg.synthesize_payloads
+            and frame.payload is not None
+            and mask.payload is not None
+            and hist.payload is not None
+        ):
+            location = vision.detect_target(frame.payload, mask.payload, hist.payload)
+        yield Put(out_chan, ts=frame.ts, size=cfg.location_bytes, payload=location)
+        yield PeriodicitySync()
+
+
+def gui_task(ctx):
+    """Display the latest detection of each model (the pipeline sink)."""
+    cfg: TrackerConfig = ctx.params["cfg"]
+    while True:
+        loc1 = yield Get("C6")
+        yield Get("C9")
+        yield Compute(cfg.gui_cost.sample(ctx.rng, loc1.ts))
+        yield PeriodicitySync()
+
+
+# ---------------------------------------------------------------------------
+# Graph construction
+# ---------------------------------------------------------------------------
+
+THREADS = (
+    "digitizer",
+    "change_detection",
+    "histogram",
+    "target_detect1",
+    "target_detect2",
+    "gui",
+)
+CHANNELS = ("C1", "C2", "C3", "C4", "C5", "C6", "C7", "C8", "C9")
+
+
+def build_tracker(cfg: Optional[TrackerConfig] = None) -> TaskGraph:
+    """The fig.-5 task graph (placement left to the runtime config)."""
+    cfg = cfg or TrackerConfig()
+    g = TaskGraph("people-tracker")
+    g.add_thread("digitizer", digitizer_task, params={"cfg": cfg})
+    g.add_thread("change_detection", change_detection_task, params={"cfg": cfg})
+    g.add_thread("histogram", histogram_task, params={"cfg": cfg})
+    g.add_thread(
+        "target_detect1",
+        target_detection_task,
+        params={
+            "cfg": cfg,
+            "cost": cfg.target_detect1_cost,
+            "mask_chan": "C4",
+            "hist_chan": "C7",
+            "out_chan": "C6",
+        },
+    )
+    g.add_thread(
+        "target_detect2",
+        target_detection_task,
+        params={
+            "cfg": cfg,
+            "cost": cfg.target_detect2_cost,
+            "mask_chan": "C5",
+            "hist_chan": "C8",
+            "out_chan": "C9",
+        },
+    )
+    g.add_thread("gui", gui_task, sink=True, params={"cfg": cfg})
+    for chan in CHANNELS:
+        g.add_channel(chan, capacity=cfg.channel_capacity)
+    g.connect("digitizer", "C1").connect("digitizer", "C2").connect("digitizer", "C3")
+    g.connect("C1", "change_detection")
+    g.connect("C2", "histogram")
+    g.connect("C3", "target_detect1").connect("C3", "target_detect2")
+    g.connect("change_detection", "C4").connect("change_detection", "C5")
+    g.connect("C4", "target_detect1").connect("C5", "target_detect2")
+    g.connect("histogram", "C7").connect("histogram", "C8")
+    g.connect("C7", "target_detect1").connect("C8", "target_detect2")
+    g.connect("target_detect1", "C6").connect("target_detect2", "C9")
+    g.connect("C6", "gui").connect("C9", "gui")
+    g.validate()
+    return g
+
+
+def tracker_placement(n_nodes: int = 5) -> Dict[str, str]:
+    """The paper's config-2 mapping: one task per node, channels with
+    their producers (channel placement is derived automatically by the
+    runtime, so only threads need entries)."""
+    if n_nodes < 5:
+        raise ConfigError("config 2 needs at least 5 nodes")
+    return {
+        "digitizer": "node0",
+        "change_detection": "node1",
+        "histogram": "node2",
+        "target_detect1": "node3",
+        "target_detect2": "node3",  # one *task*, two threads share its node
+        "gui": "node4",
+    }

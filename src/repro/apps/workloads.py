@@ -1,0 +1,207 @@
+"""Generic streaming workload generators.
+
+Reusable topology builders for tests, examples, and ablation benches:
+
+* :func:`linear_pipeline` — an N-stage chain;
+* :func:`fan_out` — the paper's fig.-3 shape (one producer, K independent
+  consumers, one channel each);
+* :func:`fan_in` — the paper's fig.-4 shape (one producer feeding K
+  buffers that a single consumer joins — full data dependency, the
+  topology that justifies the ``max`` operator).
+
+The task bodies are parameterized closures over
+:class:`~repro.apps.vision.StageCost` models, so every generated workload
+participates fully in STP measurement, ARU feedback, and GC.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.apps.vision import StageCost
+from repro.errors import ConfigError
+from repro.runtime.graph import TaskGraph
+from repro.runtime.syscalls import Compute, Get, PeriodicitySync, Put, Sleep
+
+
+def make_source(channels: Sequence[str], period: float, size: int,
+                cost: Optional[StageCost] = None):
+    """A paced source putting one item per period into every channel."""
+
+    def source(ctx):
+        ts = 0
+        while True:
+            work = cost.sample(ctx.rng, ts) if cost else 0.0
+            if work > 0:
+                yield Compute(work)
+            yield Sleep(max(0.0, period - work))
+            for chan in channels:
+                yield Put(chan, ts=ts, size=size)
+            ts += 1
+            yield PeriodicitySync()
+
+    return source
+
+
+def make_worker(in_chans: Sequence[str], out_chans: Sequence[str],
+                cost: StageCost, out_size: int):
+    """Get-latest from every input, compute, put to every output."""
+
+    def worker(ctx):
+        while True:
+            views = []
+            for chan in in_chans:
+                views.append((yield Get(chan)))
+            ts = views[0].ts
+            yield Compute(cost.sample(ctx.rng, ts))
+            for chan in out_chans:
+                yield Put(chan, ts=ts, size=out_size)
+            yield PeriodicitySync()
+
+    return worker
+
+
+def make_sink(in_chans: Sequence[str], cost: Optional[StageCost] = None):
+    """Get-latest from every input and (optionally) compute."""
+
+    def sink(ctx):
+        while True:
+            views = []
+            for chan in in_chans:
+                views.append((yield Get(chan)))
+            if cost:
+                yield Compute(cost.sample(ctx.rng, views[0].ts))
+            yield PeriodicitySync()
+
+    return sink
+
+
+def linear_pipeline(
+    stage_costs: Sequence[StageCost],
+    source_period: float = 0.03,
+    item_size: int = 100_000,
+    name: str = "linear",
+) -> TaskGraph:
+    """``source -> s0 -> s1 -> ... -> sink`` with one channel per hop.
+
+    The last stage is the sink; ``stage_costs`` parameterizes the workers
+    in order.
+    """
+    if not stage_costs:
+        raise ConfigError("need at least one stage")
+    g = TaskGraph(name)
+    chans = [f"q{i}" for i in range(len(stage_costs))]
+    g.add_thread("source", make_source([chans[0]], source_period, item_size))
+    for chan in chans:
+        g.add_channel(chan)
+    g.connect("source", chans[0])
+    for i, cost in enumerate(stage_costs):
+        stage = f"stage{i}"
+        last = i == len(stage_costs) - 1
+        if last:
+            g.add_thread(stage, make_sink([chans[i]], cost), sink=True)
+            g.connect(chans[i], stage)
+        else:
+            g.add_thread(stage, make_worker([chans[i]], [chans[i + 1]], cost, item_size))
+            g.connect(chans[i], stage).connect(stage, chans[i + 1])
+    g.validate()
+    return g
+
+
+def fan_out(
+    sink_costs: Sequence[StageCost],
+    source_period: float = 0.03,
+    item_size: int = 100_000,
+    name: str = "fan-out",
+) -> TaskGraph:
+    """Fig.-3 topology: A -> {B..F}, one channel per consumer.
+
+    Each consumer is an independent end point; the conservative ``min``
+    operator is the only safe choice here.
+    """
+    if not sink_costs:
+        raise ConfigError("need at least one sink")
+    g = TaskGraph(name)
+    chans = [f"c{i}" for i in range(len(sink_costs))]
+    g.add_thread("A", make_source(chans, source_period, item_size))
+    for i, cost in enumerate(sink_costs):
+        sink = f"sink{i}"
+        g.add_channel(chans[i])
+        g.add_thread(sink, make_sink([chans[i]], cost), sink=True)
+        g.connect("A", chans[i]).connect(chans[i], sink)
+    g.validate()
+    return g
+
+
+def work_queue_pool(
+    n_workers: int,
+    worker_cost: StageCost,
+    sink_cost: Optional[StageCost] = None,
+    source_period: float = 0.03,
+    item_size: int = 100_000,
+    queue_op: Optional[object] = None,
+    name: str = "work-pool",
+) -> TaskGraph:
+    """``source -> queue -> N workers -> results channel -> sink``.
+
+    Each queue item is processed by exactly one worker (work sharing).
+    ``queue_op`` sets the queue's ARU compression operator: the default
+    ``min`` treats the pool like channel consumers and over-throttles the
+    source to a *single* worker's period; the ``"pooled"`` operator
+    divides by the pool size and lets ARU sustain the aggregate rate.
+    """
+    if n_workers < 1:
+        raise ConfigError("need at least one worker")
+    g = TaskGraph(name)
+    g.add_thread("source", make_source(["jobs"], source_period, item_size))
+    g.add_queue("jobs", compress_op=queue_op)
+    g.add_channel("results")
+    g.connect("source", "jobs")
+
+    def worker(ctx):
+        while True:
+            job = yield Get("jobs")
+            yield Compute(worker_cost.sample(ctx.rng, job.ts))
+            yield Put("results", ts=job.ts, size=64)
+            yield PeriodicitySync()
+
+    for i in range(n_workers):
+        w = f"worker{i}"
+        g.add_thread(w, worker)
+        g.connect("jobs", w).connect(w, "results")
+    g.add_thread("collector", make_sink(["results"], sink_cost), sink=True)
+    g.connect("results", "collector")
+    g.validate()
+    return g
+
+
+def fan_in(
+    branch_costs: Sequence[StageCost],
+    join_cost: StageCost,
+    source_period: float = 0.03,
+    item_size: int = 100_000,
+    name: str = "fan-in",
+) -> TaskGraph:
+    """Fig.-4 topology: A -> K buffers -> workers -> K buffers -> G.
+
+    Consumer G joins every branch, so all branches are fully
+    data-dependent: the ``max`` operator is valid and maximally saves
+    resources.
+    """
+    if not branch_costs:
+        raise ConfigError("need at least one branch")
+    g = TaskGraph(name)
+    g.add_thread("A", make_source([f"in{i}" for i in range(len(branch_costs))],
+                                  source_period, item_size))
+    join_inputs = []
+    for i, cost in enumerate(branch_costs):
+        cin, cout, worker = f"in{i}", f"out{i}", f"branch{i}"
+        g.add_channel(cin).add_channel(cout)
+        g.add_thread(worker, make_worker([cin], [cout], cost, item_size))
+        g.connect("A", cin).connect(cin, worker).connect(worker, cout)
+        join_inputs.append(cout)
+    g.add_thread("G", make_sink(join_inputs, join_cost), sink=True)
+    for chan in join_inputs:
+        g.connect(chan, "G")
+    g.validate()
+    return g

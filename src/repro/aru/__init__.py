@@ -1,0 +1,62 @@
+"""Adaptive Resource Utilization — the paper's core contribution.
+
+Components:
+
+* :mod:`repro.aru.stp` — sustainable-thread-period measurement (§3.3.1);
+* :mod:`repro.aru.summary` — backwardSTP vectors and summary-STP (§3.3.2);
+* :mod:`repro.aru.operators` — min/max/user compression operators;
+* :mod:`repro.aru.controller` — source-thread throttle actuation;
+* :mod:`repro.aru.filters` — STP noise filters (paper's future work);
+* :mod:`repro.aru.config` — policy configs (`no-aru`, `aru-min`, `aru-max`).
+"""
+
+from repro.aru.config import AruConfig, aru_disabled, aru_max, aru_min
+from repro.aru.controller import throttle_sleep
+from repro.aru.filters import (
+    EwmaFilter,
+    MedianFilter,
+    NoFilter,
+    SlewRateFilter,
+    resolve_factory,
+)
+from repro.aru.operators import (
+    MAX_OPERATOR,
+    MIN_OPERATOR,
+    kth_op,
+    max_op,
+    mean_op,
+    median_op,
+    min_op,
+    operator_name,
+    pooled_min_op,
+    resolve,
+)
+from repro.aru.stp import StpMeter
+from repro.aru.summary import BackwardStpVector, BufferAruState, ThreadAruState
+
+__all__ = [
+    "AruConfig",
+    "aru_disabled",
+    "aru_min",
+    "aru_max",
+    "throttle_sleep",
+    "StpMeter",
+    "BackwardStpVector",
+    "ThreadAruState",
+    "BufferAruState",
+    "min_op",
+    "max_op",
+    "mean_op",
+    "median_op",
+    "kth_op",
+    "pooled_min_op",
+    "MIN_OPERATOR",
+    "MAX_OPERATOR",
+    "resolve",
+    "operator_name",
+    "NoFilter",
+    "EwmaFilter",
+    "MedianFilter",
+    "SlewRateFilter",
+    "resolve_factory",
+]

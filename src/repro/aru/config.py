@@ -1,0 +1,81 @@
+"""ARU configuration and the three policies evaluated in the paper."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Optional, Union
+
+from repro.aru.filters import FilterFactory, resolve_factory
+from repro.aru.operators import Operator, resolve
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class AruConfig:
+    """Everything that parameterizes the ARU mechanism.
+
+    Attributes
+    ----------
+    enabled:
+        Master switch. Disabled = the paper's "No ARU" baseline (summary
+        values are neither piggybacked nor acted upon).
+    default_channel_op:
+        Compression operator channels use over their consumers' summaries
+        unless the channel declares its own (the optional argument the
+        paper adds to ``spd_chan_alloc()``).
+    thread_op:
+        Compression operator threads use over their *output-connection*
+        backward vector.
+    throttle_sources_only:
+        Paper behaviour (True): only source threads actuate; everyone else
+        adapts by blocking. False throttles every thread (extension).
+    stp_filter / summary_filter:
+        Noise-filter factories (extension; identity reproduces the paper).
+        ``stp_filter`` smooths each thread's own current-STP measurement;
+        ``summary_filter`` smooths values received per connection.
+    headroom:
+        Throttle target multiplier (extension; 1.0 = paper).
+    """
+
+    enabled: bool = True
+    default_channel_op: Union[str, Operator] = "min"
+    thread_op: Union[str, Operator] = "min"
+    throttle_sources_only: bool = True
+    stp_filter: Union[str, FilterFactory, None] = None
+    summary_filter: Union[str, FilterFactory, None] = None
+    headroom: float = 1.0
+    name: str = "aru"
+
+    def __post_init__(self) -> None:
+        if self.headroom <= 0:
+            raise ConfigError(f"headroom must be positive, got {self.headroom}")
+        # Fail fast on bad specs rather than mid-simulation.
+        resolve(self.default_channel_op)
+        resolve(self.thread_op)
+        resolve_factory(self.stp_filter)
+        resolve_factory(self.summary_filter)
+
+    def with_(self, **changes) -> "AruConfig":
+        """Functional update helper."""
+        return replace(self, **changes)
+
+
+def aru_disabled() -> AruConfig:
+    """The paper's "No ARU" baseline."""
+    return AruConfig(enabled=False, name="no-aru")
+
+
+def aru_min(**overrides) -> AruConfig:
+    """ARU with the conservative ``min`` operator everywhere (paper default)."""
+    cfg = AruConfig(default_channel_op="min", thread_op="min", name="aru-min")
+    return cfg.with_(**overrides) if overrides else cfg
+
+
+def aru_max(**overrides) -> AruConfig:
+    """ARU with the aggressive ``max`` operator everywhere.
+
+    Valid for pipelines whose consumers are fully data-dependent (fig. 4 —
+    true for the tracker, where the GUI consumes both detection outputs).
+    """
+    cfg = AruConfig(default_channel_op="max", thread_op="max", name="aru-max")
+    return cfg.with_(**overrides) if overrides else cfg

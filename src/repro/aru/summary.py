@@ -1,0 +1,120 @@
+"""Summary-STP computation and the backwardSTP vector — paper §3.3.2.
+
+Every node of the task graph (thread, channel, or queue) keeps a
+``backwardSTP`` vector with one slot per *output connection* (for threads)
+or per *consumer connection* (for channels/queues). The algorithm, verbatim
+from the paper:
+
+1. receive a summary-STP value from output connection *i*;
+2. ``backwardSTP[i] = value``;
+3. ``compressed = op(backwardSTP)`` (``min`` default, ``max`` aggressive);
+4. thread nodes: ``summary = max(compressed, current_STP)``;
+   channel/queue nodes: ``summary = compressed``;
+5. propagate ``summary`` upstream (piggy-backed on the next put/get).
+
+Values are periods in **seconds**. A node that has not yet heard from any
+consumer has no summary (``None``) — upstream nodes simply don't update
+that slot yet, matching the cold-start of a real pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+from repro.aru.filters import FilterFactory, NoFilter
+from repro.aru.operators import Operator, operator_name, resolve
+
+
+class BackwardStpVector:
+    """The per-node ``backwardSTP`` vector with optional per-slot filtering."""
+
+    def __init__(self, op: Union[str, Operator, None] = None,
+                 summary_filter_factory: Optional[FilterFactory] = None) -> None:
+        self.op = resolve(op)
+        self._filter_factory = summary_filter_factory or NoFilter
+        self._values: Dict[object, float] = {}
+        self._filters: Dict[object, object] = {}
+
+    def update(self, conn_id: object, value: float) -> None:
+        """Store a received summary-STP for connection ``conn_id``.
+
+        The per-connection filter (extension; identity by default) smooths
+        the sequence of values received on that slot.
+        """
+        if value < 0:
+            raise ValueError(f"negative summary-STP: {value}")
+        filt = self._filters.get(conn_id)
+        if filt is None:
+            filt = self._filter_factory()
+            self._filters[conn_id] = filt
+        self._values[conn_id] = float(filt(value))
+
+    def compressed(self) -> Optional[float]:
+        """``op(backwardSTP)``, or ``None`` when no value has arrived yet."""
+        if not self._values:
+            return None
+        return float(self.op(list(self._values.values())))
+
+    def snapshot(self) -> Dict[object, float]:
+        """Copy of the current vector (reports/debugging)."""
+        return dict(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<BackwardStpVector op={operator_name(self.op)} {self._values}>"
+
+
+class ThreadAruState:
+    """ARU state for a thread node.
+
+    ``summary()`` implements step 4: the thread inserts its own execution
+    period when it is the slowest — *"this allows a thread with a larger
+    period than its consumers to insert its execution period into the
+    summary-STP"*.
+    """
+
+    def __init__(self, name: str, op: Union[str, Operator, None] = None,
+                 summary_filter_factory: Optional[FilterFactory] = None) -> None:
+        self.name = name
+        self.backward = BackwardStpVector(op, summary_filter_factory)
+
+    def update_backward(self, conn_id: object, value: float) -> None:
+        self.backward.update(conn_id, value)
+
+    def compressed_backward(self) -> Optional[float]:
+        return self.backward.compressed()
+
+    def summary(self, current_stp: Optional[float]) -> Optional[float]:
+        """``max(compressed_backward, current_STP)`` with None-handling.
+
+        * no downstream info, no own STP yet -> ``None``;
+        * only one side known -> that side.
+        """
+        compressed = self.backward.compressed()
+        if compressed is None:
+            return current_stp
+        if current_stp is None:
+            return compressed
+        return max(compressed, current_stp)
+
+
+class BufferAruState:
+    """ARU state for a channel or queue node.
+
+    Channels/queues generate no current-STP of their own (paper step 5):
+    their summary is just the compressed backward vector over *consumer*
+    connections.
+    """
+
+    def __init__(self, name: str, op: Union[str, Operator, None] = None,
+                 summary_filter_factory: Optional[FilterFactory] = None) -> None:
+        self.name = name
+        self.backward = BackwardStpVector(op, summary_filter_factory)
+
+    def update_backward(self, conn_id: object, value: float) -> None:
+        self.backward.update(conn_id, value)
+
+    def summary(self) -> Optional[float]:
+        return self.backward.compressed()

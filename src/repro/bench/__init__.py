@@ -1,0 +1,61 @@
+"""Experiment harness: per-table runners, report rendering, paper comparison."""
+
+from repro.bench.compare import PAPER, format_shape_report, shape_checks
+from repro.bench.export import (
+    RUN_COLUMNS,
+    compare_traces,
+    grid_to_csv,
+    summarize_trace,
+)
+from repro.bench.experiments import (
+    CONFIG_NAMES,
+    DEFAULT_HORIZON,
+    DEFAULT_SEEDS,
+    POLICY_FACTORIES,
+    PolicyAggregate,
+    RunMetrics,
+    cluster_for,
+    placement_for,
+    run_grid,
+    run_tracker_once,
+)
+from repro.bench.report import ascii_timeline, format_table, timeline_csv
+from repro.bench.specfile import (
+    aru_from_dict,
+    experiment_from_dict,
+    run_experiment,
+)
+from repro.bench.tables import (
+    fig6_memory_table,
+    fig7_waste_table,
+    fig10_performance_table,
+)
+
+__all__ = [
+    "run_tracker_once",
+    "run_grid",
+    "RunMetrics",
+    "PolicyAggregate",
+    "CONFIG_NAMES",
+    "POLICY_FACTORIES",
+    "DEFAULT_HORIZON",
+    "DEFAULT_SEEDS",
+    "cluster_for",
+    "placement_for",
+    "fig6_memory_table",
+    "fig7_waste_table",
+    "fig10_performance_table",
+    "format_table",
+    "ascii_timeline",
+    "timeline_csv",
+    "PAPER",
+    "shape_checks",
+    "format_shape_report",
+    "grid_to_csv",
+    "compare_traces",
+    "experiment_from_dict",
+    "run_experiment",
+    "aru_from_dict",
+    "summarize_trace",
+    "RUN_COLUMNS",
+]

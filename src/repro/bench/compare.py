@@ -1,0 +1,125 @@
+"""Paper reference values and shape checks.
+
+The absolute numbers of the paper were measured on a 2005-era cluster we
+only simulate, so the reproduction target is the *shape*: orderings,
+rough factors, crossovers. ``PAPER`` records the published numbers
+(figures 6, 7, 10); :func:`shape_checks` evaluates the qualitative claims
+on our measured grid and reports pass/fail per claim.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.bench.experiments import PolicyAggregate
+
+#: Published values, keyed [config][policy] — figs. 6, 7 and 10.
+PAPER: Dict[str, Dict[str, Dict[str, float]]] = {
+    "config1": {
+        "No ARU": dict(mem_std=4.31, mem_mean=33.62, pct_igc=387, wasted_mem=66.0,
+                       wasted_comp=25.2, fps=3.30, fps_std=0.02, lat=661, lat_std=23,
+                       jitter=77),
+        "ARU-min": dict(mem_std=2.58, mem_mean=16.23, pct_igc=187, wasted_mem=4.1,
+                        wasted_comp=2.8, fps=4.68, fps_std=0.09, lat=594, lat_std=9,
+                        jitter=34),
+        "ARU-max": dict(mem_std=0.49, mem_mean=12.45, pct_igc=143, wasted_mem=0.3,
+                        wasted_comp=0.2, fps=4.18, fps_std=0.10, lat=350, lat_std=7,
+                        jitter=46),
+        "IGC": dict(mem_std=0.33, mem_mean=8.69, pct_igc=100),
+    },
+    "config2": {
+        "No ARU": dict(mem_std=6.41, mem_mean=36.81, pct_igc=341, wasted_mem=60.7,
+                       wasted_comp=24.4, fps=4.27, fps_std=0.06, lat=648, lat_std=23,
+                       jitter=96),
+        "ARU-min": dict(mem_std=2.94, mem_mean=15.72, pct_igc=145, wasted_mem=7.2,
+                        wasted_comp=4.0, fps=4.47, fps_std=0.10, lat=605, lat_std=24,
+                        jitter=89),
+        "ARU-max": dict(mem_std=0.37, mem_mean=13.09, pct_igc=121, wasted_mem=4.8,
+                        wasted_comp=2.1, fps=3.53, fps_std=0.15, lat=480, lat_std=13,
+                        jitter=162),
+        "IGC": dict(mem_std=0.33, mem_mean=10.81, pct_igc=100),
+    },
+}
+
+
+def shape_checks(grid: Dict[Tuple[str, str], PolicyAggregate]
+                 ) -> List[Tuple[str, bool]]:
+    """Evaluate the paper's qualitative claims on a measured grid.
+
+    Returns ``(claim, holds)`` pairs; benches print them and the
+    integration suite asserts the core ones.
+    """
+
+    def m(config, policy, attr):
+        return grid[(config, policy)].mean(attr)
+
+    checks: List[Tuple[str, bool]] = []
+    for config in ("config1", "config2"):
+        if (config, "No ARU") not in grid:
+            continue
+        no, mn, mx = (m(config, p, "mem_mean") for p in
+                      ("No ARU", "ARU-min", "ARU-max"))
+        checks.append((
+            f"{config}: memory footprint ordering No-ARU > ARU-min > ARU-max",
+            no > mn > mx,
+        ))
+        checks.append((
+            f"{config}: ARU-max cuts the footprint by >= half (paper: ~2/3)",
+            mx < 0.5 * no,
+        ))
+        igc = min(m(config, p, "igc_mean")
+                  for p in ("No ARU", "ARU-min", "ARU-max"))
+        checks.append((
+            f"{config}: ARU-max footprint within 60% of the IGC bound",
+            mx <= 1.6 * igc,
+        ))
+        wm_no = m(config, "No ARU", "wasted_memory")
+        wm_mx = m(config, "ARU-max", "wasted_memory")
+        checks.append((
+            f"{config}: wasted memory > 50% without ARU, <= 5% with ARU-max",
+            wm_no > 0.5 and wm_mx <= 0.05,
+        ))
+        checks.append((
+            f"{config}: wasted computation shrinks by >= 5x under ARU-max",
+            m(config, "ARU-max", "wasted_computation")
+            < m(config, "No ARU", "wasted_computation") / 5.0,
+        ))
+        lat_no = m(config, "No ARU", "latency_mean")
+        lat_mx = m(config, "ARU-max", "latency_mean")
+        checks.append((
+            f"{config}: ARU-max improves latency over No-ARU",
+            lat_mx < lat_no,
+        ))
+        checks.append((
+            f"{config}: ARU-min throughput >= ARU-max throughput",
+            m(config, "ARU-min", "throughput") >= m(config, "ARU-max", "throughput"),
+        ))
+    if ("config1", "No ARU") in grid:
+        checks.append((
+            "config1: ARU-min does not lose throughput vs No-ARU "
+            "(paper: +42% from relieved contention)",
+            m("config1", "ARU-min", "throughput")
+            >= 0.98 * m("config1", "No ARU", "throughput"),
+        ))
+    if ("config2", "No ARU") in grid:
+        checks.append((
+            "config2: ARU-max sacrifices throughput (the paper's §5.2 artifact)",
+            m("config2", "ARU-max", "throughput")
+            < m("config2", "No ARU", "throughput"),
+        ))
+        checks.append((
+            "config2: ARU-max has the worst jitter (aggressive throttling)",
+            m("config2", "ARU-max", "jitter")
+            > max(m("config2", "No ARU", "jitter"),
+                  m("config2", "ARU-min", "jitter")),
+        ))
+    return checks
+
+
+def format_shape_report(checks: List[Tuple[str, bool]]) -> str:
+    lines = ["Shape checks vs the paper:"]
+    for claim, holds in checks:
+        lines.append(f"  [{'PASS' if holds else 'FAIL'}] {claim}")
+    passed = sum(1 for _, ok in checks if ok)
+    lines.append(f"  => {passed}/{len(checks)} hold")
+    return "\n".join(lines)

@@ -1,0 +1,184 @@
+"""Experiment definitions: one entry point per paper table/figure.
+
+Each experiment runs the tracker on the simulated cluster for a grid of
+(config, ARU policy, seed) and aggregates the §4 metrics. The paper
+reports "average statistics over successive execution runs"; we average
+over seeds, reporting across-run standard deviations where the paper does
+(throughput, latency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.apps.tracker import TrackerConfig, build_tracker, tracker_placement
+from repro.aru.config import AruConfig, aru_disabled, aru_max, aru_min
+from repro.cluster.spec import ClusterSpec, config1_spec, config2_spec
+from repro.errors import ConfigError
+from repro.metrics.footprint import Timeline
+from repro.metrics.performance import jitter, latency_stats, throughput_fps
+from repro.metrics.postmortem import PostmortemAnalyzer
+from repro.runtime.runtime import Runtime, RuntimeConfig
+
+#: The two hardware configurations of §5.
+CONFIG_NAMES = ("config1", "config2")
+#: The three policies of every paper table, in paper row order.
+POLICY_FACTORIES: Dict[str, Callable[[], AruConfig]] = {
+    "No ARU": aru_disabled,
+    "ARU-min": aru_min,
+    "ARU-max": aru_max,
+}
+
+DEFAULT_HORIZON = 120.0
+DEFAULT_SEEDS = (0, 1, 2)
+
+
+def cluster_for(config: str) -> ClusterSpec:
+    if config == "config1":
+        return config1_spec()
+    if config == "config2":
+        return config2_spec()
+    raise ConfigError(f"unknown config {config!r}; expected {CONFIG_NAMES}")
+
+
+def placement_for(config: str) -> Dict[str, str]:
+    return tracker_placement() if config == "config2" else {}
+
+
+@dataclass
+class RunMetrics:
+    """Every §4 metric for one (config, policy, seed) run."""
+
+    config: str
+    policy: str
+    seed: int
+    horizon: float
+    mem_mean: float
+    mem_std: float
+    mem_peak: float
+    igc_mean: float
+    igc_std: float
+    wasted_memory: float
+    wasted_computation: float
+    throughput: float
+    latency_mean: float
+    latency_std: float
+    jitter: float
+    footprint: Timeline
+    igc_footprint: Timeline
+    frames_produced: int
+    frames_delivered: int
+
+
+def run_tracker_once(
+    config: str,
+    policy: AruConfig,
+    seed: int = 0,
+    horizon: float = DEFAULT_HORIZON,
+    tracker_cfg: Optional[TrackerConfig] = None,
+    gc: str = "dgc",
+) -> RunMetrics:
+    """One full tracker simulation + postmortem."""
+    graph = build_tracker(tracker_cfg)
+    runtime = Runtime(
+        graph,
+        RuntimeConfig(
+            cluster=cluster_for(config),
+            gc=gc,
+            aru=policy,
+            seed=seed,
+            placement=placement_for(config),
+        ),
+    )
+    recorder = runtime.run(until=horizon)
+    pm = PostmortemAnalyzer(recorder)
+    footprint = pm.footprint()
+    igc = pm.ideal_footprint()
+    lat_mean, lat_std = latency_stats(recorder)
+    return RunMetrics(
+        config=config,
+        policy=policy.name,
+        seed=seed,
+        horizon=horizon,
+        mem_mean=footprint.mean(),
+        mem_std=footprint.std(),
+        mem_peak=footprint.peak(),
+        igc_mean=igc.mean(),
+        igc_std=igc.std(),
+        wasted_memory=pm.wasted_memory_fraction,
+        wasted_computation=pm.wasted_computation_fraction,
+        throughput=throughput_fps(recorder),
+        latency_mean=lat_mean,
+        latency_std=lat_std,
+        jitter=jitter(recorder),
+        footprint=footprint,
+        igc_footprint=igc,
+        frames_produced=len(recorder.iterations_of("digitizer")),
+        frames_delivered=len(recorder.sink_iterations()),
+    )
+
+
+@dataclass
+class PolicyAggregate:
+    """Across-seed aggregate for one (config, policy) cell."""
+
+    config: str
+    policy: str
+    runs: List[RunMetrics] = field(default_factory=list)
+
+    def _vals(self, attr: str) -> np.ndarray:
+        return np.array([getattr(r, attr) for r in self.runs])
+
+    def mean(self, attr: str) -> float:
+        return float(self._vals(attr).mean())
+
+    def std(self, attr: str) -> float:
+        return float(self._vals(attr).std())
+
+    def ci95(self, attr: str) -> Tuple[float, float]:
+        """Student-t 95% confidence interval for the across-seed mean.
+
+        Degenerates to a point for a single seed (or zero variance).
+        """
+        vals = self._vals(attr)
+        mean = float(vals.mean())
+        if len(vals) < 2:
+            return mean, mean
+        sem = float(vals.std(ddof=1)) / np.sqrt(len(vals))
+        if sem == 0.0:
+            return mean, mean
+        try:
+            from scipy import stats
+
+            half = float(stats.t.ppf(0.975, df=len(vals) - 1)) * sem
+        except ImportError:  # pragma: no cover - scipy is a test dep
+            half = 1.96 * sem
+        return mean - half, mean + half
+
+
+def run_grid(
+    configs: Sequence[str] = CONFIG_NAMES,
+    policies: Optional[Dict[str, Callable[[], AruConfig]]] = None,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    horizon: float = DEFAULT_HORIZON,
+    tracker_cfg: Optional[TrackerConfig] = None,
+    gc: str = "dgc",
+) -> Dict[Tuple[str, str], PolicyAggregate]:
+    """Run the full (config x policy x seed) grid of the paper's §5."""
+    policies = policies or POLICY_FACTORIES
+    out: Dict[Tuple[str, str], PolicyAggregate] = {}
+    for config in configs:
+        for label, factory in policies.items():
+            agg = PolicyAggregate(config=config, policy=label)
+            for seed in seeds:
+                agg.runs.append(
+                    run_tracker_once(
+                        config, factory(), seed=seed, horizon=horizon,
+                        tracker_cfg=tracker_cfg, gc=gc,
+                    )
+                )
+            out[(config, label)] = agg
+    return out

@@ -1,0 +1,82 @@
+"""Plain-text rendering: tables and ASCII timelines for the benches.
+
+The paper's figures 8/9 are memory-footprint-vs-time plots; in a terminal
+harness we render them as fixed-grid ASCII charts plus CSV files for real
+plotting. Tables mirror the layout of the paper's figures 6, 7 and 10.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.metrics.footprint import Timeline
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Monospace table with right-aligned numeric columns."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # nan
+            return "-"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def ascii_timeline(timeline: Timeline, width: int = 72, height: int = 14,
+                   title: str = "", y_max: Optional[float] = None) -> str:
+    """Render a step function as an ASCII area chart.
+
+    ``y_max`` pins the vertical scale so several charts share axes — the
+    paper renders figs. 8/9 panels with a common scale for comparability.
+    """
+    if width < 8 or height < 3:
+        raise ValueError("chart too small")
+    _, values = timeline.sample(width)
+    top = y_max if y_max is not None else (values.max() or 1.0)
+    if top <= 0:
+        top = 1.0
+    rows: List[str] = []
+    if title:
+        rows.append(title)
+    levels = np.clip(np.round(values / top * height), 0, height).astype(int)
+    for level in range(height, 0, -1):
+        label = f"{top * level / height / 1e6:7.1f}MB |" if level in (height, 1) \
+            else "           |"
+        line = "".join("#" if lv >= level else " " for lv in levels)
+        rows.append(label + line)
+    rows.append("           +" + "-" * width)
+    rows.append(
+        f"            t=0{'':{max(0, width - 22)}}t={timeline.times[-1]:.0f}s"
+    )
+    return "\n".join(rows)
+
+
+def timeline_csv(timeline: Timeline, n: int = 400) -> str:
+    """CSV of (seconds, bytes) samples for external plotting."""
+    ts, vals = timeline.sample(n)
+    lines = ["t_seconds,bytes"]
+    lines.extend(f"{t:.4f},{v:.0f}" for t, v in zip(ts, vals))
+    return "\n".join(lines) + "\n"

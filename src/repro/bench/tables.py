@@ -1,0 +1,91 @@
+"""Table builders mirroring the paper's figures 6, 7 and 10."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.bench.experiments import PolicyAggregate
+from repro.bench.report import format_table
+
+_POLICY_ORDER = ("No ARU", "ARU-min", "ARU-max")
+MB = 1e6
+
+
+def _aggs_for(grid: Dict[Tuple[str, str], PolicyAggregate], config: str
+              ) -> List[PolicyAggregate]:
+    return [grid[(config, p)] for p in _POLICY_ORDER if (config, p) in grid]
+
+
+def fig6_memory_table(grid: Dict[Tuple[str, str], PolicyAggregate],
+                      config: str) -> Tuple[str, List[List[object]]]:
+    """Fig. 6: mean memory footprint, its σ, and % w.r.t. IGC.
+
+    The IGC row is "the theoretical lower limit for the memory footprint"
+    of the application: the smallest postmortem IGC bound over all
+    executed policies. Every policy's measured footprint is >= its own
+    trace's IGC >= this minimum, so the % column is always >= 100.
+    """
+    aggs = _aggs_for(grid, config)
+    igc_agg = min(aggs, key=lambda a: a.mean("igc_mean"))
+    igc_ref = igc_agg.mean("igc_mean")
+    rows: List[List[object]] = []
+    for agg in aggs:
+        mean = agg.mean("mem_mean")
+        rows.append([
+            agg.policy,
+            agg.mean("mem_std") / MB,
+            mean / MB,
+            100.0 * mean / igc_ref if igc_ref > 0 else float("nan"),
+        ])
+    rows.append(["IGC", igc_agg.mean("igc_std") / MB, igc_ref / MB, 100.0])
+    table = format_table(
+        ["policy", "Mem STD (MB)", "Mem mean (MB)", "% wrt IGC"],
+        rows,
+        title=f"[fig 6] Memory footprint — {config}",
+    )
+    return table, rows
+
+
+def fig7_waste_table(grid: Dict[Tuple[str, str], PolicyAggregate],
+                     config: str) -> Tuple[str, List[List[object]]]:
+    """Fig. 7: % wasted memory and % wasted computation."""
+    rows = [
+        [
+            agg.policy,
+            100.0 * agg.mean("wasted_memory"),
+            100.0 * agg.mean("wasted_computation"),
+        ]
+        for agg in _aggs_for(grid, config)
+    ]
+    table = format_table(
+        ["policy", "% Mem wasted", "% Comp wasted"],
+        rows,
+        title=f"[fig 7] Wasted resources — {config}",
+    )
+    return table, rows
+
+
+def fig10_performance_table(grid: Dict[Tuple[str, str], PolicyAggregate],
+                            config: str) -> Tuple[str, List[List[object]]]:
+    """Fig. 10: throughput (fps µ/σ across runs), latency (ms µ/σ), jitter.
+
+    Throughput/latency σ are across-seed deviations — the paper averages
+    "over successive execution runs". Jitter is within-run, averaged.
+    """
+    rows: List[List[object]] = []
+    for agg in _aggs_for(grid, config):
+        rows.append([
+            agg.policy,
+            agg.mean("throughput"),
+            agg.std("throughput"),
+            1e3 * agg.mean("latency_mean"),
+            1e3 * agg.std("latency_mean"),
+            1e3 * agg.mean("jitter"),
+        ])
+    table = format_table(
+        ["policy", "fps mean", "fps STD", "lat mean (ms)", "lat STD (ms)",
+         "jitter (ms)"],
+        rows,
+        title=f"[fig 10] Latency, throughput, jitter — {config}",
+    )
+    return table, rows

@@ -1,0 +1,289 @@
+"""Command-line interface: run experiments, regenerate tables, analyze traces.
+
+Usage (also available as ``python -m repro``):
+
+.. code-block:: text
+
+    repro-aru run-tracker --config 1 --policy aru-max --horizon 120 \\
+        [--seed 0] [--gc dgc] [--save-trace run.json]
+    repro-aru paper-tables [--seeds 2] [--horizon 120] [--save-csv grid.csv]
+    repro-aru analyze run.json
+    repro-aru compare a.json b.json
+    repro-aru timeline run.json [--channel C3] [--width 72]
+    repro-aru dot tracker > tracker.dot
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.aru import aru_disabled, aru_max, aru_min
+from repro.bench import (
+    ascii_timeline,
+    fig6_memory_table,
+    fig7_waste_table,
+    fig10_performance_table,
+    format_shape_report,
+    run_grid,
+    run_tracker_once,
+    shape_checks,
+)
+from repro.metrics import (
+    PostmortemAnalyzer,
+    jitter,
+    latency_stats,
+    load_trace,
+    throughput_fps,
+)
+
+_POLICIES = {
+    "no-aru": aru_disabled,
+    "aru-min": aru_min,
+    "aru-max": aru_max,
+}
+
+
+def _policy(name: str):
+    try:
+        return _POLICIES[name]()
+    except KeyError:
+        raise SystemExit(
+            f"unknown policy {name!r}; choose from {sorted(_POLICIES)}"
+        ) from None
+
+
+def _print_run_summary(run) -> None:
+    print(f"config={run.config} policy={run.policy} seed={run.seed} "
+          f"horizon={run.horizon:.0f}s")
+    print(f"  memory footprint : {run.mem_mean / 1e6:8.2f} MB mean, "
+          f"{run.mem_std / 1e6:.2f} MB std, {run.mem_peak / 1e6:.2f} MB peak")
+    print(f"  IGC lower bound  : {run.igc_mean / 1e6:8.2f} MB "
+          f"({100 * run.mem_mean / run.igc_mean:.0f} % of bound used)")
+    print(f"  wasted memory    : {run.wasted_memory:8.1%}")
+    print(f"  wasted compute   : {run.wasted_computation:8.1%}")
+    print(f"  throughput       : {run.throughput:8.2f} fps "
+          f"({run.frames_delivered} frames delivered, "
+          f"{run.frames_produced} produced)")
+    print(f"  latency          : {run.latency_mean * 1e3:8.0f} ms mean")
+    print(f"  jitter           : {run.jitter * 1e3:8.1f} ms")
+
+
+def cmd_run_tracker(args) -> int:
+    config = f"config{args.config}"
+    run = run_tracker_once(
+        config,
+        _policy(args.policy),
+        seed=args.seed,
+        horizon=args.horizon,
+        gc=args.gc,
+    )
+    _print_run_summary(run)
+    if args.save_trace:
+        # re-run capturing the recorder (run_tracker_once returns scalars);
+        # cheap relative to clarity, and seeds make it identical.
+        from repro.apps import build_tracker
+        from repro.bench import cluster_for, placement_for
+        from repro.metrics import save_trace
+        from repro.runtime import Runtime, RuntimeConfig
+
+        runtime = Runtime(
+            build_tracker(),
+            RuntimeConfig(
+                cluster=cluster_for(config),
+                gc=args.gc,
+                aru=_policy(args.policy),
+                seed=args.seed,
+                placement=placement_for(config),
+            ),
+        )
+        recorder = runtime.run(until=args.horizon)
+        save_trace(recorder, args.save_trace)
+        print(f"  trace saved      : {args.save_trace}")
+    return 0
+
+
+def cmd_paper_tables(args) -> int:
+    seeds = tuple(range(args.seeds))
+    print(f"Simulating 2 configs x 3 policies x {len(seeds)} seeds "
+          f"x {args.horizon:.0f}s ...\n")
+    grid = run_grid(seeds=seeds, horizon=args.horizon)
+    for config in ("config1", "config2"):
+        print(fig6_memory_table(grid, config)[0], end="\n\n")
+        print(fig7_waste_table(grid, config)[0], end="\n\n")
+        print(fig10_performance_table(grid, config)[0], end="\n\n")
+    print(format_shape_report(shape_checks(grid)))
+    if args.save_csv:
+        from pathlib import Path
+
+        from repro.bench import grid_to_csv
+
+        Path(args.save_csv).write_text(grid_to_csv(grid))
+        print(f"\nper-run CSV saved to {args.save_csv}")
+    return 0
+
+
+def cmd_run_config(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.bench import run_experiment, summarize_trace
+    from repro.metrics import save_trace
+
+    spec = json.loads(Path(args.spec).read_text())
+    recorder = run_experiment(spec)
+    print(f"experiment {args.spec} completed "
+          f"({recorder.duration:.1f}s simulated)")
+    for key, value in summarize_trace(recorder).items():
+        print(f"  {key:22s} {value:.6g}")
+    if args.save_trace:
+        save_trace(recorder, args.save_trace)
+        print(f"  trace saved to {args.save_trace}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    from repro.bench import compare_traces
+
+    a = load_trace(args.trace_a)
+    b = load_trace(args.trace_b)
+    print(compare_traces(a, b, label_a=args.trace_a, label_b=args.trace_b))
+    return 0
+
+
+def cmd_dot(args) -> int:
+    from repro.runtime import graph_to_dot
+
+    if args.app == "tracker":
+        from repro.apps import build_tracker
+
+        graph = build_tracker()
+    elif args.app == "gesture":
+        from repro.apps import build_gesture
+
+        graph = build_gesture()
+    elif args.app == "stereo":
+        from repro.apps import build_stereo
+
+        graph = build_stereo()
+    else:  # pragma: no cover - argparse choices prevent it
+        raise SystemExit(f"unknown app {args.app!r}")
+    print(graph_to_dot(graph), end="")
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    recorder = load_trace(args.trace)
+    pm = PostmortemAnalyzer(recorder)
+    lat_mean, lat_std = latency_stats(recorder)
+    print(f"trace: {args.trace} ({recorder.duration:.1f} s, "
+          f"{len(recorder.items)} items, {len(recorder.iterations)} iterations)")
+    print(f"  memory footprint : {pm.footprint().mean() / 1e6:8.2f} MB mean")
+    print(f"  IGC lower bound  : {pm.ideal_footprint().mean() / 1e6:8.2f} MB")
+    print(f"  wasted memory    : {pm.wasted_memory_fraction:8.1%}")
+    print(f"  wasted compute   : {pm.wasted_computation_fraction:8.1%}")
+    print(f"  throughput       : {throughput_fps(recorder):8.2f} fps")
+    print(f"  latency          : {lat_mean * 1e3:8.0f} ms "
+          f"(± {lat_std * 1e3:.0f} ms within-run)")
+    print(f"  jitter           : {jitter(recorder) * 1e3:8.1f} ms")
+    print("  per-channel:")
+    for channel, stats in sorted(pm.channel_report().items()):
+        print(f"    {channel:12s} items={stats['items']:6d} "
+              f"wasted={stats['wasted_items']:6d} "
+              f"mean={stats['bytes_mean'] / 1e6:7.2f} MB "
+              f"peak={stats['bytes_peak'] / 1e6:7.2f} MB")
+    print("  per-thread compute:")
+    for thread, stats in sorted(pm.thread_waste_report().items()):
+        print(f"    {thread:18s} {stats['compute']:8.1f} s total, "
+              f"{stats['wasted']:7.1f} s wasted "
+              f"({stats['wasted_fraction']:6.1%}) over "
+              f"{stats['iterations']} iterations")
+    return 0
+
+
+def cmd_gantt(args) -> int:
+    from repro.metrics import gantt
+
+    recorder = load_trace(args.trace)
+    print(gantt(recorder, width=args.width))
+    return 0
+
+
+def cmd_timeline(args) -> int:
+    recorder = load_trace(args.trace)
+    pm = PostmortemAnalyzer(recorder)
+    timeline = pm.footprint(args.channel)
+    title = f"memory footprint — {args.channel or 'all channels'}"
+    print(ascii_timeline(timeline, width=args.width, height=args.height,
+                         title=title))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-aru",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run-tracker", help="one tracker simulation")
+    p_run.add_argument("--config", type=int, choices=(1, 2), default=1)
+    p_run.add_argument("--policy", default="aru-min",
+                       choices=sorted(_POLICIES))
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--horizon", type=float, default=120.0)
+    p_run.add_argument("--gc", default="dgc",
+                       choices=("null", "ref", "tgc", "dgc"))
+    p_run.add_argument("--save-trace", metavar="PATH", default=None)
+    p_run.set_defaults(func=cmd_run_tracker)
+
+    p_tables = sub.add_parser("paper-tables",
+                              help="regenerate figs. 6/7/10 + shape report")
+    p_tables.add_argument("--seeds", type=int, default=2)
+    p_tables.add_argument("--horizon", type=float, default=120.0)
+    p_tables.add_argument("--save-csv", metavar="PATH", default=None)
+    p_tables.set_defaults(func=cmd_paper_tables)
+
+    p_rc = sub.add_parser("run-config",
+                          help="run an experiment described by a JSON spec")
+    p_rc.add_argument("spec")
+    p_rc.add_argument("--save-trace", metavar="PATH", default=None)
+    p_rc.set_defaults(func=cmd_run_config)
+
+    p_cmp = sub.add_parser("compare", help="compare two saved traces")
+    p_cmp.add_argument("trace_a")
+    p_cmp.add_argument("trace_b")
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_dot = sub.add_parser("dot", help="emit a Graphviz DOT task graph")
+    p_dot.add_argument("app", choices=("tracker", "gesture", "stereo"))
+    p_dot.set_defaults(func=cmd_dot)
+
+    p_an = sub.add_parser("analyze", help="postmortem of a saved trace")
+    p_an.add_argument("trace")
+    p_an.set_defaults(func=cmd_analyze)
+
+    p_gantt = sub.add_parser("gantt",
+                             help="ASCII per-thread activity chart of a trace")
+    p_gantt.add_argument("trace")
+    p_gantt.add_argument("--width", type=int, default=72)
+    p_gantt.set_defaults(func=cmd_gantt)
+
+    p_tl = sub.add_parser("timeline", help="ASCII footprint chart of a trace")
+    p_tl.add_argument("trace")
+    p_tl.add_argument("--channel", default=None)
+    p_tl.add_argument("--width", type=int, default=72)
+    p_tl.add_argument("--height", type=int, default=14)
+    p_tl.set_defaults(func=cmd_timeline)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,77 @@
+"""External load injection.
+
+The paper's §1 motivates *dynamic* resource utilization with "dynamic
+phenomena such as current load": the execution time of a task iteration
+depends on what else the machine is doing. A :class:`LoadSpec` describes
+a burst of competing work on one node — ``threads`` CPU-bound loops with
+a duty cycle, active during ``[start, stop)`` — and the runtime turns it
+into simulated processes that occupy CPUs and raise the contention level,
+slowing application threads exactly as OS-level background load would.
+
+The adaptivity ablation uses this to show the ARU loop *tracking* load:
+the throttle target rises during the burst and recovers after it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.cluster.node import Node
+from repro.errors import ConfigError
+from repro.sim.engine import Engine
+
+
+@dataclass(frozen=True)
+class LoadSpec:
+    """A rectangular burst of background load on one node.
+
+    Parameters
+    ----------
+    node:
+        Cluster node to load.
+    start, stop:
+        Burst window in simulated seconds.
+    threads:
+        Number of concurrent CPU-bound load loops.
+    burst_s:
+        Length of each compute segment (smaller = smoother occupancy).
+    duty:
+        Fraction of time each loop computes (1.0 = fully CPU-bound).
+    """
+
+    node: str
+    start: float
+    stop: float
+    threads: int = 1
+    burst_s: float = 0.02
+    duty: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.stop <= self.start:
+            raise ConfigError(f"empty load window [{self.start}, {self.stop})")
+        if self.threads < 1:
+            raise ConfigError("load needs at least one thread")
+        if self.burst_s <= 0:
+            raise ConfigError("burst_s must be positive")
+        if not 0.0 < self.duty <= 1.0:
+            raise ConfigError(f"duty must be in (0, 1], got {self.duty}")
+
+
+def load_process(engine: Engine, node: Node, spec: LoadSpec) -> Generator:
+    """One load loop: wait for the window, then burst until it closes."""
+    if spec.start > 0:
+        yield engine.timeout(spec.start)
+    idle = spec.burst_s * (1.0 - spec.duty) / spec.duty if spec.duty < 1.0 else 0.0
+    while engine.now < spec.stop:
+        yield engine.process(node.compute(spec.burst_s))
+        if idle > 0 and engine.now < spec.stop:
+            yield engine.timeout(idle)
+
+
+def spawn_load(engine: Engine, node: Node, spec: LoadSpec) -> None:
+    """Start ``spec.threads`` load loops on ``node``."""
+    for i in range(spec.threads):
+        engine.process(
+            load_process(engine, node, spec), name=f"load.{spec.node}.{i}"
+        )

@@ -1,0 +1,171 @@
+"""Declarative cluster hardware specifications.
+
+The paper's testbed: a 17-node cluster of 8-way 550 MHz Pentium-III Xeon
+SMPs (3.69 GB each) on Gigabit Ethernet. Experiments use two
+configurations:
+
+* **config 1** — all five tracker tasks (six threads) on one node;
+* **config 2** — tasks spread over five nodes, channels co-located with
+  their producers.
+
+:func:`config1_spec` and :func:`config2_spec` build those two shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.errors import ConfigError
+
+#: Gigabit Ethernet effective payload bandwidth, bytes/second. We use a
+#: conservative ~80 % of line rate to account for framing and TCP overhead.
+GIGABIT_BPS = int(1e9 * 0.80 / 8)
+
+#: One-way small-message latency on the paper-era cluster interconnect.
+DEFAULT_LATENCY_S = 100e-6
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Static description of one SMP node.
+
+    Parameters
+    ----------
+    name:
+        Unique node identifier.
+    ncpus:
+        Number of CPUs in the node's pool.
+    mem_bytes:
+        Physical memory (used only for occupancy reporting / sanity caps).
+    smp_contention_alpha:
+        Memory-bus contention coefficient: a compute segment running while
+        ``r`` other threads are runnable on the node is inflated by
+        ``1 + alpha * r``. The paper's config-1 runs noticeably slower
+        than config-2 (3.30 vs 4.27 fps without ARU) because six threads
+        share one node; this coefficient is the knob that reproduces it.
+    sched_noise_cv:
+        Coefficient of variation of multiplicative OS-scheduling noise
+        applied to each compute segment (the paper's §3.3.2 "variances in
+        the OS scheduling of threads" that make summary-STP noisy).
+    mem_pressure_per_mb:
+        Cache/VM pressure coefficient: compute segments are additionally
+        inflated by ``1 + coeff * resident_channel_megabytes`` (see
+        :func:`repro.cluster.contention.memory_pressure_factor`). Nonzero
+        on the shared config-1 node, where the paper's ARU-min throughput
+        gain comes from relieving exactly this pressure.
+    """
+
+    name: str
+    ncpus: int = 8
+    mem_bytes: int = int(3.69 * 2**30)
+    smp_contention_alpha: float = 0.0
+    sched_noise_cv: float = 0.0
+    mem_pressure_per_mb: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.ncpus < 1:
+            raise ConfigError(f"node {self.name!r}: ncpus must be >= 1")
+        if self.mem_bytes <= 0:
+            raise ConfigError(f"node {self.name!r}: mem_bytes must be positive")
+        if self.smp_contention_alpha < 0:
+            raise ConfigError(f"node {self.name!r}: negative contention alpha")
+        if self.sched_noise_cv < 0:
+            raise ConfigError(f"node {self.name!r}: negative scheduling noise")
+        if self.mem_pressure_per_mb < 0:
+            raise ConfigError(f"node {self.name!r}: negative memory pressure")
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Point-to-point link model: ``latency + size/bandwidth`` store-and-forward."""
+
+    latency_s: float = DEFAULT_LATENCY_S
+    bandwidth_bps: int = GIGABIT_BPS
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0:
+            raise ConfigError("negative link latency")
+        if self.bandwidth_bps <= 0:
+            raise ConfigError("bandwidth must be positive")
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Seconds to move ``nbytes`` over this link (excluding queueing)."""
+        if nbytes < 0:
+            raise ConfigError("negative transfer size")
+        return self.latency_s + nbytes / self.bandwidth_bps
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A set of nodes plus a uniform interconnect."""
+
+    nodes: tuple  # tuple[NodeSpec, ...]
+    link: LinkSpec = field(default_factory=LinkSpec)
+    name: str = "cluster"
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ConfigError("cluster needs at least one node")
+        names = [n.name for n in self.nodes]
+        if len(set(names)) != len(names):
+            raise ConfigError(f"duplicate node names: {names}")
+
+    @property
+    def node_names(self) -> List[str]:
+        return [n.name for n in self.nodes]
+
+    def node_spec(self, name: str) -> NodeSpec:
+        for n in self.nodes:
+            if n.name == name:
+                return n
+        raise ConfigError(f"no node named {name!r} in {self.name!r}")
+
+
+def config1_spec(
+    *,
+    ncpus: int = 8,
+    smp_contention_alpha: float = 0.06,
+    sched_noise_cv: float = 0.08,
+    mem_pressure_per_mb: float = 0.018,
+) -> ClusterSpec:
+    """Paper config 1: one 8-way SMP node hosting every task and channel."""
+    return ClusterSpec(
+        nodes=(
+            NodeSpec(
+                name="node0",
+                ncpus=ncpus,
+                smp_contention_alpha=smp_contention_alpha,
+                sched_noise_cv=sched_noise_cv,
+                mem_pressure_per_mb=mem_pressure_per_mb,
+            ),
+        ),
+        name="config1-1node",
+    )
+
+
+def config2_spec(
+    *,
+    n_nodes: int = 5,
+    ncpus: int = 8,
+    sched_noise_cv: float = 0.05,
+    link: LinkSpec | None = None,
+) -> ClusterSpec:
+    """Paper config 2: five nodes, one task per node, Gigabit interconnect.
+
+    Per-node contention is zero (each node runs a single task thread);
+    scheduling noise is milder than config 1 since nodes are not shared.
+    """
+    return ClusterSpec(
+        nodes=tuple(
+            NodeSpec(
+                name=f"node{i}",
+                ncpus=ncpus,
+                smp_contention_alpha=0.0,
+                sched_noise_cv=sched_noise_cv,
+            )
+            for i in range(n_nodes)
+        ),
+        link=link or LinkSpec(),
+        name=f"config2-{n_nodes}node",
+    )

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch the whole family with one ``except`` clause while still
+being able to discriminate on the specific subclass.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine reached an inconsistent state."""
+
+
+class ProcessKilled(ReproError):
+    """Raised *inside* a simulated process when it is forcibly interrupted."""
+
+
+class ChannelClosed(ReproError):
+    """A put/get was attempted on a channel that has been shut down."""
+
+
+class ItemDropped(ReproError):
+    """A get() request can never be satisfied (item already skipped/freed)."""
+
+
+class GraphError(ReproError):
+    """The application task graph is malformed (cycles, dangling nodes...)."""
+
+
+class ConfigError(ReproError):
+    """An experiment or runtime configuration value is invalid."""
+
+
+class TraceError(ReproError):
+    """The metrics trace is inconsistent (e.g. free before alloc)."""

@@ -1,0 +1,51 @@
+"""Garbage collectors for Stampede channel storage.
+
+Live collectors: ``null``, ``ref``, ``tgc``, ``dgc`` (see
+:mod:`repro.gc.base` for the taxonomy). The ideal bound (``igc``) is a
+postmortem analysis, not a live collector — see :mod:`repro.gc.igc`.
+"""
+
+from typing import Union
+
+from repro.errors import ConfigError
+from repro.gc.base import GarbageCollector, NullGC
+from repro.gc.dgc import DeadTimestampGC
+from repro.gc.igc import IgcResult, ideal_gc_analysis
+from repro.gc.refgc import RefCountGC
+from repro.gc.tgc import TransparentGC
+
+_NAMED = {
+    "null": NullGC,
+    "ref": RefCountGC,
+    "tgc": TransparentGC,
+    "dgc": DeadTimestampGC,
+}
+
+
+def make_gc(spec: Union[str, GarbageCollector, None]) -> GarbageCollector:
+    """Build a collector from a config value.
+
+    ``None`` defaults to DGC — the collector all paper experiments run on.
+    """
+    if spec is None:
+        return DeadTimestampGC()
+    if isinstance(spec, GarbageCollector):
+        return spec
+    if isinstance(spec, str):
+        cls = _NAMED.get(spec.lower())
+        if cls is None:
+            raise ConfigError(f"unknown GC {spec!r}; expected one of {sorted(_NAMED)}")
+        return cls()
+    raise ConfigError(f"GC spec must be a name or instance, got {type(spec).__name__}")
+
+
+__all__ = [
+    "GarbageCollector",
+    "NullGC",
+    "RefCountGC",
+    "TransparentGC",
+    "DeadTimestampGC",
+    "IgcResult",
+    "ideal_gc_analysis",
+    "make_gc",
+]

@@ -1,0 +1,39 @@
+"""Traditional reachability-based GC (the paper's §2 strawman).
+
+*"Traditional GC algorithms consider a data item to be garbage only if it
+is not 'reachable' by any thread in the application."* In a channel, an
+item stays reachable until every registered consumer has consumed it —
+so an item becomes garbage only once **all** consumers have gotten it.
+Items that any consumer *skipped* are never collected: this is exactly the
+leak that motivates timestamp-based GC and, ultimately, ARU.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.gc.base import GarbageCollector
+
+
+class RefCountGC(GarbageCollector):
+    """Free an item once every consumer connection has gotten it."""
+
+    name = "ref"
+
+    def __init__(self) -> None:
+        # (channel name, item id) -> set of consumer conn_ids that got it
+        self._gots: Dict[Tuple[str, int], Set[int]] = {}
+        # per-channel list of items whose got-set just became complete
+        self._ready: Dict[str, List[object]] = {}
+
+    def on_get(self, channel, conn, item) -> None:
+        key = (channel.name, item.item_id)
+        gots = self._gots.setdefault(key, set())
+        gots.add(conn.conn_id)
+        required = {c.conn_id for c in channel.in_conns}
+        if required and required <= gots:
+            self._ready.setdefault(channel.name, []).append(item)
+            del self._gots[key]
+
+    def dead_items(self, channel) -> Iterable[object]:
+        return self._ready.pop(channel.name, [])

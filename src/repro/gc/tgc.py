@@ -1,0 +1,35 @@
+"""Transparent GC: application-wide virtual-time low-water mark.
+
+The runtime derives each thread's *virtual time* (VT): for a source, the
+timestamp it will produce next; for a consumer, one past the minimum of
+its input-cursor positions. The global virtual time (GVT) is the minimum
+over all threads; any item with ``ts < GVT`` can never be requested again
+by anyone and is garbage [Nikhil & Ramachandran, PODC 2000].
+
+TGC is *laggier* than DGC: one slow (or idle) thread anywhere in the
+application holds back collection of every channel, even channels it
+never reads. The GC ablation benchmark quantifies this.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+from repro.gc.base import GarbageCollector
+
+
+class TransparentGC(GarbageCollector):
+    """Free items older than the global virtual-time minimum."""
+
+    name = "tgc"
+
+    def dead_items(self, channel) -> Iterable[object]:
+        runtime = getattr(self, "runtime", None)
+        if runtime is None:
+            return ()
+        gvt = runtime.global_virtual_time()
+        if gvt is None:
+            return ()
+        # dead: ts < gvt  <=>  ts <= gvt - 1
+        return channel.items_upto(gvt - 1)

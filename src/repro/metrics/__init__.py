@@ -1,0 +1,61 @@
+"""Measurement infrastructure and postmortem analysis (paper §4)."""
+
+from repro.metrics.control import (
+    ControlSeries,
+    control_series,
+    settling_time,
+    smoothness,
+    throttle_duty,
+    tracking_error,
+)
+from repro.metrics.events import ItemTrace, IterationTrace, StpSample, Touch
+from repro.metrics.gantt import activity_buckets, gantt
+from repro.metrics.footprint import Timeline, build_timeline, byte_seconds
+from repro.metrics.performance import (
+    jitter,
+    latency_percentiles,
+    latency_samples,
+    latency_stats,
+    output_times,
+    thread_utilization,
+    throughput_fps,
+)
+from repro.metrics.postmortem import PostmortemAnalyzer
+from repro.metrics.recorder import TraceRecorder
+from repro.metrics.trace_io import (
+    load_trace,
+    save_trace,
+    trace_from_dict,
+    trace_to_dict,
+)
+
+__all__ = [
+    "TraceRecorder",
+    "ItemTrace",
+    "IterationTrace",
+    "StpSample",
+    "Touch",
+    "Timeline",
+    "build_timeline",
+    "byte_seconds",
+    "PostmortemAnalyzer",
+    "latency_samples",
+    "latency_stats",
+    "latency_percentiles",
+    "throughput_fps",
+    "output_times",
+    "jitter",
+    "thread_utilization",
+    "gantt",
+    "activity_buckets",
+    "ControlSeries",
+    "control_series",
+    "settling_time",
+    "tracking_error",
+    "smoothness",
+    "throttle_duty",
+    "save_trace",
+    "load_trace",
+    "trace_to_dict",
+    "trace_from_dict",
+]

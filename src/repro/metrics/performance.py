@@ -1,0 +1,144 @@
+"""Application-performance metrics: latency, throughput, jitter (§4).
+
+* **Latency** — "the time it takes an image to make a trip through the
+  entire pipeline": for every item a sink thread consumes, the time from
+  the creation of the **oldest** *source* item in its lineage to the end
+  of the sink iteration that displayed it. The oldest ancestor is the
+  frame whose data traversed the longest path (e.g. frame -> motion mask
+  -> detection -> display), which is exactly "a trip through the entire
+  pipeline"; anchoring on the newest ancestor would only measure the last
+  hop.
+* **Throughput** — "the number of successful frames processed every
+  second": completed sink iterations per second.
+* **Jitter** — "the standard deviation of the time difference between
+  successive output frames": over sink-iteration completion times.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.metrics.recorder import TraceRecorder
+
+
+def _oldest_source_anchor(recorder: TraceRecorder) -> Dict[int, float]:
+    """For every item, the creation time of its *oldest* source ancestor.
+
+    A *source* item has no lineage parents (it was produced by a source
+    thread from outside data — e.g. a camera frame). Computed bottom-up
+    with memoization and an explicit stack (lineage chains can be long);
+    cycles are impossible (lineage follows time).
+    """
+    anchors: Dict[int, float] = {}
+
+    def anchor(item_id: int) -> Optional[float]:
+        stack = [item_id]
+        while stack:
+            top = stack[-1]
+            if top in anchors:
+                stack.pop()
+                continue
+            trace = recorder.items.get(top)
+            if trace is None:
+                anchors[top] = None  # type: ignore[assignment]
+                stack.pop()
+                continue
+            if not trace.parents:
+                anchors[top] = trace.t_alloc
+                stack.pop()
+                continue
+            missing = [p for p in trace.parents if p not in anchors]
+            if missing:
+                stack.extend(missing)
+                continue
+            valid = [anchors[p] for p in trace.parents if anchors[p] is not None]
+            anchors[top] = min(valid) if valid else trace.t_alloc
+            stack.pop()
+        return anchors[item_id]
+
+    for item_id in recorder.items:
+        anchor(item_id)
+    return anchors
+
+
+def latency_samples(recorder: TraceRecorder, warmup: float = 0.0) -> List[float]:
+    """One latency sample per item consumed by a sink iteration.
+
+    ``warmup`` discards sink iterations ending before that time — useful
+    to exclude the feedback loop's cold start (before the first
+    summary-STP has propagated, producers run unthrottled).
+    """
+    anchors = _oldest_source_anchor(recorder)
+    samples: List[float] = []
+    for it in recorder.sink_iterations():
+        if it.t_end < warmup:
+            continue
+        for item_id in it.inputs:
+            anchor = anchors.get(item_id)
+            if anchor is not None:
+                samples.append(it.t_end - anchor)
+    return samples
+
+
+def latency_stats(recorder: TraceRecorder, warmup: float = 0.0) -> tuple:
+    """(mean, std) of latency in seconds; (nan, nan) with no deliveries."""
+    samples = latency_samples(recorder, warmup)
+    if not samples:
+        return float("nan"), float("nan")
+    arr = np.asarray(samples)
+    return float(arr.mean()), float(arr.std())
+
+
+def latency_percentiles(
+    recorder: TraceRecorder,
+    percentiles=(50.0, 90.0, 99.0),
+    warmup: float = 0.0,
+) -> Dict[float, float]:
+    """Latency percentiles in seconds (nan-valued with no deliveries)."""
+    samples = latency_samples(recorder, warmup)
+    if not samples:
+        return {p: float("nan") for p in percentiles}
+    arr = np.asarray(samples)
+    return {p: float(np.percentile(arr, p)) for p in percentiles}
+
+
+def throughput_fps(recorder: TraceRecorder, warmup: float = 0.0) -> float:
+    """Completed sink iterations per second over the (post-warmup) run."""
+    duration = recorder.duration - warmup
+    if duration <= 0:
+        return 0.0
+    count = sum(1 for it in recorder.sink_iterations() if it.t_end >= warmup)
+    return count / duration
+
+
+def output_times(recorder: TraceRecorder, warmup: float = 0.0) -> List[float]:
+    """Completion times of sink iterations (the output-frame instants)."""
+    return sorted(
+        it.t_end for it in recorder.sink_iterations() if it.t_end >= warmup
+    )
+
+
+def jitter(recorder: TraceRecorder, warmup: float = 0.0) -> float:
+    """Std deviation of inter-output intervals (seconds); nan if < 3 outputs."""
+    times = output_times(recorder, warmup)
+    if len(times) < 3:
+        return float("nan")
+    return float(np.std(np.diff(times)))
+
+
+def thread_utilization(recorder: TraceRecorder, thread: str) -> dict:
+    """Decomposition of one thread's time: compute/blocked/slept fractions."""
+    iters = recorder.iterations_of(thread)
+    if not iters:
+        return {"compute": 0.0, "blocked": 0.0, "slept": 0.0, "iterations": 0}
+    span = iters[-1].t_end - iters[0].t_start
+    if span <= 0:
+        span = float("nan")
+    return {
+        "compute": sum(i.compute for i in iters) / span,
+        "blocked": sum(i.blocked for i in iters) / span,
+        "slept": sum(i.slept for i in iters) / span,
+        "iterations": len(iters),
+    }

@@ -1,0 +1,221 @@
+"""Postmortem analysis: success marking, wasted resources, the IGC bound.
+
+The paper's measurement infrastructure marks "items that do not make it to
+the end of the pipeline ... to differentiate between wasted and successful
+memory and computations" (§4). We reconstruct that marking from lineage:
+
+* an item is **delivered** if a sink iteration consumed it;
+* an item is **successful** if it is delivered or is an ancestor (through
+  lineage parents) of a delivered item — its data reached the end;
+* everything else (skipped frames, masks computed for dropped frames, ...)
+  is **wasted**.
+
+From the marking:
+
+* ``% wasted memory``   = wasted byte-seconds / total byte-seconds;
+* ``% wasted computation`` = compute seconds of iterations none of whose
+  outputs are successful / total compute seconds (source iterations whose
+  frame got dropped are wasted; sink iterations are always useful);
+* the **Ideal GC (IGC)** bound [Mandviwala et al., LCPC 2002]: the
+  footprint of a hypothetical collector that (a) never stores unsuccessful
+  items at all and (b) frees every successful item immediately after its
+  last get — "eliminates all unnecessary computations and associated
+  memory usage". Not realizable (requires future knowledge); computed here
+  from the trace.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from functools import cached_property
+from typing import Dict, FrozenSet, List, Set
+
+from repro.errors import TraceError
+from repro.metrics.footprint import Timeline, build_timeline, byte_seconds
+from repro.metrics.recorder import TraceRecorder
+
+
+class PostmortemAnalyzer:
+    """Derives every resource metric of the paper from one run's trace."""
+
+    def __init__(self, recorder: TraceRecorder) -> None:
+        if recorder.t_end is None:
+            raise TraceError("finalize the recorder before analysis")
+        self.recorder = recorder
+        self.horizon = recorder.t_end
+
+    # -- success marking ----------------------------------------------------
+    @cached_property
+    def delivered_ids(self) -> FrozenSet[int]:
+        """Items consumed directly by sink iterations."""
+        out: Set[int] = set()
+        for it in self.recorder.sink_iterations():
+            out.update(it.inputs)
+        return frozenset(out)
+
+    @cached_property
+    def successful_ids(self) -> FrozenSet[int]:
+        """Delivered items plus their full lineage-ancestor closure."""
+        success: Set[int] = set()
+        frontier = deque(self.delivered_ids)
+        while frontier:
+            item_id = frontier.popleft()
+            if item_id in success:
+                continue
+            success.add(item_id)
+            trace = self.recorder.items.get(item_id)
+            if trace is not None:
+                frontier.extend(p for p in trace.parents if p not in success)
+        return frozenset(success)
+
+    def is_successful(self, item_id: int) -> bool:
+        return item_id in self.successful_ids
+
+    # -- wasted memory ----------------------------------------------------
+    @cached_property
+    def total_byte_seconds(self) -> float:
+        return byte_seconds(self.recorder.items.values(), self.horizon)
+
+    @cached_property
+    def wasted_byte_seconds(self) -> float:
+        success = self.successful_ids
+        return byte_seconds(
+            self.recorder.items.values(),
+            self.horizon,
+            predicate=lambda item: item.item_id not in success,
+        )
+
+    @property
+    def wasted_memory_fraction(self) -> float:
+        """The paper's "% of Mem. Wasted" (0..1)."""
+        total = self.total_byte_seconds
+        if total <= 0:
+            return 0.0
+        return self.wasted_byte_seconds / total
+
+    # -- wasted computation -------------------------------------------------
+    @cached_property
+    def total_compute(self) -> float:
+        return sum(it.compute for it in self.recorder.iterations)
+
+    @cached_property
+    def wasted_compute(self) -> float:
+        success = self.successful_ids
+        wasted = 0.0
+        for it in self.recorder.iterations:
+            if it.is_sink:
+                continue  # displaying results is always useful work
+            if it.outputs and not any(o in success for o in it.outputs):
+                wasted += it.compute
+        return wasted
+
+    @property
+    def wasted_computation_fraction(self) -> float:
+        """The paper's "% of Comp. Wasted" (0..1)."""
+        total = self.total_compute
+        if total <= 0:
+            return 0.0
+        return self.wasted_compute / total
+
+    # -- footprints -------------------------------------------------------
+    def footprint(self, channel: str | None = None) -> Timeline:
+        """Measured memory footprint (step function) of the run."""
+        predicate = None
+        if channel is not None:
+            predicate = lambda item: item.channel == channel
+        return build_timeline(
+            self.recorder.items.values(),
+            self.recorder.t_start,
+            self.horizon,
+            predicate=predicate,
+        )
+
+    @cached_property
+    def _last_use_end(self) -> Dict[int, float]:
+        """item_id -> end time of the last iteration that consumed it.
+
+        This is the earliest instant even an ideal collector could free a
+        consumed item: the consumer is still computing on it until its
+        iteration ends (the paper counts "items in various stages of
+        processing").
+        """
+        out: Dict[int, float] = {}
+        for it in self.recorder.iterations:
+            for item_id in it.inputs:
+                prev = out.get(item_id)
+                if prev is None or it.t_end > prev:
+                    out[item_id] = it.t_end
+        return out
+
+    def ideal_footprint(self) -> Timeline:
+        """The IGC lower-bound footprint timeline.
+
+        Successful items only, each alive from allocation to the end of
+        the last iteration that consumed it (never-gotten items contribute
+        nothing — IGC "eliminates all unnecessary computations and
+        associated memory usage").
+        """
+        success = self.successful_ids
+        last_use = self._last_use_end
+
+        def end_at_last_use(item) -> float | None:
+            end = last_use.get(item.item_id)
+            if end is not None:
+                return end
+            return item.last_get_time()
+
+        return build_timeline(
+            self.recorder.items.values(),
+            self.recorder.t_start,
+            self.horizon,
+            predicate=lambda item: item.item_id in success and item.ever_got,
+            end_override=end_at_last_use,
+        )
+
+    # -- per-thread waste attribution ---------------------------------------
+    def thread_waste_report(self) -> Dict[str, dict]:
+        """Per-thread compute decomposition: useful vs wasted seconds.
+
+        Answers "which stage burned the most CPU on dropped data" — the
+        actionable form of the fig.-7 aggregate. Sink iterations are
+        always useful; an iteration with outputs is wasted iff none of
+        its outputs reached the pipeline end (transitively).
+        """
+        success = self.successful_ids
+        out: Dict[str, dict] = {}
+        for it in self.recorder.iterations:
+            entry = out.setdefault(
+                it.thread,
+                {"compute": 0.0, "wasted": 0.0, "iterations": 0,
+                 "wasted_iterations": 0},
+            )
+            entry["compute"] += it.compute
+            entry["iterations"] += 1
+            if it.is_sink:
+                continue
+            if it.outputs and not any(o in success for o in it.outputs):
+                entry["wasted"] += it.compute
+                entry["wasted_iterations"] += 1
+        for entry in out.values():
+            entry["wasted_fraction"] = (
+                entry["wasted"] / entry["compute"] if entry["compute"] else 0.0
+            )
+        return out
+
+    # -- per-channel breakdown ---------------------------------------------
+    def channel_report(self) -> Dict[str, dict]:
+        """Per-channel puts/gets/skips/footprint summary (diagnostics)."""
+        out: Dict[str, dict] = {}
+        for channel in self.recorder.channels():
+            items = self.recorder.items_of_channel(channel)
+            timeline = self.footprint(channel)
+            success = self.successful_ids
+            out[channel] = {
+                "items": len(items),
+                "bytes_mean": timeline.mean(),
+                "bytes_peak": timeline.peak(),
+                "wasted_items": sum(
+                    1 for item in items if item.item_id not in success
+                ),
+            }
+        return out

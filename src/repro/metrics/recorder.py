@@ -1,0 +1,158 @@
+"""In-memory trace recorder wired into the runtime.
+
+One :class:`TraceRecorder` instance per run. The runtime calls the
+``on_*`` hooks; the analysis modules (:mod:`repro.metrics.footprint`,
+:mod:`repro.metrics.performance`, :mod:`repro.metrics.postmortem`) read
+the accumulated structures after :meth:`finalize`.
+
+The recorder is deliberately dumb — it never aggregates during the run,
+so recording cost stays O(1) per event and analysis choices stay open.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import TraceError
+from repro.metrics.events import ItemTrace, IterationTrace, StpSample, Touch
+
+
+class TraceRecorder:
+    """Collects item and iteration traces for one simulation run."""
+
+    def __init__(self, record_stp: bool = True) -> None:
+        self.items: Dict[int, ItemTrace] = {}
+        self.iterations: List[IterationTrace] = []
+        self.stp_samples: List[StpSample] = []
+        self.record_stp = record_stp
+        self.t_start: float = 0.0
+        self.t_end: Optional[float] = None
+        self._iter_counters: Dict[str, int] = {}
+
+    # -- item lifecycle ---------------------------------------------------
+    def on_alloc(
+        self,
+        item_id: int,
+        channel: str,
+        node: str,
+        ts: int,
+        size: int,
+        producer: str,
+        parents: Tuple[int, ...],
+        t: float,
+    ) -> None:
+        if item_id in self.items:
+            raise TraceError(f"duplicate alloc for item {item_id}")
+        self.items[item_id] = ItemTrace(
+            item_id=item_id,
+            channel=channel,
+            node=node,
+            ts=ts,
+            size=size,
+            producer=producer,
+            parents=parents,
+            t_alloc=t,
+        )
+
+    def on_get(self, item_id: int, conn_id: int, consumer: str, t: float) -> None:
+        self._item(item_id).gets.append(Touch(conn_id, consumer, t))
+
+    def on_skip(self, item_id: int, conn_id: int, consumer: str, t: float) -> None:
+        self._item(item_id).skips.append(Touch(conn_id, consumer, t))
+
+    def on_free(self, item_id: int, t: float) -> None:
+        trace = self._item(item_id)
+        if trace.t_free is not None:
+            raise TraceError(f"double free of item {item_id}")
+        if t < trace.t_alloc:
+            raise TraceError(f"free before alloc for item {item_id}")
+        trace.t_free = t
+
+    def _item(self, item_id: int) -> ItemTrace:
+        trace = self.items.get(item_id)
+        if trace is None:
+            raise TraceError(f"unknown item {item_id}")
+        return trace
+
+    # -- iterations ---------------------------------------------------------
+    def on_iteration(
+        self,
+        thread: str,
+        t_start: float,
+        t_end: float,
+        compute: float,
+        blocked: float,
+        slept: float,
+        inputs: Tuple[int, ...],
+        outputs: Tuple[int, ...],
+        is_sink: bool = False,
+    ) -> None:
+        index = self._iter_counters.get(thread, 0)
+        self._iter_counters[thread] = index + 1
+        self.iterations.append(
+            IterationTrace(
+                thread=thread,
+                index=index,
+                t_start=t_start,
+                t_end=t_end,
+                compute=compute,
+                blocked=blocked,
+                slept=slept,
+                inputs=inputs,
+                outputs=outputs,
+                is_sink=is_sink,
+            )
+        )
+
+    def on_stp(
+        self,
+        thread: str,
+        t: float,
+        current_stp: float,
+        summary: Optional[float],
+        throttle_target: Optional[float],
+        slept: float,
+    ) -> None:
+        if self.record_stp:
+            self.stp_samples.append(
+                StpSample(thread, t, current_stp, summary, throttle_target, slept)
+            )
+
+    # -- run boundary ----------------------------------------------------
+    def finalize(self, t_end: float) -> None:
+        """Close the trace at simulated time ``t_end``.
+
+        Unfreed items stay unfreed (their lifetime extends to the horizon
+        in footprint computations) — matching a real run snapshot.
+        """
+        if self.t_end is not None:
+            raise TraceError("finalize() called twice")
+        self.t_end = float(t_end)
+
+    @property
+    def duration(self) -> float:
+        if self.t_end is None:
+            raise TraceError("trace not finalized")
+        return self.t_end - self.t_start
+
+    # -- convenience views ---------------------------------------------------
+    def iterations_of(self, thread: str) -> List[IterationTrace]:
+        return [it for it in self.iterations if it.thread == thread]
+
+    def sink_iterations(self) -> List[IterationTrace]:
+        return [it for it in self.iterations if it.is_sink]
+
+    def items_of_channel(self, channel: str) -> List[ItemTrace]:
+        return [it for it in self.items.values() if it.channel == channel]
+
+    def threads(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for it in self.iterations:
+            seen.setdefault(it.thread, None)
+        return list(seen)
+
+    def channels(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for item in self.items.values():
+            seen.setdefault(item.channel, None)
+        return list(seen)

@@ -1,0 +1,145 @@
+"""Trace persistence: save a run's statistics, re-analyze later.
+
+The paper's measurement flow records statistics during the run and
+derives every metric afterwards in "a postmortem analysis program". This
+module makes that split concrete: :func:`save_trace` serializes a
+finalized :class:`~repro.metrics.recorder.TraceRecorder` to a compact
+JSON document, :func:`load_trace` reconstructs an equivalent recorder so
+the whole metrics stack (footprint, performance, postmortem, IGC) runs
+unchanged on stored traces.
+
+Format: one JSON object, schema-versioned. Floats are kept at full
+precision (``repr`` round-trip), so analysis results match exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.errors import TraceError
+from repro.metrics.events import ItemTrace, IterationTrace, StpSample, Touch
+from repro.metrics.recorder import TraceRecorder
+
+#: Bump on any incompatible schema change.
+SCHEMA_VERSION = 1
+
+
+def trace_to_dict(recorder: TraceRecorder) -> dict:
+    """Serialize a finalized recorder to plain Python data."""
+    if recorder.t_end is None:
+        raise TraceError("finalize the recorder before saving")
+    return {
+        "schema": SCHEMA_VERSION,
+        "t_start": recorder.t_start,
+        "t_end": recorder.t_end,
+        "items": [
+            {
+                "id": it.item_id,
+                "channel": it.channel,
+                "node": it.node,
+                "ts": it.ts,
+                "size": it.size,
+                "producer": it.producer,
+                "parents": list(it.parents),
+                "t_alloc": it.t_alloc,
+                "t_free": it.t_free,
+                "gets": [[t.conn_id, t.consumer, t.t] for t in it.gets],
+                "skips": [[t.conn_id, t.consumer, t.t] for t in it.skips],
+            }
+            for it in recorder.items.values()
+        ],
+        "iterations": [
+            {
+                "thread": it.thread,
+                "index": it.index,
+                "t_start": it.t_start,
+                "t_end": it.t_end,
+                "compute": it.compute,
+                "blocked": it.blocked,
+                "slept": it.slept,
+                "inputs": list(it.inputs),
+                "outputs": list(it.outputs),
+                "is_sink": it.is_sink,
+            }
+            for it in recorder.iterations
+        ],
+        "stp_samples": [
+            {
+                "thread": s.thread,
+                "t": s.t,
+                "current_stp": s.current_stp,
+                "summary": s.summary,
+                "throttle_target": s.throttle_target,
+                "slept": s.slept,
+            }
+            for s in recorder.stp_samples
+        ],
+    }
+
+
+def trace_from_dict(data: dict) -> TraceRecorder:
+    """Rebuild a recorder from :func:`trace_to_dict` output."""
+    schema = data.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise TraceError(
+            f"unsupported trace schema {schema!r} (expected {SCHEMA_VERSION})"
+        )
+    recorder = TraceRecorder()
+    recorder.t_start = float(data["t_start"])
+    for entry in data["items"]:
+        trace = ItemTrace(
+            item_id=entry["id"],
+            channel=entry["channel"],
+            node=entry["node"],
+            ts=entry["ts"],
+            size=entry["size"],
+            producer=entry["producer"],
+            parents=tuple(entry["parents"]),
+            t_alloc=entry["t_alloc"],
+            t_free=entry["t_free"],
+            gets=[Touch(*t) for t in entry["gets"]],
+            skips=[Touch(*t) for t in entry["skips"]],
+        )
+        if trace.item_id in recorder.items:
+            raise TraceError(f"duplicate item id {trace.item_id} in trace")
+        recorder.items[trace.item_id] = trace
+    for entry in data["iterations"]:
+        recorder.iterations.append(
+            IterationTrace(
+                thread=entry["thread"],
+                index=entry["index"],
+                t_start=entry["t_start"],
+                t_end=entry["t_end"],
+                compute=entry["compute"],
+                blocked=entry["blocked"],
+                slept=entry["slept"],
+                inputs=tuple(entry["inputs"]),
+                outputs=tuple(entry["outputs"]),
+                is_sink=entry["is_sink"],
+            )
+        )
+    for entry in data.get("stp_samples", []):
+        recorder.stp_samples.append(
+            StpSample(
+                thread=entry["thread"],
+                t=entry["t"],
+                current_stp=entry["current_stp"],
+                summary=entry["summary"],
+                throttle_target=entry["throttle_target"],
+                slept=entry["slept"],
+            )
+        )
+    recorder.finalize(float(data["t_end"]))
+    return recorder
+
+
+def save_trace(recorder: TraceRecorder, path: Union[str, Path]) -> None:
+    """Write a finalized trace to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(trace_to_dict(recorder)))
+
+
+def load_trace(path: Union[str, Path]) -> TraceRecorder:
+    """Read a trace written by :func:`save_trace`."""
+    return trace_from_dict(json.loads(Path(path).read_text()))

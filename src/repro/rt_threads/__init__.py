@@ -1,0 +1,6 @@
+"""Real-threads executor: the same task graphs on ``threading``."""
+
+from repro.rt_threads.channel import ThreadChannel
+from repro.rt_threads.executor import ThreadedRuntime
+
+__all__ = ["ThreadedRuntime", "ThreadChannel"]

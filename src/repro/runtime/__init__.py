@@ -1,0 +1,61 @@
+"""The Stampede-style streaming runtime.
+
+Key pieces:
+
+* :class:`~repro.runtime.graph.TaskGraph` — declare threads, channels,
+  queues, and connections;
+* syscalls (:class:`Get`, :class:`Put`, :class:`Compute`, :class:`Sleep`,
+  :class:`PeriodicitySync`, ...) — the language of task bodies;
+* :class:`~repro.runtime.runtime.Runtime` + :class:`RuntimeConfig` — wire a
+  graph onto a simulated cluster and run it.
+"""
+
+from repro.runtime.channel import Channel
+from repro.runtime.connection import InputConnection, OutputConnection
+from repro.runtime.dot import graph_to_dot
+from repro.runtime.graph import CHANNEL, QUEUE, THREAD, TaskGraph
+from repro.runtime.item import Item, ItemView, reset_item_ids
+from repro.runtime.runtime import Runtime, RuntimeConfig
+from repro.runtime.squeue import SQueue
+from repro.runtime.syscalls import (
+    CheckDead,
+    Compute,
+    Get,
+    Now,
+    PeriodicitySync,
+    Put,
+    Release,
+    Sleep,
+    Syscall,
+    TryGet,
+)
+from repro.runtime.thread import TaskContext, ThreadDriver
+
+__all__ = [
+    "TaskGraph",
+    "graph_to_dot",
+    "THREAD",
+    "CHANNEL",
+    "QUEUE",
+    "Runtime",
+    "RuntimeConfig",
+    "Channel",
+    "SQueue",
+    "Item",
+    "ItemView",
+    "reset_item_ids",
+    "InputConnection",
+    "OutputConnection",
+    "Get",
+    "TryGet",
+    "Put",
+    "CheckDead",
+    "Release",
+    "Compute",
+    "Sleep",
+    "PeriodicitySync",
+    "Now",
+    "Syscall",
+    "TaskContext",
+    "ThreadDriver",
+]

@@ -1,0 +1,279 @@
+"""Stampede channels: timestamped, skipping, multi-consumer buffers.
+
+Semantics (paper §1):
+
+* a put stores an item under its timestamp; storage is unbounded unless a
+  ``capacity`` is configured (back-pressure extension);
+* a get with :data:`~repro.vt.LATEST` returns the **newest** item whose
+  timestamp exceeds the consumer's cursor, *skipping over* anything older
+  — "a task may have to drop or skip-over stale data to access the most
+  recent data from its input buffers";
+* skipped items remain in memory until a garbage collector proves them
+  dead — exactly the waste ARU exists to prevent;
+* every get/put piggybacks ARU summary-STP values (§3.3.2).
+
+The channel is executor-agnostic state plus event-based blocking: drivers
+call ``request_get``/``wait_for_room`` to obtain events and
+``commit_get``/``commit_put`` to apply side effects once unblocked.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+from typing import TYPE_CHECKING, List, Optional, Union
+
+from repro.aru.summary import BufferAruState
+from repro.errors import ItemDropped, SimulationError
+from repro.runtime.connection import InputConnection, OutputConnection
+from repro.runtime.item import Item, ItemView
+from repro.sim.engine import Engine
+from repro.sim.events import Event
+from repro.sim.resources import WaitQueue
+from repro.vt.timestamp import EARLIEST, LATEST, Timestamp, _Sentinel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.node import Node
+    from repro.gc.base import GarbageCollector
+    from repro.metrics.recorder import TraceRecorder
+
+Request = Union[_Sentinel, int, Timestamp]
+
+
+class Channel:
+    """One named channel placed on a cluster node."""
+
+    kind = "channel"
+
+    def __init__(
+        self,
+        engine: Engine,
+        name: str,
+        node: "Node",
+        recorder: "TraceRecorder",
+        gc: "GarbageCollector",
+        aru_state: Optional[BufferAruState] = None,
+        capacity: Optional[int] = None,
+    ) -> None:
+        self.engine = engine
+        self.name = name
+        self.node = node
+        self.recorder = recorder
+        self.gc = gc
+        self.aru = aru_state
+        self.capacity = capacity
+        self._items: dict[int, Item] = {}
+        self._order: List[int] = []  # sorted timestamps present
+        self.in_conns: List[InputConnection] = []
+        self.out_conns: List[OutputConnection] = []
+        self._getters = WaitQueue(engine, name=f"{name}.get")
+        self._putters = WaitQueue(engine, name=f"{name}.room")
+        # statistics
+        self.total_puts = 0
+        self.total_gets = 0
+        self.total_skips = 0
+        self.total_frees = 0
+
+    # -- registration ------------------------------------------------------
+    def register_producer(self, thread: str) -> OutputConnection:
+        conn = OutputConnection(thread=thread, buffer=self.name)
+        self.out_conns.append(conn)
+        return conn
+
+    def register_consumer(self, thread: str) -> InputConnection:
+        conn = InputConnection(buffer=self.name, thread=thread)
+        self.in_conns.append(conn)
+        return conn
+
+    # -- introspection ------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def bytes_held(self) -> int:
+        return sum(item.size for item in self._items.values())
+
+    def newest_ts(self) -> Optional[int]:
+        return self._order[-1] if self._order else None
+
+    def oldest_ts(self) -> Optional[int]:
+        return self._order[0] if self._order else None
+
+    def has_item(self, ts: int) -> bool:
+        return int(ts) in self._items
+
+    def items_snapshot(self) -> List[Item]:
+        """Items currently stored, oldest first (GC and tests)."""
+        return [self._items[ts] for ts in self._order]
+
+    def items_upto(self, ts_inclusive: int) -> List[Item]:
+        """Stored items with ``ts <= ts_inclusive``, oldest first (GC use)."""
+        idx = bisect_right(self._order, ts_inclusive)
+        return [self._items[ts] for ts in self._order[:idx]]
+
+    # -- put side ----------------------------------------------------------
+    def has_room(self) -> bool:
+        return self.capacity is None or len(self._items) < self.capacity
+
+    def wait_for_room(self) -> Event:
+        """Event firing when the capacity bound admits another item."""
+        return self._putters.wait(lambda: self.has_room() or None)
+
+    def commit_put(self, conn: OutputConnection, item: Item, t: float) -> Optional[float]:
+        """Insert ``item``; returns the channel's summary-STP (ARU feedback).
+
+        The caller must have established room (``has_room``). Duplicate
+        timestamps are rejected — Stampede channel items are keyed by
+        timestamp.
+        """
+        if not self.has_room():
+            raise SimulationError(f"commit_put on full channel {self.name!r}")
+        if item.ts in self._items:
+            raise SimulationError(
+                f"channel {self.name!r}: duplicate timestamp {item.ts}"
+            )
+        self._items[item.ts] = item
+        insort(self._order, item.ts)
+        self.total_puts += 1
+        conn.puts += 1
+        self.node.alloc(item.size)
+        self.recorder.on_alloc(
+            item_id=item.item_id,
+            channel=self.name,
+            node=self.node.name,
+            ts=item.ts,
+            size=item.size,
+            producer=item.producer,
+            parents=item.parents,
+            t=t,
+        )
+        # Dead on arrival for consumers whose cursor already passed this ts.
+        for in_conn in self.in_conns:
+            if in_conn.last_got >= item.ts:
+                in_conn.skips += 1
+                self.total_skips += 1
+                self.recorder.on_skip(item.item_id, in_conn.conn_id, in_conn.thread, t)
+        self.gc.on_put(self, item)
+        self.maybe_collect(t)
+        self._getters.notify_all()
+        return self.aru.summary() if self.aru is not None else None
+
+    # -- get side ----------------------------------------------------------
+    def _match(self, conn: InputConnection, request: Request) -> Optional[Item]:
+        """The item a get would return right now, or None."""
+        if not self._order:
+            return None
+        if request is LATEST:
+            ts = self._order[-1]
+            return self._items[ts] if ts > conn.last_got else None
+        if request is EARLIEST:
+            idx = bisect_right(self._order, conn.last_got)
+            if idx >= len(self._order):
+                return None
+            return self._items[self._order[idx]]
+        ts = int(request)
+        if ts <= conn.last_got:
+            raise ItemDropped(
+                f"{conn.thread!r} re-requested ts {ts} <= cursor {conn.last_got} "
+                f"on channel {self.name!r}"
+            )
+        return self._items.get(ts)
+
+    def request_get(self, conn: InputConnection, request: Request = LATEST) -> Event:
+        """Event firing when a matching item is available."""
+        if conn not in self.in_conns:
+            raise SimulationError(f"unregistered consumer on {self.name!r}")
+        return self._getters.wait(lambda: self._match(conn, request) is not None or None)
+
+    def try_match(self, conn: InputConnection, request: Request = LATEST) -> bool:
+        """Non-blocking availability test."""
+        return self._match(conn, request) is not None
+
+    def cancel_get(self, event: Event) -> None:
+        """Withdraw a pending get request (timed-get expiry)."""
+        self._getters.cancel(event)
+
+    def commit_get(
+        self,
+        conn: InputConnection,
+        request: Request,
+        t: float,
+        consumer_summary: Optional[float] = None,
+    ) -> ItemView:
+        """Apply get side effects; returns the consumer's view of the item.
+
+        Marks every stored item between the old cursor and the returned
+        timestamp as skipped for this connection, advances the cursor,
+        takes a reference, feeds the consumer's summary-STP into the
+        channel's backwardSTP vector, and lets the GC run.
+        """
+        item = self._match(conn, request)
+        if item is None:
+            raise SimulationError(
+                f"commit_get with no matching item on {self.name!r} "
+                f"(cursor={conn.last_got}, request={request!r})"
+            )
+        # Skip-marking: present items the cursor jumps over.
+        lo = bisect_right(self._order, conn.last_got)
+        hi = bisect_left(self._order, item.ts)
+        for ts in self._order[lo:hi]:
+            skipped = self._items[ts]
+            conn.skips += 1
+            self.total_skips += 1
+            self.recorder.on_skip(skipped.item_id, conn.conn_id, conn.thread, t)
+        conn.last_got = item.ts
+        conn.gets += 1
+        self.total_gets += 1
+        item.acquire()
+        self.recorder.on_get(item.item_id, conn.conn_id, conn.thread, t)
+        if self.aru is not None and consumer_summary is not None:
+            self.aru.update_backward(conn.conn_id, consumer_summary)
+        self.gc.on_get(self, conn, item)
+        self.maybe_collect(t)
+        return ItemView(item, self.name)
+
+    def release(self, item: Item, t: float) -> None:
+        """Consumer finished with ``item`` (end of iteration)."""
+        item.release()
+        if item.doomed and item.refcount == 0:
+            self._free(item, t)
+
+    # -- garbage collection --------------------------------------------------
+    def maybe_collect(self, t: float) -> int:
+        """Ask the GC for dead items; free the unreferenced ones.
+
+        Referenced dead items are marked doomed and freed at release.
+        Returns the number of items freed now.
+        """
+        freed = 0
+        for item in self.gc.dead_items(self):
+            if item.freed:
+                continue
+            if item.refcount == 0:
+                self._free(item, t)
+                freed += 1
+            else:
+                item.doomed = True
+        return freed
+
+    def _free(self, item: Item, t: float) -> None:
+        if item.freed:  # pragma: no cover - defensive
+            raise SimulationError(f"double free of {item!r} in {self.name!r}")
+        stored = self._items.pop(item.ts, None)
+        if stored is not item:
+            raise SimulationError(
+                f"channel {self.name!r}: freeing item not stored under ts {item.ts}"
+            )
+        idx = bisect_left(self._order, item.ts)
+        del self._order[idx]
+        item.freed = True
+        self.total_frees += 1
+        self.node.free(item.size)
+        self.recorder.on_free(item.item_id, t)
+        if self.capacity is not None:
+            self._putters.notify_all()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Channel {self.name!r} items={len(self._items)} "
+            f"bytes={self.bytes_held} on {self.node.name}>"
+        )

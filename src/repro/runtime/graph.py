@@ -1,0 +1,214 @@
+"""Application task graphs.
+
+The paper's ARU algorithm assumption (§3.3.3): *"the application task
+graph is made available to the runtime system"*. :class:`TaskGraph` is
+that structure — a bipartite DAG of *threads* and *buffers* (channels or
+queues), built through an API mirroring Stampede's
+``spd_chan_alloc()``-style calls, including the paper's added optional
+per-channel dependency operator parameter.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+import networkx as nx
+
+from repro.errors import GraphError
+
+THREAD = "thread"
+CHANNEL = "channel"
+QUEUE = "queue"
+_BUFFER_KINDS = (CHANNEL, QUEUE)
+
+
+class TaskGraph:
+    """A bipartite directed graph of threads and buffers.
+
+    Nodes carry attributes:
+
+    * threads: ``fn`` (task body factory), ``node`` (placement), ``sink``
+      (end-of-pipeline flag for delivery accounting), ``params`` (free-form
+      task configuration), ``compress_op`` (ARU operator override);
+    * buffers: ``node`` placement, ``compress_op`` (the paper's optional
+      dependency-operator argument to ``spd_chan_alloc``), ``capacity``
+      (optional bound enabling back-pressure — an extension).
+    """
+
+    def __init__(self, name: str = "app") -> None:
+        self.name = name
+        self._g = nx.DiGraph()
+
+    # -- construction ----------------------------------------------------
+    def _check_new_name(self, name: str) -> None:
+        if not name or not isinstance(name, str):
+            raise GraphError(f"invalid node name: {name!r}")
+        if name in self._g:
+            raise GraphError(f"duplicate node name: {name!r}")
+
+    def add_thread(
+        self,
+        name: str,
+        fn: Optional[Callable] = None,
+        *,
+        node: Optional[str] = None,
+        sink: bool = False,
+        params: Optional[Dict[str, Any]] = None,
+        compress_op: Optional[object] = None,
+    ) -> "TaskGraph":
+        """Declare a task thread. ``fn(ctx)`` must return a task generator."""
+        self._check_new_name(name)
+        self._g.add_node(
+            name,
+            kind=THREAD,
+            fn=fn,
+            node=node,
+            sink=bool(sink),
+            params=dict(params or {}),
+            compress_op=compress_op,
+        )
+        return self
+
+    def add_channel(
+        self,
+        name: str,
+        *,
+        node: Optional[str] = None,
+        compress_op: Optional[object] = None,
+        capacity: Optional[int] = None,
+    ) -> "TaskGraph":
+        """Declare a Stampede channel (timestamped, skipping reads)."""
+        return self._add_buffer(name, CHANNEL, node, compress_op, capacity)
+
+    def add_queue(
+        self,
+        name: str,
+        *,
+        node: Optional[str] = None,
+        compress_op: Optional[object] = None,
+        capacity: Optional[int] = None,
+    ) -> "TaskGraph":
+        """Declare a Stampede queue (FIFO, destructive reads)."""
+        return self._add_buffer(name, QUEUE, node, compress_op, capacity)
+
+    def _add_buffer(self, name, kind, node, compress_op, capacity) -> "TaskGraph":
+        self._check_new_name(name)
+        if capacity is not None and capacity < 1:
+            raise GraphError(f"buffer {name!r}: capacity must be >= 1")
+        self._g.add_node(
+            name, kind=kind, node=node, compress_op=compress_op, capacity=capacity
+        )
+        return self
+
+    def connect(self, src: str, dst: str) -> "TaskGraph":
+        """Add an edge. Must join a thread to a buffer or a buffer to a thread."""
+        for endpoint in (src, dst):
+            if endpoint not in self._g:
+                raise GraphError(f"unknown node {endpoint!r}")
+        kinds = (self.kind(src), self.kind(dst))
+        if not (
+            (kinds[0] == THREAD and kinds[1] in _BUFFER_KINDS)
+            or (kinds[0] in _BUFFER_KINDS and kinds[1] == THREAD)
+        ):
+            raise GraphError(
+                f"illegal edge {src!r}({kinds[0]}) -> {dst!r}({kinds[1]}): "
+                "edges must alternate thread <-> buffer"
+            )
+        if self._g.has_edge(src, dst):
+            raise GraphError(f"duplicate edge {src!r} -> {dst!r}")
+        self._g.add_edge(src, dst)
+        return self
+
+    # -- inspection ---------------------------------------------------------
+    def kind(self, name: str) -> str:
+        try:
+            return self._g.nodes[name]["kind"]
+        except KeyError:
+            raise GraphError(f"unknown node {name!r}") from None
+
+    def attrs(self, name: str) -> Dict[str, Any]:
+        if name not in self._g:
+            raise GraphError(f"unknown node {name!r}")
+        return self._g.nodes[name]
+
+    def threads(self) -> List[str]:
+        return [n for n, d in self._g.nodes(data=True) if d["kind"] == THREAD]
+
+    def buffers(self) -> List[str]:
+        return [n for n, d in self._g.nodes(data=True) if d["kind"] in _BUFFER_KINDS]
+
+    def channels(self) -> List[str]:
+        return [n for n, d in self._g.nodes(data=True) if d["kind"] == CHANNEL]
+
+    def queues(self) -> List[str]:
+        return [n for n, d in self._g.nodes(data=True) if d["kind"] == QUEUE]
+
+    def producers_of(self, buffer: str) -> List[str]:
+        """Threads putting into ``buffer``."""
+        return list(self._g.predecessors(buffer))
+
+    def consumers_of(self, buffer: str) -> List[str]:
+        """Threads getting from ``buffer``."""
+        return list(self._g.successors(buffer))
+
+    def inputs_of(self, thread: str) -> List[str]:
+        """Buffers ``thread`` consumes from."""
+        return list(self._g.predecessors(thread))
+
+    def outputs_of(self, thread: str) -> List[str]:
+        """Buffers ``thread`` produces into."""
+        return list(self._g.successors(thread))
+
+    def sources(self) -> List[str]:
+        """Threads with no input buffers — the paper's throttle targets."""
+        return [t for t in self.threads() if not self.inputs_of(t)]
+
+    def sinks(self) -> List[str]:
+        """Threads explicitly marked ``sink``, else threads with no outputs."""
+        marked = [t for t in self.threads() if self._g.nodes[t].get("sink")]
+        if marked:
+            return marked
+        return [t for t in self.threads() if not self.outputs_of(t)]
+
+    def is_source(self, thread: str) -> bool:
+        return thread in self.sources()
+
+    def is_sink(self, thread: str) -> bool:
+        return thread in self.sinks()
+
+    @property
+    def nx_graph(self) -> nx.DiGraph:
+        """The underlying networkx graph (read-only by convention)."""
+        return self._g
+
+    # -- validation -------------------------------------------------------
+    def validate(self) -> None:
+        """Raise :class:`GraphError` on structural problems.
+
+        Rules: at least one thread; acyclic (streaming pipelines); every
+        buffer has at least one producer; every thread declares a body.
+        A buffer with no consumer is legal (its items are pure waste) but
+        unusual, so it is allowed — the resource metrics will expose it.
+        """
+        if not self.threads():
+            raise GraphError(f"graph {self.name!r} has no threads")
+        for buffer in self.buffers():
+            if not self.producers_of(buffer):
+                raise GraphError(f"buffer {buffer!r} has no producer")
+        for thread in self.threads():
+            if self._g.nodes[thread]["fn"] is None:
+                raise GraphError(f"thread {thread!r} has no body (fn=None)")
+        try:
+            cycle = nx.find_cycle(self._g)
+        except nx.NetworkXNoCycle:
+            cycle = None
+        if cycle:
+            raise GraphError(f"graph {self.name!r} has a cycle: {cycle}")
+        if not self.sources():
+            raise GraphError(f"graph {self.name!r} has no source thread")
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<TaskGraph {self.name!r}: {len(self.threads())} threads, "
+            f"{len(self.buffers())} buffers, {self._g.number_of_edges()} edges>"
+        )

@@ -1,0 +1,107 @@
+"""Timestamped data items.
+
+An :class:`Item` is the unit of storage in channels and queues: a payload
+tagged with a virtual timestamp, a byte size (driving memory accounting),
+and lineage (the ids of the items consumed by the iteration that produced
+it — the raw material for wasted-resource postmortem analysis).
+
+Reference counting: a consumer's get takes a reference which the runtime
+releases at the consumer's next ``periodicity_sync()``. Garbage collectors
+may declare an item *doomed* while referenced; it is then freed at the
+final release.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Optional, Tuple
+
+from repro.errors import SimulationError
+
+_next_item_id = itertools.count(1)
+
+
+def reset_item_ids() -> None:
+    """Restart the global item-id counter (test isolation only)."""
+    global _next_item_id
+    _next_item_id = itertools.count(1)
+
+
+class Item:
+    """One timestamped item living in a channel or queue."""
+
+    __slots__ = (
+        "item_id",
+        "ts",
+        "size",
+        "payload",
+        "producer",
+        "parents",
+        "created_at",
+        "refcount",
+        "doomed",
+        "freed",
+    )
+
+    def __init__(
+        self,
+        ts: int,
+        size: int,
+        payload: Any = None,
+        producer: str = "",
+        parents: Tuple[int, ...] = (),
+        created_at: float = 0.0,
+    ) -> None:
+        if size < 0:
+            raise SimulationError(f"negative item size: {size}")
+        if int(ts) < 0:
+            raise SimulationError(f"negative timestamp: {ts}")
+        self.item_id: int = next(_next_item_id)
+        self.ts = int(ts)
+        self.size = int(size)
+        self.payload = payload
+        self.producer = producer
+        self.parents = tuple(parents)
+        self.created_at = float(created_at)
+        self.refcount = 0
+        #: Set by a GC that has proven the item dead while still referenced.
+        self.doomed = False
+        #: Set once the storage has been released.
+        self.freed = False
+
+    def acquire(self) -> None:
+        if self.freed:
+            raise SimulationError(f"acquire() on freed item {self.item_id}")
+        self.refcount += 1
+
+    def release(self) -> None:
+        if self.refcount <= 0:
+            raise SimulationError(f"release() without reference on item {self.item_id}")
+        self.refcount -= 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = "".join(
+            flag for flag, on in (("D", self.doomed), ("F", self.freed)) if on
+        )
+        return f"<Item #{self.item_id} ts={self.ts} {self.size}B ref={self.refcount}{flags}>"
+
+
+class ItemView:
+    """What a consumer's get returns: an immutable window onto an item.
+
+    Exposes the payload and metadata without handing out mutable runtime
+    state (refcounts, doom flags).
+    """
+
+    __slots__ = ("item_id", "ts", "payload", "size", "channel", "_item")
+
+    def __init__(self, item: Item, channel: str) -> None:
+        self.item_id = item.item_id
+        self.ts = item.ts
+        self.payload = item.payload
+        self.size = item.size
+        self.channel = channel
+        self._item = item
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ItemView #{self.item_id} ts={self.ts} from {self.channel!r}>"

@@ -1,0 +1,322 @@
+"""Runtime orchestration: graph + config -> a runnable simulated system.
+
+:class:`Runtime` instantiates the cluster (nodes, network), the buffers
+(channels/queues with their GC and ARU state), and one
+:class:`~repro.runtime.thread.ThreadDriver` per task thread, then runs the
+event engine for a simulated horizon. After :meth:`run`, the trace in
+:attr:`recorder` feeds the metrics modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
+
+from repro.aru.config import AruConfig, aru_disabled
+from repro.aru.filters import resolve_factory
+from repro.aru.stp import StpMeter
+from repro.aru.summary import BufferAruState, ThreadAruState
+from repro.cluster.load import LoadSpec, spawn_load
+from repro.cluster.network import Network
+from repro.cluster.node import Node
+from repro.cluster.spec import ClusterSpec, config1_spec
+from repro.errors import ConfigError, SimulationError
+from repro.gc import GarbageCollector, make_gc
+from repro.metrics.recorder import TraceRecorder
+from repro.runtime.channel import Channel
+from repro.runtime.graph import CHANNEL, QUEUE, TaskGraph
+from repro.runtime.squeue import SQueue
+from repro.runtime.thread import TaskContext, ThreadDriver
+from repro.sim.engine import Engine
+from repro.sim.rng import RngRegistry
+from repro.vt.clock import SimClock
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Everything outside the task graph that defines a run."""
+
+    cluster: ClusterSpec = field(default_factory=config1_spec)
+    gc: Union[str, GarbageCollector, None] = "dgc"
+    aru: AruConfig = field(default_factory=aru_disabled)
+    seed: int = 0
+    #: Overrides graph placement: graph node name -> cluster node name.
+    placement: Dict[str, str] = field(default_factory=dict)
+    record_stp: bool = True
+    #: Background-load bursts injected into the cluster (§1's "current
+    #: load"); the ARU loop must adapt through them.
+    loads: tuple = ()
+
+
+class Runtime:
+    """A fully-wired simulated Stampede application."""
+
+    def __init__(self, graph: TaskGraph, config: Optional[RuntimeConfig] = None) -> None:
+        self.graph = graph
+        self.config = config or RuntimeConfig()
+        graph.validate()
+
+        self.engine = Engine()
+        self.clock = SimClock(self.engine)
+        self.rngs = RngRegistry(seed=self.config.seed)
+        self.recorder = TraceRecorder(record_stp=self.config.record_stp)
+        self.gc = make_gc(self.config.gc)
+        self.gc.bind(self)
+
+        self.nodes: Dict[str, Node] = {
+            spec.name: Node(self.engine, spec, self.rngs)
+            for spec in self.config.cluster.nodes
+        }
+        self.network = Network(self.engine, self.config.cluster)
+
+        self._thread_placement = {
+            t: self._resolve_thread_node(t) for t in graph.threads()
+        }
+        self.buffers: Dict[str, object] = {}
+        for name in graph.buffers():
+            self.buffers[name] = self._build_buffer(name)
+        self.drivers: Dict[str, ThreadDriver] = {}
+        for name in graph.threads():
+            self.drivers[name] = self._build_driver(name)
+        self._processes = {
+            name: self.engine.process(driver.run(), name=name)
+            for name, driver in self.drivers.items()
+        }
+        for load in self.config.loads:
+            if not isinstance(load, LoadSpec):
+                raise ConfigError(f"loads must be LoadSpec instances, got {load!r}")
+            if load.node not in self.nodes:
+                raise ConfigError(f"load targets unknown node {load.node!r}")
+            spawn_load(self.engine, self.nodes[load.node], load)
+        self._ran = False
+
+    # -- placement ---------------------------------------------------------
+    def _resolve_thread_node(self, thread: str) -> str:
+        attrs = self.graph.attrs(thread)
+        name = self.config.placement.get(thread) or attrs.get("node")
+        if name is None:
+            name = self.config.cluster.nodes[0].name
+        if name not in self.nodes:
+            raise ConfigError(
+                f"thread {thread!r} placed on unknown node {name!r} "
+                f"(cluster has {sorted(self.nodes)})"
+            )
+        return name
+
+    def _resolve_buffer_node(self, buffer: str) -> str:
+        attrs = self.graph.attrs(buffer)
+        name = self.config.placement.get(buffer) or attrs.get("node")
+        if name is None:
+            # Stampede convention (and the paper's config 2): a channel
+            # lives on its producer's node.
+            producers = self.graph.producers_of(buffer)
+            if producers:
+                name = self._thread_placement[producers[0]]
+            else:  # pragma: no cover - validate() rejects producerless buffers
+                name = self.config.cluster.nodes[0].name
+        if name not in self.nodes:
+            raise ConfigError(
+                f"buffer {buffer!r} placed on unknown node {name!r} "
+                f"(cluster has {sorted(self.nodes)})"
+            )
+        return name
+
+    # -- construction ----------------------------------------------------
+    def _buffer_aru_state(self, name: str) -> Optional[BufferAruState]:
+        aru = self.config.aru
+        if not aru.enabled:
+            return None
+        op = self.graph.attrs(name).get("compress_op") or aru.default_channel_op
+        return BufferAruState(
+            name, op=op, summary_filter_factory=resolve_factory(aru.summary_filter)
+        )
+
+    def _build_buffer(self, name: str):
+        kind = self.graph.kind(name)
+        node = self.nodes[self._resolve_buffer_node(name)]
+        capacity = self.graph.attrs(name).get("capacity")
+        aru_state = self._buffer_aru_state(name)
+        if kind == CHANNEL:
+            return Channel(
+                self.engine,
+                name,
+                node,
+                recorder=self.recorder,
+                gc=self.gc,
+                aru_state=aru_state,
+                capacity=capacity,
+            )
+        if kind == QUEUE:
+            return SQueue(
+                self.engine,
+                name,
+                node,
+                recorder=self.recorder,
+                aru_state=aru_state,
+                capacity=capacity,
+            )
+        raise SimulationError(f"unknown buffer kind {kind!r}")  # pragma: no cover
+
+    def _build_driver(self, name: str) -> ThreadDriver:
+        attrs = self.graph.attrs(name)
+        node = self.nodes[self._thread_placement[name]]
+        aru = self.config.aru
+
+        in_conns = {
+            buf: (self.buffers[buf], self.buffers[buf].register_consumer(name))
+            for buf in self.graph.inputs_of(name)
+        }
+        out_conns = {
+            buf: (self.buffers[buf], self.buffers[buf].register_producer(name))
+            for buf in self.graph.outputs_of(name)
+        }
+
+        aru_state = None
+        if aru.enabled:
+            op = attrs.get("compress_op") or aru.thread_op
+            aru_state = ThreadAruState(
+                name, op=op, summary_filter_factory=resolve_factory(aru.summary_filter)
+            )
+        meter = StpMeter(self.clock, stp_filter=resolve_factory(aru.stp_filter)())
+
+        is_source = self.graph.is_source(name)
+        is_sink = self.graph.is_sink(name)
+        throttled = aru.enabled and (is_source or not aru.throttle_sources_only)
+        ctx = TaskContext(
+            name=name,
+            params=attrs.get("params", {}),
+            rng=self.rngs.stream(f"task.{name}"),
+            clock=self.clock,
+            is_source=is_source,
+            is_sink=is_sink,
+        )
+        return ThreadDriver(
+            runtime=self,
+            name=name,
+            fn=attrs["fn"],
+            node=node,
+            in_conns=in_conns,
+            out_conns=out_conns,
+            ctx=ctx,
+            aru_state=aru_state,
+            meter=meter,
+            throttled=throttled,
+            headroom=aru.headroom,
+        )
+
+    # -- execution ---------------------------------------------------------
+    def run(self, until: float) -> TraceRecorder:
+        """Simulate ``until`` seconds; returns the finalized trace.
+
+        One-shot convenience over :meth:`advance` + :meth:`finalize`.
+        """
+        if self._ran:
+            raise SimulationError("Runtime.run() may only be called once")
+        if until <= 0:
+            raise ConfigError(f"simulation horizon must be positive, got {until}")
+        self.advance(until - self.engine.now)
+        return self.finalize()
+
+    def advance(self, dt: float) -> "Runtime":
+        """Simulate ``dt`` more seconds (incremental execution).
+
+        May be called repeatedly — e.g. to inspect channel state or
+        inject load between phases — until :meth:`finalize` seals the
+        trace. Returns ``self`` for chaining.
+        """
+        if self._ran:
+            raise SimulationError("runtime already finalized")
+        if dt <= 0:
+            raise ConfigError(f"advance needs a positive dt, got {dt}")
+        self.engine.run(until=self.engine.now + dt)
+        return self
+
+    def finalize(self) -> TraceRecorder:
+        """Stop measuring; returns the finalized trace."""
+        if self._ran:
+            raise SimulationError("runtime already finalized")
+        self._ran = True
+        self.recorder.finalize(self.engine.now)
+        return self.recorder
+
+    # -- runtime-global state -------------------------------------------------
+    def global_virtual_time(self) -> Optional[int]:
+        """Minimum thread virtual time (transparent GC's low-water mark)."""
+        if not self.drivers:
+            return None
+        return min(d.virtual_time for d in self.drivers.values())
+
+    def channel(self, name: str) -> Channel:
+        buf = self.buffers.get(name)
+        if not isinstance(buf, Channel):
+            raise ConfigError(f"{name!r} is not a channel")
+        return buf
+
+    def queue(self, name: str) -> SQueue:
+        buf = self.buffers.get(name)
+        if not isinstance(buf, SQueue):
+            raise ConfigError(f"{name!r} is not a queue")
+        return buf
+
+    def kill_thread(self, name: str, reason: str = "killed") -> None:
+        """Failure injection: terminate one task thread mid-run.
+
+        The thread's generator receives :class:`~repro.errors.ProcessKilled`
+        at its current yield point (releasing held items on the way out);
+        the rest of the application keeps running — and mis-reacting, which
+        is the point: a dead consumer stops advancing its cursors, so DGC
+        guarantees freeze and upstream storage grows. Use between
+        :meth:`advance` phases to study such scenarios.
+        """
+        process = self._processes.get(name)
+        if process is None:
+            raise ConfigError(f"no thread named {name!r}")
+        process.kill(reason)
+
+    def thread_alive(self, name: str) -> bool:
+        """Whether the named task thread is still running."""
+        process = self._processes.get(name)
+        if process is None:
+            raise ConfigError(f"no thread named {name!r}")
+        return process.is_alive
+
+    def stats(self) -> Dict[str, dict]:
+        """Snapshot of runtime-object statistics (diagnostics/reports)."""
+        return {
+            "engine": {
+                "now": self.engine.now,
+                "events_processed": self.engine.events_processed,
+            },
+            "nodes": {
+                name: {
+                    "busy_time": node.busy_time,
+                    "mem_in_use": node.mem_in_use,
+                    "mem_peak": node.mem_peak,
+                    "cpu_grants": node.cpus.total_grants,
+                    "cpu_wait_time": node.cpus.total_wait_time,
+                }
+                for name, node in self.nodes.items()
+            },
+            "network": {"total_bytes": self.network.total_bytes},
+            "buffers": {
+                name: {
+                    "kind": buf.kind,
+                    "depth": len(buf),
+                    "bytes_held": buf.bytes_held,
+                    "puts": buf.total_puts,
+                    "gets": buf.total_gets,
+                    "skips": getattr(buf, "total_skips", 0),
+                    "frees": buf.total_frees,
+                }
+                for name, buf in self.buffers.items()
+            },
+            "threads": {
+                name: {
+                    "iterations": driver.iterations,
+                    "virtual_time": driver.virtual_time,
+                    "blocked": driver.meter.total_blocked,
+                    "slept": driver.meter.total_slept,
+                }
+                for name, driver in self.drivers.items()
+            },
+        }

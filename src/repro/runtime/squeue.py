@@ -1,0 +1,159 @@
+"""Stampede queues: FIFO, destructive-read buffers.
+
+Queues complement channels (§1: "abstractions, such as Channels and
+Queues"): a queue delivers every item exactly once, in arrival order, to
+whichever consumer pops first (work-queue semantics). No skipping happens,
+so queues create no GC problem: an item is freed when the consumer that
+popped it releases it at the end of its iteration.
+
+ARU piggybacking works exactly as for channels: gets carry the consumer's
+summary-STP into the queue's backwardSTP vector; puts return the queue's
+compressed summary to the producer.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, List, Optional
+
+from repro.aru.summary import BufferAruState
+from repro.errors import SimulationError
+from repro.runtime.connection import InputConnection, OutputConnection
+from repro.runtime.item import Item, ItemView
+from repro.sim.engine import Engine
+from repro.sim.events import Event
+from repro.sim.resources import WaitQueue
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.node import Node
+    from repro.metrics.recorder import TraceRecorder
+
+
+class SQueue:
+    """One named FIFO queue placed on a cluster node."""
+
+    kind = "queue"
+
+    def __init__(
+        self,
+        engine: Engine,
+        name: str,
+        node: "Node",
+        recorder: "TraceRecorder",
+        aru_state: Optional[BufferAruState] = None,
+        capacity: Optional[int] = None,
+    ) -> None:
+        self.engine = engine
+        self.name = name
+        self.node = node
+        self.recorder = recorder
+        self.aru = aru_state
+        self.capacity = capacity
+        self._fifo: Deque[Item] = deque()
+        self.in_conns: List[InputConnection] = []
+        self.out_conns: List[OutputConnection] = []
+        self._getters = WaitQueue(engine, name=f"{name}.get")
+        self._putters = WaitQueue(engine, name=f"{name}.room")
+        self.total_puts = 0
+        self.total_gets = 0
+        self.total_frees = 0
+
+    # -- registration ------------------------------------------------------
+    def register_producer(self, thread: str) -> OutputConnection:
+        conn = OutputConnection(thread=thread, buffer=self.name)
+        self.out_conns.append(conn)
+        return conn
+
+    def register_consumer(self, thread: str) -> InputConnection:
+        conn = InputConnection(buffer=self.name, thread=thread)
+        self.in_conns.append(conn)
+        return conn
+
+    # -- introspection ------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._fifo)
+
+    @property
+    def bytes_held(self) -> int:
+        return sum(item.size for item in self._fifo)
+
+    # -- put side ----------------------------------------------------------
+    def has_room(self) -> bool:
+        return self.capacity is None or len(self._fifo) < self.capacity
+
+    def wait_for_room(self) -> Event:
+        return self._putters.wait(lambda: self.has_room() or None)
+
+    def commit_put(self, conn: OutputConnection, item: Item, t: float) -> Optional[float]:
+        """Append ``item``; returns the queue's summary-STP (ARU feedback)."""
+        if not self.has_room():
+            raise SimulationError(f"commit_put on full queue {self.name!r}")
+        self._fifo.append(item)
+        self.total_puts += 1
+        conn.puts += 1
+        self.node.alloc(item.size)
+        self.recorder.on_alloc(
+            item_id=item.item_id,
+            channel=self.name,
+            node=self.node.name,
+            ts=item.ts,
+            size=item.size,
+            producer=item.producer,
+            parents=item.parents,
+            t=t,
+        )
+        self._getters.notify_all()
+        return self.aru.summary() if self.aru is not None else None
+
+    # -- get side ----------------------------------------------------------
+    def request_get(self, conn: InputConnection, request: object = None) -> Event:
+        """Event firing when the queue is non-empty (``request`` ignored —
+        queues are strictly FIFO)."""
+        if conn not in self.in_conns:
+            raise SimulationError(f"unregistered consumer on {self.name!r}")
+        return self._getters.wait(lambda: bool(self._fifo) or None)
+
+    def try_match(self, conn: InputConnection, request: object = None) -> bool:
+        return bool(self._fifo)
+
+    def cancel_get(self, event: Event) -> None:
+        """Withdraw a pending get request (timed-get expiry)."""
+        self._getters.cancel(event)
+
+    def commit_get(
+        self,
+        conn: InputConnection,
+        request: object,
+        t: float,
+        consumer_summary: Optional[float] = None,
+    ) -> ItemView:
+        """Pop the head item (removed from the queue, freed at release)."""
+        if not self._fifo:
+            raise SimulationError(f"commit_get on empty queue {self.name!r}")
+        item = self._fifo.popleft()
+        conn.last_got = max(conn.last_got, item.ts)
+        conn.gets += 1
+        self.total_gets += 1
+        item.acquire()
+        self.recorder.on_get(item.item_id, conn.conn_id, conn.thread, t)
+        if self.aru is not None and consumer_summary is not None:
+            self.aru.update_backward(conn.conn_id, consumer_summary)
+        if self.capacity is not None:
+            self._putters.notify_all()
+        return ItemView(item, self.name)
+
+    def release(self, item: Item, t: float) -> None:
+        """Consumer finished with a popped item — storage is reclaimed."""
+        item.release()
+        if item.refcount == 0 and not item.freed:
+            item.freed = True
+            self.total_frees += 1
+            self.node.free(item.size)
+            self.recorder.on_free(item.item_id, t)
+
+    def maybe_collect(self, t: float) -> int:
+        """Queues self-manage storage; nothing for a GC to do."""
+        return 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SQueue {self.name!r} depth={len(self._fifo)} on {self.node.name}>"

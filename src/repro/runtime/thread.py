@@ -1,0 +1,382 @@
+"""The thread driver: executes task bodies against the simulated cluster.
+
+A task body is a generator of syscalls (:mod:`repro.runtime.syscalls`).
+The driver is the *interpreter*: it runs as one DES process, dispatching
+each syscall onto channels, CPU pools, and network links, while doing the
+bookkeeping the paper's mechanisms require —
+
+* STP metering with blocking/throttle exclusion (§3.3.1);
+* ARU piggybacking on every put/get and source throttling at
+  ``periodicity_sync()`` (§3.3.2);
+* reference management (gets hold items until the end of the iteration);
+* the per-iteration trace records driving the §4 metrics.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.aru.controller import throttle_sleep
+from repro.aru.stp import StpMeter
+from repro.aru.summary import ThreadAruState
+from repro.errors import SimulationError
+from repro.runtime.connection import InputConnection, OutputConnection
+from repro.runtime.item import Item, ItemView
+from repro.runtime.syscalls import (
+    CheckDead,
+    Compute,
+    Get,
+    Now,
+    PeriodicitySync,
+    Put,
+    Release,
+    Sleep,
+    TryGet,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.runtime import Runtime
+
+
+class TaskContext:
+    """Read-only environment handed to task bodies.
+
+    Attributes
+    ----------
+    name / params / is_source / is_sink:
+        Identity and per-task configuration from the graph.
+    rng:
+        A dedicated seeded random stream for this task's data-dependent
+        behaviour (service-time draws, synthetic content).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        params: Dict[str, Any],
+        rng: np.random.Generator,
+        clock,
+        is_source: bool,
+        is_sink: bool,
+    ) -> None:
+        self.name = name
+        self.params = params
+        self.rng = rng
+        self._clock = clock
+        self.is_source = is_source
+        self.is_sink = is_sink
+
+    def now(self) -> float:
+        """Current time (simulated seconds in the DES executor)."""
+        return self._clock.now()
+
+
+class ThreadDriver:
+    """Runs one task body as a simulated Stampede thread."""
+
+    def __init__(
+        self,
+        runtime: "Runtime",
+        name: str,
+        fn,
+        node,
+        in_conns: Dict[str, Tuple[object, InputConnection]],
+        out_conns: Dict[str, Tuple[object, OutputConnection]],
+        ctx: TaskContext,
+        aru_state: Optional[ThreadAruState],
+        meter: StpMeter,
+        throttled: bool,
+        headroom: float = 1.0,
+    ) -> None:
+        self.runtime = runtime
+        self.engine = runtime.engine
+        self.name = name
+        self.fn = fn
+        self.node = node
+        self.in_conns = in_conns
+        self.out_conns = out_conns
+        self.ctx = ctx
+        self.aru = aru_state
+        self.meter = meter
+        self.throttled = throttled
+        self.headroom = headroom
+        # per-iteration accumulators
+        self._iter_start = runtime.clock.now()
+        self._iter_inputs: List[int] = []
+        self._iter_outputs: List[int] = []
+        self._iter_compute = 0.0
+        self._held: List[Tuple[object, ItemView]] = []
+        #: Items gotten with hold=True, keyed by item id; released only
+        #: via an explicit Release syscall (or at task termination).
+        self._retained: Dict[int, Tuple[object, ItemView]] = {}
+        self._prev_blocked = 0.0
+        self._next_src_ts = 0
+        #: Completed iterations (mirrors the recorder, cheap to read).
+        self.iterations = 0
+
+    # ------------------------------------------------------------------
+    def now(self) -> float:
+        return self.runtime.clock.now()
+
+    @property
+    def virtual_time(self) -> int:
+        """This thread's VT for transparent GC: one past the oldest input
+        cursor, or (for sources) the next timestamp it will produce."""
+        if self.in_conns:
+            return min(conn.last_got for (_b, conn) in self.in_conns.values()) + 1
+        return self._next_src_ts
+
+    def my_summary(self) -> Optional[float]:
+        """The summary-STP this thread currently advertises upstream."""
+        if self.aru is None:
+            return None
+        return self.aru.summary(self.meter.current_stp)
+
+    # -- main loop -----------------------------------------------------------
+    def run(self) -> Generator:
+        """The DES process body: interpret syscalls until the task returns."""
+        gen = self.fn(self.ctx)
+        if not hasattr(gen, "send"):
+            raise SimulationError(
+                f"task body of {self.name!r} must be a generator function"
+            )
+        to_send = None
+        try:
+            while True:
+                try:
+                    syscall = gen.send(to_send)
+                except StopIteration:
+                    break
+                to_send = yield from self._execute(syscall)
+        finally:
+            # Runs on normal return, task error, and kill-injection alike:
+            # release everything held so channel storage is not pinned.
+            self._release_held()
+            self._release_retained()
+
+    # -- dispatch ----------------------------------------------------------
+    def _execute(self, syscall) -> Generator:
+        if isinstance(syscall, Compute):
+            return (yield from self._do_compute(syscall))
+        if isinstance(syscall, Get):
+            return (yield from self._do_get(syscall))
+        if isinstance(syscall, Put):
+            return (yield from self._do_put(syscall))
+        if isinstance(syscall, PeriodicitySync):
+            return (yield from self._do_sync())
+        if isinstance(syscall, TryGet):
+            return (yield from self._do_try_get(syscall))
+        if isinstance(syscall, Sleep):
+            if syscall.seconds > 0:
+                yield self.engine.timeout(syscall.seconds)
+            return None
+        if isinstance(syscall, Now):
+            return self.now()
+        if isinstance(syscall, Release):
+            view = syscall.view
+            item_id = getattr(view, "item_id", None)
+            entry = self._retained.pop(item_id, None)
+            if entry is None:
+                raise SimulationError(
+                    f"thread {self.name!r} released {view!r}, which it does "
+                    "not hold (double release, or missing hold=True?)"
+                )
+            buffer, held_view = entry
+            buffer.release(held_view._item, self.now())
+            return None
+        if isinstance(syscall, CheckDead):
+            buffer, _conn = self._out_conn(syscall.channel)
+            return self._is_dead_on_arrival(buffer, int(syscall.ts))
+        raise SimulationError(
+            f"thread {self.name!r} yielded {syscall!r}; expected a syscall"
+        )
+
+    @staticmethod
+    def _is_dead_on_arrival(buffer, ts: int) -> bool:
+        """Would an item with ``ts`` be skipped by every consumer?"""
+        conns = getattr(buffer, "in_conns", None)
+        if not conns:
+            return False
+        return all(conn.last_got >= ts for conn in conns)
+
+    def _do_compute(self, sc: Compute) -> Generator:
+        actual = yield self.engine.process(self.node.compute(sc.seconds))
+        self._iter_compute += actual
+        return actual
+
+    def _in_conn(self, channel: str):
+        try:
+            return self.in_conns[channel]
+        except KeyError:
+            raise SimulationError(
+                f"thread {self.name!r} has no input connection to {channel!r}"
+            ) from None
+
+    def _out_conn(self, channel: str):
+        try:
+            return self.out_conns[channel]
+        except KeyError:
+            raise SimulationError(
+                f"thread {self.name!r} has no output connection to {channel!r}"
+            ) from None
+
+    def _do_get(self, sc: Get) -> Generator:
+        buffer, conn = self._in_conn(sc.channel)
+        deadline = None
+        if sc.timeout is not None:
+            if sc.timeout < 0:
+                raise SimulationError(f"negative get timeout: {sc.timeout}")
+            deadline = self.now() + sc.timeout
+        while True:
+            ev = buffer.request_get(conn, sc.request)
+            if not ev.triggered:
+                self.meter.block_started()
+                if deadline is None:
+                    yield ev
+                else:
+                    remaining = deadline - self.now()
+                    if remaining <= 0:
+                        self.meter.block_ended()
+                        buffer.cancel_get(ev)
+                        return None
+                    idx, _ = yield self.engine.any_of(
+                        [ev, self.engine.timeout(remaining)]
+                    )
+                    if idx == 1 and not ev.triggered:
+                        self.meter.block_ended()
+                        buffer.cancel_get(ev)
+                        return None
+                self.meter.block_ended()
+            else:
+                yield ev
+            # Queues are destructive: a sibling worker woken by the same
+            # put may have popped the item before we resumed — re-check.
+            if buffer.try_match(conn, sc.request):
+                break
+            if deadline is not None and self.now() >= deadline:
+                return None
+        return (yield from self._finish_get(buffer, conn, sc.request,
+                                            hold=sc.hold))
+
+    def _do_try_get(self, sc: TryGet) -> Generator:
+        buffer, conn = self._in_conn(sc.channel)
+        if not buffer.try_match(conn, sc.request):
+            return None
+        return (yield from self._finish_get(buffer, conn, sc.request))
+
+    def _finish_get(self, buffer, conn, request, hold: bool = False) -> Generator:
+        view = buffer.commit_get(
+            conn, request, t=self.now(), consumer_summary=self.my_summary()
+        )
+        # Remote get: ship the item's bytes to the consumer's node. This is
+        # production-path time, *included* in the STP.
+        if buffer.node.name != self.node.name and view.size > 0:
+            yield self.engine.process(
+                self.runtime.network.transfer(
+                    buffer.node.name, self.node.name, view.size
+                )
+            )
+        if hold:
+            self._retained[view.item_id] = (buffer, view)
+        else:
+            self._held.append((buffer, view))
+        self._iter_inputs.append(view.item_id)
+        return view
+
+    def _do_put(self, sc: Put) -> Generator:
+        buffer, conn = self._out_conn(sc.channel)
+        # Remote put: ship the bytes to the channel's node first.
+        if buffer.node.name != self.node.name and sc.size > 0:
+            yield self.engine.process(
+                self.runtime.network.transfer(
+                    self.node.name, buffer.node.name, sc.size
+                )
+            )
+        # Back-pressure (capacity extension): waiting for room is excluded
+        # from the STP like any other wait on a peer stage.
+        while not buffer.has_room():
+            ev = buffer.wait_for_room()
+            if not ev.triggered:
+                self.meter.block_started()
+                yield ev
+                self.meter.block_ended()
+            else:
+                yield ev
+        item = Item(
+            ts=int(sc.ts),
+            size=sc.size,
+            payload=sc.payload,
+            producer=self.name,
+            parents=tuple(self._iter_inputs),
+            created_at=self.now(),
+        )
+        feedback = buffer.commit_put(conn, item, t=self.now())
+        if self.aru is not None and feedback is not None:
+            self.aru.update_backward(conn.conn_id, feedback)
+        self._iter_outputs.append(item.item_id)
+        if not self.in_conns:
+            self._next_src_ts = max(self._next_src_ts, item.ts + 1)
+        return item.item_id
+
+    def _do_sync(self) -> Generator:
+        # 1. Source throttling (the ARU actuation) — stretch the iteration
+        #    to the propagated summary-STP target before closing it.
+        target: Optional[float] = None
+        slept = 0.0
+        if self.aru is not None and self.throttled:
+            target = self.aru.compressed_backward()
+            sleep_t = throttle_sleep(target, self.meter.iteration_elapsed, self.headroom)
+            if sleep_t > 0:
+                self.meter.sleep_started()
+                yield self.engine.timeout(sleep_t)
+                self.meter.sleep_ended()
+                slept = sleep_t
+        # 2. Close the iteration: current-STP per fig. 2.
+        stp = self.meter.sync()
+        t_end = self.now()
+        blocked = self.meter.total_blocked - self._prev_blocked
+        self._prev_blocked = self.meter.total_blocked
+        recorder = self.runtime.recorder
+        recorder.on_iteration(
+            thread=self.name,
+            t_start=self._iter_start,
+            t_end=t_end,
+            compute=self._iter_compute,
+            blocked=blocked,
+            slept=slept,
+            inputs=tuple(self._iter_inputs),
+            outputs=tuple(self._iter_outputs),
+            is_sink=self.ctx.is_sink,
+        )
+        recorder.on_stp(
+            thread=self.name,
+            t=t_end,
+            current_stp=stp,
+            summary=self.my_summary(),
+            throttle_target=target,
+            slept=slept,
+        )
+        # 3. Release this iteration's item references.
+        self._release_held()
+        self._iter_inputs = []
+        self._iter_outputs = []
+        self._iter_compute = 0.0
+        self._iter_start = t_end
+        self.iterations += 1
+        return stp
+        yield  # pragma: no cover - unreachable; keeps this a generator path
+
+    def _release_held(self) -> None:
+        t = self.now()
+        for buffer, view in self._held:
+            buffer.release(view._item, t)
+        self._held.clear()
+
+    def _release_retained(self) -> None:
+        """Drop every held reference (task termination cleanup)."""
+        t = self.now()
+        for buffer, view in self._retained.values():
+            buffer.release(view._item, t)
+        self._retained.clear()

@@ -1,0 +1,31 @@
+"""Deterministic discrete-event simulation kernel.
+
+Public surface:
+
+* :class:`~repro.sim.engine.Engine` — the event calendar / scheduler.
+* :class:`~repro.sim.events.Event`, :class:`~repro.sim.events.Timeout`,
+  :class:`~repro.sim.events.AllOf`, :class:`~repro.sim.events.AnyOf`.
+* :class:`~repro.sim.process.Process` — generator-based processes.
+* :class:`~repro.sim.resources.Resource`,
+  :class:`~repro.sim.resources.WaitQueue`.
+* :class:`~repro.sim.rng.RngRegistry` — named seeded random streams.
+"""
+
+from repro.sim.engine import Engine
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+from repro.sim.resources import Resource, WaitQueue
+from repro.sim.rng import RngRegistry, lognormal_with_mean
+
+__all__ = [
+    "Engine",
+    "Event",
+    "Timeout",
+    "AllOf",
+    "AnyOf",
+    "Process",
+    "Resource",
+    "WaitQueue",
+    "RngRegistry",
+    "lognormal_with_mean",
+]

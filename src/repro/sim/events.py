@@ -1,0 +1,187 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+The kernel follows the classic event-graph design (similar in spirit to
+SimPy, reimplemented from scratch here): an :class:`Event` is a one-shot
+future living on an :class:`~repro.sim.engine.Engine`'s calendar. Processes
+(see :mod:`repro.sim.process`) are generators that ``yield`` events; the
+engine resumes them when the yielded event fires.
+
+Events fire in deterministic order: primary key is simulated time, the tie
+breaker is a monotonically increasing sequence number assigned at schedule
+time, so two runs of the same model with the same seeds produce identical
+traces.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, List, Optional
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Engine
+
+#: Sentinel for "event has not produced a value yet".
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence on the simulation calendar.
+
+    An event goes through three states:
+
+    1. *pending* — created but not triggered;
+    2. *triggered* — ``succeed``/``fail`` was called and the event sits on
+       the engine calendar waiting for its turn;
+    3. *processed* — the engine has invoked its callbacks.
+
+    Parameters
+    ----------
+    engine:
+        The engine whose calendar the event belongs to.
+    """
+
+    __slots__ = ("engine", "callbacks", "_value", "_ok", "defused")
+
+    def __init__(self, engine: "Engine") -> None:
+        self.engine = engine
+        #: Callables ``cb(event)`` invoked when the event is processed.
+        #: Set to ``None`` once processed.
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        #: If a failed event has no waiter, the engine raises the stored
+        #: exception at the top level unless ``defused`` is True.
+        self.defused = False
+
+    # -- state inspection ------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once ``succeed``/``fail`` has been called."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True iff the event succeeded. Only valid once triggered."""
+        if self._ok is None:
+            raise SimulationError("event value not available yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The success value, or the failure exception."""
+        if self._value is _PENDING:
+            raise SimulationError("event value not available yet")
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Mark the event successful and put it on the calendar *now*."""
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.engine._schedule(self, 0.0)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Mark the event failed with ``exc`` and schedule it *now*."""
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() needs an exception instance")
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exc
+        self.engine._schedule(self, 0.0)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "processed" if self.processed
+            else "triggered" if self.triggered
+            else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, engine: "Engine", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(engine)
+        self.delay = float(delay)
+        self._ok = True
+        self._value = value
+        engine._schedule(self, self.delay)
+
+
+class AllOf(Event):
+    """Succeeds when every child event has succeeded.
+
+    The value is the list of child values, in the order given. Fails as
+    soon as any child fails.
+    """
+
+    __slots__ = ("_children", "_remaining")
+
+    def __init__(self, engine: "Engine", events: List[Event]) -> None:
+        super().__init__(engine)
+        self._children = list(events)
+        self._remaining = len(self._children)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for ev in self._children:
+            if ev.processed:
+                self._on_child(ev)
+            else:
+                ev.callbacks.append(self._on_child)
+
+    def _on_child(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if not ev.ok:
+            ev.defused = True
+            self.fail(ev.value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([c.value for c in self._children])
+
+
+class AnyOf(Event):
+    """Succeeds when the first child event succeeds.
+
+    The value is a ``(index, value)`` tuple identifying the winner.
+    """
+
+    __slots__ = ("_children",)
+
+    def __init__(self, engine: "Engine", events: List[Event]) -> None:
+        super().__init__(engine)
+        self._children = list(events)
+        if not self._children:
+            raise ValueError("AnyOf requires at least one event")
+        for idx, ev in enumerate(self._children):
+            if ev.processed:
+                self._on_child(idx, ev)
+            else:
+                ev.callbacks.append(lambda e, i=idx: self._on_child(i, e))
+
+    def _on_child(self, idx: int, ev: Event) -> None:
+        if self.triggered:
+            return
+        if not ev.ok:
+            ev.defused = True
+            self.fail(ev.value)
+            return
+        self.succeed((idx, ev.value))

@@ -1,0 +1,138 @@
+"""Generator-based simulated processes.
+
+A *process* is a Python generator that ``yield``\\ s :class:`Event` objects;
+the engine resumes the generator with the event's value once it fires.
+Yielding another :class:`Process` waits for that process to finish (its
+return value becomes the value of the ``yield`` expression).
+
+A process is itself an :class:`Event` which succeeds with the generator's
+return value, so processes compose: parents can wait on children.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.errors import ProcessKilled, SimulationError
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Engine
+
+
+class Process(Event):
+    """Handle for a running simulated process.
+
+    Parameters
+    ----------
+    engine:
+        Owning engine.
+    gen:
+        The generator to drive. It is started at the next engine step
+        (via an immediately-scheduled initialization event), never
+        synchronously, so creation order does not leak into event order.
+    name:
+        Optional human-readable label used in error messages.
+    """
+
+    __slots__ = ("gen", "name", "_waiting_on", "_killed")
+
+    def __init__(self, engine: "Engine", gen: Generator, name: str = "") -> None:
+        if not hasattr(gen, "send"):
+            raise TypeError(f"process body must be a generator, got {type(gen)!r}")
+        super().__init__(engine)
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        self._killed = False
+        init = Event(engine)
+        init.callbacks.append(self._resume)
+        init.succeed(None)
+
+    # ------------------------------------------------------------------
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def kill(self, reason: str = "killed") -> None:
+        """Forcibly terminate the process.
+
+        The generator receives a :class:`ProcessKilled` exception at its
+        current yield point at the next engine step. Killing an already
+        finished process is a no-op.
+        """
+        if self.triggered or self._killed:
+            return
+        self._killed = True
+        tick = Event(self.engine)
+        tick.callbacks.append(self._deliver_kill)
+        tick.succeed(reason)
+
+    def _deliver_kill(self, tick: Event) -> None:
+        if self.triggered:
+            return
+        waiting = self._waiting_on
+        if waiting is not None and not waiting.processed:
+            # Detach from the event we were waiting on.
+            try:
+                waiting.callbacks.remove(self._resume)
+            except (ValueError, AttributeError):  # pragma: no cover
+                pass
+        self._waiting_on = None
+        self._throw(ProcessKilled(tick.value))
+
+    # ------------------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the fired event's value."""
+        if self.triggered:  # killed while the event was in flight
+            return
+        self._waiting_on = None
+        if event.ok:
+            self._advance(lambda: self.gen.send(event.value))
+        else:
+            event.defused = True
+            self._throw(event.value)
+
+    def _throw(self, exc: BaseException) -> None:
+        self._advance(lambda: self.gen.throw(exc))
+
+    def _advance(self, step) -> None:
+        try:
+            target = step()
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except ProcessKilled as exc:
+            # A killed process that lets the exception propagate terminates
+            # "successfully dead": nobody should see this as a model error.
+            self.defused = True
+            self.fail(exc)
+            self.defused = True
+            return
+        except BaseException as exc:
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes must "
+                "yield Event instances"
+            )
+        if target.processed:
+            # Already fired: resume on a fresh immediate event to stay async.
+            relay = Event(self.engine)
+            relay.callbacks.append(self._resume)
+            if target.ok:
+                relay.succeed(target.value)
+            else:
+                target.defused = True
+                relay.fail(target.value)
+                # the relay's failure is consumed by _resume
+            self._waiting_on = relay
+        else:
+            target.callbacks.append(self._resume)
+            self._waiting_on = target
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.triggered else "alive"
+        return f"<Process {self.name!r} {state}>"

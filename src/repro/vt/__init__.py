@@ -1,0 +1,16 @@
+"""Virtual time: timestamps, ranges, and clock abstractions."""
+
+from repro.vt.clock import Clock, ManualClock, SimClock, WallClock
+from repro.vt.timestamp import EARLIEST, LATEST, Timestamp, TsRange, corresponds
+
+__all__ = [
+    "Timestamp",
+    "TsRange",
+    "LATEST",
+    "EARLIEST",
+    "corresponds",
+    "Clock",
+    "SimClock",
+    "WallClock",
+    "ManualClock",
+]

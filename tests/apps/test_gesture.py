@@ -1,0 +1,88 @@
+"""Tests for the sliding-window gesture-recognition workload."""
+
+import pytest
+
+from repro.apps import GestureConfig, build_gesture
+from repro.apps.vision import StageCost
+from repro.aru import aru_disabled, aru_min
+from repro.cluster import ClusterSpec, NodeSpec
+from repro.errors import ConfigError
+from repro.metrics import PostmortemAnalyzer
+from repro.runtime import Runtime, RuntimeConfig
+
+
+def quiet():
+    return ClusterSpec(
+        nodes=(NodeSpec(name="node0", ncpus=8, sched_noise_cv=0.0),)
+    )
+
+
+def fast_cfg(window=4):
+    return GestureConfig(
+        frame_period=0.01,
+        window=window,
+        feature_cost=StageCost(0.005),
+        recognize_cost=StageCost(0.04),
+        ui_cost=StageCost(0.002),
+    )
+
+
+def run(cfg, aru, until=20.0):
+    rt = Runtime(build_gesture(cfg), RuntimeConfig(cluster=quiet(), aru=aru, seed=0))
+    rec = rt.run(until=until)
+    return rt, rec
+
+
+class TestStructure:
+    def test_graph_shape(self):
+        g = build_gesture()
+        assert g.sources() == ["camera"]
+        assert g.sinks() == ["ui"]
+        assert len(g.channels()) == 3
+
+    def test_window_validation(self):
+        with pytest.raises(ConfigError):
+            GestureConfig(window=0)
+
+
+class TestBehaviour:
+    def test_pipeline_flows(self):
+        _, rec = run(fast_cfg(), aru_disabled())
+        assert len(rec.sink_iterations()) > 100
+
+    def test_feature_channel_keeps_window_pinned(self):
+        rt, _ = run(fast_cfg(window=6), aru_disabled())
+        feat = rt.channel("C_feat")
+        # exactly the pinned window (±1 in-flight) remains at cutoff
+        assert 4 <= len(feat) <= 8
+        pinned = sum(1 for item in feat.items_snapshot() if item.refcount > 0)
+        assert pinned >= 4
+
+    def test_window_items_marked_successful(self):
+        _, rec = run(fast_cfg(window=3), aru_disabled())
+        pm = PostmortemAnalyzer(rec)
+        feat_items = [i for i in rec.items.values() if i.channel == "C_feat"]
+        consumed = [i for i in feat_items if i.ever_got]
+        assert consumed
+        assert all(pm.is_successful(i.item_id) for i in consumed[:-5])
+
+    def test_aru_throttles_camera_to_recognizer(self):
+        _, rec = run(fast_cfg(), aru_min(), until=30.0)
+        late = [it for it in rec.iterations_of("camera") if it.t_start > 10.0]
+        period = sum(it.duration for it in late) / len(late)
+        assert period == pytest.approx(0.04, rel=0.25)
+
+    def test_aru_cuts_waste_but_window_memory_remains(self):
+        stats = {}
+        for aru in (aru_disabled(), aru_min()):
+            _, rec = run(fast_cfg(window=8), aru, until=30.0)
+            pm = PostmortemAnalyzer(rec)
+            stats[aru.name] = (
+                pm.wasted_memory_fraction,
+                pm.footprint("C_feat").mean(),
+            )
+        assert stats["no-aru"][0] > 0.3
+        assert stats["aru-min"][0] < 0.1
+        # the pinned window floor: roughly window * feature_bytes survives
+        floor = 8 * GestureConfig().feature_bytes * 0.5
+        assert stats["aru-min"][1] > floor

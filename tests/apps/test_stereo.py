@@ -1,0 +1,92 @@
+"""Tests for the corresponding-timestamps stereo workload."""
+
+import pytest
+
+from repro.apps import StereoConfig, build_stereo
+from repro.apps.vision import StageCost
+from repro.aru import aru_disabled, aru_min
+from repro.cluster import ClusterSpec, NodeSpec
+from repro.errors import ConfigError
+from repro.metrics import PostmortemAnalyzer
+from repro.runtime import Runtime, RuntimeConfig
+
+
+def quiet():
+    return ClusterSpec(
+        nodes=(NodeSpec(name="node0", ncpus=8, sched_noise_cv=0.0),)
+    )
+
+
+def fast_cfg(**kw):
+    base = dict(
+        frame_period=0.01,
+        shutter_jitter=0.2,
+        pair_timeout=0.2,
+        stereo_cost=StageCost(0.05),
+        viewer_cost=StageCost(0.002),
+    )
+    base.update(kw)
+    return StereoConfig(**base)
+
+
+def run(cfg, aru, until=20.0):
+    g = build_stereo(cfg)
+    rt = Runtime(g, RuntimeConfig(cluster=quiet(), aru=aru, seed=0))
+    rec = rt.run(until=until)
+    return g, rt, rec
+
+
+class TestStructure:
+    def test_two_sources_one_sink(self):
+        g = build_stereo()
+        assert sorted(g.sources()) == ["cam_left", "cam_right"]
+        assert g.sinks() == ["viewer"]
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            StereoConfig(pair_timeout=0.0)
+        with pytest.raises(ConfigError):
+            StereoConfig(shutter_jitter=1.0)
+
+
+class TestPairing:
+    def test_pairs_flow_to_viewer(self):
+        g, _, rec = run(fast_cfg(), aru_disabled())
+        paired = g.attrs("stereo")["params"].get("paired", 0)
+        assert paired > 100
+        assert len(rec.sink_iterations()) > 50
+
+    def test_pairs_correspond_exactly(self):
+        """Every depth item descends from a left and right frame with the
+        same timestamp."""
+        _, _, rec = run(fast_cfg(), aru_disabled(), until=8.0)
+        depths = [i for i in rec.items.values() if i.channel == "C_depth"]
+        assert depths
+        for depth in depths:
+            parent_ts = {rec.items[p].ts for p in depth.parents}
+            parent_chans = {rec.items[p].channel for p in depth.parents}
+            assert parent_ts == {depth.ts}
+            assert parent_chans == {"C_left", "C_right"}
+
+    def test_drop_counter_present(self):
+        g, _, _ = run(fast_cfg(pair_timeout=0.011), aru_disabled(), until=8.0)
+        params = g.attrs("stereo")["params"]
+        # with a timeout barely above one frame period some pairs miss
+        assert params.get("paired", 0) > 0
+
+
+class TestAruOnTwoSources:
+    def test_both_cameras_throttle_to_stereo_rate(self):
+        _, _, rec = run(fast_cfg(), aru_min(), until=30.0)
+        for cam in ("cam_left", "cam_right"):
+            late = [it for it in rec.iterations_of(cam) if it.t_start > 10.0]
+            period = sum(it.duration for it in late) / len(late)
+            assert period == pytest.approx(0.05, rel=0.3), cam
+
+    def test_aru_cuts_stereo_waste(self):
+        waste = {}
+        for aru in (aru_disabled(), aru_min()):
+            _, _, rec = run(fast_cfg(), aru, until=30.0)
+            waste[aru.name] = PostmortemAnalyzer(rec).wasted_memory_fraction
+        assert waste["no-aru"] > 0.4
+        assert waste["aru-min"] < 0.25

@@ -1,0 +1,165 @@
+"""Tests for the people-tracker application graph and its behaviour."""
+
+import pytest
+
+from repro.apps import (
+    CHANNELS,
+    THREADS,
+    TrackerConfig,
+    build_tracker,
+    tracker_placement,
+)
+from repro.apps.vision import StageCost
+from repro.aru import aru_disabled, aru_max, aru_min
+from repro.cluster import config1_spec, config2_spec
+from repro.errors import ConfigError
+from repro.metrics import PostmortemAnalyzer, throughput_fps
+from repro.runtime import Runtime, RuntimeConfig
+
+
+def fast_tracker_config():
+    """A sped-up tracker so integration tests stay quick."""
+    return TrackerConfig(
+        frame_period=1 / 100.0,
+        grab_cost=StageCost(0.002, 0.05),
+        change_detection_cost=StageCost(0.02, 0.1),
+        histogram_cost=StageCost(0.03, 0.1),
+        target_detect1_cost=StageCost(0.05, 0.1),
+        target_detect2_cost=StageCost(0.06, 0.1),
+        gui_cost=StageCost(0.005, 0.05),
+    )
+
+
+class TestGraphStructure:
+    def test_thread_and_channel_inventory(self):
+        g = build_tracker()
+        assert sorted(g.threads()) == sorted(THREADS)
+        assert sorted(g.channels()) == sorted(CHANNELS)
+        assert not g.queues()
+
+    def test_digitizer_is_sole_source(self):
+        g = build_tracker()
+        assert g.sources() == ["digitizer"]
+
+    def test_gui_is_sink(self):
+        g = build_tracker()
+        assert g.sinks() == ["gui"]
+
+    def test_fig5_edges(self):
+        g = build_tracker()
+        assert sorted(g.outputs_of("digitizer")) == ["C1", "C2", "C3"]
+        assert g.consumers_of("C1") == ["change_detection"]
+        assert g.consumers_of("C2") == ["histogram"]
+        assert sorted(g.consumers_of("C3")) == ["target_detect1", "target_detect2"]
+        assert sorted(g.inputs_of("target_detect1")) == ["C3", "C4", "C7"]
+        assert sorted(g.inputs_of("target_detect2")) == ["C3", "C5", "C8"]
+        assert sorted(g.inputs_of("gui")) == ["C6", "C9"]
+
+    def test_validates(self):
+        build_tracker().validate()
+
+
+class TestPlacement:
+    def test_config2_mapping(self):
+        placement = tracker_placement()
+        assert placement["digitizer"] == "node0"
+        assert placement["target_detect1"] == placement["target_detect2"]
+        assert len(set(placement.values())) == 5
+
+    def test_insufficient_nodes_rejected(self):
+        with pytest.raises(ConfigError):
+            tracker_placement(n_nodes=4)
+
+
+class TestTrackerRuns:
+    def test_runs_on_config1(self):
+        rt = Runtime(
+            build_tracker(fast_tracker_config()),
+            RuntimeConfig(cluster=config1_spec(), aru=aru_disabled(), seed=1),
+        )
+        rec = rt.run(until=10.0)
+        assert len(rec.sink_iterations()) > 50
+        for thread in THREADS:
+            assert rec.iterations_of(thread), f"{thread} never iterated"
+
+    def test_runs_on_config2(self):
+        rt = Runtime(
+            build_tracker(fast_tracker_config()),
+            RuntimeConfig(
+                cluster=config2_spec(),
+                aru=aru_min(),
+                seed=1,
+                placement=tracker_placement(),
+            ),
+        )
+        rec = rt.run(until=10.0)
+        assert len(rec.sink_iterations()) > 30
+
+    def test_aru_reduces_tracker_waste(self):
+        results = {}
+        for aru in (aru_disabled(), aru_max()):
+            rt = Runtime(
+                build_tracker(fast_tracker_config()),
+                RuntimeConfig(cluster=config1_spec(), aru=aru, seed=2),
+            )
+            rec = rt.run(until=20.0)
+            results[aru.name] = PostmortemAnalyzer(rec).wasted_memory_fraction
+        assert results["no-aru"] > 0.4
+        assert results["aru-max"] < 0.1
+
+    def test_aru_reduces_memory_footprint(self):
+        means = {}
+        for aru in (aru_disabled(), aru_max()):
+            rt = Runtime(
+                build_tracker(fast_tracker_config()),
+                RuntimeConfig(cluster=config1_spec(), aru=aru, seed=2),
+            )
+            rec = rt.run(until=20.0)
+            means[aru.name] = PostmortemAnalyzer(rec).footprint().mean()
+        assert means["aru-max"] < means["no-aru"] * 0.5
+
+    def test_digitizer_throttles_under_aru(self):
+        rt = Runtime(
+            build_tracker(fast_tracker_config()),
+            RuntimeConfig(cluster=config1_spec(), aru=aru_max(), seed=2),
+        )
+        rec = rt.run(until=20.0)
+        digi = [it for it in rec.iterations_of("digitizer") if it.t_start > 5.0]
+        slept = sum(it.slept for it in digi)
+        assert slept > 0
+        # digitizer rate ~ the slowest detector's, not the camera's 100 fps
+        rate = len(digi) / (digi[-1].t_end - digi[0].t_start)
+        assert rate < 30
+
+    def test_lineage_reaches_frames(self):
+        rt = Runtime(
+            build_tracker(fast_tracker_config()),
+            RuntimeConfig(cluster=config1_spec(), aru=aru_disabled(), seed=1),
+        )
+        rec = rt.run(until=5.0)
+        pm = PostmortemAnalyzer(rec)
+        # some delivered locations; their ancestors include frame items
+        assert pm.delivered_ids
+        frames = {i for i, t in rec.items.items() if t.producer == "digitizer"}
+        assert pm.successful_ids & frames
+
+    def test_payload_synthesis_mode(self):
+        cfg = fast_tracker_config().with_(
+            synthesize_payloads=True, frame_shape=(32, 32, 3)
+        )
+        rt = Runtime(
+            build_tracker(cfg),
+            RuntimeConfig(cluster=config1_spec(), aru=aru_disabled(), seed=1),
+        )
+        rec = rt.run(until=2.0)
+        assert len(rec.sink_iterations()) > 2
+
+    def test_throughput_sane(self):
+        rt = Runtime(
+            build_tracker(fast_tracker_config()),
+            RuntimeConfig(cluster=config1_spec(), aru=aru_disabled(), seed=1),
+        )
+        rec = rt.run(until=10.0)
+        fps = throughput_fps(rec)
+        # bottleneck is TD2 at ~60-75 ms with contention: O(10) fps
+        assert 5.0 < fps < 20.0

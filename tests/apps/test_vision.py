@@ -1,0 +1,115 @@
+"""Tests for synthetic vision kernels and stage cost models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import (
+    DEFAULT_FRAME_SHAPE,
+    StageCost,
+    background_subtract,
+    color_histogram,
+    detect_target,
+    make_frame,
+)
+from repro.errors import ConfigError
+
+
+class TestStageCost:
+    def test_deterministic_without_noise(self):
+        cost = StageCost(mean=0.1)
+        rng = np.random.default_rng(0)
+        assert cost.sample(rng, 5) == 0.1
+
+    def test_activity_modulation(self):
+        cost = StageCost(mean=0.1, activity_amp=0.5, activity_period=100)
+        # peak of sin at ts = 25 (quarter period)
+        assert cost.base_mean(25) == pytest.approx(0.15)
+        assert cost.base_mean(75) == pytest.approx(0.05)
+        assert cost.base_mean(0) == pytest.approx(0.1)
+
+    def test_sample_mean_tracks_modulation(self):
+        cost = StageCost(mean=0.2, cv=0.1, activity_amp=0.3, activity_period=40)
+        rng = np.random.default_rng(1)
+        samples = [cost.sample(rng, 10) for _ in range(5000)]
+        assert np.mean(samples) == pytest.approx(cost.base_mean(10), rel=0.03)
+
+    def test_zero_mean_is_zero(self):
+        cost = StageCost(mean=0.0, cv=0.5)
+        assert cost.sample(np.random.default_rng(0), 0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            StageCost(mean=-1.0)
+        with pytest.raises(ConfigError):
+            StageCost(mean=1.0, cv=-0.1)
+        with pytest.raises(ConfigError):
+            StageCost(mean=1.0, activity_amp=1.0)
+        with pytest.raises(ConfigError):
+            StageCost(mean=1.0, activity_period=0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10000))
+    def test_samples_always_positive(self, ts):
+        cost = StageCost(mean=0.1, cv=0.4, activity_amp=0.5)
+        rng = np.random.default_rng(42)
+        assert cost.sample(rng, ts) > 0
+
+
+class TestFrameKernels:
+    def test_frame_shape_matches_paper_item_size(self):
+        h, w, c = DEFAULT_FRAME_SHAPE
+        assert h * w * c == 737_280  # the paper's "738 kB" digitizer item
+
+    def test_make_frame(self):
+        rng = np.random.default_rng(0)
+        frame = make_frame(rng, ts=0)
+        assert frame.shape == DEFAULT_FRAME_SHAPE
+        assert frame.dtype == np.uint8
+
+    def test_blob_moves_over_time(self):
+        rng = np.random.default_rng(0)
+        a = make_frame(rng, ts=0)
+        b = make_frame(rng, ts=100)
+        # the moving blob changes pixel content beyond noise level
+        assert np.abs(a.astype(int) - b.astype(int)).max() > 50
+
+    def test_background_subtract_finds_blob(self):
+        rng = np.random.default_rng(0)
+        frame = make_frame(rng, ts=0, shape=(64, 64, 3))
+        mask = background_subtract(frame)
+        assert mask.shape == (64, 64)
+        assert mask.max() == 255
+        assert 0 < (mask > 0).mean() < 0.5  # blob present, not everything
+
+    def test_histogram_normalized(self):
+        rng = np.random.default_rng(0)
+        frame = make_frame(rng, ts=0, shape=(32, 32, 3))
+        hist = color_histogram(frame, bins=16)
+        assert hist.shape == (3, 16)
+        assert np.allclose(hist.sum(axis=1), 1.0)
+
+    def test_histogram_rejects_2d(self):
+        with pytest.raises(ValueError):
+            color_histogram(np.zeros((8, 8), dtype=np.uint8))
+
+    def test_detect_target_finds_blob(self):
+        rng = np.random.default_rng(0)
+        frame = make_frame(rng, ts=3, shape=(128, 128, 3))
+        mask = background_subtract(frame)
+        ys, xs = np.where(mask > 0)
+        blob_y, blob_x = ys.mean(), xs.mean()
+        model = color_histogram(frame, bins=16)
+        y, x, score = detect_target(frame, mask, model, patch=32)
+        assert score > 0
+        # detection lands within a patch of the blob centre
+        assert abs(y + 16 - blob_y) <= 48
+        assert abs(x + 16 - blob_x) <= 48
+
+    def test_detect_target_no_motion(self):
+        frame = np.full((64, 64, 3), 96, dtype=np.uint8)
+        mask = np.zeros((64, 64), dtype=np.uint8)
+        model = color_histogram(frame, bins=8)
+        y, x, score = detect_target(frame, mask, model)
+        assert score == -1.0  # nothing moving, nothing found

@@ -1,0 +1,81 @@
+"""Tests for the work-queue pool workload and the pooled operator."""
+
+import pytest
+
+from repro.apps import StageCost, work_queue_pool
+from repro.aru import aru_disabled, aru_min, pooled_min_op
+from repro.cluster import ClusterSpec, NodeSpec
+from repro.errors import ConfigError
+from repro.runtime import Runtime, RuntimeConfig
+
+
+def quiet(ncpus=8):
+    return ClusterSpec(
+        nodes=(NodeSpec(name="node0", ncpus=ncpus, sched_noise_cv=0.0),)
+    )
+
+
+def run_pool(n_workers, aru, queue_op=None, horizon=30.0):
+    g = work_queue_pool(
+        n_workers=n_workers,
+        worker_cost=StageCost(0.1),
+        source_period=0.01,
+        queue_op=queue_op,
+    )
+    rt = Runtime(g, RuntimeConfig(cluster=quiet(), aru=aru, seed=0))
+    rec = rt.run(until=horizon)
+    return rt, rec
+
+
+class TestOperator:
+    def test_pooled_min_divides_by_count(self):
+        assert pooled_min_op([0.3, 0.1, 0.2]) == pytest.approx(0.1 / 3)
+
+    def test_resolve_by_name(self):
+        from repro.aru import resolve
+
+        assert resolve("pooled") is pooled_min_op
+
+
+class TestPool:
+    def test_each_job_processed_once(self):
+        rt, rec = run_pool(3, aru_disabled())
+        q = rt.queue("jobs")
+        total_worker_iters = sum(
+            len(rec.iterations_of(f"worker{i}")) for i in range(3)
+        )
+        # every get belongs to a completed iteration, except at most one
+        # in-flight job per worker when the horizon cuts the run off
+        assert 0 <= q.total_gets - total_worker_iters <= 3
+        # FIFO: no skipping ever happens on a queue
+        assert all(not item.skips for item in rec.items.values()
+                   if item.channel == "jobs")
+
+    def test_pool_scales_throughput(self):
+        _, rec1 = run_pool(1, aru_disabled())
+        _, rec4 = run_pool(4, aru_disabled())
+        done1 = sum(len(rec1.iterations_of(f"worker{i}")) for i in range(1))
+        done4 = sum(len(rec4.iterations_of(f"worker{i}")) for i in range(4))
+        assert done4 > 3 * done1
+
+    def test_min_operator_overthrottles_pool(self):
+        """Plain min treats 4 workers like 1: source drops to ~10 items/s."""
+        _, rec = run_pool(4, aru_min())
+        late = [it for it in rec.iterations_of("source") if it.t_start > 10.0]
+        period = sum(it.duration for it in late) / len(late)
+        assert period == pytest.approx(0.1, rel=0.2)  # one worker's period
+
+    def test_pooled_operator_sustains_aggregate_rate(self):
+        """The user-defined pooled operator restores ~4x the rate."""
+        _, rec = run_pool(4, aru_min(), queue_op="pooled")
+        late = [it for it in rec.iterations_of("source") if it.t_start > 10.0]
+        period = sum(it.duration for it in late) / len(late)
+        assert period == pytest.approx(0.025, rel=0.3)  # min/4
+
+    def test_pooled_keeps_queue_bounded(self):
+        rt, _ = run_pool(4, aru_min(), queue_op="pooled")
+        assert len(rt.queue("jobs")) < 50
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ConfigError):
+            work_queue_pool(0, StageCost(0.1))

@@ -1,0 +1,99 @@
+"""Tests for the generic workload generators."""
+
+import pytest
+
+from repro.apps import StageCost, fan_in, fan_out, linear_pipeline
+from repro.aru import aru_disabled, aru_max, aru_min
+from repro.cluster import ClusterSpec, NodeSpec
+from repro.errors import ConfigError
+from repro.metrics import PostmortemAnalyzer
+from repro.runtime import Runtime, RuntimeConfig
+
+
+def quiet():
+    return ClusterSpec(nodes=(NodeSpec(name="node0", sched_noise_cv=0.0),), name="q")
+
+
+class TestLinearPipeline:
+    def test_structure(self):
+        g = linear_pipeline([StageCost(0.01), StageCost(0.02), StageCost(0.03)])
+        assert len(g.threads()) == 4  # source + 3 stages
+        assert len(g.channels()) == 3
+        assert g.sources() == ["source"]
+        assert g.sinks() == ["stage2"]
+
+    def test_runs(self):
+        g = linear_pipeline([StageCost(0.01), StageCost(0.05)], source_period=0.01)
+        rec = Runtime(g, RuntimeConfig(cluster=quiet(), aru=aru_disabled())).run(until=5.0)
+        assert len(rec.sink_iterations()) > 50
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            linear_pipeline([])
+
+    def test_aru_throttles_chain(self):
+        g = linear_pipeline(
+            [StageCost(0.01), StageCost(0.1)], source_period=0.005
+        )
+        rec = Runtime(g, RuntimeConfig(cluster=quiet(), aru=aru_min())).run(until=20.0)
+        pm = PostmortemAnalyzer(rec)
+        assert pm.wasted_memory_fraction < 0.15
+
+
+class TestFanOut:
+    def test_structure_matches_fig3(self):
+        g = fan_out([StageCost(0.337), StageCost(0.139), StageCost(0.273),
+                     StageCost(0.544), StageCost(0.420)])
+        assert len(g.threads()) == 6  # A + 5 sinks
+        assert len(g.channels()) == 5
+        assert g.sources() == ["A"]
+        assert len(g.sinks()) == 5
+
+    def test_min_throttles_to_fastest_consumer(self):
+        """Fig. 3 dynamics: A sustains the fastest consumer under min."""
+        costs = [StageCost(0.337), StageCost(0.139), StageCost(0.273),
+                 StageCost(0.544), StageCost(0.420)]
+        g = fan_out(costs, source_period=0.02)
+        rec = Runtime(
+            g, RuntimeConfig(cluster=quiet(), aru=aru_min(), seed=1)
+        ).run(until=60.0)
+        late = [it for it in rec.iterations_of("A") if it.t_start > 20.0]
+        period = sum(it.duration for it in late) / len(late)
+        assert period == pytest.approx(0.139, rel=0.1)
+
+    def test_max_throttles_to_slowest_consumer(self):
+        """Fig. 4 aggressiveness: A matches the slowest summary under max."""
+        costs = [StageCost(0.337), StageCost(0.139), StageCost(0.273),
+                 StageCost(0.544), StageCost(0.420)]
+        g = fan_out(costs, source_period=0.02)
+        rec = Runtime(
+            g, RuntimeConfig(cluster=quiet(), aru=aru_max(), seed=1)
+        ).run(until=60.0)
+        late = [it for it in rec.iterations_of("A") if it.t_start > 20.0]
+        period = sum(it.duration for it in late) / len(late)
+        assert period == pytest.approx(0.544, rel=0.1)
+
+
+class TestFanIn:
+    def test_structure_matches_fig4(self):
+        g = fan_in([StageCost(0.01)] * 3, join_cost=StageCost(0.05))
+        assert g.sources() == ["A"]
+        assert g.sinks() == ["G"]
+        assert len(g.channels()) == 6  # in/out per branch
+
+    def test_join_dictates_rate_under_max(self):
+        g = fan_in(
+            [StageCost(0.01), StageCost(0.02)],
+            join_cost=StageCost(0.2),
+            source_period=0.01,
+        )
+        rec = Runtime(
+            g, RuntimeConfig(cluster=quiet(), aru=aru_max(), seed=1)
+        ).run(until=40.0)
+        late = [it for it in rec.iterations_of("A") if it.t_start > 10.0]
+        period = sum(it.duration for it in late) / len(late)
+        assert period == pytest.approx(0.2, rel=0.15)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            fan_in([], join_cost=StageCost(0.1))

@@ -1,0 +1,141 @@
+"""Tests for STP noise filters (the paper's future-work extension)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.aru import EwmaFilter, MedianFilter, NoFilter, SlewRateFilter, resolve_factory
+from repro.errors import ConfigError
+
+
+class TestNoFilter:
+    def test_identity(self):
+        f = NoFilter()
+        assert [f(x) for x in (1.0, 5.0, 2.0)] == [1.0, 5.0, 2.0]
+
+
+class TestEwma:
+    def test_first_sample_initializes(self):
+        f = EwmaFilter(alpha=0.5)
+        assert f(10.0) == 10.0
+
+    def test_converges_to_constant(self):
+        f = EwmaFilter(alpha=0.5)
+        out = 0.0
+        for _ in range(40):
+            out = f(3.0)
+        assert out == pytest.approx(3.0)
+
+    def test_smooths_step(self):
+        f = EwmaFilter(alpha=0.25)
+        f(0.0)
+        assert f(1.0) == pytest.approx(0.25)
+        assert f(1.0) == pytest.approx(0.4375)
+
+    def test_alpha_one_is_identity(self):
+        f = EwmaFilter(alpha=1.0)
+        f(5.0)
+        assert f(9.0) == 9.0
+
+    @pytest.mark.parametrize("alpha", [0.0, -0.1, 1.5])
+    def test_bad_alpha(self, alpha):
+        with pytest.raises(ConfigError):
+            EwmaFilter(alpha=alpha)
+
+    def test_reduces_noise_variance(self):
+        rng = np.random.default_rng(0)
+        raw = 1.0 + 0.3 * rng.standard_normal(2000)
+        f = EwmaFilter(alpha=0.2)
+        filtered = np.array([f(x) for x in raw])
+        assert filtered[200:].std() < raw[200:].std() * 0.6
+
+
+class TestMedianFilter:
+    def test_window_one_is_identity(self):
+        f = MedianFilter(window=1)
+        assert [f(x) for x in (3.0, 9.0)] == [3.0, 9.0]
+
+    def test_rejects_spike(self):
+        f = MedianFilter(window=3)
+        f(1.0), f(1.0)
+        assert f(100.0) == 1.0  # spike suppressed
+
+    def test_partial_window(self):
+        f = MedianFilter(window=5)
+        assert f(4.0) == 4.0
+        assert f(8.0) == pytest.approx(6.0)
+
+    def test_bad_window(self):
+        with pytest.raises(ConfigError):
+            MedianFilter(window=0)
+
+
+class TestSlewRate:
+    def test_first_sample_passes(self):
+        f = SlewRateFilter(max_step=0.1)
+        assert f(4.0) == 4.0
+
+    def test_limits_upward_step(self):
+        f = SlewRateFilter(max_step=0.1)
+        f(1.0)
+        assert f(10.0) == pytest.approx(1.1)
+
+    def test_limits_downward_step(self):
+        f = SlewRateFilter(max_step=0.1)
+        f(1.0)
+        assert f(0.01) == pytest.approx(0.9)
+
+    def test_within_band_tracks_exactly(self):
+        f = SlewRateFilter(max_step=0.5)
+        f(1.0)
+        assert f(1.2) == pytest.approx(1.2)
+
+    def test_bad_step(self):
+        with pytest.raises(ConfigError):
+            SlewRateFilter(max_step=0.0)
+
+    @given(st.lists(st.floats(0.01, 100.0), min_size=2, max_size=30))
+    def test_output_changes_bounded(self, samples):
+        f = SlewRateFilter(max_step=0.2)
+        prev = f(samples[0])
+        for x in samples[1:]:
+            out = f(x)
+            if prev > 0:
+                assert 0.79 <= out / prev <= 1.21
+            prev = out
+
+
+class TestResolveFactory:
+    def test_none(self):
+        assert isinstance(resolve_factory(None)(), NoFilter)
+        assert isinstance(resolve_factory("none")(), NoFilter)
+
+    def test_named(self):
+        assert isinstance(resolve_factory("ewma")(), EwmaFilter)
+        assert isinstance(resolve_factory("median")(), MedianFilter)
+        assert isinstance(resolve_factory("slew")(), SlewRateFilter)
+
+    def test_parameterized(self):
+        f = resolve_factory("ewma:0.1")()
+        assert f.alpha == 0.1
+        m = resolve_factory("median:7")()
+        assert m.window == 7
+
+    def test_factories_produce_fresh_state(self):
+        factory = resolve_factory("ewma:0.5")
+        a, b = factory(), factory()
+        a(100.0)
+        assert b(1.0) == 1.0  # b unaffected by a's history
+
+    def test_callable_passthrough(self):
+        factory = lambda: NoFilter()
+        assert resolve_factory(factory) is factory
+
+    def test_unknown_raises(self):
+        with pytest.raises(ConfigError):
+            resolve_factory("kalman")
+
+    def test_bad_type_raises(self):
+        with pytest.raises(ConfigError):
+            resolve_factory(3.14)

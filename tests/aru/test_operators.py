@@ -1,0 +1,96 @@
+"""Tests for compression operators, including the paper's worked examples."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.aru import kth_op, max_op, mean_op, median_op, min_op, operator_name, resolve
+from repro.errors import ConfigError
+
+#: The exact figure-3 vector from the paper: nodes B-F report these.
+FIG3_VECTOR = [337.0, 139.0, 273.0, 544.0, 420.0]
+
+
+class TestPaperWorkedExamples:
+    def test_fig3_min_sustains_fastest_consumer(self):
+        """Fig. 3: node A sustains consumer C with the smallest summary."""
+        assert min_op(FIG3_VECTOR) == 139.0
+
+    def test_fig4_max_matches_slowest_consumer(self):
+        """Fig. 4: with full data dependency, A slows to the largest summary."""
+        assert max_op(FIG3_VECTOR) == 544.0
+
+
+class TestOperators:
+    def test_mean(self):
+        assert mean_op([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_median_odd(self):
+        assert median_op([5.0, 1.0, 3.0]) == 3.0
+
+    def test_median_even(self):
+        assert median_op([1.0, 2.0, 3.0, 10.0]) == pytest.approx(2.5)
+
+    def test_kth(self):
+        op = kth_op(1)
+        assert op([5.0, 1.0, 3.0]) == 3.0
+
+    def test_kth_clamps(self):
+        assert kth_op(99)([5.0, 1.0]) == 5.0
+
+    def test_kth_zero_is_min(self):
+        assert kth_op(0)(FIG3_VECTOR) == min_op(FIG3_VECTOR)
+
+    def test_kth_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            kth_op(-1)
+
+    @pytest.mark.parametrize("op", [min_op, max_op, mean_op, median_op, kth_op(2)])
+    def test_empty_vector_rejected(self, op):
+        with pytest.raises(ValueError):
+            op([])
+
+    @pytest.mark.parametrize("op", [min_op, max_op, mean_op, median_op])
+    def test_singleton_is_identity(self, op):
+        assert op([7.25]) == 7.25
+
+    @given(st.lists(st.floats(0.0, 1e6), min_size=1, max_size=20))
+    def test_all_ops_bounded_by_extremes(self, values):
+        eps = 1e-9 * max(1.0, max(values))  # mean_op float-summation slack
+        for op in (min_op, max_op, mean_op, median_op, kth_op(3)):
+            result = op(values)
+            assert min(values) - eps <= result <= max(values) + eps
+
+    @given(st.lists(st.floats(0.0, 1e6), min_size=1, max_size=20))
+    def test_min_le_median_le_max(self, values):
+        assert min_op(values) <= median_op(values) <= max_op(values)
+
+
+class TestResolve:
+    def test_none_is_min(self):
+        assert resolve(None) is min_op
+
+    def test_names(self):
+        assert resolve("min") is min_op
+        assert resolve("MAX") is max_op
+        assert resolve("mean") is mean_op
+        assert resolve("median") is median_op
+
+    def test_kth_spec(self):
+        assert resolve("kth:1")([3.0, 1.0, 2.0]) == 2.0
+
+    def test_callable_passthrough(self):
+        f = lambda v: 0.0
+        assert resolve(f) is f
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigError):
+            resolve("mystery")
+
+    def test_non_callable_raises(self):
+        with pytest.raises(ConfigError):
+            resolve(42)
+
+    def test_operator_name(self):
+        assert operator_name(min_op) == "min"
+        assert operator_name(kth_op(2)) == "kth_2"

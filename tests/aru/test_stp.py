@@ -1,0 +1,118 @@
+"""Tests for the sustainable-thread-period meter (paper §3.3.1 / fig. 2)."""
+
+import pytest
+
+from repro.aru import EwmaFilter, StpMeter
+from repro.errors import SimulationError
+from repro.vt import ManualClock
+
+
+def test_simple_iteration_period():
+    clock = ManualClock()
+    meter = StpMeter(clock)
+    clock.advance(0.25)
+    assert meter.sync() == pytest.approx(0.25)
+
+
+def test_blocking_time_excluded():
+    """Fig. 2: STP excludes time spent waiting for upstream data."""
+    clock = ManualClock()
+    meter = StpMeter(clock)
+    clock.advance(0.1)          # compute
+    meter.block_started()
+    clock.advance(0.4)          # blocked on get
+    meter.block_ended()
+    clock.advance(0.05)         # more compute
+    assert meter.sync() == pytest.approx(0.15)
+    assert meter.total_blocked == pytest.approx(0.4)
+
+
+def test_throttle_sleep_excluded():
+    clock = ManualClock()
+    meter = StpMeter(clock)
+    clock.advance(0.2)
+    meter.sleep_started()
+    clock.advance(1.0)
+    meter.sleep_ended()
+    assert meter.sync() == pytest.approx(0.2)
+    assert meter.total_slept == pytest.approx(1.0)
+
+
+def test_multiple_exclusions_in_one_iteration():
+    clock = ManualClock()
+    meter = StpMeter(clock)
+    clock.advance(0.1)
+    meter.block_started(); clock.advance(0.3); meter.block_ended()
+    clock.advance(0.1)
+    meter.block_started(); clock.advance(0.2); meter.block_ended()
+    clock.advance(0.1)
+    assert meter.sync() == pytest.approx(0.3)
+
+
+def test_successive_iterations_independent():
+    clock = ManualClock()
+    meter = StpMeter(clock)
+    clock.advance(0.5)
+    assert meter.sync() == pytest.approx(0.5)
+    clock.advance(0.2)
+    assert meter.sync() == pytest.approx(0.2)
+    assert meter.iterations == 2
+
+
+def test_exclusion_does_not_leak_across_iterations():
+    clock = ManualClock()
+    meter = StpMeter(clock)
+    meter.block_started(); clock.advance(1.0); meter.block_ended()
+    meter.sync()
+    clock.advance(0.3)
+    assert meter.sync() == pytest.approx(0.3)
+
+
+def test_raw_vs_filtered():
+    clock = ManualClock()
+    meter = StpMeter(clock, stp_filter=EwmaFilter(alpha=0.5))
+    clock.advance(1.0)
+    meter.sync()
+    clock.advance(2.0)
+    filtered = meter.sync()
+    assert meter.raw_stp == pytest.approx(2.0)
+    assert filtered == pytest.approx(1.5)  # EWMA of 1.0 then 2.0
+    assert meter.current_stp == filtered
+
+
+def test_nested_exclusion_rejected():
+    meter = StpMeter(ManualClock())
+    meter.block_started()
+    with pytest.raises(SimulationError):
+        meter.block_started()
+    with pytest.raises(SimulationError):
+        meter.sleep_started()
+
+
+def test_unmatched_end_rejected():
+    meter = StpMeter(ManualClock())
+    with pytest.raises(SimulationError):
+        meter.block_ended()
+    meter.sleep_started()
+    with pytest.raises(SimulationError):
+        meter.block_ended()  # wrong kind
+
+
+def test_sync_during_open_window_rejected():
+    meter = StpMeter(ManualClock())
+    meter.block_started()
+    with pytest.raises(SimulationError):
+        meter.sync()
+
+
+def test_iteration_elapsed_includes_blocking():
+    clock = ManualClock()
+    meter = StpMeter(clock)
+    clock.advance(0.1)
+    meter.block_started(); clock.advance(0.4); meter.block_ended()
+    assert meter.iteration_elapsed == pytest.approx(0.5)
+
+
+def test_zero_length_iteration():
+    meter = StpMeter(ManualClock())
+    assert meter.sync() == 0.0

@@ -1,0 +1,161 @@
+"""Tests for backwardSTP vectors and summary-STP computation (§3.3.2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.aru import (
+    BackwardStpVector,
+    BufferAruState,
+    EwmaFilter,
+    ThreadAruState,
+    throttle_sleep,
+)
+
+FIG3 = {"B": 337.0, "C": 139.0, "D": 273.0, "E": 544.0, "F": 420.0}
+
+
+class TestBackwardStpVector:
+    def test_update_and_compress_min(self):
+        vec = BackwardStpVector("min")
+        for conn, value in FIG3.items():
+            vec.update(conn, value)
+        assert vec.compressed() == 139.0
+
+    def test_compress_max(self):
+        vec = BackwardStpVector("max")
+        for conn, value in FIG3.items():
+            vec.update(conn, value)
+        assert vec.compressed() == 544.0
+
+    def test_empty_vector_has_no_summary(self):
+        assert BackwardStpVector("min").compressed() is None
+
+    def test_update_overwrites_slot(self):
+        vec = BackwardStpVector("min")
+        vec.update("i", 100.0)
+        vec.update("i", 50.0)
+        assert vec.compressed() == 50.0
+        assert len(vec) == 1
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError):
+            BackwardStpVector().update("i", -1.0)
+
+    def test_snapshot_is_copy(self):
+        vec = BackwardStpVector()
+        vec.update("i", 5.0)
+        snap = vec.snapshot()
+        snap["i"] = 999.0
+        assert vec.compressed() == 5.0
+
+    def test_per_slot_filtering(self):
+        vec = BackwardStpVector("min", summary_filter_factory=lambda: EwmaFilter(0.5))
+        vec.update("i", 2.0)
+        vec.update("i", 4.0)  # EWMA: 3.0
+        assert vec.compressed() == pytest.approx(3.0)
+
+    def test_filters_independent_per_slot(self):
+        vec = BackwardStpVector("max", summary_filter_factory=lambda: EwmaFilter(0.5))
+        vec.update("a", 10.0)
+        vec.update("b", 2.0)
+        assert vec.compressed() == pytest.approx(10.0)
+
+
+class TestThreadAruState:
+    def test_paper_fig3_thread_summary(self):
+        """Node A (a thread) with consumers B-F and its own STP of 100 ms:
+        min-compress gives 139; summary = max(139, 100) = 139."""
+        state = ThreadAruState("A", op="min")
+        for conn, value in FIG3.items():
+            state.update_backward(conn, value)
+        assert state.summary(current_stp=100.0) == 139.0
+
+    def test_slow_thread_inserts_own_period(self):
+        """A thread slower than its consumers inserts its own STP."""
+        state = ThreadAruState("A", op="min")
+        for conn, value in FIG3.items():
+            state.update_backward(conn, value)
+        assert state.summary(current_stp=200.0) == 200.0
+
+    def test_fig4_max_aggressive(self):
+        state = ThreadAruState("A", op="max")
+        for conn, value in FIG3.items():
+            state.update_backward(conn, value)
+        assert state.summary(current_stp=100.0) == 544.0
+
+    def test_no_feedback_yet_returns_own_stp(self):
+        state = ThreadAruState("A")
+        assert state.summary(current_stp=80.0) == 80.0
+
+    def test_no_own_stp_returns_compressed(self):
+        state = ThreadAruState("A")
+        state.update_backward("i", 42.0)
+        assert state.summary(current_stp=None) == 42.0
+
+    def test_nothing_known_returns_none(self):
+        assert ThreadAruState("A").summary(current_stp=None) is None
+
+    @given(
+        st.dictionaries(st.integers(0, 5), st.floats(0.0, 1e3), min_size=1),
+        st.floats(0.0, 1e3),
+    )
+    def test_summary_at_least_current_stp(self, backward, own):
+        """Property: a thread never advertises a period shorter than its own."""
+        state = ThreadAruState("t", op="min")
+        for conn, value in backward.items():
+            state.update_backward(conn, value)
+        assert state.summary(own) >= own
+
+    @given(
+        st.dictionaries(st.integers(0, 5), st.floats(0.0, 1e3), min_size=1),
+        st.floats(0.0, 1e3),
+    )
+    def test_max_dominates_min(self, backward, own):
+        """Property: the max-operator summary >= the min-operator summary."""
+        s_min = ThreadAruState("t", op="min")
+        s_max = ThreadAruState("t", op="max")
+        for conn, value in backward.items():
+            s_min.update_backward(conn, value)
+            s_max.update_backward(conn, value)
+        assert s_max.summary(own) >= s_min.summary(own)
+
+
+class TestBufferAruState:
+    def test_channel_summary_is_pure_compression(self):
+        """Channels generate no current-STP (paper step 5)."""
+        state = BufferAruState("C1", op="min")
+        state.update_backward("consumerA", 250.0)
+        state.update_backward("consumerB", 300.0)
+        assert state.summary() == 250.0
+
+    def test_channel_with_no_consumers_yet(self):
+        assert BufferAruState("C1").summary() is None
+
+
+class TestThrottleSleep:
+    def test_tops_up_to_target(self):
+        assert throttle_sleep(0.25, 0.1) == pytest.approx(0.15)
+
+    def test_already_slower_sleeps_zero(self):
+        assert throttle_sleep(0.25, 0.3) == 0.0
+
+    def test_no_target_no_throttle(self):
+        assert throttle_sleep(None, 0.1) == 0.0
+
+    def test_headroom_scales_target(self):
+        assert throttle_sleep(0.2, 0.1, headroom=1.5) == pytest.approx(0.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            throttle_sleep(0.1, -0.1)
+        with pytest.raises(ValueError):
+            throttle_sleep(-0.1, 0.1)
+        with pytest.raises(ValueError):
+            throttle_sleep(0.1, 0.1, headroom=0.0)
+
+    @given(st.floats(0, 10), st.floats(0, 10))
+    def test_sleep_plus_elapsed_reaches_target(self, target, elapsed):
+        sleep = throttle_sleep(target, elapsed)
+        assert sleep >= 0.0
+        assert sleep + elapsed >= target - 1e-12

@@ -1,0 +1,66 @@
+"""Tests for the across-seed confidence-interval helper."""
+
+import pytest
+
+from repro.bench import PolicyAggregate
+from repro.bench.experiments import RunMetrics
+
+
+def make_run(**overrides):
+    base = dict(
+        config="config1", policy="x", seed=0, horizon=1.0,
+        mem_mean=1.0, mem_std=0.0, mem_peak=1.0,
+        igc_mean=1.0, igc_std=0.0,
+        wasted_memory=0.0, wasted_computation=0.0,
+        throughput=1.0, latency_mean=0.1, latency_std=0.0,
+        jitter=0.0, footprint=None, igc_footprint=None,
+        frames_produced=10, frames_delivered=10,
+    )
+    base.update(overrides)
+    return RunMetrics(**base)
+
+
+def test_single_run_point_interval():
+    agg = PolicyAggregate("config1", "x", runs=[make_run(throughput=3.0)])
+    lo, hi = agg.ci95("throughput")
+    assert lo == hi == 3.0
+
+
+def test_zero_variance_point_interval():
+    agg = PolicyAggregate(
+        "config1", "x",
+        runs=[make_run(throughput=2.0, seed=s) for s in range(4)],
+    )
+    lo, hi = agg.ci95("throughput")
+    assert lo == hi == 2.0
+
+
+def test_interval_brackets_mean_and_widens_with_spread():
+    tight = PolicyAggregate(
+        "config1", "x",
+        runs=[make_run(throughput=v) for v in (2.0, 2.1, 1.9)],
+    )
+    wide = PolicyAggregate(
+        "config1", "x",
+        runs=[make_run(throughput=v) for v in (1.0, 3.0, 2.0)],
+    )
+    lo_t, hi_t = tight.ci95("throughput")
+    lo_w, hi_w = wide.ci95("throughput")
+    assert lo_t < tight.mean("throughput") < hi_t
+    assert (hi_w - lo_w) > (hi_t - lo_t)
+
+
+def test_interval_matches_scipy_t():
+    from scipy import stats
+    import numpy as np
+
+    values = [1.0, 2.0, 4.0, 3.0, 2.5]
+    agg = PolicyAggregate(
+        "config1", "x", runs=[make_run(throughput=v) for v in values]
+    )
+    lo, hi = agg.ci95("throughput")
+    arr = np.array(values)
+    sem = arr.std(ddof=1) / np.sqrt(len(arr))
+    half = stats.t.ppf(0.975, df=len(arr) - 1) * sem
+    assert lo == pytest.approx(arr.mean() - half)
+    assert hi == pytest.approx(arr.mean() + half)

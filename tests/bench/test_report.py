@@ -1,0 +1,74 @@
+"""Tests for table formatting and ASCII timeline rendering."""
+
+import numpy as np
+import pytest
+
+from repro.bench import ascii_timeline, format_table, timeline_csv
+from repro.metrics import Timeline
+
+
+def make_tl():
+    return Timeline(np.array([0.0, 5.0, 10.0]), np.array([1e6, 3e6]))
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        out = format_table(["name", "value"], [["a", 1.5], ["bb", 22.25]])
+        lines = out.splitlines()
+        assert "name" in lines[0] and "value" in lines[0]
+        assert set(lines[1]) <= {"-", "+"}
+        assert "1.50" in out and "22.25" in out
+
+    def test_title(self):
+        out = format_table(["x"], [[1.0]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_nan_rendered_as_dash(self):
+        out = format_table(["x"], [[float("nan")]])
+        assert "-" in out.splitlines()[-1]
+
+    def test_large_and_small_floats(self):
+        out = format_table(["x"], [[12345.6], [0.0123]])
+        assert "12346" in out
+        assert "0.012" in out
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out
+
+
+class TestAsciiTimeline:
+    def test_render_contains_title_and_axis(self):
+        chart = ascii_timeline(make_tl(), width=40, height=8, title="T")
+        assert chart.splitlines()[0] == "T"
+        assert "MB" in chart
+        assert "t=10s" in chart
+
+    def test_height_respected(self):
+        chart = ascii_timeline(make_tl(), width=40, height=6)
+        # 6 chart rows + axis + time labels
+        assert len(chart.splitlines()) == 8
+
+    def test_shared_scale(self):
+        low = ascii_timeline(make_tl(), width=20, height=5, y_max=100e6)
+        # at 1/100 of scale, nearly no fill
+        body = "\n".join(low.splitlines()[:-2])
+        assert body.count("#") <= 20
+
+    def test_empty_timeline(self):
+        tl = Timeline(np.array([0.0, 1.0]), np.array([0.0]))
+        chart = ascii_timeline(tl)
+        assert "#" not in chart
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_timeline(make_tl(), width=2, height=8)
+
+
+class TestTimelineCsv:
+    def test_header_and_rows(self):
+        csv = timeline_csv(make_tl(), n=10)
+        lines = csv.strip().splitlines()
+        assert lines[0] == "t_seconds,bytes"
+        assert len(lines) == 11
+        assert lines[1].startswith("0.0000,")

@@ -1,0 +1,124 @@
+"""Tests for declarative experiment specs."""
+
+import pytest
+
+from repro.aru import AruConfig
+from repro.bench import aru_from_dict, experiment_from_dict, run_experiment
+from repro.errors import ConfigError
+
+
+class TestAruFromDict:
+    def test_none_disabled(self):
+        assert aru_from_dict(None).enabled is False
+
+    def test_preset_names(self):
+        assert aru_from_dict("aru-min").default_channel_op == "min"
+        assert aru_from_dict("aru-max").thread_op == "max"
+        assert aru_from_dict("no-aru").enabled is False
+
+    def test_preset_with_overrides(self):
+        cfg = aru_from_dict({"preset": "aru-max", "summary_filter": "ewma:0.2",
+                             "headroom": 1.1})
+        assert cfg.default_channel_op == "max"
+        assert cfg.summary_filter == "ewma:0.2"
+        assert cfg.headroom == 1.1
+
+    def test_default_preset_is_min(self):
+        assert aru_from_dict({}).default_channel_op == "min"
+
+    def test_unknown_preset(self):
+        with pytest.raises(ConfigError):
+            aru_from_dict("warp")
+
+    def test_unknown_override_key(self):
+        with pytest.raises(ConfigError, match="unknown key"):
+            aru_from_dict({"preset": "aru-min", "agressiveness": 9})
+
+    def test_bad_type(self):
+        with pytest.raises(ConfigError):
+            aru_from_dict(42)
+
+
+class TestExperimentFromDict:
+    def test_defaults(self):
+        graph, cfg, horizon = experiment_from_dict({})
+        assert graph.name == "people-tracker"
+        assert cfg.gc == "dgc"
+        assert horizon == 120.0
+
+    def test_tracker_overrides(self):
+        _, cfg, horizon = experiment_from_dict({
+            "config": "config2",
+            "aru": "aru-max",
+            "seed": 7,
+            "horizon": 30,
+            "tracker": {"frame_period": 0.02},
+        })
+        assert len(cfg.cluster.nodes) == 5
+        assert cfg.aru.name == "aru-max"
+        assert cfg.seed == 7
+        assert horizon == 30.0
+        # config2 tracker auto-fills the paper placement
+        assert cfg.placement["gui"] == "node4"
+
+    def test_other_apps(self):
+        graph, _, _ = experiment_from_dict({"app": "gesture"})
+        assert graph.name == "gesture"
+        graph, _, _ = experiment_from_dict({"app": "stereo"})
+        assert graph.name == "stereo"
+
+    def test_loads(self):
+        _, cfg, _ = experiment_from_dict({
+            "loads": [{"node": "node0", "start": 1, "stop": 2, "threads": 2}],
+        })
+        assert len(cfg.loads) == 1
+        assert cfg.loads[0].threads == 2
+
+    def test_unknown_top_key(self):
+        with pytest.raises(ConfigError, match="unknown key"):
+            experiment_from_dict({"workload": "tracker"})
+
+    def test_unknown_app(self):
+        with pytest.raises(ConfigError):
+            experiment_from_dict({"app": "chess"})
+
+    def test_unknown_config(self):
+        with pytest.raises(ConfigError):
+            experiment_from_dict({"config": "config9"})
+
+    def test_unknown_tracker_key(self):
+        with pytest.raises(ConfigError, match="unknown key"):
+            experiment_from_dict({"tracker": {"fps": 30}})
+
+    def test_not_a_dict(self):
+        with pytest.raises(ConfigError):
+            experiment_from_dict("tracker")
+
+
+class TestRunExperiment:
+    def test_end_to_end(self):
+        recorder = run_experiment({
+            "app": "tracker",
+            "aru": "aru-max",
+            "horizon": 10,
+            "tracker": {"frame_period": 0.02},
+        })
+        assert recorder.duration == 10.0
+        assert recorder.sink_iterations()
+
+    def test_cli_round_trip(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        spec_path = tmp_path / "exp.json"
+        spec_path.write_text(json.dumps({
+            "app": "tracker", "aru": "aru-min", "horizon": 10, "seed": 1,
+        }))
+        trace_path = tmp_path / "out.json"
+        rc = main(["run-config", str(spec_path), "--save-trace",
+                   str(trace_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "wasted_memory" in out
+        assert trace_path.exists()

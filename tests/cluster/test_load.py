@@ -1,0 +1,124 @@
+"""Tests for background-load injection."""
+
+import pytest
+
+from repro.cluster import LoadSpec, Node, NodeSpec, spawn_load
+from repro.errors import ConfigError
+from repro.sim import Engine, RngRegistry
+
+
+class TestLoadSpec:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            LoadSpec(node="n", start=5.0, stop=5.0)
+        with pytest.raises(ConfigError):
+            LoadSpec(node="n", start=0.0, stop=1.0, threads=0)
+        with pytest.raises(ConfigError):
+            LoadSpec(node="n", start=0.0, stop=1.0, burst_s=0.0)
+        with pytest.raises(ConfigError):
+            LoadSpec(node="n", start=0.0, stop=1.0, duty=0.0)
+        with pytest.raises(ConfigError):
+            LoadSpec(node="n", start=0.0, stop=1.0, duty=1.5)
+
+
+class TestLoadProcess:
+    def _run(self, spec, horizon=10.0, ncpus=4):
+        eng = Engine()
+        node = Node(eng, NodeSpec(name="n0", ncpus=ncpus, sched_noise_cv=0.0),
+                    RngRegistry(0))
+        spawn_load(eng, node, spec)
+        eng.run(until=horizon)
+        return node
+
+    def test_full_duty_busy_time_matches_window(self):
+        node = self._run(LoadSpec(node="n0", start=2.0, stop=6.0, threads=1))
+        assert node.busy_time == pytest.approx(4.0, rel=0.02)
+
+    def test_threads_multiply_busy_time(self):
+        node = self._run(LoadSpec(node="n0", start=0.0, stop=4.0, threads=3))
+        assert node.busy_time == pytest.approx(12.0, rel=0.02)
+
+    def test_half_duty_halves_busy_time(self):
+        node = self._run(
+            LoadSpec(node="n0", start=0.0, stop=8.0, threads=1, duty=0.5)
+        )
+        assert node.busy_time == pytest.approx(4.0, rel=0.1)
+
+    def test_load_stops_after_window(self):
+        eng = Engine()
+        node = Node(eng, NodeSpec(name="n0", sched_noise_cv=0.0), RngRegistry(0))
+        spawn_load(eng, node, LoadSpec(node="n0", start=0.0, stop=1.0))
+        eng.run(until=1.5)
+        busy_at_window = node.busy_time
+        eng.run(until=10.0)
+        assert node.busy_time == busy_at_window
+        assert node.active_segments == 0
+
+
+class TestRuntimeIntegration:
+    def test_load_slows_application_during_burst(self):
+        from repro.aru import aru_disabled
+        from repro.cluster import ClusterSpec
+        from repro.runtime import (
+            Compute, PeriodicitySync, Put, Runtime, RuntimeConfig, TaskGraph,
+        )
+
+        def worker(ctx):
+            ts = 0
+            while True:
+                yield Compute(0.05)
+                yield Put("c", ts=ts, size=1)
+                ts += 1
+                yield PeriodicitySync()
+
+        g = TaskGraph()
+        g.add_thread("w", worker)
+        g.add_channel("c").connect("w", "c")
+        cluster = ClusterSpec(
+            nodes=(NodeSpec(name="node0", ncpus=1, sched_noise_cv=0.0),)
+        )
+        # load quantum matching the worker's: FIFO alternation halves it
+        burst = LoadSpec(node="node0", start=5.0, stop=10.0, threads=1,
+                         burst_s=0.05)
+        rec = Runtime(
+            g,
+            RuntimeConfig(cluster=cluster, aru=aru_disabled(), loads=(burst,)),
+        ).run(until=15.0)
+        before = [it for it in rec.iterations_of("w") if it.t_end < 5.0]
+        during = [it for it in rec.iterations_of("w")
+                  if 5.0 < it.t_start and it.t_end < 10.0]
+        after = [it for it in rec.iterations_of("w") if it.t_start > 10.0]
+        rate = lambda its: len(its) / 5.0
+        # with 1 CPU shared against a full-duty load loop, the worker
+        # runs at roughly half speed during the burst
+        assert rate(during) < 0.7 * rate(before)
+        assert rate(after) > 0.8 * rate(before)
+
+    def test_unknown_node_rejected(self):
+        from repro.runtime import Put, Runtime, RuntimeConfig, TaskGraph
+
+        def w(ctx):
+            yield Put("c", ts=0, size=1)
+
+        g = TaskGraph()
+        g.add_thread("w", w)
+        g.add_channel("c").connect("w", "c")
+        with pytest.raises(ConfigError):
+            Runtime(
+                g,
+                RuntimeConfig(
+                    loads=(LoadSpec(node="mars", start=0.0, stop=1.0),)
+                ),
+            )
+
+    def test_non_loadspec_rejected(self):
+        from repro.runtime import Put, Runtime, RuntimeConfig, TaskGraph
+
+        def w(ctx):
+            yield Put("c", ts=0, size=1)
+
+        g = TaskGraph()
+        g.add_thread("w", w)
+        g.add_channel("c").connect("w", "c")
+        with pytest.raises(ConfigError):
+            Runtime(g, RuntimeConfig(loads=("burst",)))

@@ -1,0 +1,167 @@
+"""Tests for the simulated SMP node."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Node, NodeSpec, contention_factor
+from repro.errors import SimulationError
+from repro.sim import Engine, RngRegistry
+
+
+def make_node(**kw):
+    seed = kw.pop("seed", 0)
+    eng = Engine()
+    spec = NodeSpec(name=kw.pop("name", "n0"), **kw)
+    return eng, Node(eng, spec, RngRegistry(seed=seed))
+
+
+class TestContentionFactor:
+    def test_no_contention(self):
+        assert contention_factor(0.5, 0) == 1.0
+
+    def test_linear_in_others(self):
+        assert contention_factor(0.1, 3) == pytest.approx(1.3)
+
+    def test_zero_alpha(self):
+        assert contention_factor(0.0, 100) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            contention_factor(-0.1, 0)
+        with pytest.raises(ValueError):
+            contention_factor(0.1, -1)
+
+    @given(st.floats(0, 1), st.integers(0, 64))
+    def test_factor_at_least_one(self, alpha, others):
+        assert contention_factor(alpha, others) >= 1.0
+
+
+class TestNodeCompute:
+    def test_noiseless_compute_is_exact(self):
+        eng, node = make_node(sched_noise_cv=0.0)
+
+        def proc(eng):
+            actual = yield eng.process(node.compute(0.5))
+            return actual
+
+        p = eng.process(proc(eng))
+        assert eng.run_until_event(p) == pytest.approx(0.5)
+        assert eng.now == pytest.approx(0.5)
+
+    def test_busy_time_accumulates(self):
+        eng, node = make_node(sched_noise_cv=0.0)
+
+        def proc(eng):
+            yield eng.process(node.compute(0.5))
+            yield eng.process(node.compute(0.25))
+
+        eng.process(proc(eng))
+        eng.run()
+        assert node.busy_time == pytest.approx(0.75)
+
+    def test_cpu_pool_queues_when_oversubscribed(self):
+        eng, node = make_node(ncpus=1, sched_noise_cv=0.0)
+        done = []
+
+        def proc(eng, label):
+            yield eng.process(node.compute(1.0))
+            done.append((label, eng.now))
+
+        eng.process(proc(eng, "a"))
+        eng.process(proc(eng, "b"))
+        eng.run()
+        assert done == [("a", pytest.approx(1.0)), ("b", pytest.approx(2.0))]
+
+    def test_parallel_when_cpus_available(self):
+        eng, node = make_node(ncpus=2, sched_noise_cv=0.0)
+        done = []
+
+        def proc(eng, label):
+            yield eng.process(node.compute(1.0))
+            done.append(eng.now)
+
+        eng.process(proc(eng, "a"))
+        eng.process(proc(eng, "b"))
+        eng.run()
+        assert done == [pytest.approx(1.0), pytest.approx(1.0)]
+
+    def test_contention_inflates_second_segment(self):
+        eng, node = make_node(ncpus=4, smp_contention_alpha=0.5, sched_noise_cv=0.0)
+        done = {}
+
+        def first(eng):
+            yield eng.process(node.compute(2.0))
+            done["first"] = eng.now
+
+        def second(eng):
+            yield eng.timeout(0.1)  # starts while `first` is active
+            actual = yield eng.process(node.compute(1.0))
+            done["second_actual"] = actual
+
+        eng.process(first(eng))
+        eng.process(second(eng))
+        eng.run()
+        # second saw 1 active other segment: 1.0 * (1 + 0.5*1) = 1.5
+        assert done["second_actual"] == pytest.approx(1.5)
+
+    def test_zero_duration_compute(self):
+        eng, node = make_node(sched_noise_cv=0.3)
+
+        def proc(eng):
+            actual = yield eng.process(node.compute(0.0))
+            return actual
+
+        p = eng.process(proc(eng))
+        assert eng.run_until_event(p) == 0.0
+
+    def test_negative_duration_rejected(self):
+        eng, node = make_node()
+        with pytest.raises(SimulationError):
+            node.effective_duration(-1.0)
+
+    def test_noise_is_reproducible(self):
+        def run_once():
+            eng, node = make_node(sched_noise_cv=0.2, seed=5)
+            out = []
+
+            def proc(eng):
+                for _ in range(5):
+                    actual = yield eng.process(node.compute(0.1))
+                    out.append(actual)
+
+            eng.process(proc(eng))
+            eng.run()
+            return out
+
+        assert run_once() == run_once()
+
+    @settings(max_examples=25, deadline=None)
+    @given(cv=st.floats(0.0, 0.5), dur=st.floats(0.001, 10.0))
+    def test_effective_duration_positive(self, cv, dur):
+        eng, node = make_node(sched_noise_cv=cv)
+        assert node.effective_duration(dur) > 0
+
+
+class TestNodeMemory:
+    def test_alloc_free_cycle(self):
+        _, node = make_node()
+        node.alloc(100)
+        node.alloc(50)
+        assert node.mem_in_use == 150
+        node.free(100)
+        assert node.mem_in_use == 50
+        assert node.mem_peak == 150
+
+    def test_over_free_raises(self):
+        _, node = make_node()
+        node.alloc(10)
+        with pytest.raises(SimulationError):
+            node.free(11)
+
+    def test_negative_alloc_free_rejected(self):
+        _, node = make_node()
+        with pytest.raises(SimulationError):
+            node.alloc(-1)
+        with pytest.raises(SimulationError):
+            node.free(-1)

@@ -1,0 +1,79 @@
+"""Tests for cluster specifications."""
+
+import pytest
+
+from repro.cluster import ClusterSpec, LinkSpec, NodeSpec, config1_spec, config2_spec
+from repro.errors import ConfigError
+
+
+class TestNodeSpec:
+    def test_defaults(self):
+        n = NodeSpec(name="n0")
+        assert n.ncpus == 8
+        assert n.smp_contention_alpha == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            NodeSpec(name="n", ncpus=0)
+        with pytest.raises(ConfigError):
+            NodeSpec(name="n", mem_bytes=0)
+        with pytest.raises(ConfigError):
+            NodeSpec(name="n", smp_contention_alpha=-0.1)
+        with pytest.raises(ConfigError):
+            NodeSpec(name="n", sched_noise_cv=-0.1)
+
+
+class TestLinkSpec:
+    def test_transfer_time_includes_latency_and_bandwidth(self):
+        link = LinkSpec(latency_s=0.001, bandwidth_bps=1_000_000)
+        assert link.transfer_time(500_000) == pytest.approx(0.501)
+
+    def test_zero_bytes_costs_latency_only(self):
+        link = LinkSpec(latency_s=0.002, bandwidth_bps=10**9)
+        assert link.transfer_time(0) == pytest.approx(0.002)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigError):
+            LinkSpec().transfer_time(-1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            LinkSpec(latency_s=-1)
+        with pytest.raises(ConfigError):
+            LinkSpec(bandwidth_bps=0)
+
+
+class TestClusterSpec:
+    def test_node_lookup(self):
+        spec = config2_spec()
+        assert spec.node_spec("node3").name == "node3"
+
+    def test_unknown_node_raises(self):
+        with pytest.raises(ConfigError):
+            config1_spec().node_spec("nope")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigError):
+            ClusterSpec(nodes=(NodeSpec(name="a"), NodeSpec(name="a")))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            ClusterSpec(nodes=())
+
+
+class TestPaperConfigs:
+    def test_config1_single_contended_node(self):
+        spec = config1_spec()
+        assert len(spec.nodes) == 1
+        assert spec.nodes[0].smp_contention_alpha > 0
+
+    def test_config2_five_uncontended_nodes(self):
+        spec = config2_spec()
+        assert len(spec.nodes) == 5
+        assert all(n.smp_contention_alpha == 0 for n in spec.nodes)
+
+    def test_config2_node_count_override(self):
+        assert len(config2_spec(n_nodes=3).nodes) == 3
+
+    def test_names_distinct(self):
+        assert config1_spec().name != config2_spec().name

@@ -1,0 +1,123 @@
+"""Failure injection: killing stages mid-run and observing the fallout.
+
+These scenarios pin down *why* the mechanisms behave as they do: a dead
+consumer stops advancing its get cursor, so dead-timestamp guarantees
+freeze and upstream storage grows without bound — unless ARU (whose
+feedback also freezes, at the last advertised rate) or capacity bounds
+contain it.
+"""
+
+import pytest
+
+from repro.aru import aru_disabled, aru_min
+from repro.cluster import ClusterSpec, NodeSpec
+from repro.errors import ConfigError
+from repro.runtime import (
+    Compute,
+    Get,
+    PeriodicitySync,
+    Put,
+    Runtime,
+    RuntimeConfig,
+    Sleep,
+    TaskGraph,
+)
+
+
+def quiet():
+    return ClusterSpec(nodes=(NodeSpec(name="node0", sched_noise_cv=0.0),))
+
+
+def build(aru, capacity=None):
+    def src(ctx):
+        ts = 0
+        while True:
+            yield Sleep(0.01)
+            yield Put("c", ts=ts, size=1000)
+            ts += 1
+            yield PeriodicitySync()
+
+    def dst(ctx):
+        while True:
+            yield Get("c")
+            yield Compute(0.05)
+            yield PeriodicitySync()
+
+    g = TaskGraph()
+    g.add_thread("src", src)
+    g.add_thread("dst", dst, sink=True)
+    g.add_channel("c", capacity=capacity)
+    g.connect("src", "c").connect("c", "dst")
+    return Runtime(g, RuntimeConfig(cluster=quiet(), aru=aru))
+
+
+def test_kill_consumer_freezes_dgc_and_channel_grows():
+    rt = build(aru_disabled())
+    rt.advance(5.0)
+    occupancy_healthy = len(rt.channel("c"))
+    rt.kill_thread("dst")
+    rt.advance(5.0)
+    rec = rt.finalize()
+    assert not rt.thread_alive("dst")
+    assert rt.thread_alive("src")
+    # producer kept going at full rate; nothing collectible anymore
+    occupancy_after = len(rt.channel("c"))
+    assert occupancy_after > occupancy_healthy + 300
+    assert rt.channel("c").total_frees > 0  # frees happened only before
+
+
+def test_kill_consumer_with_capacity_blocks_producer():
+    rt = build(aru_disabled(), capacity=5)
+    rt.advance(5.0)
+    rt.kill_thread("dst")
+    rt.advance(5.0)
+    rt.finalize()
+    channel = rt.channel("c")
+    assert len(channel) == 5  # pinned at the bound
+    # the producer is alive but stuck in a back-pressure wait
+    assert rt.thread_alive("src")
+
+
+def test_kill_consumer_with_aru_producer_stays_throttled():
+    """ARU's failure mode is graceful: feedback freezes at the last
+    advertised rate, so the producer keeps the *old* pace instead of
+    reverting to the camera rate."""
+    rt = build(aru_min())
+    rt.advance(10.0)
+    pre = len(rt.recorder.iterations_of("src"))
+    rt.kill_thread("dst")
+    rt.advance(10.0)
+    rt.finalize()
+    post = len(rt.recorder.iterations_of("src")) - pre
+    # ~0.05 s period held -> ~200 iterations in 10 s, not ~1000
+    assert post < 350
+
+
+def test_killed_thread_releases_held_items():
+    rt = build(aru_disabled())
+    rt.advance(2.0)
+    rt.kill_thread("dst")
+    rt.advance(0.5)
+    rt.finalize()
+    for item in rt.channel("c").items_snapshot():
+        assert item.refcount == 0
+
+
+def test_kill_unknown_thread_rejected():
+    rt = build(aru_disabled())
+    with pytest.raises(ConfigError):
+        rt.kill_thread("ghost")
+    with pytest.raises(ConfigError):
+        rt.thread_alive("ghost")
+
+
+def test_kill_source_starves_consumer_cleanly():
+    rt = build(aru_disabled())
+    rt.advance(3.0)
+    rt.kill_thread("src")
+    rt.advance(3.0)
+    rec = rt.finalize()
+    # consumer drained what existed, then blocked quietly
+    late = [it for it in rec.iterations_of("dst") if it.t_start > 4.0]
+    assert len(late) <= 2
+    assert rt.thread_alive("dst")

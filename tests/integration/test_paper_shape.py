@@ -1,0 +1,80 @@
+"""End-to-end reproduction shape tests.
+
+These run the real (paper-calibrated) tracker on moderate horizons and
+assert the headline qualitative results of the paper's §5 hold. They are
+the slowest tests in the suite (~15 s total) and the most important: they
+pin the reproduction itself, not just the machinery.
+"""
+
+import pytest
+
+from repro.bench import format_shape_report, run_grid, shape_checks
+
+
+@pytest.fixture(scope="module")
+def grid():
+    # one seed / 90 simulated seconds keeps this fast while leaving the
+    # policy separation far larger than run-to-run variance
+    return run_grid(seeds=(0,), horizon=90.0)
+
+
+def test_all_shape_checks_hold(grid):
+    checks = shape_checks(grid)
+    failed = [claim for claim, ok in checks if not ok]
+    assert not failed, format_shape_report(checks)
+
+
+def test_headline_two_thirds_memory_reduction(grid):
+    """Abstract: "ARU reduces the application's memory footprint by
+    two-thirds compared to our previously published results"."""
+    no = grid[("config1", "No ARU")].mean("mem_mean")
+    mx = grid[("config1", "ARU-max")].mean("mem_mean")
+    assert mx < 0.45 * no  # at least ~55%; typically ~68%
+
+
+def test_aru_max_waste_nearly_zero(grid):
+    """§5.1: "less than 5% wasted with the ARU-max operator"."""
+    for config in ("config1", "config2"):
+        assert grid[(config, "ARU-max")].mean("wasted_memory") < 0.05
+
+
+def test_no_aru_majority_wasted(grid):
+    """§5.1: "more than 60% of the memory footprint is wasted" (config 1;
+    we accept > 50% across both configs)."""
+    for config in ("config1", "config2"):
+        assert grid[(config, "No ARU")].mean("wasted_memory") > 0.5
+
+
+def test_latency_improves_most_with_max(grid):
+    # ARU-max wins latency everywhere; the No-ARU/ARU-min gap is small in
+    # the paper too (648 vs 605 ms in config 2) and is asserted strictly
+    # only on config 1, where contention relief compounds the effect.
+    for config in ("config1", "config2"):
+        lat = {
+            p: grid[(config, p)].mean("latency_mean")
+            for p in ("No ARU", "ARU-min", "ARU-max")
+        }
+        assert lat["ARU-max"] < lat["ARU-min"]
+        assert lat["ARU-max"] < lat["No ARU"]
+    lat1 = {
+        p: grid[("config1", p)].mean("latency_mean")
+        for p in ("No ARU", "ARU-min", "ARU-max")
+    }
+    assert lat1["ARU-max"] < lat1["ARU-min"] < lat1["No ARU"]
+
+
+def test_max_loses_throughput_in_config2(grid):
+    """§5.2: the aggressiveness artifact — ARU-max starves consumers."""
+    fps_no = grid[("config2", "No ARU")].mean("throughput")
+    fps_mx = grid[("config2", "ARU-max")].mean("throughput")
+    assert fps_mx < fps_no
+
+
+def test_digitizer_production_drops_under_aru(grid):
+    produced = {
+        p: grid[("config1", p)].mean("frames_produced")
+        for p in ("No ARU", "ARU-min", "ARU-max")
+    }
+    # camera-rate 30 fps unthrottled vs detector-rate ~4-5 fps throttled
+    assert produced["No ARU"] > 4 * produced["ARU-max"]
+    assert produced["ARU-min"] >= produced["ARU-max"]

@@ -1,0 +1,82 @@
+"""The paper's §3.3.2 reaction-time claim, verified dynamically.
+
+*"The worst case propagation time for a summary-STP value to reach the
+producer from the last consumer in the pipeline is equal to the time it
+takes for an item to be processed and be emitted by the application
+(i.e., latency). This is due to the fact that as data items propagate
+forward in the processing pipeline, summary-STP values propagate one
+stage backwards on the same put/get operation."*
+
+Setup: a linear pipeline whose *last* stage is the bottleneck (200 ms)
+while every middle stage is fast (10 ms). The source starts receiving
+partial feedback (the fast stages' own STPs) almost immediately, but the
+bottleneck's 200 ms summary must hop backwards one stage per put/get —
+so the time until the source's throttle target first *reflects the
+bottleneck* scales with pipeline depth, on the order of one pipeline
+traversal.
+"""
+
+import numpy as np
+
+from repro.apps import StageCost, linear_pipeline
+from repro.aru import aru_min
+from repro.cluster import ClusterSpec, NodeSpec
+from repro.metrics import control_series
+from repro.runtime import Runtime, RuntimeConfig
+
+FAST = 0.01
+SLOW = 0.2
+
+
+def first_bottleneck_feedback(depth: int) -> float:
+    """Time at which the source's target first reflects the slow sink."""
+    costs = [StageCost(FAST)] * (depth - 1) + [StageCost(SLOW)]
+    graph = linear_pipeline(costs, source_period=0.01, item_size=100)
+    cluster = ClusterSpec(
+        nodes=(NodeSpec(name="node0", ncpus=16, sched_noise_cv=0.0),)
+    )
+    trace = Runtime(graph, RuntimeConfig(cluster=cluster, aru=aru_min())).run(
+        until=20.0
+    )
+    series = control_series(trace, "source")
+    reflects = series.throttle_target >= 0.8 * SLOW
+    reflects &= ~np.isnan(series.throttle_target)
+    assert reflects.any(), "bottleneck summary never reached the source"
+    return float(series.times[reflects][0])
+
+
+def test_feedback_bounded_by_pipeline_traversal():
+    depth = 6
+    first = first_bottleneck_feedback(depth)
+    # one forward traversal of the first item (≈ the sum of stage times)
+    traversal = (depth - 1) * FAST + SLOW
+    # backward hops ride on subsequent put/gets: allow a few traversals,
+    # but it must be far from instantaneous and far from unbounded
+    assert first >= 0.5 * traversal
+    assert first <= 5.0 * traversal
+
+
+def test_deeper_pipelines_react_slower():
+    shallow = first_bottleneck_feedback(3)
+    deep = first_bottleneck_feedback(10)
+    assert deep > shallow * 1.3
+
+
+def test_partial_feedback_arrives_before_bottleneck_feedback():
+    """The source hears *something* (fast-stage STPs) before it hears the
+    bottleneck — the distinction this test file hinges on."""
+    depth = 6
+    costs = [StageCost(FAST)] * (depth - 1) + [StageCost(SLOW)]
+    graph = linear_pipeline(costs, source_period=0.01, item_size=100)
+    cluster = ClusterSpec(
+        nodes=(NodeSpec(name="node0", ncpus=16, sched_noise_cv=0.0),)
+    )
+    trace = Runtime(graph, RuntimeConfig(cluster=cluster, aru=aru_min())).run(
+        until=20.0
+    )
+    series = control_series(trace, "source")
+    valid = ~np.isnan(series.throttle_target)
+    first_any = float(series.times[valid][0])
+    reflects = valid & (series.throttle_target >= 0.8 * SLOW)
+    first_slow = float(series.times[reflects][0])
+    assert first_any < first_slow

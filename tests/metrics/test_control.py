@@ -1,0 +1,141 @@
+"""Tests for control-signal analysis."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.metrics import (
+    TraceRecorder,
+    control_series,
+    settling_time,
+    smoothness,
+    throttle_duty,
+    tracking_error,
+)
+
+
+def make_rec(targets, slept=None, thread="src"):
+    rec = TraceRecorder()
+    slept = slept or [0.0] * len(targets)
+    for k, (target, s) in enumerate(zip(targets, slept)):
+        rec.on_stp(thread, float(k), 0.1, target, target, s)
+    rec.finalize(float(len(targets)))
+    return rec
+
+
+class TestSeries:
+    def test_extraction(self):
+        rec = make_rec([0.2, 0.3, None])
+        series = control_series(rec, "src")
+        assert len(series) == 3
+        assert series.times[1] == 1.0
+        assert series.throttle_target[1] == 0.3
+        assert np.isnan(series.throttle_target[2])
+
+    def test_unknown_thread_raises(self):
+        rec = make_rec([0.1])
+        with pytest.raises(TraceError):
+            control_series(rec, "ghost")
+
+    def test_per_thread_isolation(self):
+        rec = TraceRecorder()
+        rec.on_stp("a", 0.0, 0.1, 0.1, 0.1, 0.0)
+        rec.on_stp("b", 1.0, 0.2, 0.2, 0.2, 0.0)
+        rec.finalize(2.0)
+        assert len(control_series(rec, "a")) == 1
+
+
+class TestSettling:
+    def test_settles_after_transient(self):
+        # ramp toward 0.2, in band from index 3 onward
+        rec = make_rec([0.05, 0.1, 0.15, 0.2, 0.2, 0.19])
+        series = control_series(rec, "src")
+        assert settling_time(series, target=0.2) == pytest.approx(3.0)
+
+    def test_never_settles(self):
+        rec = make_rec([0.05, 0.4, 0.05, 0.4])
+        series = control_series(rec, "src")
+        assert settling_time(series, target=0.2) is None
+
+    def test_settled_from_start(self):
+        rec = make_rec([0.2, 0.2, 0.2])
+        series = control_series(rec, "src")
+        assert settling_time(series, target=0.2) == 0.0
+
+    def test_all_nan(self):
+        rec = make_rec([None, None])
+        assert settling_time(control_series(rec, "src"), target=0.2) is None
+
+
+class TestErrorAndSmoothness:
+    def test_tracking_error_zero_when_exact(self):
+        rec = make_rec([0.2] * 5)
+        assert tracking_error(control_series(rec, "src"), 0.2) == 0.0
+
+    def test_tracking_error_rms(self):
+        rec = make_rec([0.1, 0.3])  # rel errors -0.5, +0.5
+        err = tracking_error(control_series(rec, "src"), 0.2)
+        assert err == pytest.approx(0.5)
+
+    def test_tracking_error_after_filter(self):
+        rec = make_rec([99.0, 0.2, 0.2])
+        err = tracking_error(control_series(rec, "src"), 0.2, after=1.0)
+        assert err == 0.0
+
+    def test_smoothness_constant_signal(self):
+        rec = make_rec([0.2] * 10)
+        assert smoothness(control_series(rec, "src")) == 0.0
+
+    def test_smoothness_ranks_noisy_above_smooth(self):
+        rng = np.random.default_rng(0)
+        noisy = make_rec(list(0.2 + 0.05 * rng.standard_normal(50)))
+        smooth = make_rec(list(0.2 + 0.005 * rng.standard_normal(50)))
+        assert smoothness(control_series(noisy, "src")) > \
+            smoothness(control_series(smooth, "src"))
+
+    def test_smoothness_insufficient_data(self):
+        rec = make_rec([0.2])
+        assert np.isnan(smoothness(control_series(rec, "src")))
+
+
+class TestDuty:
+    def test_throttle_duty(self):
+        rec = make_rec([0.2] * 4, slept=[0.0, 0.1, 0.1, 0.0])
+        assert throttle_duty(control_series(rec, "src")) == pytest.approx(0.5)
+
+
+class TestOnRealRun:
+    def test_source_loop_settles_on_consumer_period(self):
+        from repro.aru import aru_min
+        from repro.cluster import ClusterSpec, NodeSpec
+        from repro.runtime import (
+            Compute, Get, PeriodicitySync, Put, Runtime, RuntimeConfig,
+            Sleep, TaskGraph,
+        )
+
+        def src(ctx):
+            ts = 0
+            while True:
+                yield Sleep(0.005)
+                yield Put("c", ts=ts, size=10)
+                ts += 1
+                yield PeriodicitySync()
+
+        def dst(ctx):
+            while True:
+                yield Get("c")
+                yield Compute(0.1)
+                yield PeriodicitySync()
+
+        g = TaskGraph()
+        g.add_thread("src", src)
+        g.add_thread("dst", dst, sink=True)
+        g.add_channel("c")
+        g.connect("src", "c").connect("c", "dst")
+        cluster = ClusterSpec(nodes=(NodeSpec(name="node0", sched_noise_cv=0.0),))
+        rec = Runtime(g, RuntimeConfig(cluster=cluster, aru=aru_min())).run(until=20.0)
+        series = control_series(rec, "src")
+        settled = settling_time(series, target=0.1, tolerance=0.1)
+        assert settled is not None and settled < 2.0
+        assert tracking_error(series, 0.1, after=5.0) < 0.05
+        assert throttle_duty(series, after=5.0) > 0.9

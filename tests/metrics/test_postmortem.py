@@ -1,0 +1,145 @@
+"""Tests for success marking, wasted-resource fractions, and the IGC bound."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.gc import ideal_gc_analysis
+from repro.metrics import PostmortemAnalyzer, TraceRecorder
+
+
+def build_trace():
+    """A hand-built pipeline trace:
+
+    source items:  1 (used), 2 (skipped/wasted)
+    derived:       3 = f(1)  -> delivered to sink
+                   4 = f(2)  -> never delivered (wasted)
+    """
+    rec = TraceRecorder()
+
+    def alloc(item_id, size, t, parents=()):
+        rec.on_alloc(
+            item_id=item_id, channel="ch", node="n0", ts=item_id, size=size,
+            producer="p", parents=parents, t=t,
+        )
+
+    alloc(1, 100, 0.0)
+    alloc(2, 100, 1.0)
+    rec.on_get(1, 1, "mid", 2.0)
+    rec.on_skip(2, 1, "mid", 2.0)
+    alloc(3, 10, 3.0, parents=(1,))
+    alloc(4, 10, 3.5, parents=(2,))
+    rec.on_get(3, 2, "sink", 4.0)
+    rec.on_free(1, 5.0)
+    rec.on_free(2, 5.0)
+    rec.on_free(3, 6.0)
+    # item 4 never freed
+    # iterations: src makes 1 and 2 (2 iters), mid makes 3 and 4, sink consumes 3
+    rec.on_iteration("src", 0.0, 0.5, 0.4, 0, 0, (), (1,))
+    rec.on_iteration("src", 1.0, 1.5, 0.4, 0, 0, (), (2,))
+    rec.on_iteration("mid", 2.0, 3.0, 0.8, 0.1, 0, (1,), (3,))
+    rec.on_iteration("mid", 3.0, 3.6, 0.5, 0.0, 0, (2,), (4,))
+    rec.on_iteration("sink", 4.0, 4.5, 0.2, 0, 0, (3,), (), is_sink=True)
+    rec.finalize(10.0)
+    return rec
+
+
+class TestSuccessMarking:
+    def test_delivered(self):
+        pm = PostmortemAnalyzer(build_trace())
+        assert pm.delivered_ids == {3}
+
+    def test_success_closure_includes_ancestors(self):
+        pm = PostmortemAnalyzer(build_trace())
+        assert pm.successful_ids == {1, 3}
+        assert pm.is_successful(1)
+        assert not pm.is_successful(2)
+        assert not pm.is_successful(4)
+
+    def test_unfinalized_trace_rejected(self):
+        with pytest.raises(TraceError):
+            PostmortemAnalyzer(TraceRecorder())
+
+
+class TestWastedMemory:
+    def test_fraction(self):
+        pm = PostmortemAnalyzer(build_trace())
+        # byte-seconds: item1 100*5=500 (success), item2 100*4=400 (waste),
+        # item3 10*3=30 (success), item4 10*6.5=65 (waste)
+        assert pm.total_byte_seconds == pytest.approx(995.0)
+        assert pm.wasted_byte_seconds == pytest.approx(465.0)
+        assert pm.wasted_memory_fraction == pytest.approx(465.0 / 995.0)
+
+    def test_all_successful_run_has_zero_waste(self):
+        rec = TraceRecorder()
+        rec.on_alloc(item_id=1, channel="c", node="n", ts=0, size=10,
+                     producer="p", parents=(), t=0.0)
+        rec.on_get(1, 1, "sink", 1.0)
+        rec.on_free(1, 2.0)
+        rec.on_iteration("sink", 0.0, 1.0, 0.5, 0, 0, (1,), (), is_sink=True)
+        rec.finalize(5.0)
+        pm = PostmortemAnalyzer(rec)
+        assert pm.wasted_memory_fraction == 0.0
+
+    def test_empty_trace(self):
+        rec = TraceRecorder()
+        rec.finalize(1.0)
+        pm = PostmortemAnalyzer(rec)
+        assert pm.wasted_memory_fraction == 0.0
+        assert pm.wasted_computation_fraction == 0.0
+
+
+class TestWastedComputation:
+    def test_fraction(self):
+        pm = PostmortemAnalyzer(build_trace())
+        # total compute = .4+.4+.8+.5+.2 = 2.3
+        # wasted: src iter 2 (.4, output 2) + mid iter 2 (.5, output 4) = 0.9
+        assert pm.total_compute == pytest.approx(2.3)
+        assert pm.wasted_compute == pytest.approx(0.9)
+        assert pm.wasted_computation_fraction == pytest.approx(0.9 / 2.3)
+
+    def test_sink_compute_never_wasted(self):
+        pm = PostmortemAnalyzer(build_trace())
+        # sink's 0.2 is in total but never in wasted
+        assert pm.wasted_compute < pm.total_compute
+
+
+class TestFootprints:
+    def test_measured_footprint(self):
+        pm = PostmortemAnalyzer(build_trace())
+        tl = pm.footprint()
+        # t in [1,3): items 1+2 -> 200 bytes
+        assert tl.at(2.0) == 200.0
+        # after frees at 5/6, only item4 (10B) remains to horizon
+        assert tl.at(8.0) == 10.0
+
+    def test_channel_filter(self):
+        pm = PostmortemAnalyzer(build_trace())
+        assert pm.footprint("nochannel").mean() == 0.0
+
+    def test_ideal_footprint_smaller(self):
+        pm = PostmortemAnalyzer(build_trace())
+        ideal = pm.ideal_footprint()
+        real = pm.footprint()
+        assert ideal.mean() < real.mean()
+        # IGC lifetime runs to the END of the consuming iteration:
+        # item1 alive [0, 3.0] (mid's iteration end), item3 alive [3, 4.5]
+        # (sink's iteration end); wasted items 2 and 4 absent entirely.
+        assert ideal.at(1.0) == 100.0
+        assert ideal.at(2.5) == 100.0
+        assert ideal.at(3.5) == 10.0
+        assert ideal.at(7.0) == 0.0
+
+    def test_igc_entry_point(self):
+        result = ideal_gc_analysis(build_trace())
+        # mean: (100*3 + 10*1.5)/10 = 31.5
+        assert result.mean_bytes == pytest.approx(31.5)
+        assert result.peak_bytes == pytest.approx(100.0)  # intervals abut at t=3
+        assert result.std_bytes > 0
+
+    def test_channel_report(self):
+        pm = PostmortemAnalyzer(build_trace())
+        report = pm.channel_report()
+        assert report["ch"]["items"] == 4
+        assert report["ch"]["wasted_items"] == 2
+        # peak at t in [3.5, 5): items 1+2 (100 each) + 3 + 4 (10 each)
+        assert report["ch"]["bytes_peak"] == 220.0

@@ -1,0 +1,130 @@
+"""Tests for the trace recorder."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.metrics import TraceRecorder
+
+
+def alloc(rec, item_id, t=0.0, channel="ch", ts=0, size=10, parents=()):
+    rec.on_alloc(
+        item_id=item_id,
+        channel=channel,
+        node="n0",
+        ts=ts,
+        size=size,
+        producer="p",
+        parents=parents,
+        t=t,
+    )
+
+
+class TestItemLifecycle:
+    def test_alloc_get_free(self):
+        rec = TraceRecorder()
+        alloc(rec, 1, t=1.0)
+        rec.on_get(1, conn_id=5, consumer="c", t=2.0)
+        rec.on_free(1, t=3.0)
+        trace = rec.items[1]
+        assert trace.t_alloc == 1.0
+        assert trace.t_free == 3.0
+        assert trace.ever_got
+        assert trace.last_get_time() == 2.0
+
+    def test_duplicate_alloc_rejected(self):
+        rec = TraceRecorder()
+        alloc(rec, 1)
+        with pytest.raises(TraceError):
+            alloc(rec, 1)
+
+    def test_double_free_rejected(self):
+        rec = TraceRecorder()
+        alloc(rec, 1)
+        rec.on_free(1, t=1.0)
+        with pytest.raises(TraceError):
+            rec.on_free(1, t=2.0)
+
+    def test_free_before_alloc_time_rejected(self):
+        rec = TraceRecorder()
+        alloc(rec, 1, t=5.0)
+        with pytest.raises(TraceError):
+            rec.on_free(1, t=4.0)
+
+    def test_unknown_item_rejected(self):
+        rec = TraceRecorder()
+        with pytest.raises(TraceError):
+            rec.on_get(99, 1, "c", 0.0)
+        with pytest.raises(TraceError):
+            rec.on_free(99, 0.0)
+
+    def test_lifetime_unfreed_extends_to_horizon(self):
+        rec = TraceRecorder()
+        alloc(rec, 1, t=2.0)
+        assert rec.items[1].lifetime(horizon=10.0) == 8.0
+
+    def test_skip_recording(self):
+        rec = TraceRecorder()
+        alloc(rec, 1)
+        rec.on_skip(1, conn_id=2, consumer="c", t=1.0)
+        assert len(rec.items[1].skips) == 1
+        assert not rec.items[1].ever_got
+
+
+class TestIterations:
+    def test_indices_per_thread(self):
+        rec = TraceRecorder()
+        for _ in range(3):
+            rec.on_iteration("a", 0, 1, 0.5, 0, 0, (), ())
+        rec.on_iteration("b", 0, 1, 0.5, 0, 0, (), ())
+        assert [it.index for it in rec.iterations_of("a")] == [0, 1, 2]
+        assert [it.index for it in rec.iterations_of("b")] == [0]
+
+    def test_sink_iterations_filter(self):
+        rec = TraceRecorder()
+        rec.on_iteration("gui", 0, 1, 0.1, 0, 0, (1,), (), is_sink=True)
+        rec.on_iteration("td", 0, 1, 0.1, 0, 0, (), ())
+        assert len(rec.sink_iterations()) == 1
+        assert rec.sink_iterations()[0].thread == "gui"
+
+    def test_threads_listing(self):
+        rec = TraceRecorder()
+        rec.on_iteration("a", 0, 1, 0, 0, 0, (), ())
+        rec.on_iteration("b", 0, 1, 0, 0, 0, (), ())
+        rec.on_iteration("a", 1, 2, 0, 0, 0, (), ())
+        assert rec.threads() == ["a", "b"]
+
+
+class TestStpSamples:
+    def test_recorded_by_default(self):
+        rec = TraceRecorder()
+        rec.on_stp("t", 1.0, 0.1, 0.2, None, 0.0)
+        assert len(rec.stp_samples) == 1
+
+    def test_disabled(self):
+        rec = TraceRecorder(record_stp=False)
+        rec.on_stp("t", 1.0, 0.1, 0.2, None, 0.0)
+        assert rec.stp_samples == []
+
+
+class TestFinalize:
+    def test_duration(self):
+        rec = TraceRecorder()
+        rec.finalize(12.5)
+        assert rec.duration == 12.5
+
+    def test_double_finalize_rejected(self):
+        rec = TraceRecorder()
+        rec.finalize(1.0)
+        with pytest.raises(TraceError):
+            rec.finalize(2.0)
+
+    def test_duration_before_finalize_rejected(self):
+        with pytest.raises(TraceError):
+            _ = TraceRecorder().duration
+
+    def test_channel_listing(self):
+        rec = TraceRecorder()
+        alloc(rec, 1, channel="a")
+        alloc(rec, 2, channel="b", ts=1)
+        assert rec.channels() == ["a", "b"]
+        assert len(rec.items_of_channel("a")) == 1

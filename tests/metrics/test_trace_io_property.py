@@ -1,0 +1,92 @@
+"""Property-based round-trip testing of trace persistence."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    PostmortemAnalyzer,
+    TraceRecorder,
+    trace_from_dict,
+    trace_to_dict,
+)
+
+
+@st.composite
+def traces(draw):
+    """Generate small but structurally valid traces with lineage."""
+    rec = TraceRecorder()
+    n_items = draw(st.integers(1, 12))
+    horizon = 100.0
+    ids = []
+    for k in range(1, n_items + 1):
+        t_alloc = draw(st.floats(0.0, 50.0))
+        parents = tuple(
+            draw(st.lists(st.sampled_from(ids), max_size=2, unique=True))
+        ) if ids else ()
+        rec.on_alloc(
+            item_id=k,
+            channel=draw(st.sampled_from(["a", "b"])),
+            node="n0",
+            ts=k,
+            size=draw(st.integers(0, 10_000)),
+            producer=draw(st.sampled_from(["p", "q"])),
+            parents=parents,
+            t=t_alloc,
+        )
+        ids.append(k)
+        if draw(st.booleans()):
+            rec.on_get(k, draw(st.integers(1, 3)), "c", t_alloc + 1.0)
+        if draw(st.booleans()):
+            rec.on_skip(k, draw(st.integers(1, 3)), "c", t_alloc + 0.5)
+        if draw(st.booleans()):
+            rec.on_free(k, t_alloc + draw(st.floats(0.0, 40.0)))
+    n_iters = draw(st.integers(0, 8))
+    for i in range(n_iters):
+        inputs = tuple(draw(st.lists(st.sampled_from(ids), max_size=3)))
+        outputs = tuple(draw(st.lists(st.sampled_from(ids), max_size=2)))
+        t0 = draw(st.floats(0.0, 90.0))
+        rec.on_iteration(
+            draw(st.sampled_from(["t1", "t2"])),
+            t0,
+            t0 + draw(st.floats(0.01, 5.0)),
+            draw(st.floats(0.0, 1.0)),
+            draw(st.floats(0.0, 1.0)),
+            draw(st.floats(0.0, 1.0)),
+            inputs,
+            outputs,
+            is_sink=draw(st.booleans()),
+        )
+    if draw(st.booleans()):
+        rec.on_stp("t1", 1.0, 0.1, draw(st.none() | st.floats(0, 1)), None, 0.0)
+    rec.finalize(horizon)
+    return rec
+
+
+@settings(max_examples=50, deadline=None)
+@given(traces())
+def test_round_trip_preserves_all_analysis(original):
+    restored = trace_from_dict(trace_to_dict(original))
+
+    pm_a, pm_b = PostmortemAnalyzer(original), PostmortemAnalyzer(restored)
+    assert pm_a.successful_ids == pm_b.successful_ids
+    assert pm_a.wasted_memory_fraction == pm_b.wasted_memory_fraction
+    assert pm_a.wasted_computation_fraction == pm_b.wasted_computation_fraction
+    assert pm_a.footprint().mean() == pm_b.footprint().mean()
+    assert pm_a.ideal_footprint().mean() == pm_b.ideal_footprint().mean()
+
+    assert len(restored.items) == len(original.items)
+    assert len(restored.iterations) == len(original.iterations)
+    for item_id, item in original.items.items():
+        other = restored.items[item_id]
+        assert (item.ts, item.size, item.parents, item.t_alloc, item.t_free) \
+            == (other.ts, other.size, other.parents, other.t_alloc, other.t_free)
+        assert len(item.gets) == len(other.gets)
+        assert len(item.skips) == len(other.skips)
+
+
+@settings(max_examples=30, deadline=None)
+@given(traces())
+def test_serialization_idempotent(original):
+    once = trace_to_dict(original)
+    twice = trace_to_dict(trace_from_dict(once))
+    assert once == twice

@@ -1,0 +1,131 @@
+"""Stateful property-based testing of Channel invariants.
+
+A hypothesis state machine drives a channel through random interleavings
+of puts, gets (all request kinds), releases, and GC passes, and checks
+the structural invariants after every step:
+
+* stored timestamps are unique and sorted;
+* ``bytes_held`` equals the sum of stored item sizes, and matches the
+  node's memory accounting;
+* consumer cursors are monotone non-decreasing;
+* no GC ever frees an item whose timestamp any consumer's cursor has not
+  passed (the GC safety contract);
+* freed items are really gone; doomed items are freed at release;
+* recorder alloc/free pairing is consistent.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.cluster import Node, NodeSpec
+from repro.gc import make_gc
+from repro.metrics import TraceRecorder
+from repro.runtime import Channel, Item
+from repro.sim import Engine, RngRegistry
+from repro.vt import EARLIEST, LATEST
+
+
+class ChannelMachine(RuleBasedStateMachine):
+    @initialize(gc=st.sampled_from(["null", "ref", "dgc"]),
+                n_consumers=st.integers(1, 3))
+    def setup(self, gc, n_consumers):
+        self.engine = Engine()
+        self.node = Node(self.engine, NodeSpec(name="n0"), RngRegistry(0))
+        self.recorder = TraceRecorder()
+        self.channel = Channel(
+            self.engine, "ch", self.node,
+            recorder=self.recorder, gc=make_gc(gc),
+        )
+        self.producer = self.channel.register_producer("p")
+        self.consumers = [
+            self.channel.register_consumer(f"c{i}") for i in range(n_consumers)
+        ]
+        self.next_ts = 0
+        self.clock = 0.0
+        self.held = []  # (conn, view)
+        self.prev_cursors = {c.conn_id: c.last_got for c in self.consumers}
+
+    def _tick(self) -> float:
+        self.clock += 1.0
+        return self.clock
+
+    # -- actions ----------------------------------------------------------
+    @rule(gap=st.integers(0, 3), size=st.integers(0, 1000))
+    def put(self, gap, size):
+        ts = self.next_ts + gap
+        self.next_ts = ts + 1
+        item = Item(ts=ts, size=size, producer="p")
+        self.channel.commit_put(self.producer, item, t=self._tick())
+
+    @rule(which=st.integers(0, 2), kind=st.sampled_from(["latest", "earliest"]))
+    def get(self, which, kind):
+        conn = self.consumers[which % len(self.consumers)]
+        request = LATEST if kind == "latest" else EARLIEST
+        if self.channel.try_match(conn, request):
+            view = self.channel.commit_get(conn, request, t=self._tick())
+            assert view.ts > self.prev_cursors[conn.conn_id]
+            self.held.append((conn, view))
+
+    @precondition(lambda self: self.held)
+    @rule()
+    def release_oldest(self):
+        conn, view = self.held.pop(0)
+        self.channel.release(view._item, t=self._tick())
+
+    @rule()
+    def collect(self):
+        self.channel.maybe_collect(self._tick())
+
+    # -- invariants ---------------------------------------------------------
+    @invariant()
+    def timestamps_sorted_unique(self):
+        order = self.channel._order
+        assert order == sorted(order)
+        assert len(order) == len(set(order))
+        assert set(order) == set(self.channel._items)
+
+    @invariant()
+    def byte_accounting_consistent(self):
+        stored = sum(i.size for i in self.channel._items.values())
+        assert self.channel.bytes_held == stored
+        assert self.node.mem_in_use == stored
+
+    @invariant()
+    def cursors_monotone(self):
+        for conn in self.consumers:
+            assert conn.last_got >= self.prev_cursors[conn.conn_id]
+            self.prev_cursors[conn.conn_id] = conn.last_got
+
+    @invariant()
+    def gc_safety(self):
+        """Every freed item's ts is at or below every cursor."""
+        min_cursor = min(c.last_got for c in self.consumers)
+        for trace in self.recorder.items.values():
+            if trace.t_free is not None:
+                assert trace.ts <= min_cursor
+
+    @invariant()
+    def stored_items_not_freed(self):
+        for item in self.channel._items.values():
+            assert not item.freed
+
+    @invariant()
+    def recorder_free_implies_absent(self):
+        present_ids = {i.item_id for i in self.channel._items.values()}
+        for trace in self.recorder.items.values():
+            if trace.t_free is not None:
+                assert trace.item_id not in present_ids
+
+
+TestChannelStateful = ChannelMachine.TestCase
+TestChannelStateful.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)

@@ -1,0 +1,123 @@
+"""Tests for the CheckDead (computation elimination) syscall."""
+
+import pytest
+
+from repro.aru import aru_disabled
+from repro.cluster import ClusterSpec, NodeSpec
+from repro.runtime import (
+    CheckDead,
+    Compute,
+    Get,
+    Now,
+    PeriodicitySync,
+    Put,
+    Runtime,
+    RuntimeConfig,
+    Sleep,
+    TaskGraph,
+)
+
+
+def quiet():
+    return ClusterSpec(nodes=(NodeSpec(name="node0", sched_noise_cv=0.0),))
+
+
+def test_checkdead_false_when_no_consumer_activity():
+    results = []
+
+    def src(ctx):
+        yield Put("c", ts=0, size=1)
+        dead = yield CheckDead("c", 1)
+        results.append(dead)
+
+    g = TaskGraph()
+    g.add_thread("src", src)
+    g.add_channel("c")
+    g.add_thread("cons", lambda ctx: iter(()), sink=True)
+
+    def cons(ctx):
+        yield Sleep(100.0)
+
+    g.attrs("cons")["fn"] = cons
+    g.connect("src", "c").connect("c", "cons")
+    Runtime(g, RuntimeConfig(cluster=quiet(), aru=aru_disabled())).run(until=1.0)
+    assert results == [False]
+
+
+def test_checkdead_true_after_cursor_passes():
+    """Once the consumer's cursor reaches ts=5, producing ts<=5 is dead."""
+    results = []
+
+    def src(ctx):
+        for ts in range(6):
+            yield Put("c", ts=ts, size=1)
+        yield Sleep(1.0)  # let the consumer get ts=5
+        results.append((yield CheckDead("c", 3)))   # below cursor -> dead
+        results.append((yield CheckDead("c", 5)))   # at cursor -> dead
+        results.append((yield CheckDead("c", 6)))   # above cursor -> alive
+
+    def cons(ctx):
+        while True:
+            yield Get("c")
+            yield PeriodicitySync()
+
+    g = TaskGraph()
+    g.add_thread("src", src)
+    g.add_thread("cons", cons, sink=True)
+    g.add_channel("c")
+    g.connect("src", "c").connect("c", "cons")
+    Runtime(g, RuntimeConfig(cluster=quiet(), aru=aru_disabled())).run(until=5.0)
+    assert results == [True, True, False]
+
+
+def test_checkdead_needs_all_consumers():
+    results = []
+
+    def src(ctx):
+        yield Put("c", ts=0, size=1)
+        yield Sleep(1.0)
+        results.append((yield CheckDead("c", 0)))
+
+    def fast(ctx):
+        while True:
+            yield Get("c")
+            yield PeriodicitySync()
+
+    def idle(ctx):
+        yield Sleep(100.0)
+
+    g = TaskGraph()
+    g.add_thread("src", src)
+    g.add_thread("fast", fast)
+    g.add_thread("idle", idle, sink=True)
+    g.add_channel("c")
+    g.connect("src", "c").connect("c", "fast").connect("c", "idle")
+    Runtime(g, RuntimeConfig(cluster=quiet(), aru=aru_disabled())).run(until=5.0)
+    # `idle` never consumed anything, so ts=0 is not dead for everyone
+    assert results == [False]
+
+
+def test_checkdead_unknown_channel_raises():
+    from repro.errors import SimulationError
+
+    def src(ctx):
+        yield CheckDead("ghost", 0)
+
+    g = TaskGraph()
+    g.add_thread("src", src)
+    g.add_channel("c").connect("src", "c")
+    rt = Runtime(g, RuntimeConfig(cluster=quiet()))
+    with pytest.raises(SimulationError):
+        rt.run(until=1.0)
+
+
+def test_tracker_ce_mode_runs():
+    """The computation-elimination tracker variant executes end to end."""
+    from repro.apps import TrackerConfig, build_tracker
+    from repro.cluster import config1_spec
+
+    g = build_tracker(TrackerConfig(computation_elimination=True))
+    rec = Runtime(
+        g, RuntimeConfig(cluster=config1_spec(), aru=aru_disabled(), seed=0)
+    ).run(until=10.0)
+    assert rec.sink_iterations()

@@ -1,0 +1,62 @@
+"""Tests for Graphviz DOT export."""
+
+from repro.apps import build_tracker
+from repro.runtime import TaskGraph, graph_to_dot
+
+
+def dummy(ctx):
+    yield
+
+
+def test_tracker_dot_structure():
+    dot = graph_to_dot(build_tracker())
+    assert dot.startswith('digraph "people-tracker"')
+    assert dot.rstrip().endswith("}")
+    # all nodes present
+    for name in ("digitizer", "gui", "C1", "C9"):
+        assert f'"{name}"' in dot
+    # edges rendered
+    assert '"digitizer" -> "C1";' in dot
+    assert '"C6" -> "gui";' in dot
+    # shapes: threads boxes, channels ellipses
+    assert "shape=box" in dot
+    assert "shape=ellipse" in dot
+    # source double-bordered, sink filled
+    assert "peripheries=2" in dot
+    assert "filled" in dot
+
+
+def test_queue_renders_hexagon():
+    g = TaskGraph("q")
+    g.add_thread("t", dummy)
+    g.add_queue("jobs")
+    g.connect("t", "jobs")
+    assert "shape=hexagon" in graph_to_dot(g)
+
+
+def test_operator_and_capacity_annotations():
+    g = TaskGraph("ann")
+    g.add_thread("t", dummy, compress_op="max")
+    g.add_channel("c", compress_op="pooled", capacity=5)
+    g.connect("t", "c")
+    dot = graph_to_dot(g)
+    assert "op=max" in dot
+    assert "op=pooled" in dot
+    assert "cap=5" in dot
+
+
+def test_name_escaping():
+    g = TaskGraph('we"ird')
+    g.add_thread("t", dummy)
+    g.add_channel("c")
+    g.connect("t", "c")
+    dot = graph_to_dot(g)
+    assert 'we\\"ird' in dot
+
+
+def test_rankdir_option():
+    g = TaskGraph("r")
+    g.add_thread("t", dummy)
+    g.add_channel("c")
+    g.connect("t", "c")
+    assert "rankdir=TB;" in graph_to_dot(g, rankdir="TB")

@@ -1,0 +1,169 @@
+"""Tests for TaskGraph construction and validation."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.runtime import CHANNEL, QUEUE, THREAD, TaskGraph
+
+
+def dummy(ctx):
+    yield
+
+
+def linear_graph():
+    g = TaskGraph("lin")
+    g.add_thread("src", dummy)
+    g.add_thread("mid", dummy)
+    g.add_thread("dst", dummy, sink=True)
+    g.add_channel("a")
+    g.add_channel("b")
+    g.connect("src", "a").connect("a", "mid").connect("mid", "b").connect("b", "dst")
+    return g
+
+
+class TestConstruction:
+    def test_kinds(self):
+        g = linear_graph()
+        assert g.kind("src") == THREAD
+        assert g.kind("a") == CHANNEL
+
+    def test_queue_kind(self):
+        g = TaskGraph()
+        g.add_queue("q")
+        assert g.kind("q") == QUEUE
+        assert g.queues() == ["q"]
+
+    def test_duplicate_name_rejected(self):
+        g = TaskGraph()
+        g.add_thread("x", dummy)
+        with pytest.raises(GraphError):
+            g.add_channel("x")
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(GraphError):
+            TaskGraph().add_thread("", dummy)
+
+    def test_unknown_endpoint_rejected(self):
+        g = TaskGraph()
+        g.add_thread("t", dummy)
+        with pytest.raises(GraphError):
+            g.connect("t", "ghost")
+
+    def test_thread_to_thread_rejected(self):
+        g = TaskGraph()
+        g.add_thread("a", dummy).add_thread("b", dummy)
+        with pytest.raises(GraphError):
+            g.connect("a", "b")
+
+    def test_buffer_to_buffer_rejected(self):
+        g = TaskGraph()
+        g.add_channel("a")
+        g.add_channel("b")
+        # need a producer for validity, but the edge itself must fail first
+        with pytest.raises(GraphError):
+            g.connect("a", "b")
+
+    def test_duplicate_edge_rejected(self):
+        g = TaskGraph()
+        g.add_thread("t", dummy).add_channel("c").connect("t", "c")
+        with pytest.raises(GraphError):
+            g.connect("t", "c")
+
+    def test_capacity_validation(self):
+        with pytest.raises(GraphError):
+            TaskGraph().add_channel("c", capacity=0)
+
+    def test_params_stored_and_copied(self):
+        params = {"period": 0.03}
+        g = TaskGraph()
+        g.add_thread("t", dummy, params=params)
+        params["period"] = 99
+        assert g.attrs("t")["params"]["period"] == 0.03
+
+
+class TestTopologyQueries:
+    def test_producers_consumers(self):
+        g = linear_graph()
+        assert g.producers_of("a") == ["src"]
+        assert g.consumers_of("a") == ["mid"]
+        assert g.inputs_of("mid") == ["a"]
+        assert g.outputs_of("mid") == ["b"]
+
+    def test_sources_and_sinks(self):
+        g = linear_graph()
+        assert g.sources() == ["src"]
+        assert g.sinks() == ["dst"]
+
+    def test_implicit_sink_when_unmarked(self):
+        g = TaskGraph()
+        g.add_thread("src", dummy).add_thread("end", dummy)
+        g.add_channel("c").connect("src", "c").connect("c", "end")
+        assert g.sinks() == ["end"]
+
+    def test_is_source_is_sink(self):
+        g = linear_graph()
+        assert g.is_source("src") and not g.is_source("mid")
+        assert g.is_sink("dst") and not g.is_sink("mid")
+
+    def test_multi_consumer_channel(self):
+        g = TaskGraph()
+        g.add_thread("p", dummy)
+        g.add_thread("c1", dummy)
+        g.add_thread("c2", dummy)
+        g.add_channel("ch")
+        g.connect("p", "ch").connect("ch", "c1").connect("ch", "c2")
+        assert sorted(g.consumers_of("ch")) == ["c1", "c2"]
+
+
+class TestValidation:
+    def test_valid_graph_passes(self):
+        linear_graph().validate()
+
+    def test_no_threads(self):
+        g = TaskGraph()
+        g.add_channel("c")
+        with pytest.raises(GraphError, match="no threads"):
+            g.validate()
+
+    def test_producerless_buffer(self):
+        g = TaskGraph()
+        g.add_thread("t", dummy)
+        g.add_channel("c")
+        g.connect("c", "t")
+        with pytest.raises(GraphError, match="no producer"):
+            g.validate()
+
+    def test_thread_without_body(self):
+        g = TaskGraph()
+        g.add_thread("t", None)
+        with pytest.raises(GraphError, match="no body"):
+            g.validate()
+
+    def test_cycle_rejected(self):
+        g = TaskGraph()
+        g.add_thread("a", dummy).add_thread("b", dummy)
+        g.add_channel("x").add_channel("y")
+        g.connect("a", "x").connect("x", "b").connect("b", "y").connect("y", "a")
+        with pytest.raises(GraphError, match="cycle"):
+            g.validate()
+
+    def test_no_source_needs_cycle_so_cycle_fires(self):
+        # A graph where every thread has inputs necessarily has a cycle,
+        # so the cycle check subsumes the no-source check; verify the
+        # no-source branch directly on an acyclic-but-sourceless shape is
+        # impossible, hence we just verify sources() on valid graphs.
+        assert linear_graph().sources() == ["src"]
+
+    def test_consumerless_channel_allowed(self):
+        g = TaskGraph()
+        g.add_thread("t", dummy)
+        g.add_channel("c")
+        g.connect("t", "c")
+        g.validate()  # legal: pure waste, metrics will expose it
+
+    def test_unknown_node_attrs(self):
+        g = TaskGraph()
+        with pytest.raises(GraphError):
+            g.attrs("nope")
+        with pytest.raises(GraphError):
+            g.kind("nope")

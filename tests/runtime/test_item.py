@@ -1,0 +1,68 @@
+"""Tests for items, views, and reference counting."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.runtime import Item, ItemView
+
+
+def test_item_ids_unique_and_increasing():
+    a, b = Item(ts=0, size=10), Item(ts=1, size=10)
+    assert b.item_id > a.item_id
+
+
+def test_item_fields():
+    item = Item(ts=3, size=100, payload="x", producer="p", parents=(1, 2), created_at=1.5)
+    assert item.ts == 3
+    assert item.size == 100
+    assert item.payload == "x"
+    assert item.producer == "p"
+    assert item.parents == (1, 2)
+    assert item.created_at == 1.5
+    assert item.refcount == 0
+    assert not item.doomed and not item.freed
+
+
+def test_item_validation():
+    with pytest.raises(SimulationError):
+        Item(ts=-1, size=1)
+    with pytest.raises(SimulationError):
+        Item(ts=0, size=-1)
+
+
+def test_acquire_release_cycle():
+    item = Item(ts=0, size=1)
+    item.acquire()
+    item.acquire()
+    assert item.refcount == 2
+    item.release()
+    item.release()
+    assert item.refcount == 0
+
+
+def test_release_without_acquire_raises():
+    with pytest.raises(SimulationError):
+        Item(ts=0, size=1).release()
+
+
+def test_acquire_freed_item_raises():
+    item = Item(ts=0, size=1)
+    item.freed = True
+    with pytest.raises(SimulationError):
+        item.acquire()
+
+
+def test_view_exposes_metadata():
+    item = Item(ts=7, size=64, payload={"k": 1})
+    view = ItemView(item, "chan")
+    assert view.ts == 7
+    assert view.size == 64
+    assert view.payload == {"k": 1}
+    assert view.channel == "chan"
+    assert view.item_id == item.item_id
+
+
+def test_parents_copied_to_tuple():
+    item = Item(ts=0, size=1, parents=[4, 5])
+    assert item.parents == (4, 5)
+    assert isinstance(item.parents, tuple)

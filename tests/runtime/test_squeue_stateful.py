@@ -1,0 +1,96 @@
+"""Stateful property-based testing of SQueue invariants."""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.cluster import Node, NodeSpec
+from repro.metrics import TraceRecorder
+from repro.runtime import Item, SQueue
+from repro.sim import Engine, RngRegistry
+
+
+class SQueueMachine(RuleBasedStateMachine):
+    @initialize(n_consumers=st.integers(1, 3))
+    def setup(self, n_consumers):
+        self.engine = Engine()
+        self.node = Node(self.engine, NodeSpec(name="n0"), RngRegistry(0))
+        self.recorder = TraceRecorder()
+        self.queue = SQueue(self.engine, "q", self.node, recorder=self.recorder)
+        self.producer = self.queue.register_producer("p")
+        self.consumers = [
+            self.queue.register_consumer(f"c{i}") for i in range(n_consumers)
+        ]
+        self.next_ts = 0
+        self.clock = 0.0
+        self.put_order = []   # item ids in put order
+        self.got_order = []   # item ids in pop order
+        self.held = []
+
+    def _tick(self):
+        self.clock += 1.0
+        return self.clock
+
+    @rule(size=st.integers(0, 500))
+    def put(self, size):
+        item = Item(ts=self.next_ts, size=size, producer="p")
+        self.next_ts += 1
+        self.queue.commit_put(self.producer, item, t=self._tick())
+        self.put_order.append(item.item_id)
+
+    @precondition(lambda self: len(self.queue) > 0)
+    @rule(which=st.integers(0, 2))
+    def get(self, which):
+        conn = self.consumers[which % len(self.consumers)]
+        view = self.queue.commit_get(conn, None, t=self._tick())
+        self.got_order.append(view.item_id)
+        self.held.append(view)
+
+    @precondition(lambda self: self.held)
+    @rule()
+    def release(self):
+        view = self.held.pop(0)
+        self.queue.release(view._item, t=self._tick())
+
+    # -- invariants ---------------------------------------------------------
+    @invariant()
+    def fifo_order_preserved(self):
+        """Pops happen in exactly put order, regardless of which consumer."""
+        assert self.got_order == self.put_order[: len(self.got_order)]
+
+    @invariant()
+    def each_item_delivered_at_most_once(self):
+        assert len(set(self.got_order)) == len(self.got_order)
+
+    @invariant()
+    def byte_accounting(self):
+        in_queue = sum(i.size for i in self.queue._fifo)
+        held = sum(v._item.size for v in self.held)
+        assert self.node.mem_in_use == in_queue + held
+
+    @invariant()
+    def released_items_freed(self):
+        for item_id in self.got_order:
+            trace = self.recorder.items[item_id]
+            held_ids = {v.item_id for v in self.held}
+            if item_id not in held_ids:
+                assert trace.t_free is not None
+
+    @invariant()
+    def no_skips_ever(self):
+        assert self.queue.total_gets == len(self.got_order)
+        for trace in self.recorder.items.values():
+            assert not trace.skips
+
+
+TestSQueueStateful = SQueueMachine.TestCase
+TestSQueueStateful.settings = settings(
+    max_examples=50, stateful_step_count=30, deadline=None
+)

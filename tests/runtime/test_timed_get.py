@@ -1,0 +1,132 @@
+"""Tests for the timed-get variant (Get with a timeout)."""
+
+import pytest
+
+from repro.aru import aru_disabled
+from repro.cluster import ClusterSpec, NodeSpec
+from repro.errors import SimulationError
+from repro.runtime import (
+    Get,
+    Now,
+    PeriodicitySync,
+    Put,
+    Runtime,
+    RuntimeConfig,
+    Sleep,
+    TaskGraph,
+)
+
+
+def quiet():
+    return ClusterSpec(nodes=(NodeSpec(name="node0", sched_noise_cv=0.0),))
+
+
+def run_consumer(consumer_fn, producer_fn=None, until=10.0):
+    g = TaskGraph()
+    if producer_fn is None:
+        def producer_fn(ctx):
+            yield Sleep(100.0)
+    g.add_thread("prod", producer_fn)
+    g.add_thread("cons", consumer_fn, sink=True)
+    g.add_channel("c")
+    g.connect("prod", "c").connect("c", "cons")
+    rt = Runtime(g, RuntimeConfig(cluster=quiet(), aru=aru_disabled()))
+    rec = rt.run(until=until)
+    return rt, rec
+
+
+def test_timeout_expires_returns_none():
+    results = []
+
+    def cons(ctx):
+        view = yield Get("c", timeout=0.5)
+        results.append((view, (yield Now())))
+
+    run_consumer(cons)
+    assert results == [(None, 0.5)]
+
+
+def test_item_before_deadline_delivered():
+    results = []
+
+    def prod(ctx):
+        yield Sleep(0.2)
+        yield Put("c", ts=4, size=1)
+
+    def cons(ctx):
+        view = yield Get("c", timeout=1.0)
+        results.append((view.ts, (yield Now())))
+
+    run_consumer(cons, prod)
+    assert results == [(4, pytest.approx(0.2))]
+
+
+def test_item_already_available_ignores_timeout():
+    results = []
+
+    def prod(ctx):
+        yield Put("c", ts=1, size=1)
+        yield Sleep(100.0)
+
+    def cons(ctx):
+        yield Sleep(0.1)
+        view = yield Get("c", timeout=0.001)
+        results.append(view.ts)
+
+    run_consumer(cons, prod)
+    assert results == [1]
+
+
+def test_zero_timeout_acts_like_tryget():
+    results = []
+
+    def cons(ctx):
+        view = yield Get("c", timeout=0.0)
+        results.append(view)
+
+    run_consumer(cons)
+    assert results == [None]
+
+
+def test_negative_timeout_rejected():
+    def cons(ctx):
+        yield Get("c", timeout=-1.0)
+
+    with pytest.raises(SimulationError, match="negative get timeout"):
+        run_consumer(cons)
+
+
+def test_timed_out_wait_counts_as_blocked_not_stp():
+    stps = []
+
+    def cons(ctx):
+        while True:
+            yield Get("c", timeout=0.4)
+            stp = yield PeriodicitySync()
+            stps.append(stp)
+
+    run_consumer(cons, until=3.0)
+    # every iteration: 0.4 s blocked, ~0 compute -> STP ~ 0
+    assert stps and all(s < 0.01 for s in stps)
+
+
+def test_gui_stays_responsive_while_detector_stalls():
+    """The motivating pattern: a sink that redraws even with no input."""
+    redraws = []
+
+    def prod(ctx):
+        yield Sleep(1.0)
+        yield Put("c", ts=0, size=1)
+        yield Sleep(100.0)
+
+    def gui(ctx):
+        while True:
+            view = yield Get("c", timeout=0.25)
+            redraws.append(view.ts if view else None)
+            if len(redraws) >= 8:
+                return
+            yield PeriodicitySync()
+
+    run_consumer(gui, prod, until=5.0)
+    assert None in redraws          # redrew on timeouts
+    assert 0 in redraws             # and picked the item up when it came

@@ -1,0 +1,393 @@
+"""Unit tests for the discrete-event engine core."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Engine
+
+
+def test_time_starts_at_zero():
+    assert Engine().now == 0.0
+
+
+def test_time_starts_at_custom_origin():
+    assert Engine(start=5.5).now == 5.5
+
+
+def test_timeout_advances_clock():
+    eng = Engine()
+    fired = []
+
+    def proc(eng):
+        yield eng.timeout(2.5)
+        fired.append(eng.now)
+
+    eng.process(proc(eng))
+    eng.run()
+    assert fired == [2.5]
+
+
+def test_zero_delay_timeout_fires_without_advancing():
+    eng = Engine()
+    fired = []
+
+    def proc(eng):
+        yield eng.timeout(0.0)
+        fired.append(eng.now)
+
+    eng.process(proc(eng))
+    eng.run()
+    assert fired == [0.0]
+
+
+def test_negative_timeout_rejected():
+    eng = Engine()
+    with pytest.raises(ValueError):
+        eng.timeout(-1.0)
+
+
+def test_events_fire_in_time_order():
+    eng = Engine()
+    order = []
+
+    def proc(eng, delay, label):
+        yield eng.timeout(delay)
+        order.append(label)
+
+    eng.process(proc(eng, 3.0, "c"))
+    eng.process(proc(eng, 1.0, "a"))
+    eng.process(proc(eng, 2.0, "b"))
+    eng.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_simultaneous_events_fire_in_schedule_order():
+    eng = Engine()
+    order = []
+
+    def proc(eng, label):
+        yield eng.timeout(1.0)
+        order.append(label)
+
+    for label in "abcde":
+        eng.process(proc(eng, label))
+    eng.run()
+    assert order == list("abcde")
+
+
+def test_run_until_stops_at_horizon():
+    eng = Engine()
+    fired = []
+
+    def proc(eng):
+        for _ in range(10):
+            yield eng.timeout(1.0)
+            fired.append(eng.now)
+
+    eng.process(proc(eng))
+    eng.run(until=4.5)
+    assert fired == [1.0, 2.0, 3.0, 4.0]
+    assert eng.now == 4.5
+
+
+def test_run_until_exact_boundary_inclusive():
+    eng = Engine()
+    fired = []
+
+    def proc(eng):
+        yield eng.timeout(5.0)
+        fired.append(eng.now)
+
+    eng.process(proc(eng))
+    eng.run(until=5.0)
+    assert fired == [5.0]
+
+
+def test_run_until_past_raises():
+    eng = Engine(start=10.0)
+    with pytest.raises(SimulationError):
+        eng.run(until=5.0)
+
+
+def test_run_after_run_continues_time():
+    eng = Engine()
+
+    def proc(eng):
+        while True:
+            yield eng.timeout(1.0)
+
+    eng.process(proc(eng))
+    eng.run(until=3.0)
+    assert eng.now == 3.0
+    eng.run(until=7.0)
+    assert eng.now == 7.0
+
+
+def test_step_empty_calendar_raises():
+    with pytest.raises(SimulationError):
+        Engine().step()
+
+
+def test_peek_reports_next_event_time():
+    eng = Engine()
+    eng.timeout(4.0)
+    eng.timeout(2.0)
+    assert eng.peek() == 2.0
+
+
+def test_peek_empty_is_inf():
+    assert Engine().peek() == float("inf")
+
+
+def test_events_processed_counter():
+    eng = Engine()
+
+    def proc(eng):
+        yield eng.timeout(1.0)
+        yield eng.timeout(1.0)
+
+    eng.process(proc(eng))
+    eng.run()
+    assert eng.events_processed >= 3  # init + 2 timeouts
+
+
+def test_process_return_value_via_run_until_event():
+    eng = Engine()
+
+    def proc(eng):
+        yield eng.timeout(1.0)
+        return 42
+
+    p = eng.process(proc(eng))
+    assert eng.run_until_event(p) == 42
+
+
+def test_run_until_event_drained_raises():
+    eng = Engine()
+    ev = eng.event()  # never triggered
+    with pytest.raises(SimulationError):
+        eng.run_until_event(ev)
+
+
+def test_process_waits_on_subprocess():
+    eng = Engine()
+
+    def child(eng):
+        yield eng.timeout(2.0)
+        return "child-result"
+
+    def parent(eng, out):
+        result = yield eng.process(child(eng))
+        out.append((eng.now, result))
+
+    out = []
+    eng.process(parent(eng, out))
+    eng.run()
+    assert out == [(2.0, "child-result")]
+
+
+def test_unhandled_process_exception_surfaces_in_run():
+    eng = Engine()
+
+    def proc(eng):
+        yield eng.timeout(1.0)
+        raise RuntimeError("boom")
+
+    eng.process(proc(eng))
+    with pytest.raises(RuntimeError, match="boom"):
+        eng.run()
+
+
+def test_parent_can_catch_child_failure():
+    eng = Engine()
+
+    def child(eng):
+        yield eng.timeout(1.0)
+        raise ValueError("child blew up")
+
+    def parent(eng, out):
+        try:
+            yield eng.process(child(eng))
+        except ValueError as exc:
+            out.append(str(exc))
+
+    out = []
+    eng.process(parent(eng, out))
+    eng.run()
+    assert out == ["child blew up"]
+
+
+def test_yielding_non_event_is_an_error():
+    eng = Engine()
+
+    def proc(eng):
+        yield 42
+
+    eng.process(proc(eng))
+    with pytest.raises(SimulationError, match="must"):
+        eng.run()
+
+
+def test_event_succeed_twice_raises():
+    eng = Engine()
+    ev = eng.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_event_value_before_trigger_raises():
+    eng = Engine()
+    ev = eng.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+
+
+def test_waiting_on_already_processed_event():
+    """A process yielding an event that already fired must still resume."""
+    eng = Engine()
+    ev = eng.event()
+    ev.succeed("early")
+    eng.run()  # process the event with no waiters
+    assert ev.processed
+
+    def proc(eng, out):
+        value = yield ev
+        out.append(value)
+
+    out = []
+    eng.process(proc(eng, out))
+    eng.run()
+    assert out == ["early"]
+
+
+def test_all_of_collects_values_in_order():
+    eng = Engine()
+
+    def proc(eng, out):
+        values = yield eng.all_of([eng.timeout(3.0, "c"), eng.timeout(1.0, "a")])
+        out.append((eng.now, values))
+
+    out = []
+    eng.process(proc(eng, out))
+    eng.run()
+    assert out == [(3.0, ["c", "a"])]
+
+
+def test_all_of_empty_fires_immediately():
+    eng = Engine()
+
+    def proc(eng, out):
+        values = yield eng.all_of([])
+        out.append(values)
+
+    out = []
+    eng.process(proc(eng, out))
+    eng.run()
+    assert out == [[]]
+
+
+def test_any_of_returns_winner():
+    eng = Engine()
+
+    def proc(eng, out):
+        idx, value = yield eng.any_of([eng.timeout(3.0, "slow"), eng.timeout(1.0, "fast")])
+        out.append((eng.now, idx, value))
+
+    out = []
+    eng.process(proc(eng, out))
+    eng.run()
+    assert out == [(1.0, 1, "fast")]
+
+
+def test_any_of_empty_raises():
+    eng = Engine()
+    with pytest.raises(ValueError):
+        eng.any_of([])
+
+
+def test_kill_terminates_process():
+    eng = Engine()
+    reached = []
+
+    def proc(eng):
+        yield eng.timeout(10.0)
+        reached.append(True)
+
+    p = eng.process(proc(eng))
+
+    def killer(eng):
+        yield eng.timeout(1.0)
+        p.kill()
+
+    eng.process(killer(eng))
+    eng.run()
+    assert reached == []
+    assert not p.is_alive
+
+
+def test_kill_lets_process_clean_up():
+    eng = Engine()
+    cleaned = []
+
+    def proc(eng):
+        try:
+            yield eng.timeout(10.0)
+        finally:
+            cleaned.append(eng.now)
+
+    p = eng.process(proc(eng))
+
+    def killer(eng):
+        yield eng.timeout(2.0)
+        p.kill()
+
+    eng.process(killer(eng))
+    eng.run()
+    assert cleaned == [2.0]
+
+
+def test_kill_finished_process_is_noop():
+    eng = Engine()
+
+    def proc(eng):
+        yield eng.timeout(1.0)
+
+    p = eng.process(proc(eng))
+    eng.run()
+    p.kill()  # must not raise
+    eng.run()
+
+
+def test_determinism_two_identical_runs():
+    def build():
+        eng = Engine()
+        log = []
+
+        def proc(eng, i):
+            for k in range(5):
+                yield eng.timeout(0.5 * ((i + k) % 3) + 0.1)
+                log.append((round(eng.now, 6), i, k))
+
+        for i in range(7):
+            eng.process(proc(eng, i))
+        eng.run()
+        return log
+
+    assert build() == build()
+
+
+def test_run_is_not_reentrant():
+    eng = Engine()
+    errors = []
+
+    def proc(eng):
+        yield eng.timeout(1.0)
+        try:
+            eng.run()
+        except SimulationError as exc:
+            errors.append(str(exc))
+
+    eng.process(proc(eng))
+    eng.run()
+    assert errors and "reentrant" in errors[0]

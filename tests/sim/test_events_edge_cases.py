@@ -1,0 +1,167 @@
+"""Edge cases of composite events and process interruption."""
+
+import pytest
+
+from repro.errors import ProcessKilled
+from repro.sim import Engine
+
+
+class TestAllOfFailure:
+    def test_allof_fails_fast_on_child_failure(self):
+        eng = Engine()
+        caught = []
+
+        def failing(eng):
+            yield eng.timeout(1.0)
+            raise ValueError("child exploded")
+
+        def waiter(eng):
+            try:
+                yield eng.all_of([
+                    eng.timeout(5.0, "slow"),
+                    eng.process(failing(eng)),
+                ])
+            except ValueError as exc:
+                caught.append((eng.now, str(exc)))
+
+        eng.process(waiter(eng))
+        eng.run()
+        assert caught == [(1.0, "child exploded")]
+
+    def test_allof_with_preprocessed_children(self):
+        eng = Engine()
+        done = eng.timeout(0.5, "early")
+        eng.run(until=1.0)  # `done` already processed
+        out = []
+
+        def waiter(eng):
+            values = yield eng.all_of([done, eng.timeout(0.5, "late")])
+            out.append(values)
+
+        eng.process(waiter(eng))
+        eng.run()
+        assert out == [["early", "late"]]
+
+
+class TestAnyOfFailure:
+    def test_anyof_fails_if_first_completion_is_failure(self):
+        eng = Engine()
+        caught = []
+
+        def failing(eng):
+            yield eng.timeout(0.5)
+            raise RuntimeError("first to finish, badly")
+
+        def waiter(eng):
+            try:
+                yield eng.any_of([
+                    eng.process(failing(eng)),
+                    eng.timeout(5.0, "slow"),
+                ])
+            except RuntimeError as exc:
+                caught.append(str(exc))
+
+        eng.process(waiter(eng))
+        eng.run()
+        assert caught == ["first to finish, badly"]
+
+    def test_anyof_ignores_later_children(self):
+        eng = Engine()
+        out = []
+
+        def waiter(eng):
+            idx, value = yield eng.any_of(
+                [eng.timeout(1.0, "a"), eng.timeout(1.0, "b")]
+            )
+            out.append((idx, value))
+
+        eng.process(waiter(eng))
+        eng.run()
+        # FIFO tie-break: the first-scheduled child wins
+        assert out == [(0, "a")]
+
+
+class TestKillScenarios:
+    def test_kill_while_waiting_on_shared_event(self):
+        """Killing one waiter must not disturb another on the same event."""
+        eng = Engine()
+        shared = eng.event()
+        survived = []
+
+        def waiter(eng, label):
+            value = yield shared
+            survived.append((label, value))
+
+        victim = eng.process(waiter(eng, "victim"))
+        eng.process(waiter(eng, "survivor"))
+
+        def orchestrator(eng):
+            yield eng.timeout(1.0)
+            victim.kill()
+            yield eng.timeout(1.0)
+            shared.succeed("payload")
+
+        eng.process(orchestrator(eng))
+        eng.run()
+        assert survived == [("survivor", "payload")]
+
+    def test_killed_process_reason_in_exception(self):
+        eng = Engine()
+        reasons = []
+
+        def victim(eng):
+            try:
+                yield eng.timeout(10.0)
+            except ProcessKilled as exc:
+                reasons.append(str(exc))
+                raise
+
+        p = eng.process(victim(eng))
+
+        def killer(eng):
+            yield eng.timeout(1.0)
+            p.kill("maintenance window")
+
+        eng.process(killer(eng))
+        eng.run()
+        assert reasons == ["maintenance window"]
+
+    def test_kill_can_be_survived(self):
+        """A process may catch ProcessKilled and continue."""
+        eng = Engine()
+        log = []
+
+        def stubborn(eng):
+            try:
+                yield eng.timeout(10.0)
+            except ProcessKilled:
+                log.append("caught")
+            yield eng.timeout(1.0)
+            log.append(("done", eng.now))
+
+        p = eng.process(stubborn(eng))
+
+        def killer(eng):
+            yield eng.timeout(2.0)
+            p.kill()
+
+        eng.process(killer(eng))
+        eng.run()
+        assert log == ["caught", ("done", 3.0)]
+
+    def test_double_kill_is_noop(self):
+        eng = Engine()
+
+        def victim(eng):
+            yield eng.timeout(10.0)
+
+        p = eng.process(victim(eng))
+
+        def killer(eng):
+            yield eng.timeout(1.0)
+            p.kill()
+            p.kill()
+
+        eng.process(killer(eng))
+        eng.run()
+        assert not p.is_alive

@@ -1,0 +1,95 @@
+"""Tests for named seeded RNG streams and distribution helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import RngRegistry, lognormal_with_mean
+
+
+def test_same_name_same_stream_object():
+    rngs = RngRegistry(seed=1)
+    assert rngs.stream("x") is rngs.stream("x")
+
+
+def test_streams_reproducible_across_registries():
+    a = RngRegistry(seed=42).stream("svc").random(5)
+    b = RngRegistry(seed=42).stream("svc").random(5)
+    assert np.array_equal(a, b)
+
+
+def test_different_names_are_independent():
+    rngs = RngRegistry(seed=42)
+    a = rngs.stream("a").random(5)
+    b = rngs.stream("b").random(5)
+    assert not np.array_equal(a, b)
+
+
+def test_different_seeds_differ():
+    a = RngRegistry(seed=1).stream("x").random(5)
+    b = RngRegistry(seed=2).stream("x").random(5)
+    assert not np.array_equal(a, b)
+
+
+def test_new_stream_does_not_perturb_existing():
+    """Adding a consumer of randomness must not change other streams."""
+    r1 = RngRegistry(seed=9)
+    seq_before = r1.stream("stable").random(3)
+
+    r2 = RngRegistry(seed=9)
+    r2.stream("newcomer").random(100)  # interleaved draws on another stream
+    seq_after = r2.stream("stable").random(3)
+    assert np.array_equal(seq_before, seq_after)
+
+
+def test_spawn_produces_independent_registry():
+    parent = RngRegistry(seed=3)
+    child = parent.spawn("worker")
+    a = parent.stream("x").random(4)
+    b = child.stream("x").random(4)
+    assert not np.array_equal(a, b)
+    # but the spawn itself is deterministic
+    child2 = RngRegistry(seed=3).spawn("worker")
+    assert np.array_equal(b, child2.stream("x").random(4))
+
+
+def test_contains_and_len():
+    rngs = RngRegistry(seed=0)
+    assert "a" not in rngs
+    rngs.stream("a")
+    assert "a" in rngs
+    assert len(rngs) == 1
+
+
+def test_lognormal_zero_cv_is_exact():
+    rng = np.random.default_rng(0)
+    assert lognormal_with_mean(rng, 0.25, 0.0) == 0.25
+
+
+def test_lognormal_mean_matches_target():
+    rng = np.random.default_rng(0)
+    samples = [lognormal_with_mean(rng, 2.0, 0.3) for _ in range(20000)]
+    assert np.mean(samples) == pytest.approx(2.0, rel=0.02)
+
+
+def test_lognormal_cv_matches_target():
+    rng = np.random.default_rng(0)
+    samples = np.array([lognormal_with_mean(rng, 1.0, 0.5) for _ in range(40000)])
+    assert np.std(samples) / np.mean(samples) == pytest.approx(0.5, rel=0.05)
+
+
+def test_lognormal_rejects_bad_args():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        lognormal_with_mean(rng, -1.0, 0.1)
+    with pytest.raises(ValueError):
+        lognormal_with_mean(rng, 1.0, -0.1)
+
+
+@given(mean=st.floats(0.001, 1e3), cv=st.floats(0.0, 2.0))
+@settings(max_examples=60, deadline=None)
+def test_lognormal_always_positive(mean, cv):
+    rng = np.random.default_rng(1234)
+    for _ in range(5):
+        assert lognormal_with_mean(rng, mean, cv) > 0.0

@@ -1,0 +1,102 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_run_tracker_summary(capsys):
+    rc = main(["run-tracker", "--config", "1", "--policy", "aru-max",
+               "--horizon", "15", "--seed", "1"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "config=config1 policy=aru-max" in out
+    assert "memory footprint" in out
+    assert "throughput" in out
+
+
+def test_run_tracker_save_and_analyze(tmp_path, capsys):
+    trace_path = tmp_path / "run.json"
+    rc = main(["run-tracker", "--config", "1", "--policy", "no-aru",
+               "--horizon", "12", "--save-trace", str(trace_path)])
+    assert rc == 0
+    assert trace_path.exists()
+    capsys.readouterr()
+
+    rc = main(["analyze", str(trace_path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "per-channel" in out
+    assert "C3" in out
+    assert "wasted memory" in out
+
+
+def test_timeline_command(tmp_path, capsys):
+    trace_path = tmp_path / "run.json"
+    main(["run-tracker", "--horizon", "12", "--save-trace", str(trace_path)])
+    capsys.readouterr()
+    rc = main(["timeline", str(trace_path), "--channel", "C3", "--width", "40"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "memory footprint — C3" in out
+    assert "MB" in out
+
+
+def test_paper_tables_quick(capsys):
+    rc = main(["paper-tables", "--seeds", "1", "--horizon", "30"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "[fig 6]" in out and "[fig 7]" in out and "[fig 10]" in out
+    assert "Shape checks vs the paper" in out
+
+
+def test_compare_command(tmp_path, capsys):
+    a, b = tmp_path / "a.json", tmp_path / "b.json"
+    main(["run-tracker", "--horizon", "10", "--policy", "no-aru",
+          "--save-trace", str(a)])
+    main(["run-tracker", "--horizon", "10", "--policy", "aru-max",
+          "--save-trace", str(b)])
+    capsys.readouterr()
+    rc = main(["compare", str(a), str(b)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "wasted_memory" in out and "trace comparison" in out
+
+
+def test_dot_command(capsys):
+    rc = main(["dot", "tracker"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert out.startswith("digraph") and '"C1"' in out
+
+
+def test_gantt_command(tmp_path, capsys):
+    trace_path = tmp_path / "run.json"
+    main(["run-tracker", "--horizon", "12", "--policy", "aru-max",
+          "--save-trace", str(trace_path)])
+    capsys.readouterr()
+    rc = main(["gantt", str(trace_path), "--width", "50"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "digitizer" in out and "gui" in out
+    assert "#" in out
+
+
+def test_paper_tables_save_csv(tmp_path, capsys):
+    path = tmp_path / "grid.csv"
+    rc = main(["paper-tables", "--seeds", "1", "--horizon", "20",
+               "--save-csv", str(path)])
+    assert rc == 0
+    assert path.exists()
+    header = path.read_text().splitlines()[0]
+    assert header.startswith("config,policy,seed")
+
+
+def test_unknown_policy_exits():
+    with pytest.raises(SystemExit):
+        main(["run-tracker", "--policy", "warp-speed"])
+
+
+def test_missing_command_exits():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,14 @@
+"""Run the executable examples embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.runtime.api
+
+
+@pytest.mark.parametrize("module", [repro.runtime.api])
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"no doctests found in {module.__name__}"
+    assert results.failed == 0

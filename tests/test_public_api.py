@@ -1,0 +1,73 @@
+"""Guards on the public API surface and documentation hygiene."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+PUBLIC_SUBPACKAGES = (
+    "repro.sim",
+    "repro.vt",
+    "repro.cluster",
+    "repro.runtime",
+    "repro.gc",
+    "repro.aru",
+    "repro.metrics",
+    "repro.apps",
+    "repro.rt_threads",
+    "repro.bench",
+)
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_lazy_exports_resolve():
+    for name in repro.__all__:
+        if name != "__version__":
+            assert getattr(repro, name) is not None
+
+
+def test_unknown_attribute_raises():
+    with pytest.raises(AttributeError):
+        repro.definitely_not_a_thing
+
+
+def test_dir_lists_all():
+    assert set(repro.__all__) <= set(dir(repro))
+
+
+@pytest.mark.parametrize("package", PUBLIC_SUBPACKAGES)
+def test_subpackage_has_docstring_and_all(package):
+    mod = importlib.import_module(package)
+    assert mod.__doc__ and len(mod.__doc__.strip()) > 20
+    assert getattr(mod, "__all__", None), f"{package} must declare __all__"
+
+
+@pytest.mark.parametrize("package", PUBLIC_SUBPACKAGES)
+def test_all_entries_exist(package):
+    mod = importlib.import_module(package)
+    for name in mod.__all__:
+        assert hasattr(mod, name), f"{package}.{name} missing"
+
+
+def test_every_module_has_docstring():
+    undocumented = []
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        mod = importlib.import_module(info.name)
+        if not (mod.__doc__ and mod.__doc__.strip()):
+            undocumented.append(info.name)
+    assert not undocumented, f"modules without docstrings: {undocumented}"
+
+
+def test_key_classes_documented():
+    from repro.aru import AruConfig, StpMeter
+    from repro.metrics import PostmortemAnalyzer, TraceRecorder
+    from repro.runtime import Channel, Runtime, TaskGraph
+
+    for cls in (AruConfig, StpMeter, TraceRecorder, PostmortemAnalyzer,
+                Channel, Runtime, TaskGraph):
+        assert cls.__doc__ and len(cls.__doc__.strip()) > 20

@@ -1,0 +1,53 @@
+"""Tests for clock implementations."""
+
+import pytest
+
+from repro.sim import Engine
+from repro.vt import Clock, ManualClock, SimClock, WallClock
+
+
+def test_simclock_tracks_engine():
+    eng = Engine()
+    clock = SimClock(eng)
+    assert clock.now() == 0.0
+
+    def proc(eng):
+        yield eng.timeout(3.5)
+
+    eng.process(proc(eng))
+    eng.run()
+    assert clock.now() == 3.5
+
+
+def test_wallclock_monotonic_and_rebased():
+    clock = WallClock()
+    a = clock.now()
+    b = clock.now()
+    assert 0.0 <= a <= b < 60.0
+
+
+def test_manual_clock_advance():
+    clock = ManualClock()
+    clock.advance(2.0)
+    clock.advance(0.5)
+    assert clock.now() == 2.5
+
+
+def test_manual_clock_set():
+    clock = ManualClock(start=1.0)
+    clock.set(4.0)
+    assert clock.now() == 4.0
+
+
+def test_manual_clock_never_backwards():
+    clock = ManualClock(start=5.0)
+    with pytest.raises(ValueError):
+        clock.advance(-1.0)
+    with pytest.raises(ValueError):
+        clock.set(4.0)
+
+
+def test_all_satisfy_protocol():
+    eng = Engine()
+    for clock in (SimClock(eng), WallClock(), ManualClock()):
+        assert isinstance(clock, Clock)
