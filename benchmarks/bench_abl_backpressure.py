@@ -14,7 +14,7 @@ at the source. This bench compares the two on the tracker:
 
 from repro.apps import TrackerConfig
 from repro.aru import aru_disabled, aru_min
-from repro.bench import format_table, run_tracker_once
+from repro.bench import CellSpec, format_table
 
 HORIZON = 90.0
 SEEDS = (0, 1)
@@ -27,19 +27,23 @@ VARIANTS = {
 }
 
 
-def _sweep():
+def _sweep(runner):
+    specs = [
+        CellSpec(
+            config="config1",
+            policy=spec["aru"],
+            label=label,
+            seed=seed,
+            horizon=HORIZON,
+            tracker=TrackerConfig(channel_capacity=spec["capacity"]),
+        )
+        for label, spec in VARIANTS.items()
+        for seed in SEEDS
+    ]
+    results = runner.run_metrics(specs)
     rows = []
-    for label, spec in VARIANTS.items():
-        runs = [
-            run_tracker_once(
-                "config1",
-                spec["aru"],
-                seed=seed,
-                horizon=HORIZON,
-                tracker_cfg=TrackerConfig(channel_capacity=spec["capacity"]),
-            )
-            for seed in SEEDS
-        ]
+    for label in VARIANTS:
+        runs = [r.metrics for r in results if r.spec.label == label]
         n = len(runs)
         rows.append([
             label,
@@ -51,8 +55,9 @@ def _sweep():
     return rows
 
 
-def test_aru_vs_backpressure(benchmark, emit):
-    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+def test_aru_vs_backpressure(benchmark, emit, sweep_runner):
+    rows = benchmark.pedantic(lambda: _sweep(sweep_runner),
+                              rounds=1, iterations=1)
     table = format_table(
         ["flow control", "Mem mean (MB)", "% Comp wasted", "fps", "lat (ms)"],
         rows,

@@ -13,53 +13,54 @@ cursors always trail production, the check almost never fires:
 computation elimination removes (essentially) none of the waste, while
 ARU removes almost all of it — quantitative support for the paper's
 design pivot from reclamation to rate control.
+
+The elimination counters live in mutable task-graph state, so each cell
+carries the ``ce_stats`` probe, which reads them inside the worker.
 """
 
-from repro.apps import TrackerConfig, build_tracker
+from repro.apps import TrackerConfig
 from repro.aru import aru_disabled, aru_max
-from repro.bench import cluster_for, format_table
-from repro.metrics import PostmortemAnalyzer
-from repro.runtime import Runtime, RuntimeConfig
+from repro.bench import CellSpec, format_table
 
 HORIZON = 90.0
 
+VARIANTS = {
+    "DGC alone": dict(aru=aru_disabled(), ce=False),
+    "DGC + comp-elim [6]": dict(aru=aru_disabled(), ce=True),
+    "DGC + ARU-max": dict(aru=aru_max(), ce=False),
+}
 
-def _run(label, aru, ce):
-    graph = build_tracker(TrackerConfig(computation_elimination=ce))
-    runtime = Runtime(
-        graph,
-        RuntimeConfig(cluster=cluster_for("config1"), aru=aru, seed=0),
-    )
-    trace = runtime.run(until=HORIZON)
-    pm = PostmortemAnalyzer(trace)
-    ce_skips = sum(
-        graph.attrs(t)["params"].get("ce_skips", 0)
-        for t in graph.threads()
-    )
-    upstream_iters = sum(
-        len(trace.iterations_of(t))
-        for t in ("change_detection", "histogram", "target_detect1",
-                  "target_detect2")
-    )
-    return [
-        label,
-        100 * pm.wasted_computation_fraction,
-        100 * pm.wasted_memory_fraction,
-        ce_skips,
-        100 * ce_skips / max(1, upstream_iters + ce_skips),
+
+def _sweep(runner):
+    specs = [
+        CellSpec(
+            config="config1",
+            policy=spec["aru"],
+            label=label,
+            seed=0,
+            horizon=HORIZON,
+            tracker=TrackerConfig(computation_elimination=spec["ce"]),
+            probe="ce_stats",
+        )
+        for label, spec in VARIANTS.items()
     ]
+    results = runner.run_metrics(specs)
+    rows = []
+    for result in results:
+        m = result.metrics
+        rows.append([
+            result.spec.label,
+            100 * m.wasted_computation,
+            100 * m.wasted_memory,
+            int(result.extras["ce_skips"]),
+            result.extras["ce_fire_rate"],
+        ])
+    return rows
 
 
-def _sweep():
-    return [
-        _run("DGC alone", aru_disabled(), ce=False),
-        _run("DGC + comp-elim [6]", aru_disabled(), ce=True),
-        _run("DGC + ARU-max", aru_max(), ce=False),
-    ]
-
-
-def test_computation_elimination_vs_aru(benchmark, emit):
-    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+def test_computation_elimination_vs_aru(benchmark, emit, sweep_runner):
+    rows = benchmark.pedantic(lambda: _sweep(sweep_runner),
+                              rounds=1, iterations=1)
     table = format_table(
         ["mechanism", "% Comp wasted", "% Mem wasted", "CE skips",
          "CE fire rate %"],

@@ -15,12 +15,8 @@ throughput and smoothness; every filter recovers throughput and cuts
 output jitter substantially, at a small waste cost.
 """
 
-from repro.apps import build_tracker
 from repro.aru import aru_max
-from repro.bench import format_table
-from repro.cluster import config1_spec
-from repro.metrics import PostmortemAnalyzer, jitter, throughput_fps
-from repro.runtime import Runtime, RuntimeConfig
+from repro.bench import CellSpec, format_table
 
 FILTERS = {
     "none (paper)": None,
@@ -33,35 +29,37 @@ HORIZON = 120.0
 NOISE = 0.35
 
 
-def _run(filter_spec, seed):
-    cluster = config1_spec(sched_noise_cv=NOISE)
-    aru = aru_max(summary_filter=filter_spec) if filter_spec else aru_max()
-    rec = Runtime(
-        build_tracker(), RuntimeConfig(cluster=cluster, aru=aru, seed=seed)
-    ).run(until=HORIZON)
-    pm = PostmortemAnalyzer(rec)
-    return {
-        "fps": throughput_fps(rec),
-        "jitter": jitter(rec) * 1e3,
-        "waste": 100 * pm.wasted_memory_fraction,
-    }
-
-
-def _sweep():
+def _sweep(runner):
+    specs = [
+        CellSpec(
+            config="config1",
+            policy=aru_max(summary_filter=fspec) if fspec else aru_max(),
+            label=label,
+            seed=seed,
+            horizon=HORIZON,
+            sched_noise_cv=NOISE,
+        )
+        for label, fspec in FILTERS.items()
+        for seed in SEEDS
+    ]
+    results = runner.run_metrics(specs)
     rows = []
-    for label, spec in FILTERS.items():
-        runs = [_run(spec, seed) for seed in SEEDS]
+    for label in FILTERS:
+        runs = [r.metrics for r in results if r.spec.label == label]
+        n = len(runs)
         rows.append([
             label,
-            sum(r["fps"] for r in runs) / len(runs),
-            sum(r["jitter"] for r in runs) / len(runs),
-            sum(r["waste"] for r in runs) / len(runs),
+            sum(r.throughput for r in runs) / n,
+            1e3 * sum(r.jitter for r in runs) / n,
+            100 * sum(r.wasted_memory for r in runs) / n,
         ])
     return rows
 
 
-def test_filters_recover_throughput_and_smoothness(benchmark, emit):
-    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+def test_filters_recover_throughput_and_smoothness(benchmark, emit,
+                                                   sweep_runner):
+    rows = benchmark.pedantic(lambda: _sweep(sweep_runner),
+                              rounds=1, iterations=1)
     table = format_table(
         ["summary filter", "fps", "jitter (ms)", "% Mem wasted"],
         rows,

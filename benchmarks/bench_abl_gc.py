@@ -13,29 +13,33 @@ channels — the motivating observation for timestamp-based GC.)
 """
 
 from repro.aru import aru_disabled
-from repro.bench import format_table, run_tracker_once
+from repro.bench import CellSpec, format_table
 
 GCS = ("null", "ref", "tgc", "dgc")
 HORIZON = 60.0  # null/ref grow linearly; keep the horizon moderate
 
 
-def _sweep():
-    rows = []
-    for gc in GCS:
-        run = run_tracker_once(
-            "config1", aru_disabled(), seed=0, horizon=HORIZON, gc=gc
-        )
-        rows.append([
-            gc,
-            run.mem_mean / 1e6,
-            run.mem_peak / 1e6,
-            run.throughput,
-        ])
-    return rows
+def _sweep(runner):
+    specs = [
+        CellSpec(config="config1", policy=aru_disabled(), label=gc,
+                 seed=0, horizon=HORIZON, gc=gc)
+        for gc in GCS
+    ]
+    results = runner.run_metrics(specs)
+    return [
+        [
+            result.spec.label,
+            result.metrics.mem_mean / 1e6,
+            result.metrics.mem_peak / 1e6,
+            result.metrics.throughput,
+        ]
+        for result in results
+    ]
 
 
-def test_gc_hierarchy(benchmark, emit):
-    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+def test_gc_hierarchy(benchmark, emit, sweep_runner):
+    rows = benchmark.pedantic(lambda: _sweep(sweep_runner),
+                              rounds=1, iterations=1)
     table = format_table(
         ["GC", "Mem mean (MB)", "Mem peak (MB)", "fps"],
         rows,

@@ -12,43 +12,40 @@ parameter.
 """
 
 from repro.aru import aru_disabled
-from repro.bench import cluster_for, format_table
-from repro.gc import DeadTimestampGC
-from repro.metrics import PostmortemAnalyzer, throughput_fps
-from repro.runtime import Runtime, RuntimeConfig
+from repro.bench import CellSpec, format_table
 
 INTERVALS = (0.0, 0.25, 0.5, 1.0)
 HORIZON = 90.0
 
 
-def _run(interval):
-    from repro.apps import build_tracker
-
-    runtime = Runtime(
-        build_tracker(),
-        RuntimeConfig(
-            cluster=cluster_for("config1"),
-            gc=DeadTimestampGC(interval=interval),
-            aru=aru_disabled(),
+def _sweep(runner):
+    specs = [
+        CellSpec(
+            config="config1",
+            policy=aru_disabled(),
+            label=f"{interval:.2f}s" if interval else "eager",
             seed=0,
-        ),
-    )
-    trace = runtime.run(until=HORIZON)
-    pm = PostmortemAnalyzer(trace)
+            horizon=HORIZON,
+            gc="dgc",
+            gc_interval=interval,
+        )
+        for interval in INTERVALS
+    ]
+    results = runner.run_metrics(specs)
     return [
-        f"{interval:.2f}s" if interval else "eager",
-        pm.footprint().mean() / 1e6,
-        pm.footprint().peak() / 1e6,
-        throughput_fps(trace),
+        [
+            result.spec.label,
+            result.metrics.mem_mean / 1e6,
+            result.metrics.mem_peak / 1e6,
+            result.metrics.throughput,
+        ]
+        for result in results
     ]
 
 
-def _sweep():
-    return [_run(interval) for interval in INTERVALS]
-
-
-def test_gc_lag_inflates_footprint(benchmark, emit):
-    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+def test_gc_lag_inflates_footprint(benchmark, emit, sweep_runner):
+    rows = benchmark.pedantic(lambda: _sweep(sweep_runner),
+                              rounds=1, iterations=1)
     table = format_table(
         ["DGC pass interval", "Mem mean (MB)", "Mem peak (MB)", "fps"],
         rows,

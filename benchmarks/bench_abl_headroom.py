@@ -10,25 +10,30 @@ configuration where the paper observed aggressiveness costing throughput.
 """
 
 from repro.aru import aru_max
-from repro.bench import format_table, run_tracker_once
+from repro.bench import CellSpec, format_table
 
 HEADROOMS = (0.8, 0.9, 1.0, 1.1, 1.25)
 SEEDS = (0, 1)
 HORIZON = 90.0
 
 
-def _sweep():
+def _sweep(runner):
+    specs = [
+        CellSpec(
+            config="config2",
+            policy=aru_max(headroom=headroom, name=f"aru-max-h{headroom}"),
+            label=f"h{headroom}",
+            seed=seed,
+            horizon=HORIZON,
+        )
+        for headroom in HEADROOMS
+        for seed in SEEDS
+    ]
+    results = runner.run_metrics(specs)
     rows = []
     for headroom in HEADROOMS:
-        runs = [
-            run_tracker_once(
-                "config2",
-                aru_max(headroom=headroom, name=f"aru-max-h{headroom}"),
-                seed=seed,
-                horizon=HORIZON,
-            )
-            for seed in SEEDS
-        ]
+        runs = [r.metrics for r in results
+                if r.spec.label == f"h{headroom}"]
         n = len(runs)
         rows.append([
             headroom,
@@ -40,8 +45,9 @@ def _sweep():
     return rows
 
 
-def test_headroom_tradeoff(benchmark, emit):
-    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+def test_headroom_tradeoff(benchmark, emit, sweep_runner):
+    rows = benchmark.pedantic(lambda: _sweep(sweep_runner),
+                              rounds=1, iterations=1)
     table = format_table(
         ["headroom", "Mem mean (MB)", "% Mem wasted", "fps", "lat (ms)"],
         rows,

@@ -11,57 +11,50 @@ of a tracker run (ARU-min, config 1) and watches the loop adapt:
   production rather than staying stuck at the degraded rate;
 * waste stays low *throughout* — adaptation, not a static setting, is
   what keeps production matched to consumption.
+
+The control-signal series lives in the full trace, which stays in the
+worker; the ``throttle_phases`` probe extracts the per-phase throttle
+target and delivered fps in-cell.
 """
 
-import numpy as np
-
-from repro.apps import build_tracker
 from repro.aru import aru_min
-from repro.bench import cluster_for, format_table
+from repro.bench import CellSpec, format_table
 from repro.cluster import LoadSpec
-from repro.metrics import PostmortemAnalyzer, control_series, throughput_fps
-from repro.runtime import Runtime, RuntimeConfig
 
 HORIZON = 150.0
 BURST = (50.0, 100.0)
 LOAD_THREADS = 6
 
-
-def _phase_stats(series, lo, hi):
-    mask = (series.times >= lo) & (series.times < hi)
-    mask &= ~np.isnan(series.throttle_target)
-    if not mask.any():
-        return float("nan")
-    return float(np.mean(series.throttle_target[mask]))
+PHASES = (
+    ("before (0-50s)", 5.0, BURST[0]),
+    ("burst (50-100s)", BURST[0] + 5.0, BURST[1]),
+    ("after (100-150s)", BURST[1] + 5.0, HORIZON),
+)
 
 
-def _run():
-    load = LoadSpec(node="node0", start=BURST[0], stop=BURST[1],
-                    threads=LOAD_THREADS, burst_s=0.05)
-    runtime = Runtime(
-        build_tracker(),
-        RuntimeConfig(cluster=cluster_for("config1"), aru=aru_min(), seed=0,
-                      loads=(load,)),
+def _run(runner):
+    spec = CellSpec(
+        config="config1",
+        policy=aru_min(),
+        seed=0,
+        horizon=HORIZON,
+        loads=(LoadSpec(node="node0", start=BURST[0], stop=BURST[1],
+                        threads=LOAD_THREADS, burst_s=0.05),),
+        probe="throttle_phases",
+        probe_args=(("thread", "digitizer"), ("phases", PHASES)),
     )
-    trace = runtime.run(until=HORIZON)
-    series = control_series(trace, "digitizer")
-    pm = PostmortemAnalyzer(trace)
-    phases = {
-        "before (0-50s)": (5.0, BURST[0]),
-        "burst (50-100s)": (BURST[0] + 5.0, BURST[1]),
-        "after (100-150s)": (BURST[1] + 5.0, HORIZON),
-    }
-    rows = []
-    for label, (lo, hi) in phases.items():
-        target = _phase_stats(series, lo, hi)
-        outs = [it for it in trace.sink_iterations() if lo <= it.t_end < hi]
-        fps = len(outs) / (hi - lo)
-        rows.append([label, target * 1e3, fps])
-    return rows, pm.wasted_memory_fraction
+    result, = runner.run_metrics([spec])
+    rows = [
+        [label, result.extras[f"target:{label}"] * 1e3,
+         result.extras[f"fps:{label}"]]
+        for label, _, _ in PHASES
+    ]
+    return rows, result.metrics.wasted_memory
 
 
-def test_loop_tracks_load_transient(benchmark, emit):
-    rows, waste = benchmark.pedantic(_run, rounds=1, iterations=1)
+def test_loop_tracks_load_transient(benchmark, emit, sweep_runner):
+    rows, waste = benchmark.pedantic(lambda: _run(sweep_runner),
+                                     rounds=1, iterations=1)
     table = format_table(
         ["phase", "digitizer target (ms)", "delivered fps"],
         rows,

@@ -8,46 +8,44 @@ degrades: output jitter grows with noise while the waste elimination
 keeps working.
 """
 
-from repro.apps import build_tracker
 from repro.aru import aru_min
-from repro.bench import format_table
-from repro.cluster import config1_spec
-from repro.metrics import PostmortemAnalyzer, jitter, throughput_fps
-from repro.runtime import Runtime, RuntimeConfig
+from repro.bench import CellSpec, format_table
 
 NOISE_LEVELS = (0.0, 0.08, 0.2, 0.4)
 SEEDS = (0, 1)
 HORIZON = 90.0
 
 
-def _run(noise, seed):
-    cluster = config1_spec(sched_noise_cv=noise)
-    rec = Runtime(
-        build_tracker(), RuntimeConfig(cluster=cluster, aru=aru_min(), seed=seed)
-    ).run(until=HORIZON)
-    pm = PostmortemAnalyzer(rec)
-    return {
-        "jitter": jitter(rec) * 1e3,
-        "fps": throughput_fps(rec),
-        "waste": 100 * pm.wasted_memory_fraction,
-    }
-
-
-def _sweep():
+def _sweep(runner):
+    specs = [
+        CellSpec(
+            config="config1",
+            policy=aru_min(),
+            label=f"cv={noise}",
+            seed=seed,
+            horizon=HORIZON,
+            sched_noise_cv=noise,
+        )
+        for noise in NOISE_LEVELS
+        for seed in SEEDS
+    ]
+    results = runner.run_metrics(specs)
     rows = []
     for noise in NOISE_LEVELS:
-        runs = [_run(noise, seed) for seed in SEEDS]
+        runs = [r.metrics for r in results if r.spec.label == f"cv={noise}"]
+        n = len(runs)
         rows.append([
             noise,
-            sum(r["fps"] for r in runs) / len(runs),
-            sum(r["jitter"] for r in runs) / len(runs),
-            sum(r["waste"] for r in runs) / len(runs),
+            sum(r.throughput for r in runs) / n,
+            1e3 * sum(r.jitter for r in runs) / n,
+            100 * sum(r.wasted_memory for r in runs) / n,
         ])
     return rows
 
 
-def test_noise_sensitivity(benchmark, emit):
-    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+def test_noise_sensitivity(benchmark, emit, sweep_runner):
+    rows = benchmark.pedantic(lambda: _sweep(sweep_runner),
+                              rounds=1, iterations=1)
     table = format_table(
         ["sched_noise_cv", "fps", "jitter (ms)", "% Mem wasted"],
         rows,

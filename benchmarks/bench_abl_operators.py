@@ -11,40 +11,45 @@ Expected frontier: memory waste decreases monotonically toward ``max``;
 throughput is highest at the conservative end.
 """
 
-import pytest
-
 from repro.aru import AruConfig
-from repro.bench import format_table, run_tracker_once
+from repro.bench import CellSpec, format_table
 
 OPERATORS = ("min", "kth:1", "median", "mean", "max")
 SEEDS = (0, 1)
 HORIZON = 90.0
 
 
-def _sweep():
+def _sweep(runner):
+    specs = [
+        CellSpec(
+            config="config1",
+            policy=AruConfig(default_channel_op=op, thread_op=op,
+                             name=f"aru-{op}"),
+            label=op,
+            seed=seed,
+            horizon=HORIZON,
+        )
+        for op in OPERATORS
+        for seed in SEEDS
+    ]
+    results = runner.run_metrics(specs)
     rows = []
     for op in OPERATORS:
-        runs = [
-            run_tracker_once(
-                "config1",
-                AruConfig(default_channel_op=op, thread_op=op, name=f"aru-{op}"),
-                seed=seed,
-                horizon=HORIZON,
-            )
-            for seed in SEEDS
-        ]
+        runs = [r.metrics for r in results if r.spec.label == op]
+        n = len(runs)
         rows.append([
             op,
-            sum(r.mem_mean for r in runs) / len(runs) / 1e6,
-            100 * sum(r.wasted_memory for r in runs) / len(runs),
-            sum(r.throughput for r in runs) / len(runs),
-            1e3 * sum(r.latency_mean for r in runs) / len(runs),
+            sum(r.mem_mean for r in runs) / n / 1e6,
+            100 * sum(r.wasted_memory for r in runs) / n,
+            sum(r.throughput for r in runs) / n,
+            1e3 * sum(r.latency_mean for r in runs) / n,
         ])
     return rows
 
 
-def test_operator_frontier(benchmark, emit):
-    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+def test_operator_frontier(benchmark, emit, sweep_runner):
+    rows = benchmark.pedantic(lambda: _sweep(sweep_runner),
+                              rounds=1, iterations=1)
     table = format_table(
         ["operator", "Mem mean (MB)", "% Mem wasted", "fps", "lat (ms)"],
         rows,

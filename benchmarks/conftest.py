@@ -1,8 +1,16 @@
 """Shared fixtures for the benchmark harness.
 
-The full (config x policy x seed) grid is simulated once per pytest
-session and shared by the fig-6/7/8/9/10 benches; each bench then times
-its own analysis/rendering stage and emits its table both to the terminal
+Every bench routes its simulation cells through one session-scoped
+:class:`~repro.bench.runner.SweepRunner`. Under pytest the runner is
+pinned to ``workers=1`` (so bench timings and tier-1 results stay
+deterministic and machine-independent) with its result cache in a
+throwaway tmp directory (so runs never read stale state from, or write
+state into, the working tree). The cache still pays off *within* a
+session: cells shared between benches simulate once.
+
+The full (config x policy x seed) grid is swept once per session and
+shared by the fig-6/7/8/9/10 benches; each bench then times its own
+analysis/rendering stage and emits its table both to the terminal
 (visible in ``bench_output.txt``) and to ``benchmarks/results/``.
 """
 
@@ -10,7 +18,7 @@ import pathlib
 
 import pytest
 
-from repro.bench import DEFAULT_SEEDS, run_grid
+from repro.bench import DEFAULT_SEEDS, ResultCache, SweepRunner, run_grid
 
 #: Simulated seconds per run. 120 s covers several hundred output frames.
 HORIZON = 120.0
@@ -20,9 +28,16 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
 @pytest.fixture(scope="session")
-def tracker_grid():
+def sweep_runner(tmp_path_factory):
+    """Serial, tmp-cached runner — the determinism-pinned pytest setup."""
+    cache = ResultCache(tmp_path_factory.mktemp("bench_cache"))
+    return SweepRunner(workers=1, cache=cache)
+
+
+@pytest.fixture(scope="session")
+def tracker_grid(sweep_runner):
     """The paper's full §5 grid: 2 configs x 3 policies x 3 seeds."""
-    return run_grid(seeds=SEEDS, horizon=HORIZON)
+    return run_grid(seeds=SEEDS, horizon=HORIZON, runner=sweep_runner)
 
 
 @pytest.fixture(scope="session")

@@ -101,6 +101,32 @@ _NAMED: dict = {
 }
 
 
+class ParametrizedFilterFactory:
+    """A filter factory carrying one constructor argument, picklable.
+
+    Sweep workers receive experiment specs by pickling; a lambda closing
+    over ``(cls, value)`` would make any config with a parametrized
+    filter (``"ewma:0.2"``) unusable as a parallel cell spec.
+    """
+
+    def __init__(self, cls: type, value: Union[int, float]) -> None:
+        self.cls = cls
+        self.value = value
+
+    def __call__(self) -> Filter:
+        return self.cls(self.value)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, ParametrizedFilterFactory)
+                and other.cls is self.cls and other.value == self.value)
+
+    def __hash__(self) -> int:
+        return hash((self.cls, self.value))
+
+    def __repr__(self) -> str:
+        return f"ParametrizedFilterFactory({self.cls.__name__}, {self.value})"
+
+
 def resolve_factory(spec: Union[str, FilterFactory, None]) -> FilterFactory:
     """Turn a config value into a filter factory.
 
@@ -118,7 +144,7 @@ def resolve_factory(spec: Union[str, FilterFactory, None]) -> FilterFactory:
             raise ConfigError(f"unknown filter {spec!r}; expected {sorted(_NAMED)}")
         if arg:
             value: Union[int, float] = float(arg) if "." in arg else int(arg)
-            return lambda: cls(value)  # type: ignore[call-arg]
+            return ParametrizedFilterFactory(cls, value)
         return cls
     if callable(spec):
         return spec

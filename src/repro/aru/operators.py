@@ -62,22 +62,44 @@ def median_op(values: Sequence[float]) -> float:
     return 0.5 * (ordered[mid - 1] + ordered[mid])
 
 
+class KthOperator:
+    """The ``k``-th smallest summary (0-based), as a picklable callable.
+
+    A plain closure here would break experiment specs: sweep workers
+    receive their cell specs by pickling, and closures don't pickle.
+    """
+
+    def __init__(self, k: int) -> None:
+        if k < 0:
+            raise ConfigError(f"kth operator needs k >= 0, got {k}")
+        self.k = int(k)
+
+    def __call__(self, values: Sequence[float]) -> float:
+        _check_nonempty(values)
+        ordered = sorted(values)
+        return ordered[min(self.k, len(ordered) - 1)]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, KthOperator) and other.k == self.k
+
+    def __hash__(self) -> int:
+        return hash((KthOperator, self.k))
+
+    def __repr__(self) -> str:
+        return f"KthOperator({self.k})"
+
+    @property
+    def __name__(self) -> str:
+        return f"kth_{self.k}"
+
+
 def kth_op(k: int) -> Operator:
     """Factory: the ``k``-th smallest summary (0-based).
 
     ``kth_op(0)`` is :func:`min_op`; ``kth_op(len-1)`` is :func:`max_op`;
     values of ``k`` beyond the vector length clamp to the maximum.
     """
-    if k < 0:
-        raise ConfigError(f"kth operator needs k >= 0, got {k}")
-
-    def op(values: Sequence[float]) -> float:
-        _check_nonempty(values)
-        ordered = sorted(values)
-        return ordered[min(k, len(ordered) - 1)]
-
-    op.__name__ = f"kth_{k}"
-    return op
+    return KthOperator(k)
 
 
 def pooled_min_op(values: Sequence[float]) -> float:

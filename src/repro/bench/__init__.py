@@ -1,5 +1,6 @@
-"""Experiment harness: per-table runners, report rendering, paper comparison."""
+"""Experiment harness: sweep runner, result cache, tables, comparison."""
 
+from repro.bench.cache import DEFAULT_CACHE_DIR, ResultCache, canonical_repr
 from repro.bench.compare import PAPER, format_shape_report, shape_checks
 from repro.bench.export import (
     RUN_COLUMNS,
@@ -15,11 +16,22 @@ from repro.bench.experiments import (
     PolicyAggregate,
     RunMetrics,
     cluster_for,
+    grid_specs,
+    metrics_from_trace,
     placement_for,
     run_grid,
     run_tracker_once,
 )
+from repro.bench.probes import PROBES, probe
 from repro.bench.report import ascii_timeline, format_table, timeline_csv
+from repro.bench.runner import (
+    CellResult,
+    CellSpec,
+    SweepRunner,
+    SweepStats,
+    default_workers,
+    run_cell,
+)
 from repro.bench.specfile import (
     aru_from_dict,
     experiment_from_dict,
@@ -34,6 +46,19 @@ from repro.bench.tables import (
 __all__ = [
     "run_tracker_once",
     "run_grid",
+    "grid_specs",
+    "metrics_from_trace",
+    "CellSpec",
+    "CellResult",
+    "SweepRunner",
+    "SweepStats",
+    "run_cell",
+    "default_workers",
+    "ResultCache",
+    "DEFAULT_CACHE_DIR",
+    "canonical_repr",
+    "PROBES",
+    "probe",
     "RunMetrics",
     "PolicyAggregate",
     "CONFIG_NAMES",

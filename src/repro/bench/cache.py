@@ -1,0 +1,161 @@
+"""Content-addressed cache of per-cell sweep results.
+
+Each (config, policy, seed, horizon, ...) cell of an experiment sweep is
+memoized on disk under a key that is a SHA-256 hash of a *canonical
+representation* of everything that determines the cell's output:
+
+* the code version (``repro.__version__`` — bump it and every key
+  changes, so stale results can never leak across releases);
+* every field of the cell spec, recursively canonicalized — dataclasses
+  (``AruConfig``, ``TrackerConfig``, ``LoadSpec``, ...) by qualified
+  class name plus sorted field values, the resolved :class:`ClusterSpec`
+  of the cell's named configuration, callables by qualified name plus
+  their instance state.
+
+Because the simulator is seeded and deterministic, a cache hit is
+bit-identical to a re-execution; re-running a sweep after editing only
+the report layer therefore touches no simulation code at all.
+
+Robustness: a corrupted or truncated cache file is *discarded* (and
+deleted) rather than crashing the sweep — the cell simply re-executes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Optional
+
+#: Default cache location, relative to the working directory.
+DEFAULT_CACHE_DIR = ".bench_cache"
+
+
+def canonical_repr(obj: Any) -> str:
+    """A deterministic, content-reflecting string for hashable specs.
+
+    Dict ordering, dataclass field order, and float formatting are all
+    normalized so that equal-content specs — however constructed — map
+    to equal strings.
+    """
+    if obj is None or isinstance(obj, (bool, int, str, bytes)):
+        return repr(obj)
+    if isinstance(obj, float):
+        return repr(obj)  # repr is shortest-exact for floats
+    if isinstance(obj, (list, tuple)):
+        inner = ",".join(canonical_repr(v) for v in obj)
+        return f"[{inner}]"
+    if isinstance(obj, (set, frozenset)):
+        inner = ",".join(sorted(canonical_repr(v) for v in obj))
+        return f"{{{inner}}}"
+    if isinstance(obj, dict):
+        inner = ",".join(
+            f"{canonical_repr(k)}:{canonical_repr(v)}"
+            for k, v in sorted(obj.items(), key=lambda kv: repr(kv[0]))
+        )
+        return f"{{{inner}}}"
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        cls = type(obj)
+        fields = ",".join(
+            f"{f.name}={canonical_repr(getattr(obj, f.name))}"
+            for f in dataclasses.fields(obj)
+        )
+        return f"{cls.__module__}.{cls.__qualname__}({fields})"
+    if isinstance(obj, type):
+        return f"<class {obj.__module__}.{obj.__qualname__}>"
+    if callable(obj):
+        # Functions/classes hash by identity; callable instances (e.g.
+        # KthOperator) additionally fold in their visible state.
+        name = f"{getattr(obj, '__module__', '?')}." \
+               f"{getattr(obj, '__qualname__', type(obj).__qualname__)}"
+        state = getattr(obj, "__dict__", None)
+        return f"<callable {name} {canonical_repr(state) if state else ''}>"
+    raise TypeError(
+        f"cannot canonicalize {type(obj).__qualname__!r} for cache keying"
+    )
+
+
+class ResultCache:
+    """Pickle-per-cell result store under ``root``, keyed by content hash."""
+
+    def __init__(self, root: os.PathLike = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+
+    # -- keying --------------------------------------------------------------
+    def key(self, spec: Any) -> str:
+        """The content hash addressing ``spec``'s result file.
+
+        If the spec exposes ``cache_payload()`` (as ``CellSpec`` does),
+        that expansion — which resolves named configurations to their
+        full parameter sets — is hashed instead of the spec itself.
+        """
+        import repro
+
+        expanded = spec.cache_payload() if hasattr(spec, "cache_payload") \
+            else spec
+        payload = f"repro=={repro.__version__}|{canonical_repr(expanded)}"
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def path_for(self, spec: Any) -> Path:
+        return self.root / f"{self.key(spec)}.pkl"
+
+    # -- access --------------------------------------------------------------
+    def get(self, spec: Any):
+        """The cached result for ``spec``, or None (miss / unreadable)."""
+        path = self.path_for(spec)
+        try:
+            with open(path, "rb") as fh:
+                result = pickle.load(fh)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # Corrupted, truncated, or written by an incompatible code
+            # state: drop the file and treat as a miss.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        if getattr(result, "spec", None) != spec:
+            return None  # hash collision or foreign payload
+        return result
+
+    def put(self, spec: Any, result: Any) -> Path:
+        """Store ``result`` under ``spec``'s key (atomic write)."""
+        path = self.path_for(spec)
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def clear(self) -> int:
+        """Delete every cached result; returns the number removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.pkl"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.pkl"))
+
+    def __repr__(self) -> str:
+        return f"ResultCache({str(self.root)!r}, {len(self)} entries)"

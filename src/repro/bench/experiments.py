@@ -14,14 +14,13 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.apps.tracker import TrackerConfig, build_tracker, tracker_placement
+from repro.apps.tracker import TrackerConfig, tracker_placement
 from repro.aru.config import AruConfig, aru_disabled, aru_max, aru_min
 from repro.cluster.spec import ClusterSpec, config1_spec, config2_spec
 from repro.errors import ConfigError
 from repro.metrics.footprint import Timeline
 from repro.metrics.performance import jitter, latency_stats, throughput_fps
 from repro.metrics.postmortem import PostmortemAnalyzer
-from repro.runtime.runtime import Runtime, RuntimeConfig
 
 #: The two hardware configurations of §5.
 CONFIG_NAMES = ("config1", "config2")
@@ -73,34 +72,21 @@ class RunMetrics:
     frames_delivered: int
 
 
-def run_tracker_once(
+def metrics_from_trace(
     config: str,
-    policy: AruConfig,
-    seed: int = 0,
-    horizon: float = DEFAULT_HORIZON,
-    tracker_cfg: Optional[TrackerConfig] = None,
-    gc: str = "dgc",
+    policy_name: str,
+    seed: int,
+    horizon: float,
+    recorder,
 ) -> RunMetrics:
-    """One full tracker simulation + postmortem."""
-    graph = build_tracker(tracker_cfg)
-    runtime = Runtime(
-        graph,
-        RuntimeConfig(
-            cluster=cluster_for(config),
-            gc=gc,
-            aru=policy,
-            seed=seed,
-            placement=placement_for(config),
-        ),
-    )
-    recorder = runtime.run(until=horizon)
+    """Postmortem of one finished run, folded into :class:`RunMetrics`."""
     pm = PostmortemAnalyzer(recorder)
     footprint = pm.footprint()
     igc = pm.ideal_footprint()
     lat_mean, lat_std = latency_stats(recorder)
     return RunMetrics(
         config=config,
-        policy=policy.name,
+        policy=policy_name,
         seed=seed,
         horizon=horizon,
         mem_mean=footprint.mean(),
@@ -119,6 +105,27 @@ def run_tracker_once(
         frames_produced=len(recorder.iterations_of("digitizer")),
         frames_delivered=len(recorder.sink_iterations()),
     )
+
+
+def run_tracker_once(
+    config: str,
+    policy: AruConfig,
+    seed: int = 0,
+    horizon: float = DEFAULT_HORIZON,
+    tracker_cfg: Optional[TrackerConfig] = None,
+    gc: str = "dgc",
+) -> RunMetrics:
+    """One full tracker simulation + postmortem.
+
+    This is the single-cell convenience wrapper over the sweep path:
+    errors propagate (unlike :func:`repro.bench.runner.run_cell`, which
+    folds them into the result).
+    """
+    from repro.bench.runner import CellSpec, _execute_cell
+
+    spec = CellSpec(config=config, policy=policy, seed=seed, horizon=horizon,
+                    tracker=tracker_cfg, gc=gc)
+    return _execute_cell(spec).metrics
 
 
 @dataclass
@@ -159,6 +166,32 @@ class PolicyAggregate:
         return mean - half, mean + half
 
 
+def grid_specs(
+    configs: Sequence[str] = CONFIG_NAMES,
+    policies: Optional[Dict[str, Callable[[], AruConfig]]] = None,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    horizon: float = DEFAULT_HORIZON,
+    tracker_cfg: Optional[TrackerConfig] = None,
+    gc: str = "dgc",
+) -> List["CellSpec"]:
+    """The paper's §5 grid as a flat list of sweep cell specs.
+
+    Policy *factories* (possibly lambdas) are resolved to their
+    :class:`AruConfig` values here, in the parent process — cell specs
+    must stay picklable for the worker pool.
+    """
+    from repro.bench.runner import CellSpec
+
+    policies = policies or POLICY_FACTORIES
+    return [
+        CellSpec(config=config, policy=factory(), label=label, seed=seed,
+                 horizon=horizon, tracker=tracker_cfg, gc=gc)
+        for config in configs
+        for label, factory in policies.items()
+        for seed in seeds
+    ]
+
+
 def run_grid(
     configs: Sequence[str] = CONFIG_NAMES,
     policies: Optional[Dict[str, Callable[[], AruConfig]]] = None,
@@ -166,19 +199,27 @@ def run_grid(
     horizon: float = DEFAULT_HORIZON,
     tracker_cfg: Optional[TrackerConfig] = None,
     gc: str = "dgc",
+    runner: Optional["SweepRunner"] = None,
+    workers: int = 1,
 ) -> Dict[Tuple[str, str], PolicyAggregate]:
-    """Run the full (config x policy x seed) grid of the paper's §5."""
-    policies = policies or POLICY_FACTORIES
+    """Run the full (config x policy x seed) grid of the paper's §5.
+
+    All cells go through a :class:`~repro.bench.runner.SweepRunner` —
+    pass one in (``runner``) to share its worker pool and result cache,
+    or just set ``workers`` for an ad-hoc parallel, uncached sweep. The
+    default stays serial and uncached, which is what the unit tests
+    want.
+    """
+    from repro.bench.runner import SweepRunner
+
+    specs = grid_specs(configs, policies, seeds, horizon, tracker_cfg, gc)
+    runner = runner or SweepRunner(workers=workers)
+    results = runner.run_metrics(specs)
     out: Dict[Tuple[str, str], PolicyAggregate] = {}
-    for config in configs:
-        for label, factory in policies.items():
-            agg = PolicyAggregate(config=config, policy=label)
-            for seed in seeds:
-                agg.runs.append(
-                    run_tracker_once(
-                        config, factory(), seed=seed, horizon=horizon,
-                        tracker_cfg=tracker_cfg, gc=gc,
-                    )
-                )
-            out[(config, label)] = agg
+    for spec, result in zip(specs, results):
+        key = (spec.config, spec.policy_label)
+        if key not in out:
+            out[key] = PolicyAggregate(config=spec.config,
+                                       policy=spec.policy_label)
+        out[key].runs.append(result.metrics)
     return out

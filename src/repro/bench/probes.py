@@ -1,0 +1,94 @@
+"""In-cell measurement probes for sweep cells.
+
+A probe runs *inside the worker process*, right after a cell's
+simulation, with access to the live task graph and the trace recorder —
+state that is either too heavy to ship back to the parent (the full
+recorder) or not captured in :class:`~repro.bench.experiments.RunMetrics`
+at all (mutable graph params such as computation-elimination counters).
+It must return a flat, picklable ``{name: number}`` dict, which the
+runner attaches to the cell result as ``extras``.
+
+Probes are addressed *by name* in cell specs (strings pickle; functions
+defined in benchmark modules may not exist in a freshly spawned worker),
+so every probe must be registered here, in an importable module.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+#: probe(graph, recorder, **args) -> flat dict of scalars.
+Probe = Callable[..., Dict[str, float]]
+
+PROBES: Dict[str, Probe] = {}
+
+
+def probe(name: str) -> Callable[[Probe], Probe]:
+    """Register a probe under ``name`` (the value cell specs reference)."""
+
+    def register(fn: Probe) -> Probe:
+        PROBES[name] = fn
+        return fn
+
+    return register
+
+
+def resolve_probe(name: str) -> Probe:
+    try:
+        return PROBES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown probe {name!r}; registered: {sorted(PROBES)}"
+        ) from None
+
+
+#: The tracker's upstream stages — the ones computation elimination [6]
+#: would have to cancel before their (quick) iterations finish.
+TRACKER_UPSTREAM = ("change_detection", "histogram",
+                    "target_detect1", "target_detect2")
+
+
+@probe("ce_stats")
+def ce_stats(graph, recorder, threads: Sequence[str] = TRACKER_UPSTREAM):
+    """Computation-elimination counters (the §3.2 prior-work ablation)."""
+    ce_skips = sum(
+        graph.attrs(t)["params"].get("ce_skips", 0) for t in graph.threads()
+    )
+    upstream_iters = sum(len(recorder.iterations_of(t)) for t in threads)
+    return {
+        "ce_skips": float(ce_skips),
+        "upstream_iterations": float(upstream_iters),
+        "ce_fire_rate": 100.0 * ce_skips / max(1, upstream_iters + ce_skips),
+    }
+
+
+@probe("throttle_phases")
+def throttle_phases(
+    graph,
+    recorder,
+    thread: str = "digitizer",
+    phases: Sequence[Tuple[str, float, float]] = (),
+):
+    """Per-phase mean throttle target and delivered fps for ``thread``.
+
+    ``phases`` is a sequence of ``(label, t_lo, t_hi)`` windows; the
+    result carries ``target:<label>`` (seconds) and ``fps:<label>``.
+    """
+    from repro.metrics.control import control_series
+
+    series = control_series(recorder, thread)
+    out: Dict[str, float] = {}
+    for label, lo, hi in phases:
+        mask = (series.times >= lo) & (series.times < hi)
+        mask &= ~np.isnan(series.throttle_target)
+        target = float(np.mean(series.throttle_target[mask])) if mask.any() \
+            else float("nan")
+        delivered = [it for it in recorder.sink_iterations()
+                     if lo <= it.t_end < hi]
+        out[f"target:{label}"] = target
+        out[f"fps:{label}"] = len(delivered) / (hi - lo)
+    return out

@@ -6,6 +6,8 @@ Usage (also available as ``python -m repro``):
 
     repro-aru run-tracker --config 1 --policy aru-max --horizon 120 \\
         [--seed 0] [--gc dgc] [--save-trace run.json]
+    repro-aru sweep [--workers 4] [--no-cache] [--cache-dir .bench_cache] \\
+        [--seeds 3] [--horizon 120] [--save-csv grid.csv]
     repro-aru paper-tables [--seeds 2] [--horizon 120] [--save-csv grid.csv]
     repro-aru analyze run.json
     repro-aru compare a.json b.json
@@ -52,6 +54,17 @@ def _policy(name: str):
         raise SystemExit(
             f"unknown policy {name!r}; choose from {sorted(_POLICIES)}"
         ) from None
+
+
+def _workers_arg(value: str) -> int:
+    try:
+        n = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer >= 1, got {value!r}") from None
+    if n < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return n
 
 
 def _print_run_summary(run) -> None:
@@ -104,23 +117,49 @@ def cmd_run_tracker(args) -> int:
     return 0
 
 
-def cmd_paper_tables(args) -> int:
-    seeds = tuple(range(args.seeds))
-    print(f"Simulating 2 configs x 3 policies x {len(seeds)} seeds "
-          f"x {args.horizon:.0f}s ...\n")
-    grid = run_grid(seeds=seeds, horizon=args.horizon)
+def _print_grid_tables(grid, save_csv=None) -> None:
     for config in ("config1", "config2"):
         print(fig6_memory_table(grid, config)[0], end="\n\n")
         print(fig7_waste_table(grid, config)[0], end="\n\n")
         print(fig10_performance_table(grid, config)[0], end="\n\n")
     print(format_shape_report(shape_checks(grid)))
-    if args.save_csv:
+    if save_csv:
         from pathlib import Path
 
         from repro.bench import grid_to_csv
 
-        Path(args.save_csv).write_text(grid_to_csv(grid))
-        print(f"\nper-run CSV saved to {args.save_csv}")
+        Path(save_csv).write_text(grid_to_csv(grid))
+        print(f"\nper-run CSV saved to {save_csv}")
+
+
+def cmd_paper_tables(args) -> int:
+    seeds = tuple(range(args.seeds))
+    print(f"Simulating 2 configs x 3 policies x {len(seeds)} seeds "
+          f"x {args.horizon:.0f}s ...\n")
+    grid = run_grid(seeds=seeds, horizon=args.horizon, workers=args.workers)
+    _print_grid_tables(grid, save_csv=args.save_csv)
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    """The full §5 grid through the parallel, cached sweep runner."""
+    import time
+
+    from repro.bench import ResultCache, SweepRunner
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    runner = SweepRunner(workers=args.workers, cache=cache)
+    seeds = tuple(range(args.seeds))
+    print(f"Sweeping 2 configs x 3 policies x {len(seeds)} seeds "
+          f"x {args.horizon:.0f}s on {runner.workers} worker(s), "
+          f"cache={'off' if cache is None else args.cache_dir} ...\n")
+    t0 = time.perf_counter()
+    grid = run_grid(seeds=seeds, horizon=args.horizon, runner=runner)
+    wall = time.perf_counter() - t0
+    _print_grid_tables(grid, save_csv=args.save_csv)
+    stats = runner.stats
+    print(f"\nsweep: {stats.total} cells in {wall:.1f}s wall — "
+          f"{stats.executed} executed, {stats.cache_hits} cache hits")
     return 0
 
 
@@ -244,7 +283,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_tables.add_argument("--seeds", type=int, default=2)
     p_tables.add_argument("--horizon", type=float, default=120.0)
     p_tables.add_argument("--save-csv", metavar="PATH", default=None)
+    p_tables.add_argument("--workers", type=_workers_arg, default=1,
+                          help="simulation worker processes (default 1)")
     p_tables.set_defaults(func=cmd_paper_tables)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="parallel, cached regeneration of the full §5 grid")
+    p_sweep.add_argument("--seeds", type=int, default=3,
+                         help="number of seeds per cell (default 3)")
+    p_sweep.add_argument("--horizon", type=float, default=120.0)
+    p_sweep.add_argument("--workers", type=_workers_arg, default=None,
+                         help="worker processes (default: CPU count - 1)")
+    p_sweep.add_argument("--no-cache", action="store_true",
+                         help="always re-execute; don't read or write the "
+                              "result cache")
+    p_sweep.add_argument("--cache-dir", metavar="PATH", default=".bench_cache",
+                         help="result cache directory (default .bench_cache)")
+    p_sweep.add_argument("--save-csv", metavar="PATH", default=None)
+    p_sweep.set_defaults(func=cmd_sweep)
 
     p_rc = sub.add_parser("run-config",
                           help="run an experiment described by a JSON spec")
@@ -282,7 +339,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        print("\ninterrupted — pending sweep cells cancelled",
+              file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -35,6 +35,19 @@ class Timeline:
         self.times = times
         self.values = values
 
+    def __eq__(self, other: object) -> bool:
+        """Exact (bitwise) equality of breakpoints and values.
+
+        Needed so experiment results — which embed timelines — support
+        the differential determinism checks of the sweep runner.
+        """
+        if not isinstance(other, Timeline):
+            return NotImplemented
+        return (np.array_equal(self.times, other.times)
+                and np.array_equal(self.values, other.values))
+
+    __hash__ = None  # mutable arrays; equality is by content
+
     # -- statistics ----------------------------------------------------------
     @property
     def duration(self) -> float:

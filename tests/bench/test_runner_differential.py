@@ -1,0 +1,66 @@
+"""Differential determinism: parallel sweeps must equal serial sweeps.
+
+The whole premise of the sweep runner is that the DES is seeded and
+deterministic, so farming cells out to worker processes is a pure
+wall-clock optimization — the *results* must be bit-identical to the
+serial reference execution, cell for cell. These tests pin that
+contract at a reduced horizon over the paper's full 2x3x3 grid.
+"""
+
+import pickle
+
+import pytest
+
+from repro.bench import SweepRunner, grid_specs
+
+HORIZON = 10.0
+SEEDS = (0, 1, 2)
+
+
+@pytest.fixture(scope="module")
+def specs():
+    return grid_specs(seeds=SEEDS, horizon=HORIZON)
+
+
+@pytest.fixture(scope="module")
+def serial_results(specs):
+    return SweepRunner(workers=1).run(specs)
+
+
+def test_grid_is_full(specs):
+    assert len(specs) == 2 * 3 * 3
+
+
+def test_parallel_matches_serial_bit_identically(specs, serial_results):
+    parallel = SweepRunner(workers=4).run(specs)
+    assert len(parallel) == len(serial_results)
+    for ser, par in zip(serial_results, parallel):
+        assert ser.ok and par.ok
+        assert ser.spec == par.spec
+        # structural equality (dataclass/__eq__, incl. exact timelines) ...
+        assert ser.metrics == par.metrics
+        assert ser.extras == par.extras
+        # ... and bit-level equality of the full serialized result
+        assert pickle.dumps(ser) == pickle.dumps(par)
+
+
+def test_serial_rerun_is_bit_identical(specs, serial_results):
+    again = SweepRunner(workers=1).run(specs)
+    assert [pickle.dumps(r) for r in again] == \
+        [pickle.dumps(r) for r in serial_results]
+
+
+def test_results_preserve_spec_order(specs, serial_results):
+    assert [r.spec for r in serial_results] == list(specs)
+
+
+def test_cached_results_are_bit_identical_to_executed(tmp_path, specs,
+                                                      serial_results):
+    """A cache hit must be indistinguishable from a re-execution."""
+    sub = specs[:3]
+    runner = SweepRunner(workers=1, cache=tmp_path / "cache")
+    cold = runner.run(sub)
+    warm = runner.run(sub)
+    assert runner.stats.executed == 0
+    for ref, c, w in zip(serial_results[:3], cold, warm):
+        assert pickle.dumps(ref) == pickle.dumps(c) == pickle.dumps(w)

@@ -1,0 +1,95 @@
+"""Fault handling: failing cells are data, interrupts cancel cleanly."""
+
+import pytest
+
+from repro.aru import aru_disabled, aru_min
+from repro.bench import CellSpec, SweepRunner
+
+HORIZON = 5.0
+
+GOOD = CellSpec(config="config1", policy=aru_min(), seed=0, horizon=HORIZON)
+#: config9 doesn't exist; the cell raises ConfigError inside the worker.
+BAD = CellSpec(config="config9", policy=aru_min(), seed=0, horizon=HORIZON)
+
+
+def _mixed_specs():
+    return [
+        GOOD,
+        BAD,
+        CellSpec(config="config1", policy=aru_disabled(), seed=1,
+                 horizon=HORIZON),
+        BAD.with_(seed=2),
+        CellSpec(config="config2", policy=aru_min(), seed=2,
+                 horizon=HORIZON),
+    ]
+
+
+@pytest.mark.parametrize("workers", [1, 3])
+def test_failed_cell_reported_with_traceback_others_complete(workers):
+    runner = SweepRunner(workers=workers)
+    results = runner.run(_mixed_specs())
+    assert len(results) == 5
+    ok = [r for r in results if r.ok]
+    failed = [r for r in results if not r.ok]
+    assert len(ok) == 3 and len(failed) == 2
+    # the sweep did not abort: every healthy cell carries real metrics
+    assert all(r.metrics is not None and r.metrics.throughput > 0
+               for r in ok)
+    # the failure carries its worker traceback, pinpointing the cause
+    for r in failed:
+        assert r.metrics is None
+        assert "Traceback" in r.error
+        assert "ConfigError" in r.error and "config9" in r.error
+    assert runner.stats.failures == 2
+    assert runner.stats.executed == 5
+
+
+def test_failed_cells_are_not_cached(tmp_path):
+    runner = SweepRunner(workers=1, cache=tmp_path / "cache")
+    runner.run([BAD])
+    assert runner.stats.failures == 1
+    runner.run([BAD])
+    assert runner.stats.cache_hits == 0  # re-executed, not replayed
+    assert runner.stats.failures == 1
+
+
+def test_run_metrics_raises_on_failed_cell():
+    runner = SweepRunner(workers=1)
+    with pytest.raises(RuntimeError, match="config9|ConfigError"):
+        runner.run_metrics([GOOD, BAD])
+
+
+class _InterruptAfter:
+    """Parent-side progress hook that interrupts after N completions."""
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self.seen = 0
+
+    def __call__(self, done, total, result):
+        self.seen += 1
+        if self.seen >= self.n:
+            raise KeyboardInterrupt
+
+
+@pytest.mark.parametrize("workers", [1, 3])
+def test_keyboard_interrupt_cancels_pending_cells(workers):
+    """Ctrl-C mid-sweep: pending cells are cancelled, the interrupt
+    propagates, and the runner does not hang on pool teardown."""
+    hook = _InterruptAfter(1)
+    runner = SweepRunner(workers=workers, progress=hook)
+    specs = [GOOD.with_(seed=s) for s in range(6)]
+    with pytest.raises(KeyboardInterrupt):
+        runner.run(specs)
+    # at least one cell finished (the one that triggered the interrupt),
+    # and at least one pending cell never ran
+    assert 1 <= hook.seen < len(specs)
+
+
+def test_interrupted_runner_is_reusable():
+    runner = SweepRunner(workers=1, progress=_InterruptAfter(1))
+    with pytest.raises(KeyboardInterrupt):
+        runner.run([GOOD.with_(seed=s) for s in range(3)])
+    runner.progress = None
+    results = runner.run([GOOD])
+    assert results[0].ok

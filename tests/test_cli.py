@@ -50,6 +50,26 @@ def test_paper_tables_quick(capsys):
     assert "Shape checks vs the paper" in out
 
 
+def test_sweep_smoke_parallel(tmp_path, capsys):
+    """The documented smoke target: ``repro sweep --workers 2 --horizon 5``
+    (cache pointed into tmp so tests never touch the working tree)."""
+    cache_dir = tmp_path / "cache"
+    rc = main(["sweep", "--workers", "2", "--horizon", "5",
+               "--cache-dir", str(cache_dir)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "[fig 6]" in out and "[fig 10]" in out
+    assert "18 cells" in out
+    assert "18 executed, 0 cache hits" in out
+    assert cache_dir.exists()
+
+    # the repeated sweep is a pure cache replay: zero re-executions
+    rc = main(["sweep", "--workers", "2", "--horizon", "5",
+               "--cache-dir", str(cache_dir)])
+    assert rc == 0
+    assert "0 executed, 18 cache hits" in capsys.readouterr().out
+
+
 def test_compare_command(tmp_path, capsys):
     a, b = tmp_path / "a.json", tmp_path / "b.json"
     main(["run-tracker", "--horizon", "10", "--policy", "no-aru",
