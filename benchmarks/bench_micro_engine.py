@@ -1,10 +1,13 @@
 """[micro] Engine and channel primitive throughput.
 
 True repeated-measurement micro-benchmarks (multiple rounds) of the
-substrate: DES event dispatch rate, channel put/get cycles, and the
-end-to-end simulation rate of the tracker (simulated seconds per wall
-second). These guard against performance regressions in the kernel that
-would make the table benches impractically slow.
+substrate: DES event dispatch rate, the process resume trampoline,
+channel put/get cycles, postmortem trace analysis, and the end-to-end
+simulation rate of the tracker (simulated seconds per wall second).
+These guard against performance regressions in the kernel that would
+make the table benches impractically slow; ``check_regression.py``
+compares the dispatch rate against the committed ``BENCH_kernel.json``
+baseline.
 """
 
 from repro.aru import aru_disabled
@@ -35,6 +38,77 @@ def _spin_engine():
 def test_engine_event_rate(benchmark):
     events = benchmark(_spin_engine)
     assert events >= N_EVENTS
+
+
+def _spin_trampoline():
+    """Resume rate for yields of already-fired events (the slim-entry path)."""
+    eng = Engine()
+    fired = eng.event()
+    fired.succeed("x")
+    eng.run()
+
+    def chaser(eng, n):
+        for _ in range(n):
+            yield fired
+
+    eng.process(chaser(eng, N_EVENTS))
+    eng.run()
+    return eng.events_processed
+
+
+def test_process_trampoline_rate(benchmark):
+    events = benchmark(_spin_trampoline)
+    assert events >= N_EVENTS
+
+
+def _tracker_recorder(horizon=60.0):
+    from repro.apps import build_tracker
+    from repro.bench import cluster_for, placement_for
+    from repro.runtime import Runtime, RuntimeConfig
+
+    runtime = Runtime(
+        build_tracker(),
+        RuntimeConfig(
+            cluster=cluster_for("config1"),
+            gc="dgc",
+            aru=aru_disabled(),
+            seed=0,
+            placement=placement_for("config1"),
+        ),
+    )
+    return runtime.run(until=horizon)
+
+
+def _full_postmortem(recorder):
+    from repro.metrics import (
+        PostmortemAnalyzer,
+        jitter,
+        latency_stats,
+        throughput_fps,
+    )
+
+    pm = PostmortemAnalyzer(recorder)
+    pm.footprint().mean()
+    pm.ideal_footprint().mean()
+    report = pm.channel_report()
+    pm.thread_waste_report()
+    latency_stats(recorder)
+    throughput_fps(recorder)
+    jitter(recorder)
+    return (pm.wasted_memory_fraction, pm.wasted_computation_fraction,
+            len(report))
+
+
+def test_postmortem_analysis_rate(benchmark):
+    """Full §4 metric suite over one tracker trace. A fresh analyzer per
+    round recomputes every cached aggregate; the recorder's trace indexes
+    persist across rounds, exactly as they do across repeated analyses of
+    one finalized run."""
+    recorder = _tracker_recorder()
+    wasted_mem, wasted_comp, channels = benchmark(_full_postmortem, recorder)
+    assert 0.0 <= wasted_mem <= 1.0
+    assert 0.0 <= wasted_comp <= 1.0
+    assert channels > 0
 
 
 def _put_get_cycle():

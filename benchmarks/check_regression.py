@@ -1,0 +1,201 @@
+#!/usr/bin/env python
+"""Kernel performance regression gate.
+
+Measures the micro-kernel rates (event dispatch, process trampoline,
+postmortem analysis) and compares them against the committed baseline in
+``benchmarks/BENCH_kernel.json``. Exits non-zero when a *gated* rate has
+regressed by more than the threshold (default 30 %) — loose enough to
+ride out machine-to-machine variance, tight enough to catch a real fast
+-path regression (the pre-fast-path kernel was ~2x slower, i.e. a 50 %
+drop).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regression.py            # gate
+    PYTHONPATH=src python benchmarks/check_regression.py --update   # re-baseline
+    PYTHONPATH=src python benchmarks/check_regression.py --threshold 0.5
+
+Only the dispatch rate gates by default; the trampoline rate and the
+postmortem time are recorded for context (they are noisier). The pure
+:func:`compare` function carries the policy and is unit-tested in
+``tests/bench/test_check_regression.py``; a ``perf``-marked pytest
+wrapper runs the full gate when ``REPRO_PERF=1``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List
+
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_kernel.json"
+
+#: Rates (higher is better) whose regression fails the gate.
+GATED_RATES = ("dispatch_events_per_sec",)
+
+#: Maximum allowed fractional drop of a gated rate vs baseline.
+DEFAULT_THRESHOLD = 0.30
+
+_N_EVENTS = 50_000
+
+
+def _best_of(fn, repeat: int = 5) -> float:
+    """Best wall time over ``repeat`` runs (discards scheduler noise)."""
+    best = float("inf")
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _measure_dispatch() -> float:
+    from repro.sim import Engine
+
+    def spin():
+        eng = Engine()
+
+        def ticker(eng, n):
+            for _ in range(n):
+                yield eng.timeout(0.001)
+
+        eng.process(ticker(eng, _N_EVENTS))
+        eng.run()
+
+    return _N_EVENTS / _best_of(spin)
+
+
+def _measure_trampoline() -> float:
+    from repro.sim import Engine
+
+    def spin():
+        eng = Engine()
+        fired = eng.event()
+        fired.succeed("x")
+        eng.run()
+
+        def chaser(eng, n):
+            for _ in range(n):
+                yield fired
+
+        eng.process(chaser(eng, _N_EVENTS))
+        eng.run()
+
+    return _N_EVENTS / _best_of(spin)
+
+
+def _measure_postmortem_ms() -> float:
+    from repro.apps import build_tracker
+    from repro.aru import aru_disabled
+    from repro.bench import cluster_for, placement_for
+    from repro.metrics import (
+        PostmortemAnalyzer,
+        jitter,
+        latency_stats,
+        throughput_fps,
+    )
+    from repro.runtime import Runtime, RuntimeConfig
+
+    runtime = Runtime(
+        build_tracker(),
+        RuntimeConfig(
+            cluster=cluster_for("config1"), gc="dgc", aru=aru_disabled(),
+            seed=0, placement=placement_for("config1"),
+        ),
+    )
+    recorder = runtime.run(until=60.0)
+
+    def analyze():
+        pm = PostmortemAnalyzer(recorder)
+        pm.footprint().mean()
+        pm.ideal_footprint().mean()
+        pm.channel_report()
+        pm.thread_waste_report()
+        pm.wasted_memory_fraction
+        pm.wasted_computation_fraction
+        latency_stats(recorder)
+        throughput_fps(recorder)
+        jitter(recorder)
+
+    return _best_of(analyze, repeat=3) * 1e3
+
+
+def measure() -> Dict[str, float]:
+    """One full measurement pass; keys match the baseline file."""
+    return {
+        "dispatch_events_per_sec": _measure_dispatch(),
+        "trampoline_events_per_sec": _measure_trampoline(),
+        "postmortem_ms": _measure_postmortem_ms(),
+    }
+
+
+def compare(
+    current: Dict[str, float],
+    baseline: Dict[str, float],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> List[str]:
+    """Return one failure message per gated rate regressed beyond ``threshold``.
+
+    Pure function of its inputs (no measurement, no I/O) so the gate
+    policy is unit-testable. Gated rates missing from either side fail
+    loudly rather than passing silently.
+    """
+    failures: List[str] = []
+    for key in GATED_RATES:
+        base = baseline.get(key)
+        cur = current.get(key)
+        if base is None or cur is None:
+            failures.append(f"{key}: missing from "
+                            f"{'baseline' if base is None else 'measurement'}")
+            continue
+        if base <= 0:
+            failures.append(f"{key}: non-positive baseline {base!r}")
+            continue
+        drop = 1.0 - cur / base
+        if drop > threshold:
+            failures.append(
+                f"{key}: {cur:,.0f}/s is {drop:.0%} below baseline "
+                f"{base:,.0f}/s (allowed {threshold:.0%})"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=Path, default=BASELINE_PATH,
+                        help=f"baseline JSON (default {BASELINE_PATH.name})")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="max fractional drop allowed (default 0.30)")
+    parser.add_argument("--update", action="store_true",
+                        help="write the current measurement as the baseline")
+    args = parser.parse_args(argv)
+
+    rates = measure()
+    for key, value in rates.items():
+        unit = "ms" if key.endswith("_ms") else "/s"
+        print(f"  {key:28s} {value:>14,.1f} {unit}")
+
+    if args.update:
+        args.baseline.write_text(json.dumps({"rates": rates}, indent=2) + "\n")
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    if not args.baseline.exists():
+        print(f"no baseline at {args.baseline}; run with --update first",
+              file=sys.stderr)
+        return 2
+    baseline = json.loads(args.baseline.read_text())["rates"]
+    failures = compare(rates, baseline, args.threshold)
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION  {failure}", file=sys.stderr)
+        return 1
+    print("kernel performance within threshold of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

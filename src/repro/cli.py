@@ -9,6 +9,8 @@ Usage (also available as ``python -m repro``):
     repro-aru sweep [--workers 4] [--no-cache] [--cache-dir .bench_cache] \\
         [--seeds 3] [--horizon 120] [--save-csv grid.csv]
     repro-aru paper-tables [--seeds 2] [--horizon 120] [--save-csv grid.csv]
+    repro-aru profile [--config 1] [--policy aru-min] [--horizon 30] \\
+        [--sort cumulative] [--limit 25]
     repro-aru analyze run.json
     repro-aru compare a.json b.json
     repro-aru timeline run.json [--channel C3] [--width 72]
@@ -241,6 +243,27 @@ def cmd_analyze(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    """cProfile one tracker cell (simulation + postmortem), print hot spots."""
+    import cProfile
+    import pstats
+
+    config = f"config{args.config}"
+    policy = _policy(args.policy)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run = run_tracker_once(
+        config, policy, seed=args.seed, horizon=args.horizon, gc=args.gc
+    )
+    profiler.disable()
+    print(f"profiled: {config} policy={args.policy} seed={args.seed} "
+          f"horizon={args.horizon:.0f}s "
+          f"({run.frames_delivered} frames delivered)\n")
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.limit)
+    return 0
+
+
 def cmd_gantt(args) -> int:
     from repro.metrics import gantt
 
@@ -317,6 +340,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_dot = sub.add_parser("dot", help="emit a Graphviz DOT task graph")
     p_dot.add_argument("app", choices=("tracker", "gesture", "stereo"))
     p_dot.set_defaults(func=cmd_dot)
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="cProfile one tracker cell (simulation + full postmortem)")
+    p_prof.add_argument("--config", type=int, choices=(1, 2), default=1)
+    p_prof.add_argument("--policy", default="aru-min",
+                        choices=sorted(_POLICIES))
+    p_prof.add_argument("--seed", type=int, default=0)
+    p_prof.add_argument("--horizon", type=float, default=30.0)
+    p_prof.add_argument("--gc", default="dgc",
+                        choices=("null", "ref", "tgc", "dgc"))
+    p_prof.add_argument("--sort", default="cumulative",
+                        choices=("cumulative", "tottime", "ncalls"),
+                        help="pstats sort key (default cumulative)")
+    p_prof.add_argument("--limit", type=int, default=25,
+                        help="rows of the hot-function table (default 25)")
+    p_prof.set_defaults(func=cmd_profile)
 
     p_an = sub.add_parser("analyze", help="postmortem of a saved trace")
     p_an.add_argument("trace")

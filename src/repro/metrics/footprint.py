@@ -109,41 +109,97 @@ def build_timeline(
         Map an item to a custom lifetime end (e.g. last-get time for IGC);
         ``None`` falls back to ``t_free`` (or the horizon ``t1``).
     """
+    if predicate is not None:
+        items = [item for item in items if predicate(item)]
+    elif not isinstance(items, (list, tuple)):
+        items = list(items)
+    if not items:
+        if t1 < t0:
+            raise ValueError(f"horizon t1={t1} before t0={t0}")
+        return Timeline(np.array([t0, t1]), np.array([0.0]))
+    starts = np.asarray([item.t_alloc for item in items], dtype=float)
+    if end_override is not None:
+        ends_list = []
+        for item in items:
+            end = end_override(item)
+            if end is None:
+                end = item.t_free if item.t_free is not None else t1
+            ends_list.append(end)
+        ends = np.asarray(ends_list, dtype=float)
+    else:
+        ends = np.asarray(
+            [t1 if item.t_free is None else item.t_free for item in items],
+            dtype=float,
+        )
+    sizes = np.asarray([item.size for item in items], dtype=float)
+    return timeline_from_intervals(starts, ends, sizes, t0, t1)
+
+
+def timeline_from_intervals(
+    starts: np.ndarray,
+    ends: np.ndarray,
+    sizes: np.ndarray,
+    t0: float,
+    t1: float,
+) -> Timeline:
+    """Step function of total bytes held by raw ``[start, end)`` intervals.
+
+    The array-level core of :func:`build_timeline`, exposed so callers
+    that already hold the interval arrays (the postmortem analyzer caches
+    them per trace) skip re-extracting item attributes. Input arrays are
+    not modified.
+
+    Sweep-line over (time, ±size) deltas, vectorized. ``np.cumsum``
+    accumulates left-to-right exactly like the reference Python loop
+    (unlike ``np.sum``, which pairs), and the stable argsort matches a
+    stable list sort keyed on time — so the resulting step function is
+    bit-for-bit identical to the scalar implementation (pinned by
+    tests/metrics/test_footprint.py::test_build_timeline_matches_reference).
+    """
     if t1 < t0:
         raise ValueError(f"horizon t1={t1} before t0={t0}")
-    deltas: list = []
-    for item in items:
-        if predicate is not None and not predicate(item):
-            continue
-        start = item.t_alloc
-        end: Optional[float] = None
-        if end_override is not None:
-            end = end_override(item)
-        if end is None:
-            end = item.t_free if item.t_free is not None else t1
-        start = max(start, t0)
-        end = min(end, t1)
-        if end <= start:
-            continue
-        deltas.append((start, item.size))
-        deltas.append((end, -item.size))
-    if not deltas:
+    starts = np.maximum(starts, t0)
+    ends = np.minimum(ends, t1)
+    alive = ends > starts
+    if not alive.all():
+        starts = starts[alive]
+        ends = ends[alive]
+        sizes = sizes[alive]
+    n = len(starts)
+    if n == 0:
         return Timeline(np.array([t0, t1]), np.array([0.0]))
-    deltas.sort(key=lambda pair: pair[0])
-    times = [t0]
-    values = []
-    level = 0.0
-    for t, delta in deltas:
-        if t > times[-1]:
-            values.append(level)
-            times.append(t)
-        level += delta
-    if times[-1] < t1:
-        values.append(level)
-        times.append(t1)
-    elif len(values) < len(times) - 1:  # pragma: no cover - defensive
-        values.append(level)
-    return Timeline(np.array(times, dtype=float), np.array(values, dtype=float))
+    # Interleave (start, +size), (end, -size) in item order — the exact
+    # sequence the reference loop emitted, so the stable sort's tie-break
+    # order is unchanged.
+    times = np.empty(2 * n)
+    times[0::2] = starts
+    times[1::2] = ends
+    deltas_arr = np.empty(2 * n)
+    deltas_arr[0::2] = sizes
+    deltas_arr[1::2] = -sizes
+    order = np.argsort(times, kind="stable")
+    times = times[order]
+    levels = np.cumsum(deltas_arr[order])
+    # Keep the last entry of each run of equal times: the level of the
+    # interval that *starts* there, after all deltas at that instant.
+    keep = np.empty(len(times), dtype=bool)
+    keep[:-1] = times[1:] != times[:-1]
+    keep[-1] = True
+    bp_times = times[keep]
+    bp_levels = levels[keep]
+    if bp_times[0] == t0:
+        head_level = bp_levels[0]
+        bp_times = bp_times[1:]
+        bp_levels = bp_levels[1:]
+    else:
+        head_level = 0.0
+    if len(bp_times) and bp_times[-1] == t1:
+        out_times = np.concatenate(((t0,), bp_times))
+        out_values = np.concatenate(((head_level,), bp_levels[:-1]))
+    else:
+        out_times = np.concatenate(((t0,), bp_times, (t1,)))
+        out_values = np.concatenate(((head_level,), bp_levels))
+    return Timeline(out_times, out_values)
 
 
 def byte_seconds(items: Iterable[ItemTrace], horizon: float,
@@ -153,5 +209,10 @@ def byte_seconds(items: Iterable[ItemTrace], horizon: float,
     for item in items:
         if predicate is not None and not predicate(item):
             continue
-        total += item.size * item.lifetime(horizon)
+        end = item.t_free
+        if end is None:
+            end = horizon
+        dt = end - item.t_alloc
+        if dt > 0.0:
+            total += item.size * dt
     return total

@@ -22,44 +22,69 @@ import numpy as np
 
 from repro.metrics.recorder import TraceRecorder
 
+#: Marks "anchor not resolvable in the forward pass" during the sweep.
+_PENDING = object()
+
 
 def _oldest_source_anchor(recorder: TraceRecorder) -> Dict[int, float]:
     """For every item, the creation time of its *oldest* source ancestor.
 
     A *source* item has no lineage parents (it was produced by a source
-    thread from outside data — e.g. a camera frame). Computed bottom-up
-    with memoization and an explicit stack (lineage chains can be long);
-    cycles are impossible (lineage follows time).
+    thread from outside data — e.g. a camera frame). Lineage follows time,
+    so in a live recorder the items dict (allocation order) already lists
+    every parent before its children and one forward pass resolves all
+    anchors; items whose parents appear later (possible in reloaded
+    traces with reordered tables) fall back to an explicit memoized stack.
+    Cycles are impossible.
     """
     anchors: Dict[int, float] = {}
-
-    def anchor(item_id: int) -> Optional[float]:
+    items = recorder.items
+    deferred: List[int] = []
+    for item_id, trace in items.items():
+        parents = trace.parents
+        if not parents:
+            anchors[item_id] = trace.t_alloc
+            continue
+        best = None
+        for p in parents:
+            if p in anchors:
+                a = anchors[p]
+                if a is not None and (best is None or a < best):
+                    best = a
+            elif p in items:
+                deferred.append(item_id)
+                best = _PENDING
+                break
+            else:
+                anchors[p] = None  # type: ignore[assignment]
+        if best is not _PENDING:
+            anchors[item_id] = best if best is not None else trace.t_alloc
+    for item_id in deferred:
+        if item_id in anchors:
+            continue
         stack = [item_id]
         while stack:
             top = stack[-1]
             if top in anchors:
                 stack.pop()
                 continue
-            trace = recorder.items.get(top)
+            trace = items.get(top)
             if trace is None:
                 anchors[top] = None  # type: ignore[assignment]
                 stack.pop()
                 continue
-            if not trace.parents:
+            parents = trace.parents
+            if not parents:
                 anchors[top] = trace.t_alloc
                 stack.pop()
                 continue
-            missing = [p for p in trace.parents if p not in anchors]
+            missing = [p for p in parents if p not in anchors]
             if missing:
                 stack.extend(missing)
                 continue
-            valid = [anchors[p] for p in trace.parents if anchors[p] is not None]
+            valid = [anchors[p] for p in parents if anchors[p] is not None]
             anchors[top] = min(valid) if valid else trace.t_alloc
             stack.pop()
-        return anchors[item_id]
-
-    for item_id in recorder.items:
-        anchor(item_id)
     return anchors
 
 

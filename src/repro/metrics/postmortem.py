@@ -22,16 +22,28 @@ From the marking:
   last get — "eliminates all unnecessary computations and associated
   memory usage". Not realizable (requires future knowledge); computed here
   from the trace.
+
+Every pass below is O(items + iterations): the per-channel breakdowns go
+through the recorder's channel index instead of rescanning (and
+re-filtering) the full item table per channel, and the byte-second sums
+run as single inlined loops. Accumulation *order* is everywhere identical
+to the naive implementation, so derived metrics are bit-for-bit stable
+across the optimization (the sweep cache keys rely on this).
 """
 
 from __future__ import annotations
 
-from collections import deque
 from functools import cached_property
-from typing import Dict, FrozenSet, List, Set
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+import numpy as np
 
 from repro.errors import TraceError
-from repro.metrics.footprint import Timeline, build_timeline, byte_seconds
+from repro.metrics.footprint import (
+    Timeline,
+    build_timeline,
+    timeline_from_intervals,
+)
 from repro.metrics.recorder import TraceRecorder
 
 
@@ -56,34 +68,70 @@ class PostmortemAnalyzer:
     @cached_property
     def successful_ids(self) -> FrozenSet[int]:
         """Delivered items plus their full lineage-ancestor closure."""
-        success: Set[int] = set()
-        frontier = deque(self.delivered_ids)
-        while frontier:
-            item_id = frontier.popleft()
-            if item_id in success:
+        items = self.recorder.items
+        success: Set[int] = set(self.delivered_ids)
+        stack = list(success)
+        while stack:
+            trace = items.get(stack.pop())
+            if trace is None:
                 continue
-            success.add(item_id)
-            trace = self.recorder.items.get(item_id)
-            if trace is not None:
-                frontier.extend(p for p in trace.parents if p not in success)
+            for parent in trace.parents:
+                if parent not in success:
+                    success.add(parent)
+                    stack.append(parent)
         return frozenset(success)
 
     def is_successful(self, item_id: int) -> bool:
         return item_id in self.successful_ids
 
+    # -- cached per-item interval arrays ------------------------------------
+    @cached_property
+    def _item_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(t_alloc, t_free-or-horizon, size) arrays in allocation order.
+
+        Extracted once per analyzer; every whole-trace footprint and
+        byte-second aggregate below reads these instead of re-walking the
+        item table.
+        """
+        items = list(self.recorder.items.values())
+        horizon = self.horizon
+        starts = np.asarray([item.t_alloc for item in items], dtype=float)
+        ends = np.asarray(
+            [horizon if item.t_free is None else item.t_free for item in items],
+            dtype=float,
+        )
+        sizes = np.asarray([item.size for item in items], dtype=float)
+        return starts, ends, sizes
+
+    @cached_property
+    def _success_mask(self) -> np.ndarray:
+        """Row-aligned with :attr:`_item_arrays`: True iff item successful."""
+        success = self.successful_ids
+        return np.asarray(
+            [item_id in success for item_id in self.recorder.items],
+            dtype=bool,
+        )
+
     # -- wasted memory ----------------------------------------------------
     @cached_property
     def total_byte_seconds(self) -> float:
-        return byte_seconds(self.recorder.items.values(), self.horizon)
+        starts, ends, sizes = self._item_arrays
+        if len(starts) == 0:
+            return 0.0
+        dts = ends - starts
+        # cumsum (not np.sum, which pairs) keeps the accumulation order of
+        # the reference ``total += size * dt`` loop — bit-for-bit stable.
+        terms = (sizes * dts)[dts > 0.0]
+        return float(np.cumsum(terms)[-1]) if len(terms) else 0.0
 
     @cached_property
     def wasted_byte_seconds(self) -> float:
-        success = self.successful_ids
-        return byte_seconds(
-            self.recorder.items.values(),
-            self.horizon,
-            predicate=lambda item: item.item_id not in success,
-        )
+        starts, ends, sizes = self._item_arrays
+        if len(starts) == 0:
+            return 0.0
+        dts = ends - starts
+        terms = (sizes * dts)[(dts > 0.0) & ~self._success_mask]
+        return float(np.cumsum(terms)[-1]) if len(terms) else 0.0
 
     @property
     def wasted_memory_fraction(self) -> float:
@@ -105,8 +153,13 @@ class PostmortemAnalyzer:
         for it in self.recorder.iterations:
             if it.is_sink:
                 continue  # displaying results is always useful work
-            if it.outputs and not any(o in success for o in it.outputs):
-                wasted += it.compute
+            outputs = it.outputs
+            if outputs:
+                for o in outputs:
+                    if o in success:
+                        break
+                else:
+                    wasted += it.compute
         return wasted
 
     @property
@@ -119,16 +172,19 @@ class PostmortemAnalyzer:
 
     # -- footprints -------------------------------------------------------
     def footprint(self, channel: str | None = None) -> Timeline:
-        """Measured memory footprint (step function) of the run."""
-        predicate = None
-        if channel is not None:
-            predicate = lambda item: item.channel == channel
-        return build_timeline(
-            self.recorder.items.values(),
-            self.recorder.t_start,
-            self.horizon,
-            predicate=predicate,
-        )
+        """Measured memory footprint (step function) of the run.
+
+        Channel-restricted footprints read the recorder's channel index
+        instead of filtering the full item table, so per-channel sweeps
+        stay linear in the trace size overall.
+        """
+        if channel is None:
+            starts, ends, sizes = self._item_arrays
+            return timeline_from_intervals(
+                starts, ends, sizes, self.recorder.t_start, self.horizon
+            )
+        items = self.recorder.items_of_channel(channel)
+        return build_timeline(items, self.recorder.t_start, self.horizon)
 
     @cached_property
     def _last_use_end(self) -> Dict[int, float]:
@@ -164,11 +220,14 @@ class PostmortemAnalyzer:
                 return end
             return item.last_get_time()
 
+        eligible = [
+            item for item in self.recorder.items.values()
+            if item.item_id in success and item.gets
+        ]
         return build_timeline(
-            self.recorder.items.values(),
+            eligible,
             self.recorder.t_start,
             self.horizon,
-            predicate=lambda item: item.item_id in success and item.ever_got,
             end_override=end_at_last_use,
         )
 
@@ -184,18 +243,24 @@ class PostmortemAnalyzer:
         success = self.successful_ids
         out: Dict[str, dict] = {}
         for it in self.recorder.iterations:
-            entry = out.setdefault(
-                it.thread,
-                {"compute": 0.0, "wasted": 0.0, "iterations": 0,
-                 "wasted_iterations": 0},
-            )
+            entry = out.get(it.thread)
+            if entry is None:
+                entry = out[it.thread] = {
+                    "compute": 0.0, "wasted": 0.0, "iterations": 0,
+                    "wasted_iterations": 0,
+                }
             entry["compute"] += it.compute
             entry["iterations"] += 1
             if it.is_sink:
                 continue
-            if it.outputs and not any(o in success for o in it.outputs):
-                entry["wasted"] += it.compute
-                entry["wasted_iterations"] += 1
+            outputs = it.outputs
+            if outputs:
+                for o in outputs:
+                    if o in success:
+                        break
+                else:
+                    entry["wasted"] += it.compute
+                    entry["wasted_iterations"] += 1
         for entry in out.values():
             entry["wasted_fraction"] = (
                 entry["wasted"] / entry["compute"] if entry["compute"] else 0.0
@@ -205,11 +270,11 @@ class PostmortemAnalyzer:
     # -- per-channel breakdown ---------------------------------------------
     def channel_report(self) -> Dict[str, dict]:
         """Per-channel puts/gets/skips/footprint summary (diagnostics)."""
+        success = self.successful_ids
         out: Dict[str, dict] = {}
         for channel in self.recorder.channels():
             items = self.recorder.items_of_channel(channel)
             timeline = self.footprint(channel)
-            success = self.successful_ids
             out[channel] = {
                 "items": len(items),
                 "bytes_mean": timeline.mean(),

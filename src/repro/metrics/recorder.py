@@ -7,14 +7,24 @@ the accumulated structures after :meth:`finalize`.
 
 The recorder is deliberately dumb — it never aggregates during the run,
 so recording cost stays O(1) per event and analysis choices stay open.
+The convenience views (:meth:`iterations_of`, :meth:`sink_iterations`,
+:meth:`items_of_channel`, :meth:`threads`, :meth:`channels`) are backed
+by lazily built indexes: the first call after new records arrive (or
+after :meth:`finalize`) groups the trace once, and every later call is a
+dictionary lookup. Analysis code may therefore call them freely inside
+loops. The returned lists are the index's own storage — treat them as
+read-only.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import TraceError
 from repro.metrics.events import ItemTrace, IterationTrace, StpSample, Touch
+
+_EMPTY_ITERS: List[IterationTrace] = []
+_EMPTY_ITEMS: List[ItemTrace] = []
 
 
 class TraceRecorder:
@@ -28,6 +38,15 @@ class TraceRecorder:
         self.t_start: float = 0.0
         self.t_end: Optional[float] = None
         self._iter_counters: Dict[str, int] = {}
+        # -- lazily built view indexes --------------------------------
+        #: Item traces in allocation order (the dict's insertion order),
+        #: kept so the channel index can extend incrementally.
+        self._item_seq: List[ItemTrace] = []
+        self._by_thread: Optional[Dict[str, List[IterationTrace]]] = None
+        self._sinks: Optional[List[IterationTrace]] = None
+        self._iters_indexed = 0
+        self._by_channel: Optional[Dict[str, List[ItemTrace]]] = None
+        self._items_indexed = 0
 
     # -- item lifecycle ---------------------------------------------------
     def on_alloc(
@@ -43,7 +62,7 @@ class TraceRecorder:
     ) -> None:
         if item_id in self.items:
             raise TraceError(f"duplicate alloc for item {item_id}")
-        self.items[item_id] = ItemTrace(
+        trace = ItemTrace(
             item_id=item_id,
             channel=channel,
             node=node,
@@ -53,6 +72,8 @@ class TraceRecorder:
             parents=parents,
             t_alloc=t,
         )
+        self.items[item_id] = trace
+        self._item_seq.append(trace)
 
     def on_get(self, item_id: int, conn_id: int, consumer: str, t: float) -> None:
         self._item(item_id).gets.append(Touch(conn_id, consumer, t))
@@ -123,11 +144,18 @@ class TraceRecorder:
         """Close the trace at simulated time ``t_end``.
 
         Unfreed items stay unfreed (their lifetime extends to the horizon
-        in footprint computations) — matching a real run snapshot.
+        in footprint computations) — matching a real run snapshot. Any
+        view indexes built mid-run are dropped so postmortem analysis
+        starts from a fresh, complete grouping.
         """
         if self.t_end is not None:
             raise TraceError("finalize() called twice")
         self.t_end = float(t_end)
+        self._by_thread = None
+        self._sinks = None
+        self._iters_indexed = 0
+        self._by_channel = None
+        self._items_indexed = 0
 
     @property
     def duration(self) -> float:
@@ -135,24 +163,72 @@ class TraceRecorder:
             raise TraceError("trace not finalized")
         return self.t_end - self.t_start
 
+    # -- index maintenance ---------------------------------------------------
+    def _iteration_index(self) -> Tuple[Dict[str, List[IterationTrace]],
+                                        List[IterationTrace]]:
+        by_thread = self._by_thread
+        sinks = self._sinks
+        if by_thread is None:
+            by_thread = {}
+            sinks = []
+            self._by_thread = by_thread
+            self._sinks = sinks
+            self._iters_indexed = 0
+        pos = self._iters_indexed
+        iterations = self.iterations
+        if pos < len(iterations):
+            for it in iterations[pos:]:
+                bucket = by_thread.get(it.thread)
+                if bucket is None:
+                    by_thread[it.thread] = [it]
+                else:
+                    bucket.append(it)
+                if it.is_sink:
+                    sinks.append(it)
+            self._iters_indexed = len(iterations)
+        return by_thread, sinks
+
+    def _channel_index(self) -> Dict[str, List[ItemTrace]]:
+        if len(self._item_seq) != len(self.items):
+            # Items were inserted into the dict directly (trace_io does
+            # this when rebuilding saved traces): resync the allocation
+            # sequence and regroup from scratch.
+            self._item_seq = list(self.items.values())
+            self._by_channel = None
+        by_channel = self._by_channel
+        if by_channel is None:
+            by_channel = {}
+            self._by_channel = by_channel
+            self._items_indexed = 0
+        pos = self._items_indexed
+        seq = self._item_seq
+        if pos < len(seq):
+            for item in seq[pos:]:
+                bucket = by_channel.get(item.channel)
+                if bucket is None:
+                    by_channel[item.channel] = [item]
+                else:
+                    bucket.append(item)
+            self._items_indexed = len(seq)
+        return by_channel
+
     # -- convenience views ---------------------------------------------------
     def iterations_of(self, thread: str) -> List[IterationTrace]:
-        return [it for it in self.iterations if it.thread == thread]
+        """All iterations of ``thread``, in completion order (read-only)."""
+        return self._iteration_index()[0].get(thread, _EMPTY_ITERS)
 
     def sink_iterations(self) -> List[IterationTrace]:
-        return [it for it in self.iterations if it.is_sink]
+        """All sink iterations, in completion order (read-only)."""
+        return self._iteration_index()[1]
 
     def items_of_channel(self, channel: str) -> List[ItemTrace]:
-        return [it for it in self.items.values() if it.channel == channel]
+        """All items of ``channel``, in allocation order (read-only)."""
+        return self._channel_index().get(channel, _EMPTY_ITEMS)
 
     def threads(self) -> List[str]:
-        seen: Dict[str, None] = {}
-        for it in self.iterations:
-            seen.setdefault(it.thread, None)
-        return list(seen)
+        """Thread names in order of first recorded iteration."""
+        return list(self._iteration_index()[0])
 
     def channels(self) -> List[str]:
-        seen: Dict[str, None] = {}
-        for item in self.items.values():
-            seen.setdefault(item.channel, None)
-        return list(seen)
+        """Channel names in order of first allocation."""
+        return list(self._channel_index())

@@ -10,6 +10,11 @@ Determinism contract
   per-engine sequence counter).
 * The engine itself consumes no randomness; all stochastic behaviour comes
   from named :class:`~repro.sim.rng.RngRegistry` streams.
+* The fast path (slim resume entries, the inlined ``run`` loop) changes
+  only *how much work* one dispatch costs — never which entry fires next.
+  Every calendar push still takes the next sequence number, so traces are
+  bit-for-bit identical to the pre-fast-path kernel (pinned by
+  ``tests/bench/test_runner_differential.py``).
 
 Example
 -------
@@ -27,15 +32,19 @@ Example
 
 from __future__ import annotations
 
-import heapq
-from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+from heapq import heappop, heappush
+from typing import Any, Generator, Iterable, List, Optional, Tuple
 
 from repro.errors import SimulationError
-from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.events import AllOf, AnyOf, Event, Timeout, _Resume
 from repro.sim.process import Process
 
-#: Calendar entries: (time, sequence, event)
-_Entry = Tuple[float, int, Event]
+#: Calendar entries: (time, sequence, event-or-resume)
+_Entry = Tuple[float, int, Any]
+
+#: Upper bound on recycled ``_Resume`` objects kept per engine. Bounds
+#: memory while covering any realistic number of same-instant resumes.
+_RESUME_POOL_MAX = 128
 
 
 class Engine:
@@ -53,8 +62,11 @@ class Engine:
         self._seq = 0
         self._running = False
         #: Monotonic count of processed events (useful for micro-benchmarks
-        #: and run statistics).
+        #: and run statistics). Slim resume entries count like the relay
+        #: events they replaced.
         self.events_processed = 0
+        #: Free list of recycled ``_Resume`` calendar entries.
+        self._resume_pool: List[_Resume] = []
 
     # ------------------------------------------------------------------
     @property
@@ -88,8 +100,45 @@ class Engine:
         """Put a triggered event on the calendar ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past: {delay}")
-        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+        heappush(self._heap, (self._now + delay, self._seq, event))
         self._seq += 1
+
+    def _schedule_resume(self, process: Process, ok: bool, value: Any) -> _Resume:
+        """Schedule a slim immediate resume of ``process`` (fast path).
+
+        Used for process starts and for yields of already-fired events;
+        costs one pooled object instead of an :class:`Event` plus its
+        callback list.
+        """
+        pool = self._resume_pool
+        if pool:
+            entry = pool.pop()
+            entry.cancelled = False
+        else:
+            entry = _Resume()
+        entry.process = process
+        entry.ok = ok
+        entry.value = value
+        heappush(self._heap, (self._now, self._seq, entry))
+        self._seq += 1
+        return entry
+
+    def _dispatch_resume(self, entry: _Resume) -> None:
+        """Fire one popped ``_Resume`` entry and recycle it."""
+        process, ok, value = entry.process, entry.ok, entry.value
+        cancelled = entry.cancelled
+        entry.process = None
+        entry.value = None
+        pool = self._resume_pool
+        if len(pool) < _RESUME_POOL_MAX:
+            pool.append(entry)
+        if not cancelled:
+            process._resume_direct(ok, value)
+        elif process._waiting_on is entry:
+            # The waiter was killed while this entry was in flight. Drop
+            # its reference before the entry is recycled, so a later kill
+            # delivery cannot flag ``cancelled`` on a reused pool object.
+            process._waiting_on = None
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if the calendar is empty."""
@@ -99,19 +148,21 @@ class Engine:
         """Process exactly one event; advances :attr:`now`."""
         if not self._heap:
             raise SimulationError("step() on an empty calendar")
-        when, _, event = heapq.heappop(self._heap)
+        when, _, event = heappop(self._heap)
         if when < self._now:  # pragma: no cover - defensive
             raise SimulationError("calendar went backwards")
         self._now = when
+        self.events_processed += 1
+        if type(event) is _Resume:
+            self._dispatch_resume(event)
+            return
         callbacks = event.callbacks
         event.callbacks = None  # mark processed
-        self.events_processed += 1
-        assert callbacks is not None
         for cb in callbacks:
             cb(event)
-        if not event.ok and not event.defused:
+        if event._ok is False and not event.defused:
             # Nobody waited on this failure: surface it to the caller of run().
-            raise event.value
+            raise event._value
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the calendar drains or simulated time reaches ``until``.
@@ -119,20 +170,40 @@ class Engine:
         When ``until`` is given, time is advanced to exactly ``until`` even
         if the last event fires earlier, so time-weighted statistics close
         their final interval consistently.
+
+        This is the kernel's hottest loop: it inlines :meth:`step` with
+        hoisted locals and batches same-instant entries (one clock write
+        per distinct instant). Semantics are identical to calling
+        :meth:`step` until done.
         """
         if self._running:
             raise SimulationError("run() is not reentrant")
+        limit = None if until is None else float(until)
+        if limit is not None and limit < self._now:
+            raise SimulationError("until lies in the past")
         self._running = True
+        heap = self._heap
+        now = self._now
         try:
-            if until is None:
-                while self._heap:
-                    self.step()
-            else:
-                limit = float(until)
-                if limit < self._now:
-                    raise SimulationError("until lies in the past")
-                while self._heap and self._heap[0][0] <= limit:
-                    self.step()
+            while heap and (limit is None or heap[0][0] <= limit):
+                when, _, event = heappop(heap)
+                if when != now:
+                    if when < now:  # pragma: no cover - defensive
+                        raise SimulationError("calendar went backwards")
+                    self._now = now = when
+                self.events_processed += 1
+                if type(event) is _Resume:
+                    self._dispatch_resume(event)
+                    now = self._now  # a callback may have nested further steps
+                    continue
+                callbacks = event.callbacks
+                event.callbacks = None  # mark processed
+                for cb in callbacks:
+                    cb(event)
+                if event._ok is False and not event.defused:
+                    raise event._value
+                now = self._now
+            if limit is not None:
                 self._now = limit
         finally:
             self._running = False
@@ -140,15 +211,18 @@ class Engine:
     def run_until_event(self, event: Event, limit: Optional[float] = None) -> Any:
         """Run until ``event`` is processed; returns its value.
 
-        Raises :class:`SimulationError` if the calendar drains (or ``limit``
-        is hit) before the event fires.
+        An event scheduled *exactly at* ``limit`` is still processed (the
+        cut-off is exclusive: ``peek() > limit`` aborts). Raises
+        :class:`SimulationError` if the calendar drains (or ``limit`` is
+        hit) before the event fires.
         """
-        while not event.processed:
-            if not self._heap:
+        heap = self._heap
+        while event.callbacks is not None:
+            if not heap:
                 raise SimulationError("calendar drained before event fired")
-            if limit is not None and self.peek() > limit:
+            if limit is not None and heap[0][0] > limit:
                 raise SimulationError("time limit reached before event fired")
             self.step()
-        if not event.ok:
-            raise event.value
-        return event.value
+        if not event._ok:
+            raise event._value
+        return event._value

@@ -10,16 +10,24 @@ Events fire in deterministic order: primary key is simulated time, the tie
 breaker is a monotonically increasing sequence number assigned at schedule
 time, so two runs of the same model with the same seeds produce identical
 traces.
+
+Hot-path note: ``succeed``/``fail``/``Timeout.__init__`` push onto the
+engine calendar directly instead of going through ``Engine._schedule`` —
+these three run once per simulated event and the extra call layer is
+measurable. The calendar entry layout ``(time, seq, event)`` is part of
+the determinism contract and must not change.
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, List, Optional
 
 from repro.errors import SimulationError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import Engine
+    from repro.sim.process import Process
 
 #: Sentinel for "event has not produced a value yet".
 _PENDING = object()
@@ -86,7 +94,9 @@ class Event:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.engine._schedule(self, 0.0)
+        engine = self.engine
+        heappush(engine._heap, (engine._now, engine._seq, self))
+        engine._seq += 1
         return self
 
     def fail(self, exc: BaseException) -> "Event":
@@ -97,7 +107,9 @@ class Event:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = False
         self._value = exc
-        self.engine._schedule(self, 0.0)
+        engine = self.engine
+        heappush(engine._heap, (engine._now, engine._seq, self))
+        engine._seq += 1
         return self
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -109,6 +121,27 @@ class Event:
         return f"<{type(self).__name__} {state} at {id(self):#x}>"
 
 
+class _Resume:
+    """Slim calendar entry that resumes one process with a known outcome.
+
+    Replaces the relay :class:`Event` (plus its callback list) that used
+    to carry process starts and already-fired yields back through the
+    calendar. Occupies exactly the heap slot the relay occupied, so
+    dispatch order — and therefore every simulation result — is
+    unchanged. Instances are recycled through ``Engine._resume_pool``.
+    """
+
+    __slots__ = ("process", "ok", "value", "cancelled")
+
+    def __init__(self) -> None:
+        self.process: Optional["Process"] = None
+        self.ok = True
+        self.value: Any = None
+        #: Set when the waiting process is killed before this entry fires;
+        #: a cancelled resume pops as a counted no-op.
+        self.cancelled = False
+
+
 class Timeout(Event):
     """An event that fires ``delay`` simulated seconds after creation."""
 
@@ -117,11 +150,18 @@ class Timeout(Event):
     def __init__(self, engine: "Engine", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(engine)
-        self.delay = float(delay)
-        self._ok = True
+        delay = float(delay)
+        # Inlined Event.__init__ + Engine._schedule: timeouts are the
+        # dominant calendar entry (every sleep/compute/throttle), so the
+        # two extra call frames cost real wall time at sweep scale.
+        self.engine = engine
+        self.callbacks = []
         self._value = value
-        engine._schedule(self, self.delay)
+        self._ok = True
+        self.defused = False
+        self.delay = delay
+        heappush(engine._heap, (engine._now + delay, engine._seq, self))
+        engine._seq += 1
 
 
 class AllOf(Event):
@@ -148,6 +188,11 @@ class AllOf(Event):
 
     def _on_child(self, ev: Event) -> None:
         if self.triggered:
+            if not ev.ok:
+                # A child failing after the composite already resolved has
+                # no waiter of its own; absorb it so the engine does not
+                # surface the exception at top level.
+                ev.defused = True
             return
         if not ev.ok:
             ev.defused = True
@@ -179,6 +224,11 @@ class AnyOf(Event):
 
     def _on_child(self, idx: int, ev: Event) -> None:
         if self.triggered:
+            if not ev.ok:
+                # Losing child failing after the race was decided: nobody
+                # waits on it anymore, so defuse instead of letting the
+                # engine raise its exception at top level.
+                ev.defused = True
             return
         if not ev.ok:
             ev.defused = True

@@ -7,6 +7,13 @@ return value becomes the value of the ``yield`` expression).
 
 A process is itself an :class:`Event` which succeeds with the generator's
 return value, so processes compose: parents can wait on children.
+
+Hot-path note: resuming a generator is the single most frequent kernel
+operation (once per event with a waiter), so the resume paths call
+``gen.send``/``gen.throw`` directly — no per-step closures, no relay
+:class:`Event` allocation. Yields of already-fired events stay
+asynchronous through the engine's slim ``_Resume`` calendar entries,
+which preserve the pre-existing dispatch order exactly.
 """
 
 from __future__ import annotations
@@ -14,7 +21,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from repro.errors import ProcessKilled, SimulationError
-from repro.sim.events import Event
+from repro.sim.events import _PENDING, Event, _Resume
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import Engine
@@ -29,8 +36,8 @@ class Process(Event):
         Owning engine.
     gen:
         The generator to drive. It is started at the next engine step
-        (via an immediately-scheduled initialization event), never
-        synchronously, so creation order does not leak into event order.
+        (via an immediately-scheduled resume entry), never synchronously,
+        so creation order does not leak into event order.
     name:
         Optional human-readable label used in error messages.
     """
@@ -40,14 +47,18 @@ class Process(Event):
     def __init__(self, engine: "Engine", gen: Generator, name: str = "") -> None:
         if not hasattr(gen, "send"):
             raise TypeError(f"process body must be a generator, got {type(gen)!r}")
-        super().__init__(engine)
+        # Inlined Event.__init__: processes are spawned per compute/transfer
+        # in the runtime, so construction is itself a hot path.
+        self.engine = engine
+        self.callbacks = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        self.defused = False
         self.gen = gen
         self.name = name or getattr(gen, "__name__", "process")
-        self._waiting_on: Optional[Event] = None
+        self._waiting_on = None
         self._killed = False
-        init = Event(engine)
-        init.callbacks.append(self._resume)
-        init.succeed(None)
+        engine._schedule_resume(self, True, None)
 
     # ------------------------------------------------------------------
     @property
@@ -73,33 +84,43 @@ class Process(Event):
         if self.triggered:
             return
         waiting = self._waiting_on
-        if waiting is not None and not waiting.processed:
-            # Detach from the event we were waiting on.
-            try:
-                waiting.callbacks.remove(self._resume)
-            except (ValueError, AttributeError):  # pragma: no cover
-                pass
+        if waiting is not None:
+            # Detach from whatever we were waiting on.
+            if type(waiting) is _Resume:
+                waiting.cancelled = True
+            elif waiting.callbacks is not None:
+                try:
+                    waiting.callbacks.remove(self._resume)
+                except ValueError:  # pragma: no cover
+                    pass
         self._waiting_on = None
         self._throw(ProcessKilled(tick.value))
 
     # ------------------------------------------------------------------
     def _resume(self, event: Event) -> None:
-        """Advance the generator with the fired event's value."""
-        if self.triggered:  # killed while the event was in flight
+        """Callback: advance the generator with the fired event's outcome."""
+        if self._value is not _PENDING:  # killed while the event was in flight
             return
         self._waiting_on = None
-        if event.ok:
-            self._advance(lambda: self.gen.send(event.value))
+        if event._ok:
+            self._send(event._value)
         else:
             event.defused = True
-            self._throw(event.value)
+            self._throw(event._value)
 
-    def _throw(self, exc: BaseException) -> None:
-        self._advance(lambda: self.gen.throw(exc))
+    def _resume_direct(self, ok: bool, value: Any) -> None:
+        """Advance the generator from a slim ``_Resume`` calendar entry."""
+        if self._value is not _PENDING:  # killed while the resume was in flight
+            return
+        self._waiting_on = None
+        if ok:
+            self._send(value)
+        else:
+            self._throw(value)
 
-    def _advance(self, step) -> None:
+    def _send(self, value: Any) -> None:
         try:
-            target = step()
+            target = self.gen.send(value)
         except StopIteration as stop:
             self.succeed(stop.value)
             return
@@ -108,29 +129,47 @@ class Process(Event):
             # "successfully dead": nobody should see this as a model error.
             self.defused = True
             self.fail(exc)
-            self.defused = True
             return
         except BaseException as exc:
             self.fail(exc)
             return
+        self._wait_on(target)
+
+    def _throw(self, exc: BaseException) -> None:
+        try:
+            target = self.gen.throw(exc)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except ProcessKilled as killed:
+            self.defused = True
+            self.fail(killed)
+            return
+        except BaseException as err:
+            self.fail(err)
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target) -> None:
         if not isinstance(target, Event):
             raise SimulationError(
                 f"process {self.name!r} yielded {target!r}; processes must "
                 "yield Event instances"
             )
-        if target.processed:
-            # Already fired: resume on a fresh immediate event to stay async.
-            relay = Event(self.engine)
-            relay.callbacks.append(self._resume)
-            if target.ok:
-                relay.succeed(target.value)
+        callbacks = target.callbacks
+        if callbacks is None:
+            # Already fired: resume via a fresh calendar entry to stay async.
+            if target._ok:
+                self._waiting_on = self.engine._schedule_resume(
+                    self, True, target._value
+                )
             else:
                 target.defused = True
-                relay.fail(target.value)
-                # the relay's failure is consumed by _resume
-            self._waiting_on = relay
+                self._waiting_on = self.engine._schedule_resume(
+                    self, False, target._value
+                )
         else:
-            target.callbacks.append(self._resume)
+            callbacks.append(self._resume)
             self._waiting_on = target
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

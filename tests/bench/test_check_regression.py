@@ -1,0 +1,118 @@
+"""Tests for the kernel performance regression gate.
+
+The :func:`compare` policy is pure and always tested; the actual
+wall-clock gate (measurement vs the committed ``BENCH_kernel.json``)
+only runs under ``REPRO_PERF=1`` with the ``perf`` marker, so tier-1
+stays fast and machine-independent.
+"""
+
+import importlib.util
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+_BENCH_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+
+
+def _load_module():
+    spec = importlib.util.spec_from_file_location(
+        "check_regression", _BENCH_DIR / "check_regression.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+cr = _load_module()
+
+
+class TestComparePolicy:
+    BASE = {"dispatch_events_per_sec": 1_000_000.0,
+            "trampoline_events_per_sec": 1_500_000.0,
+            "postmortem_ms": 25.0}
+
+    def test_equal_rates_pass(self):
+        assert cr.compare(dict(self.BASE), dict(self.BASE)) == []
+
+    def test_improvement_passes(self):
+        current = dict(self.BASE, dispatch_events_per_sec=2_000_000.0)
+        assert cr.compare(current, self.BASE) == []
+
+    def test_small_drop_within_threshold_passes(self):
+        current = dict(self.BASE, dispatch_events_per_sec=750_000.0)  # -25%
+        assert cr.compare(current, self.BASE, threshold=0.30) == []
+
+    def test_large_drop_fails(self):
+        current = dict(self.BASE, dispatch_events_per_sec=500_000.0)  # -50%
+        failures = cr.compare(current, self.BASE, threshold=0.30)
+        assert len(failures) == 1
+        assert "dispatch_events_per_sec" in failures[0]
+        assert "50%" in failures[0]
+
+    def test_threshold_is_configurable(self):
+        current = dict(self.BASE, dispatch_events_per_sec=500_000.0)
+        assert cr.compare(current, self.BASE, threshold=0.60) == []
+
+    def test_ungated_rates_do_not_gate(self):
+        current = dict(self.BASE, trampoline_events_per_sec=1.0,
+                       postmortem_ms=1e9)
+        assert cr.compare(current, self.BASE) == []
+
+    def test_missing_gated_rate_fails_loudly(self):
+        assert cr.compare({}, self.BASE)
+        assert cr.compare(self.BASE, {})
+
+    def test_non_positive_baseline_fails_loudly(self):
+        bad = dict(self.BASE, dispatch_events_per_sec=0.0)
+        failures = cr.compare(self.BASE, bad)
+        assert failures and "non-positive" in failures[0]
+
+
+class TestCliPlumbing:
+    def test_update_writes_baseline(self, tmp_path, monkeypatch, capsys):
+        fake = {"dispatch_events_per_sec": 10.0,
+                "trampoline_events_per_sec": 20.0,
+                "postmortem_ms": 5.0}
+        monkeypatch.setattr(cr, "measure", lambda: dict(fake))
+        baseline = tmp_path / "base.json"
+        rc = cr.main(["--baseline", str(baseline), "--update"])
+        assert rc == 0
+        assert json.loads(baseline.read_text())["rates"] == fake
+
+    def test_missing_baseline_is_an_error(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(
+            cr, "measure", lambda: {"dispatch_events_per_sec": 10.0})
+        rc = cr.main(["--baseline", str(tmp_path / "absent.json")])
+        assert rc == 2
+
+    def test_regression_exits_nonzero(self, tmp_path, monkeypatch):
+        baseline = tmp_path / "base.json"
+        baseline.write_text(json.dumps(
+            {"rates": {"dispatch_events_per_sec": 1000.0}}))
+        monkeypatch.setattr(
+            cr, "measure", lambda: {"dispatch_events_per_sec": 100.0})
+        assert cr.main(["--baseline", str(baseline)]) == 1
+
+    def test_pass_exits_zero(self, tmp_path, monkeypatch):
+        baseline = tmp_path / "base.json"
+        baseline.write_text(json.dumps(
+            {"rates": {"dispatch_events_per_sec": 1000.0}}))
+        monkeypatch.setattr(
+            cr, "measure", lambda: {"dispatch_events_per_sec": 950.0})
+        assert cr.main(["--baseline", str(baseline)]) == 0
+
+
+@pytest.mark.perf
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_PERF"),
+    reason="wall-clock gate; set REPRO_PERF=1 to run",
+)
+def test_kernel_rates_vs_committed_baseline():
+    """The real gate: measure on this machine, compare to BENCH_kernel.json."""
+    baseline_path = _BENCH_DIR / "BENCH_kernel.json"
+    assert baseline_path.exists(), "committed baseline missing"
+    baseline = json.loads(baseline_path.read_text())["rates"]
+    failures = cr.compare(cr.measure(), baseline)
+    assert not failures, "; ".join(failures)

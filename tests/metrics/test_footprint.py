@@ -6,6 +6,51 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.metrics import TraceRecorder, Timeline, build_timeline, byte_seconds
+from repro.metrics.footprint import timeline_from_intervals
+
+
+def _reference_build_timeline(items, t0, t1, predicate=None, end_override=None):
+    """The pre-vectorization scalar sweep — ground truth for bit-identity.
+
+    Copied verbatim from the original implementation; the vectorized
+    ``build_timeline`` must reproduce its output bit for bit (same stable
+    tie-break order, same left-to-right float accumulation).
+    """
+    if t1 < t0:
+        raise ValueError(f"horizon t1={t1} before t0={t0}")
+    deltas = []
+    for item in items:
+        if predicate is not None and not predicate(item):
+            continue
+        start = item.t_alloc
+        end = None
+        if end_override is not None:
+            end = end_override(item)
+        if end is None:
+            end = item.t_free if item.t_free is not None else t1
+        start = max(start, t0)
+        end = min(end, t1)
+        if end <= start:
+            continue
+        deltas.append((start, item.size))
+        deltas.append((end, -item.size))
+    if not deltas:
+        return Timeline(np.array([t0, t1]), np.array([0.0]))
+    deltas.sort(key=lambda pair: pair[0])
+    times = [t0]
+    values = []
+    level = 0.0
+    for t, delta in deltas:
+        if t > times[-1]:
+            values.append(level)
+            times.append(t)
+        level += delta
+    if times[-1] < t1:
+        values.append(level)
+        times.append(t1)
+    elif len(values) < len(times) - 1:
+        values.append(level)
+    return Timeline(np.array(times, dtype=float), np.array(values, dtype=float))
 
 
 def rec_with_items(spec, horizon=10.0):
@@ -156,6 +201,77 @@ class TestBuildTimeline:
         rec = rec_with_items(spec)
         tl = build_timeline(rec.items.values(), 0.0, 10.0)
         assert np.all(tl.values >= 0)
+
+
+class TestVectorizedMatchesReference:
+    """The numpy sweep must be bit-identical to the scalar original."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0.0, 10.0),
+                st.one_of(st.none(), st.floats(0.0, 12.0)),
+                st.integers(1, 1000),
+            ),
+            min_size=0,
+            max_size=25,
+        )
+    )
+    def test_build_timeline_matches_reference(self, raw):
+        spec = [
+            (t0, t1 if (t1 is not None and t1 > t0) else None, size)
+            for t0, t1, size in raw
+        ]
+        rec = rec_with_items(spec)
+        got = build_timeline(rec.items.values(), 0.0, 10.0)
+        want = _reference_build_timeline(rec.items.values(), 0.0, 10.0)
+        assert np.array_equal(got.times, want.times)
+        assert np.array_equal(got.values, want.values)
+
+    def test_matches_reference_with_predicate_and_override(self):
+        rec = rec_with_items(
+            [(0.0, 4.0, 100), (1.0, None, 30), (2.0, 2.0, 7), (3.0, 9.0, 64)]
+        )
+        predicate = lambda item: item.size != 30  # noqa: E731
+        override = lambda item: 6.0 if item.size == 64 else None  # noqa: E731
+        got = build_timeline(
+            rec.items.values(), 0.0, 10.0,
+            predicate=predicate, end_override=override,
+        )
+        want = _reference_build_timeline(
+            rec.items.values(), 0.0, 10.0,
+            predicate=predicate, end_override=override,
+        )
+        assert np.array_equal(got.times, want.times)
+        assert np.array_equal(got.values, want.values)
+
+    def test_simultaneous_deltas_keep_schedule_order(self):
+        # Three items touching t=3.0 from both sides: the stable sort's
+        # tie-break (emission order) decides the accumulation order.
+        rec = rec_with_items([(0.0, 3.0, 10), (3.0, 7.0, 20), (3.0, 3.5, 5)])
+        got = build_timeline(rec.items.values(), 0.0, 10.0)
+        want = _reference_build_timeline(rec.items.values(), 0.0, 10.0)
+        assert np.array_equal(got.times, want.times)
+        assert np.array_equal(got.values, want.values)
+        assert got.at(3.0) == 25.0
+
+    def test_timeline_from_intervals_direct(self):
+        starts = np.array([2.0, 4.0])
+        ends = np.array([6.0, 12.0])
+        sizes = np.array([100.0, 10.0])
+        tl = timeline_from_intervals(starts, ends, sizes, 0.0, 10.0)
+        assert tl.at(3.0) == 100.0
+        assert tl.at(5.0) == 110.0
+        assert tl.at(9.0) == 10.0  # clamped at the horizon
+        # Inputs must not be mutated by the internal clamping.
+        assert ends[1] == 12.0
+
+    def test_timeline_from_intervals_bad_horizon(self):
+        with pytest.raises(ValueError):
+            timeline_from_intervals(
+                np.array([1.0]), np.array([2.0]), np.array([1.0]), 5.0, 1.0
+            )
 
 
 class TestByteSeconds:

@@ -128,3 +128,56 @@ class TestFinalize:
         alloc(rec, 2, channel="b", ts=1)
         assert rec.channels() == ["a", "b"]
         assert len(rec.items_of_channel("a")) == 1
+
+
+class TestViewIndexes:
+    """The lazily built indexes must stay coherent with the raw trace."""
+
+    def test_iteration_index_extends_after_queries(self):
+        rec = TraceRecorder()
+        rec.on_iteration("a", 0, 1, 0.1, 0, 0, (), ())
+        assert [it.index for it in rec.iterations_of("a")] == [0]
+        # Records arriving after a query must show up on the next query.
+        rec.on_iteration("a", 1, 2, 0.1, 0, 0, (), ())
+        rec.on_iteration("b", 1, 2, 0.1, 0, 0, (), (), is_sink=True)
+        assert [it.index for it in rec.iterations_of("a")] == [0, 1]
+        assert [it.thread for it in rec.sink_iterations()] == ["b"]
+        assert rec.threads() == ["a", "b"]
+
+    def test_channel_index_extends_after_queries(self):
+        rec = TraceRecorder()
+        alloc(rec, 1, channel="x")
+        assert len(rec.items_of_channel("x")) == 1
+        alloc(rec, 2, channel="x", ts=1)
+        alloc(rec, 3, channel="y", ts=2)
+        assert [i.item_id for i in rec.items_of_channel("x")] == [1, 2]
+        assert rec.channels() == ["x", "y"]
+
+    def test_unknown_keys_return_empty(self):
+        rec = TraceRecorder()
+        assert rec.items_of_channel("nope") == []
+        assert rec.iterations_of("nope") == []
+
+    def test_finalize_drops_and_rebuilds_indexes(self):
+        rec = TraceRecorder()
+        alloc(rec, 1, channel="a")
+        rec.on_iteration("t", 0, 1, 0.1, 0, 0, (), ())
+        assert rec.channels() == ["a"]  # builds indexes mid-run
+        rec.finalize(5.0)
+        assert rec.channels() == ["a"]
+        assert [it.thread for it in rec.iterations_of("t")] == ["t"]
+
+    def test_direct_dict_insertion_resyncs(self):
+        """trace_io rebuilds recorders by writing ``items`` directly; the
+        channel index must notice and regroup instead of serving a stale
+        (or empty) view."""
+        rec = TraceRecorder()
+        alloc(rec, 1, channel="a")
+        assert rec.channels() == ["a"]
+        trace = rec.items[1]
+        rec.items[2] = type(trace)(
+            item_id=2, channel="b", node="n0", ts=1, size=10,
+            producer="p", parents=(), t_alloc=1.0,
+        )
+        assert rec.channels() == ["a", "b"]
+        assert [i.item_id for i in rec.items_of_channel("b")] == [2]

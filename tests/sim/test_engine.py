@@ -169,6 +169,68 @@ def test_run_until_event_drained_raises():
         eng.run_until_event(ev)
 
 
+def test_run_until_event_exactly_at_limit_is_processed():
+    """The limit cut-off is exclusive: an event AT the limit still fires."""
+    eng = Engine()
+    ev = eng.timeout(5.0, "on-time")
+    assert eng.run_until_event(ev, limit=5.0) == "on-time"
+    assert eng.now == 5.0
+
+
+def test_run_until_event_limit_before_event_raises():
+    eng = Engine()
+    ev = eng.timeout(5.0)
+    with pytest.raises(SimulationError, match="limit"):
+        eng.run_until_event(ev, limit=4.0)
+    assert eng.now < 5.0
+
+
+def test_run_until_event_drains_earlier_calendar_first():
+    """Everything scheduled before the target fires on the way there."""
+    eng = Engine()
+    fired = []
+
+    def early(eng):
+        yield eng.timeout(1.0)
+        fired.append(eng.now)
+        yield eng.timeout(1.0)
+        fired.append(eng.now)
+
+    eng.process(early(eng))
+    ev = eng.timeout(3.0, "target")
+    assert eng.run_until_event(ev) == "target"
+    assert fired == [1.0, 2.0]
+    assert eng.now == 3.0
+
+
+def test_run_until_empty_calendar_closes_clock_at_horizon():
+    """run(until=) with nothing pending still advances `now` to the limit."""
+    eng = Engine()
+    eng.run(until=9.0)
+    assert eng.now == 9.0
+
+
+def test_run_until_after_last_event_closes_clock_at_horizon():
+    eng = Engine()
+
+    def proc(eng):
+        yield eng.timeout(2.0)
+
+    eng.process(proc(eng))
+    eng.run(until=10.0)
+    assert eng.now == 10.0
+
+
+def test_run_bad_until_leaves_engine_usable():
+    """A bad `until` must not leave the engine marked as running."""
+    eng = Engine()
+    with pytest.raises((TypeError, ValueError)):
+        eng.run(until="not-a-time")
+    eng.timeout(1.0)
+    eng.run()  # must not raise "not reentrant"
+    assert eng.now == 1.0
+
+
 def test_process_waits_on_subprocess():
     eng = Engine()
 

@@ -42,6 +42,18 @@ def test_timeline_command(tmp_path, capsys):
     assert "MB" in out
 
 
+def test_profile_command(capsys):
+    rc = main(["profile", "--horizon", "8", "--policy", "no-aru",
+               "--sort", "tottime", "--limit", "5"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "profiled: config1 policy=no-aru" in out
+    assert "frames delivered" in out
+    # the pstats hot-function table
+    assert "ncalls" in out and "tottime" in out
+    assert "function calls" in out
+
+
 def test_paper_tables_quick(capsys):
     rc = main(["paper-tables", "--seeds", "1", "--horizon", "30"])
     assert rc == 0
