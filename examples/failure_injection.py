@@ -1,12 +1,18 @@
 #!/usr/bin/env python
-"""Failure injection: what happens when a pipeline stage dies.
+"""Failure injection: crash the pipeline's middle, watch ARU recover.
 
-Runs the tracker in three phases — healthy, then with target_detect2
-killed mid-run — and renders a per-thread activity Gantt so the fallout
-is visible: the GUI (which joins both detectors) stops delivering, the
-remaining stages block or keep producing into channels whose dead
-consumer no longer advances its cursors, and memory starts pooling in
-exactly those channels.
+Runs the tracker under ``aru-min`` with summary-slot staleness eviction
+through three phases, driven by a declarative
+:class:`~repro.faults.FaultSchedule`:
+
+* **healthy** — every consumer advertises its period, so the digitizer
+  throttles down to the slowest stage's pace;
+* **crashed** — all four middle stages die at once. Without staleness
+  eviction the digitizer would stay throttled to a ghost's advertised
+  period forever; with a TTL the stale summary slots evict and the
+  digitizer un-throttles back toward its intrinsic frame rate;
+* **restarted** — the stages come back cold, re-propagate their
+  summaries, and the digitizer re-throttles to its pre-fault period.
 
 Run:  python examples/failure_injection.py
 """
@@ -14,41 +20,68 @@ Run:  python examples/failure_injection.py
 from repro.apps import build_tracker
 from repro.aru import aru_min
 from repro.bench import cluster_for
+from repro.faults import (
+    FaultInjector,
+    FaultSchedule,
+    FaultSpec,
+    mean_period,
+    resilience_report,
+)
 from repro.metrics import gantt
 from repro.runtime import Runtime, RuntimeConfig
 
-PHASE = 30.0
+MID_STAGES = ("change_detection", "histogram", "target_detect1",
+              "target_detect2")
+T_CRASH = 20.0
+T_RESTART = 35.0
+HORIZON = 55.0
+TTL = 2.0
 
 
-def main() -> None:
+def main() -> dict:
     runtime = Runtime(
         build_tracker(),
-        RuntimeConfig(cluster=cluster_for("config1"), aru=aru_min(), seed=0),
+        RuntimeConfig(
+            cluster=cluster_for("config1"),
+            aru=aru_min().with_(staleness_ttl=TTL),
+            seed=0,
+        ),
     )
-    runtime.advance(PHASE)
-    healthy_outputs = len(runtime.recorder.sink_iterations())
-    healthy_mem = runtime.stats()["nodes"]["node0"]["mem_in_use"]
+    schedule = FaultSchedule(
+        [FaultSpec(kind="thread_crash", at=T_CRASH, target=name)
+         for name in MID_STAGES]
+        + [FaultSpec(kind="thread_restart", at=T_RESTART, target=name)
+           for name in MID_STAGES]
+    )
+    injector = FaultInjector(runtime, schedule).install()
+    trace = runtime.run(until=HORIZON)
 
-    print(f"t={PHASE:.0f}s: killing target_detect2 ...\n")
-    runtime.kill_thread("target_detect2", reason="injected fault")
-    runtime.advance(PHASE)
-    trace = runtime.finalize()
+    # Digitizer period in each phase. Ghost-slot eviction is two-stage
+    # (channel slot, then the thread's own slot), so the un-throttled
+    # window starts ~2*TTL after the crash.
+    pre = mean_period(trace, "digitizer", T_CRASH - 8.0, T_CRASH)
+    ghost = mean_period(trace, "digitizer", T_CRASH + 2 * TTL + 3.0, T_RESTART)
+    final = mean_period(trace, "digitizer", HORIZON - 8.0, HORIZON)
 
-    outputs_after = len(trace.sink_iterations()) - healthy_outputs
-    mem_after = runtime.stats()["nodes"]["node0"]["mem_in_use"]
-
-    print(gantt(trace, width=72))
+    print(gantt(trace, width=72, fault_log=injector.log))
     print()
-    print(f"GUI frames delivered:  first {PHASE:.0f}s: {healthy_outputs}   "
-          f"second {PHASE:.0f}s: {outputs_after}")
-    print(f"resident channel memory: {healthy_mem / 1e6:.1f} MB -> "
-          f"{mem_after / 1e6:.1f} MB")
+    print(resilience_report(injector.log, trace, sources=("digitizer",)))
     print()
-    print("After the kill, the GUI blocks forever on C9 — its iteration")
-    print("never completes, so its line goes quiet. Detector 1 keeps")
-    print("working but its output is never consumed, and C5/C8's dead")
-    print("consumer stops advancing cursors, so their items can no longer")
-    print("be collected — memory pools exactly there.")
+    print(f"digitizer mean period (staleness TTL {TTL:.0f}s):")
+    print(f"  healthy   [{T_CRASH - 8:.0f}s..{T_CRASH:.0f}s] : "
+          f"{pre * 1e3:6.1f} ms  (throttled to the slowest consumer)")
+    print(f"  crashed   [{T_CRASH + 2 * TTL + 3:.0f}s..{T_RESTART:.0f}s] : "
+          f"{ghost * 1e3:6.1f} ms  (stale slots evicted -> un-throttled)")
+    print(f"  restarted [{HORIZON - 8:.0f}s..{HORIZON:.0f}s] : "
+          f"{final * 1e3:6.1f} ms  (summaries re-propagated -> re-throttled)")
+    print()
+    print("The crash leaves the digitizer with no live consumers. Its")
+    print("summary slots go stale, the TTL evicts them, and min-compression")
+    print("stops throttling to a ghost — the period falls back toward the")
+    print("intrinsic frame rate. The restarts re-advertise periods and the")
+    print("feedback loop pulls the digitizer back to its pre-fault pace.")
+    return {"pre": pre, "ghost": ghost, "final": final,
+            "log": injector.log}
 
 
 if __name__ == "__main__":

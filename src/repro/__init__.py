@@ -38,6 +38,9 @@ _LAZY = {
     "AruConfig": "repro.aru",
     "MIN_OPERATOR": "repro.aru",
     "MAX_OPERATOR": "repro.aru",
+    "FaultSpec": "repro.faults",
+    "FaultSchedule": "repro.faults",
+    "FaultInjector": "repro.faults",
     "TraceRecorder": "repro.metrics",
     "PostmortemAnalyzer": "repro.metrics",
     "build_tracker": "repro.apps",

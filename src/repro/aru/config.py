@@ -35,6 +35,13 @@ class AruConfig:
         ``summary_filter`` smooths values received per connection.
     headroom:
         Throttle target multiplier (extension; 1.0 = paper).
+    staleness_ttl:
+        Fault-tolerance extension (``docs/fault-model.md``): evict a
+        backwardSTP slot that has not been refreshed for this many
+        seconds, so a dead consumer stops throttling its sources to a
+        ghost period. Must exceed the pipeline's largest steady-state
+        feedback interval. ``None`` (default) keeps slots forever — the
+        paper's fault-free behaviour.
     """
 
     enabled: bool = True
@@ -44,11 +51,16 @@ class AruConfig:
     stp_filter: Union[str, FilterFactory, None] = None
     summary_filter: Union[str, FilterFactory, None] = None
     headroom: float = 1.0
+    staleness_ttl: Optional[float] = None
     name: str = "aru"
 
     def __post_init__(self) -> None:
         if self.headroom <= 0:
             raise ConfigError(f"headroom must be positive, got {self.headroom}")
+        if self.staleness_ttl is not None and self.staleness_ttl <= 0:
+            raise ConfigError(
+                f"staleness_ttl must be positive, got {self.staleness_ttl}"
+            )
         # Fail fast on bad specs rather than mid-simulation.
         resolve(self.default_channel_op)
         resolve(self.thread_op)

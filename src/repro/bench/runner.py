@@ -65,6 +65,10 @@ class CellSpec:
     #: Override the cluster's OS-scheduling noise coefficient.
     sched_noise_cv: Optional[float] = None
     loads: Tuple[LoadSpec, ...] = ()
+    #: Scripted faults injected into the cell (see repro.faults). An
+    #: empty tuple installs nothing, keeping fault-free cells
+    #: bit-identical to pre-faults sweeps.
+    faults: Tuple[Any, ...] = ()  # Tuple[FaultSpec, ...]; Any avoids a cycle
     #: Name of a registered in-worker probe (see repro.bench.probes).
     probe: Optional[str] = None
     probe_args: Tuple[Tuple[str, Any], ...] = ()
@@ -160,6 +164,10 @@ def _execute_cell(spec: CellSpec) -> CellResult:
             loads=spec.loads,
         ),
     )
+    if spec.faults:
+        from repro.faults import FaultInjector, FaultSchedule
+
+        FaultInjector(runtime, FaultSchedule(spec.faults)).install()
     recorder = runtime.run(until=spec.horizon)
     metrics = metrics_from_trace(spec.config, spec.policy.name, spec.seed,
                                  spec.horizon, recorder)

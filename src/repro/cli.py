@@ -11,6 +11,9 @@ Usage (also available as ``python -m repro``):
     repro-aru paper-tables [--seeds 2] [--horizon 120] [--save-csv grid.csv]
     repro-aru profile [--config 1] [--policy aru-min] [--horizon 30] \\
         [--sort cumulative] [--limit 25]
+    repro-aru chaos examples/chaos_tracker.yaml [--horizon 60] \\
+        [--width 72] [--save-trace run.json]
+    repro-aru chaos --list-faults
     repro-aru analyze run.json
     repro-aru compare a.json b.json
     repro-aru timeline run.json [--channel C3] [--width 72]
@@ -184,6 +187,46 @@ def cmd_run_config(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    """Run an experiment under a scripted fault schedule, report resilience."""
+    from repro.bench.specfile import experiment_from_dict
+    from repro.faults import (
+        FaultInjector,
+        list_faults_text,
+        load_chaos_file,
+        resilience_report,
+    )
+    from repro.metrics import gantt, save_trace
+    from repro.runtime import Runtime
+
+    if args.list_faults:
+        print(list_faults_text())
+        return 0
+    if not args.schedule:
+        raise SystemExit(
+            "chaos: a schedule file is required (or use --list-faults)")
+    experiment, schedule, detector = load_chaos_file(args.schedule)
+    graph, runtime_config, horizon = experiment_from_dict(experiment)
+    if args.horizon is not None:
+        horizon = args.horizon
+    runtime = Runtime(graph, runtime_config)
+    kwargs = dict(detector)
+    if "interval" in kwargs:
+        kwargs["detect_interval"] = kwargs.pop("interval")
+    injector = FaultInjector(runtime, schedule, **kwargs).install()
+    recorder = runtime.run(until=horizon)
+    print(f"chaos run: {args.schedule} — {len(schedule)} scheduled faults, "
+          f"{recorder.duration:.1f}s simulated")
+    print()
+    print(gantt(recorder, width=args.width, fault_log=injector.log))
+    print()
+    print(resilience_report(injector.log, recorder, sources=graph.sources()))
+    if args.save_trace:
+        save_trace(recorder, args.save_trace)
+        print(f"\ntrace saved to {args.save_trace}")
+    return 0
+
+
 def cmd_compare(args) -> int:
     from repro.bench import compare_traces
 
@@ -331,6 +374,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_rc.add_argument("spec")
     p_rc.add_argument("--save-trace", metavar="PATH", default=None)
     p_rc.set_defaults(func=cmd_run_config)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="run an experiment under a fault schedule, report resilience")
+    p_chaos.add_argument("schedule", nargs="?", default=None,
+                         help="YAML/JSON chaos file (experiment + faults)")
+    p_chaos.add_argument("--list-faults", action="store_true",
+                         help="print the fault-kind catalog and exit")
+    p_chaos.add_argument("--horizon", type=float, default=None,
+                         help="override the experiment's horizon")
+    p_chaos.add_argument("--width", type=int, default=72,
+                         help="gantt chart width (default 72)")
+    p_chaos.add_argument("--save-trace", metavar="PATH", default=None)
+    p_chaos.set_defaults(func=cmd_chaos)
 
     p_cmp = sub.add_parser("compare", help="compare two saved traces")
     p_cmp.add_argument("trace_a")

@@ -47,6 +47,22 @@ class Node:
         self.mem_in_use = 0
         #: High-water mark of :attr:`mem_in_use`.
         self.mem_peak = 0
+        #: Fault-injection state: a failed node's resident threads are
+        #: dead (the runtime kills them); channel storage survives — the
+        #: simplifying "stable storage" assumption of docs/fault-model.md.
+        self.failed = False
+        #: Number of crash faults applied to this node so far.
+        self.crash_count = 0
+
+    # -- fault control ------------------------------------------------------
+    def fail(self) -> None:
+        """Mark the node crashed (bookkeeping; the runtime kills threads)."""
+        self.failed = True
+        self.crash_count += 1
+
+    def recover(self) -> None:
+        """Mark the node back up (the runtime respawns its threads)."""
+        self.failed = False
 
     # -- compute -----------------------------------------------------------
     def effective_duration(self, duration: float) -> float:

@@ -28,6 +28,19 @@ class ItemDropped(ReproError):
     """A get() request can never be satisfied (item already skipped/freed)."""
 
 
+class LinkDown(ReproError):
+    """A transfer was attempted over a partitioned network link."""
+
+
+class MessageDropped(ReproError):
+    """A transfer completed on the wire but the message was lost (fault
+    injection: lossy-link mode). The sender may retry."""
+
+
+class FaultError(ReproError):
+    """A fault-injection schedule or operation is invalid."""
+
+
 class GraphError(ReproError):
     """The application task graph is malformed (cycles, dangling nodes...)."""
 

@@ -1,0 +1,52 @@
+"""Scripted fault injection, failure detection, and ARU-aware recovery.
+
+The subsystem has three parts:
+
+* :class:`FaultSpec` / :class:`FaultSchedule` — a declarative, picklable
+  description of *what* goes wrong *when* (crashes, stalls, restarts,
+  node failures, link degradation/partition, message loss);
+* :class:`FaultInjector` — a DES process that executes the schedule
+  against a live :class:`~repro.runtime.runtime.Runtime`, paired with a
+  polling :class:`FaultDetector` that turns observations into symptom
+  events;
+* :class:`~repro.metrics.faultlog.FaultEventLog` + the resilience report
+  — the measurement side: detection latencies, recovery times, and
+  source-throttle recovery after restarts.
+
+An *empty* schedule installs nothing: the run is bit-identical to one
+without the fault subsystem, which is the determinism contract the
+differential tests pin down. See ``docs/fault-model.md``.
+"""
+
+from repro.faults.injector import FaultDetector, FaultInjector
+from repro.faults.spec import (
+    FAULT_KINDS,
+    FaultSchedule,
+    FaultSpec,
+    chaos_from_dict,
+    list_faults_text,
+    load_chaos_file,
+)
+from repro.faults.report import (
+    mean_period,
+    resilience_report,
+    throttle_recovery_time,
+)
+from repro.metrics.faultlog import FaultEventLog, FaultRecord, SymptomEvent
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultSpec",
+    "FaultSchedule",
+    "FaultInjector",
+    "FaultDetector",
+    "FaultEventLog",
+    "FaultRecord",
+    "SymptomEvent",
+    "chaos_from_dict",
+    "load_chaos_file",
+    "list_faults_text",
+    "mean_period",
+    "resilience_report",
+    "throttle_recovery_time",
+]

@@ -1,0 +1,129 @@
+"""Resilience reporting: detection latencies and throttle recovery.
+
+Consumes a :class:`~repro.metrics.faultlog.FaultEventLog` plus the run's
+:class:`~repro.metrics.recorder.TraceRecorder` and renders the chaos-run
+postmortem: per-fault lifecycle (injected -> detected -> recovered),
+unmatched symptoms, and — the ARU-specific metric — whether each source
+thread's *throttle period* (its full iteration period, sleep included)
+returned to within a tolerance of its pre-fault value after the last
+recovery.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.metrics.faultlog import FaultEventLog
+from repro.metrics.recorder import TraceRecorder
+
+
+def iteration_periods(recorder: TraceRecorder,
+                      thread: str) -> List[Tuple[float, float]]:
+    """``(t_end, period)`` per completed iteration of ``thread``."""
+    return [(it.t_end, it.t_end - it.t_start)
+            for it in recorder.iterations_of(thread)]
+
+
+def mean_period(recorder: TraceRecorder, thread: str,
+                t0: float, t1: float) -> Optional[float]:
+    """Mean iteration period of ``thread`` over iterations ending in
+    ``[t0, t1]``; None when no iteration completed there."""
+    periods = [p for (t, p) in iteration_periods(recorder, thread)
+               if t0 <= t <= t1]
+    if not periods:
+        return None
+    return sum(periods) / len(periods)
+
+
+def throttle_recovery_time(recorder: TraceRecorder, thread: str,
+                           baseline: float, t_from: float,
+                           tolerance: float = 0.1,
+                           window: float = 2.0) -> Optional[float]:
+    """Seconds after ``t_from`` until ``thread``'s period re-enters
+    ``baseline * (1 ± tolerance)``, judged over a sliding ``window``.
+
+    Returns None if it never recovers within the trace.
+    """
+    if baseline <= 0:
+        return None
+    points = iteration_periods(recorder, thread)
+    candidates = [t for (t, _p) in points if t >= t_from]
+    for t in candidates:
+        mean = mean_period(recorder, thread, t, t + window)
+        if mean is not None and abs(mean - baseline) <= tolerance * baseline:
+            return t - t_from
+    return None
+
+
+def _format_record(record) -> str:
+    if record.detected:
+        detected = f"+{record.detection_latency:5.2f}s ({record.detected_by})"
+    else:
+        detected = "MISSED"
+    if record.recovered:
+        recovered = f"t={record.t_recovered:6.2f}"
+    else:
+        recovered = "-"
+    return (f"  [{record.index}] t={record.t_injected:6.2f}  "
+            f"{record.kind:<15} {record.target:<16} "
+            f"detected {detected:<28} recovered {recovered}")
+
+
+def resilience_report(log: FaultEventLog,
+                      recorder: Optional[TraceRecorder] = None,
+                      sources: Sequence[str] = (),
+                      tolerance: float = 0.1,
+                      baseline_window: float = 5.0,
+                      recovery_window: float = 2.0) -> str:
+    """Human-readable chaos postmortem."""
+    counts = log.summary()
+    lines = [
+        f"resilience report — {counts['injected']} faults injected, "
+        f"{counts['detected']} detected, {counts['recovered']} recovered"
+    ]
+    for record in log.records:
+        lines.append(_format_record(record))
+    latencies = list(log.detection_latencies().values())
+    if latencies:
+        lines.append(
+            f"  detection latency: mean {sum(latencies) / len(latencies):.3f}s, "
+            f"max {max(latencies):.3f}s"
+        )
+    unmatched = log.unmatched_symptoms()
+    if unmatched:
+        kinds = sorted({s.symptom for s in unmatched})
+        lines.append(
+            f"  unmatched symptoms: {len(unmatched)} "
+            f"(collateral observations: {', '.join(kinds)})"
+        )
+    if recorder is not None and sources and log.records:
+        t_first = min(r.t_injected for r in log.records)
+        recoveries = [r.t_recovered for r in log.records if r.recovered]
+        t_resume = max(recoveries) if recoveries else t_first
+        lines.append(f"  throttle recovery (tolerance {tolerance:.0%}):")
+        for thread in sources:
+            baseline = mean_period(recorder, thread,
+                                   max(recorder.t_start, t_first - baseline_window),
+                                   t_first)
+            if baseline is None:
+                lines.append(f"    {thread}: no pre-fault iterations")
+                continue
+            tail = mean_period(recorder, thread,
+                               max(t_resume, recorder.t_end - recovery_window),
+                               recorder.t_end)
+            within = (tail is not None
+                      and abs(tail - baseline) <= tolerance * baseline)
+            delay = throttle_recovery_time(
+                recorder, thread, baseline, t_resume,
+                tolerance=tolerance, window=recovery_window,
+            )
+            tail_txt = "n/a" if tail is None else f"{tail * 1e3:.1f}ms"
+            delta = ("" if tail is None or baseline == 0 else
+                     f" ({(tail - baseline) / baseline:+.1%})")
+            status = "recovered" if within else "NOT recovered"
+            delay_txt = f" {delay:.2f}s after last recovery" if delay is not None else ""
+            lines.append(
+                f"    {thread}: pre-fault period {baseline * 1e3:.1f}ms, "
+                f"final {tail_txt}{delta} — {status}{delay_txt}"
+            )
+    return "\n".join(lines)

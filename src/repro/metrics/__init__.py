@@ -9,6 +9,11 @@ from repro.metrics.control import (
     tracking_error,
 )
 from repro.metrics.events import ItemTrace, IterationTrace, StpSample, Touch
+from repro.metrics.faultlog import (
+    FaultEventLog,
+    FaultRecord,
+    SymptomEvent,
+)
 from repro.metrics.gantt import activity_buckets, gantt
 from repro.metrics.footprint import Timeline, build_timeline, byte_seconds
 from repro.metrics.performance import (
@@ -35,6 +40,9 @@ __all__ = [
     "IterationTrace",
     "StpSample",
     "Touch",
+    "FaultEventLog",
+    "FaultRecord",
+    "SymptomEvent",
     "Timeline",
     "build_timeline",
     "byte_seconds",

@@ -1,0 +1,158 @@
+"""Fault-event bookkeeping: injected / detected / recovered timelines.
+
+The :class:`FaultEventLog` is the measurement side of the fault subsystem
+(:mod:`repro.faults`): the injector records every fault it applies
+(*injected*) and every recovery action (*recovered*); the failure
+detector reports *symptoms* — raw observations such as "thread X stopped
+answering" — which the log matches against open fault records to stamp
+*detected* times. Derived metrics:
+
+* **detection latency** — ``t_detected - t_injected`` per fault;
+* **recovery** — ``t_recovered`` per fault (explicit restore/restart
+  faults and expiring fault windows both count);
+* unmatched symptoms — observations with no scheduled cause, kept for
+  the postmortem (collateral damage shows up here, e.g. the threads of a
+  crashed node reported dead individually).
+
+The log is plain data: it never touches the engine, so recording is
+side-effect-free with respect to simulation determinism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: Which fault kinds a given symptom can confirm. A symptom only stamps
+#: ``t_detected`` on a record whose kind it names and whose target matches.
+SYMPTOM_MATCHES: Dict[str, Tuple[str, ...]] = {
+    "thread_dead": ("thread_crash",),
+    "thread_stalled": ("thread_stall",),
+    "thread_back": ("thread_restart",),
+    "node_dead": ("node_crash",),
+    "node_back": ("node_restart",),
+    "link_down": ("link_partition",),
+    "link_blocked": ("link_partition",),
+    "link_slow": ("link_degrade",),
+    "link_ok": ("link_restore",),
+    "message_dropped": ("message_drop",),
+}
+
+
+@dataclass
+class SymptomEvent:
+    """One raw failure-detector observation."""
+
+    symptom: str
+    target: str
+    t: float
+    #: Who observed it (detector poll, or the thread that hit the error).
+    source: str = ""
+    #: Index of the fault record this symptom confirmed, if any.
+    matched: Optional[int] = None
+
+
+@dataclass
+class FaultRecord:
+    """Lifecycle of one injected fault."""
+
+    index: int
+    kind: str
+    target: str
+    t_injected: float
+    detail: str = ""
+    t_detected: Optional[float] = None
+    detected_by: Optional[str] = None
+    t_recovered: Optional[float] = None
+
+    @property
+    def detected(self) -> bool:
+        return self.t_detected is not None
+
+    @property
+    def recovered(self) -> bool:
+        return self.t_recovered is not None
+
+    @property
+    def detection_latency(self) -> Optional[float]:
+        if self.t_detected is None:
+            return None
+        return self.t_detected - self.t_injected
+
+    @property
+    def recovery_latency(self) -> Optional[float]:
+        if self.t_recovered is None:
+            return None
+        return self.t_recovered - self.t_injected
+
+
+class FaultEventLog:
+    """Chronological record of fault injections, detections, recoveries."""
+
+    def __init__(self) -> None:
+        self.records: List[FaultRecord] = []
+        self.symptoms: List[SymptomEvent] = []
+
+    # -- writers -----------------------------------------------------------
+    def on_injected(self, kind: str, target: str, t: float,
+                    detail: str = "") -> FaultRecord:
+        record = FaultRecord(index=len(self.records), kind=kind,
+                             target=target, t_injected=t, detail=detail)
+        self.records.append(record)
+        return record
+
+    def on_symptom(self, symptom: str, target: str, t: float,
+                   source: str = "") -> Optional[FaultRecord]:
+        """Record an observation; returns the fault record it confirmed.
+
+        Matches the earliest still-undetected record whose kind accepts
+        this symptom and whose target is the observed one. Unmatched
+        symptoms stay in :attr:`symptoms` for the postmortem.
+        """
+        event = SymptomEvent(symptom=symptom, target=target, t=t, source=source)
+        self.symptoms.append(event)
+        kinds = SYMPTOM_MATCHES.get(symptom, ())
+        for record in self.records:
+            if (record.kind in kinds and record.target == target
+                    and not record.detected and t >= record.t_injected):
+                record.t_detected = t
+                record.detected_by = symptom
+                event.matched = record.index
+                return record
+        return None
+
+    def on_recovered(self, target: str, t: float,
+                     kinds: Optional[Tuple[str, ...]] = None
+                     ) -> List[FaultRecord]:
+        """Mark every open fault on ``target`` (of the given kinds) recovered."""
+        resolved = []
+        for record in self.records:
+            if (record.target == target and not record.recovered
+                    and (kinds is None or record.kind in kinds)
+                    and t >= record.t_injected):
+                record.t_recovered = t
+                resolved.append(record)
+        return resolved
+
+    # -- views -------------------------------------------------------------
+    def undetected(self) -> List[FaultRecord]:
+        return [r for r in self.records if not r.detected]
+
+    def unmatched_symptoms(self) -> List[SymptomEvent]:
+        return [s for s in self.symptoms if s.matched is None]
+
+    def detection_latencies(self) -> Dict[int, float]:
+        return {r.index: r.detection_latency for r in self.records
+                if r.detection_latency is not None}
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "injected": len(self.records),
+            "detected": sum(1 for r in self.records if r.detected),
+            "recovered": sum(1 for r in self.records if r.recovered),
+            "symptoms": len(self.symptoms),
+            "unmatched_symptoms": len(self.unmatched_symptoms()),
+        }
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -69,14 +69,47 @@ def activity_buckets(
     return cells
 
 
+#: Fault-marker glyphs in priority order (injection beats detection
+#: beats recovery when several land in one bucket).
+FAULT_GLYPHS = (("injected", "!"), ("detected", "d"), ("recovered", "r"))
+
+
+def fault_markers(fault_log, n_buckets: int, t0: float, t1: float) -> List[str]:
+    """One marker cell per bucket for a fault-event timeline."""
+    cells = [" "] * n_buckets
+    rank = {" ": -1, "r": 0, "d": 1, "!": 2}
+    span = t1 - t0
+    if span <= 0:
+        return cells
+
+    def mark(t: Optional[float], glyph: str) -> None:
+        if t is None or not t0 <= t <= t1:
+            return
+        b = min(int((t - t0) / span * n_buckets), n_buckets - 1)
+        if rank[glyph] > rank[cells[b]]:
+            cells[b] = glyph
+
+    for record in fault_log.records:
+        mark(record.t_injected, "!")
+        mark(record.t_detected, "d")
+        mark(record.t_recovered, "r")
+    return cells
+
+
 def gantt(
     recorder: TraceRecorder,
     threads: Optional[List[str]] = None,
     width: int = 72,
     t0: Optional[float] = None,
     t1: Optional[float] = None,
+    fault_log=None,
 ) -> str:
-    """Multi-thread activity chart over ``[t0, t1]`` (defaults: whole run)."""
+    """Multi-thread activity chart over ``[t0, t1]`` (defaults: whole run).
+
+    With a :class:`~repro.metrics.faultlog.FaultEventLog` passed as
+    ``fault_log``, an extra row marks fault injections (``!``),
+    detections (``d``), and recoveries (``r``).
+    """
     if recorder.t_end is None:
         raise ValueError("finalize the recorder before rendering")
     threads = threads or recorder.threads()
@@ -84,7 +117,8 @@ def gantt(
         return "(no iterations recorded)"
     t0 = recorder.t_start if t0 is None else t0
     t1 = recorder.t_end if t1 is None else t1
-    label_width = max(len(t) for t in threads) + 1
+    labels = list(threads) + (["faults"] if fault_log is not None else [])
+    label_width = max(len(t) for t in labels) + 1
     lines = [
         f"activity: {GLYPHS['compute']}=compute {GLYPHS['blocked']}=blocked "
         f"{GLYPHS['slept']}=throttled ' '=idle   t=[{t0:.1f}s..{t1:.1f}s]"
@@ -92,4 +126,8 @@ def gantt(
     for thread in threads:
         cells = activity_buckets(recorder, thread, width, t0, t1)
         lines.append(f"{thread:<{label_width}}|{''.join(cells)}|")
+    if fault_log is not None:
+        cells = fault_markers(fault_log, width, t0, t1)
+        lines.append(f"{'faults':<{label_width}}|{''.join(cells)}|")
+        lines.append("faults: !=injected d=detected r=recovered")
     return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""Transport retry policy: capped exponential backoff for remote put/get.
+
+When a remote transfer fails with :class:`~repro.errors.LinkDown` or
+:class:`~repro.errors.MessageDropped`, the thread driver retries it after
+a backoff delay — ``backoff_base * 2**(attempt-1)``, capped at
+``backoff_max`` — so a pipeline rides out partition windows and lossy
+links instead of dying. ``max_attempts=None`` (the default) retries until
+the transfer succeeds: in a streaming system the sane reaction to a
+partition of unknown length is to keep trying, and the ARU loop upstream
+adapts through the stall. A finite ``max_attempts`` re-raises the last
+transport error once exhausted, killing the thread — useful to study
+cascading failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff schedule for failed remote transfers."""
+
+    #: Delay before the first retry, in seconds.
+    backoff_base: float = 0.05
+    #: Upper bound on any single backoff delay, in seconds.
+    backoff_max: float = 1.0
+    #: Give up (re-raise) after this many failed attempts; None = never.
+    max_attempts: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.backoff_base < 0:
+            raise ConfigError(
+                f"backoff_base must be >= 0, got {self.backoff_base}"
+            )
+        if self.backoff_max < self.backoff_base:
+            raise ConfigError(
+                f"backoff_max ({self.backoff_max}) must be >= backoff_base "
+                f"({self.backoff_base})"
+            )
+        if self.max_attempts is not None and self.max_attempts < 1:
+            raise ConfigError(
+                f"max_attempts must be >= 1 or None, got {self.max_attempts}"
+            )
+
+    def backoff(self, attempt: int) -> float:
+        """Delay before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ConfigError(f"attempt must be >= 1, got {attempt}")
+        return min(self.backoff_base * (2.0 ** (attempt - 1)), self.backoff_max)
+
+    def exhausted(self, attempt: int) -> bool:
+        """Whether ``attempt`` failures exhaust the policy."""
+        return self.max_attempts is not None and attempt >= self.max_attempts

@@ -25,6 +25,7 @@ from repro.gc import GarbageCollector, make_gc
 from repro.metrics.recorder import TraceRecorder
 from repro.runtime.channel import Channel
 from repro.runtime.graph import CHANNEL, QUEUE, TaskGraph
+from repro.runtime.retry import RetryPolicy
 from repro.runtime.squeue import SQueue
 from repro.runtime.thread import TaskContext, ThreadDriver
 from repro.sim.engine import Engine
@@ -46,6 +47,8 @@ class RuntimeConfig:
     #: Background-load bursts injected into the cluster (§1's "current
     #: load"); the ARU loop must adapt through them.
     loads: tuple = ()
+    #: Transport retry/backoff for remote put/get under link faults.
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
 
 
 class Runtime:
@@ -89,6 +92,9 @@ class Runtime:
                 raise ConfigError(f"load targets unknown node {load.node!r}")
             spawn_load(self.engine, self.nodes[load.node], load)
         self._ran = False
+        #: Failure-detection callback ``(symptom, target, source)``;
+        #: installed by a FaultInjector, None in fault-free runs.
+        self.fault_hook = None
 
     # -- placement ---------------------------------------------------------
     def _resolve_thread_node(self, thread: str) -> str:
@@ -128,7 +134,9 @@ class Runtime:
             return None
         op = self.graph.attrs(name).get("compress_op") or aru.default_channel_op
         return BufferAruState(
-            name, op=op, summary_filter_factory=resolve_factory(aru.summary_filter)
+            name, op=op,
+            summary_filter_factory=resolve_factory(aru.summary_filter),
+            ttl=aru.staleness_ttl, time_fn=self.clock.now,
         )
 
     def _build_buffer(self, name: str):
@@ -175,7 +183,9 @@ class Runtime:
         if aru.enabled:
             op = attrs.get("compress_op") or aru.thread_op
             aru_state = ThreadAruState(
-                name, op=op, summary_filter_factory=resolve_factory(aru.summary_filter)
+                name, op=op,
+                summary_filter_factory=resolve_factory(aru.summary_filter),
+                ttl=aru.staleness_ttl, time_fn=self.clock.now,
             )
         meter = StpMeter(self.clock, stp_filter=resolve_factory(aru.stp_filter)())
 
@@ -279,6 +289,79 @@ class Runtime:
         if process is None:
             raise ConfigError(f"no thread named {name!r}")
         return process.is_alive
+
+    def stall_thread(self, name: str, duration: float) -> None:
+        """Failure injection: freeze a thread for ``duration`` seconds.
+
+        The thread stops making progress at its next syscall boundary
+        but stays alive — the livelock case failure detectors must tell
+        apart from a crash (it still holds its connections and its
+        backwardSTP slots keep their last values until the TTL).
+        """
+        driver = self.drivers.get(name)
+        if driver is None:
+            raise ConfigError(f"no thread named {name!r}")
+        driver.stall(duration)
+
+    def restart_thread(self, name: str) -> None:
+        """Failure recovery: respawn a task thread with cold state.
+
+        Mirrors a real supervisor restart: the old incarnation is killed
+        (if still alive), its connections are unregistered from every
+        buffer — evicting its backwardSTP slots and releasing its DGC
+        cursors — and a fresh driver (new generator, new connections,
+        reset STP meter and ARU state) is registered on the engine. The
+        restarted thread re-propagates its summary-STP from scratch on
+        its first gets, exactly like a cold-started pipeline stage.
+        """
+        old = self.drivers.get(name)
+        if old is None:
+            raise ConfigError(f"no thread named {name!r}")
+        process = self._processes[name]
+        if process.is_alive:
+            process.kill("restart")
+        now = self.engine.now
+        for buffer, conn in old.in_conns.values():
+            buffer.unregister_consumer(conn)
+            collect = getattr(buffer, "maybe_collect", None)
+            if collect is not None:
+                collect(now)
+        for buffer, conn in old.out_conns.values():
+            buffer.unregister_producer(conn)
+        driver = self._build_driver(name)
+        self.drivers[name] = driver
+        self._processes[name] = self.engine.process(driver.run(), name=name)
+
+    def threads_on(self, node_name: str) -> list:
+        """Task threads placed on the named cluster node."""
+        if node_name not in self.nodes:
+            raise ConfigError(f"no node named {node_name!r}")
+        return [t for t, n in self._thread_placement.items() if n == node_name]
+
+    def crash_node(self, name: str, reason: str = "node crash") -> None:
+        """Failure injection: crash a node, killing its resident threads.
+
+        Channel storage placed on the node survives (the fault model's
+        stable-storage simplification — see docs/fault-model.md); what a
+        crash destroys is the *computation*: every resident thread dies.
+        """
+        node = self.nodes.get(name)
+        if node is None:
+            raise ConfigError(f"no node named {name!r}")
+        node.fail()
+        for thread in self.threads_on(name):
+            if self._processes[thread].is_alive:
+                self._processes[thread].kill(reason)
+
+    def restart_node(self, name: str) -> None:
+        """Failure recovery: bring a node back, respawning its dead threads."""
+        node = self.nodes.get(name)
+        if node is None:
+            raise ConfigError(f"no node named {name!r}")
+        node.recover()
+        for thread in self.threads_on(name):
+            if not self._processes[thread].is_alive:
+                self.restart_thread(thread)
 
     def stats(self) -> Dict[str, dict]:
         """Snapshot of runtime-object statistics (diagnostics/reports)."""

@@ -69,6 +69,26 @@ class SQueue:
         self.in_conns.append(conn)
         return conn
 
+    def unregister_producer(self, conn: OutputConnection) -> None:
+        """Detach a producer connection (thread restart/teardown)."""
+        try:
+            self.out_conns.remove(conn)
+        except ValueError:
+            raise SimulationError(
+                f"producer {conn.thread!r} not registered on {self.name!r}"
+            ) from None
+
+    def unregister_consumer(self, conn: InputConnection) -> None:
+        """Detach a consumer connection, evicting its backwardSTP slot."""
+        try:
+            self.in_conns.remove(conn)
+        except ValueError:
+            raise SimulationError(
+                f"consumer {conn.thread!r} not registered on {self.name!r}"
+            ) from None
+        if self.aru is not None:
+            self.aru.backward.evict(conn.conn_id)
+
     # -- introspection ------------------------------------------------------
     def __len__(self) -> int:
         return len(self._fifo)

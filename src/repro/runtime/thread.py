@@ -21,7 +21,7 @@ import numpy as np
 from repro.aru.controller import throttle_sleep
 from repro.aru.stp import StpMeter
 from repro.aru.summary import ThreadAruState
-from repro.errors import SimulationError
+from repro.errors import LinkDown, MessageDropped, SimulationError
 from repro.runtime.connection import InputConnection, OutputConnection
 from repro.runtime.item import Item, ItemView
 from repro.runtime.syscalls import (
@@ -115,6 +115,16 @@ class ThreadDriver:
         self._next_src_ts = 0
         #: Completed iterations (mirrors the recorder, cheap to read).
         self.iterations = 0
+        # fault-injection state
+        self._stalled = False
+        self._stall_until = 0.0
+        #: Remote transfers retried after a transport error.
+        self.transport_retries = 0
+        #: Transport errors (LinkDown/MessageDropped) this thread hit.
+        self.transport_errors = 0
+        #: Set to the final transport error's message when exhausted
+        #: retries killed this thread; None while healthy.
+        self.transport_death = None
 
     # ------------------------------------------------------------------
     def now(self) -> float:
@@ -128,11 +138,40 @@ class ThreadDriver:
             return min(conn.last_got for (_b, conn) in self.in_conns.values()) + 1
         return self._next_src_ts
 
+    @property
+    def waiting(self) -> bool:
+        """Whether the thread is inside a legitimate wait (blocked on a
+        peer stage or throttle-sleeping). Failure detectors use this to
+        tell a stalled thread from one that is merely starved."""
+        return self.meter._pause_kind is not None
+
     def my_summary(self) -> Optional[float]:
         """The summary-STP this thread currently advertises upstream."""
         if self.aru is None:
             return None
         return self.aru.summary(self.meter.current_stp)
+
+    # -- fault injection ---------------------------------------------------
+    def stall(self, duration: float) -> None:
+        """Freeze this thread for ``duration`` seconds (livelock fault).
+
+        Takes effect at the thread's next syscall boundary. Unlike
+        blocking or throttle sleep, stall time is *not* excluded from the
+        STP — a hung thread looks slow to the ARU loop, which is the
+        point of injecting it.
+        """
+        if duration <= 0:
+            raise SimulationError(f"stall duration must be positive: {duration}")
+        self._stalled = True
+        self._stall_until = max(self._stall_until, self.now() + duration)
+
+    def _stall_wait(self) -> Generator:
+        while True:
+            remaining = self._stall_until - self.now()
+            if remaining <= 0:
+                self._stalled = False
+                return
+            yield self.engine.timeout(remaining)
 
     # -- main loop -----------------------------------------------------------
     def run(self) -> Generator:
@@ -149,7 +188,17 @@ class ThreadDriver:
                     syscall = gen.send(to_send)
                 except StopIteration:
                     break
-                to_send = yield from self._execute(syscall)
+                if self._stalled:
+                    yield from self._stall_wait()
+                try:
+                    to_send = yield from self._execute(syscall)
+                except (LinkDown, MessageDropped) as exc:
+                    # Transport retries exhausted (finite RetryPolicy): the
+                    # thread dies cleanly — the simulation continues and
+                    # the failure detector observes a thread_dead.
+                    self.transport_death = str(exc)
+                    gen.close()
+                    break
         finally:
             # Runs on normal return, task error, and kill-injection alike:
             # release everything held so channel storage is not pinned.
@@ -200,6 +249,40 @@ class ThreadDriver:
         if not conns:
             return False
         return all(conn.last_got >= ts for conn in conns)
+
+    def _remote_transfer(self, src: str, dst: str, nbytes: int) -> Generator:
+        """Ship bytes over the network, retrying transport errors.
+
+        Failed attempts (:class:`LinkDown`, :class:`MessageDropped`) are
+        reported to the runtime's fault hook (failure detection), then
+        retried after the :class:`~repro.runtime.retry.RetryPolicy`'s
+        capped-exponential backoff. Backoff waits count as blocked time —
+        like any wait on an unavailable peer, they are excluded from the
+        STP. Re-raises once the policy is exhausted.
+        """
+        policy = self.runtime.config.retry
+        attempt = 0
+        while True:
+            try:
+                return (yield self.engine.process(
+                    self.runtime.network.transfer(src, dst, nbytes)
+                ))
+            except (LinkDown, MessageDropped) as exc:
+                attempt += 1
+                self.transport_errors += 1
+                hook = self.runtime.fault_hook
+                if hook is not None:
+                    symptom = ("message_dropped" if isinstance(exc, MessageDropped)
+                               else "link_down")
+                    hook(symptom, f"{src}->{dst}", self.name)
+                if policy.exhausted(attempt):
+                    raise
+                self.transport_retries += 1
+                delay = policy.backoff(attempt)
+                if delay > 0:
+                    self.meter.block_started()
+                    yield self.engine.timeout(delay)
+                    self.meter.block_ended()
 
     def _do_compute(self, sc: Compute) -> Generator:
         actual = yield self.engine.process(self.node.compute(sc.seconds))
@@ -273,10 +356,8 @@ class ThreadDriver:
         # Remote get: ship the item's bytes to the consumer's node. This is
         # production-path time, *included* in the STP.
         if buffer.node.name != self.node.name and view.size > 0:
-            yield self.engine.process(
-                self.runtime.network.transfer(
-                    buffer.node.name, self.node.name, view.size
-                )
+            yield from self._remote_transfer(
+                buffer.node.name, self.node.name, view.size
             )
         if hold:
             self._retained[view.item_id] = (buffer, view)
@@ -289,10 +370,8 @@ class ThreadDriver:
         buffer, conn = self._out_conn(sc.channel)
         # Remote put: ship the bytes to the channel's node first.
         if buffer.node.name != self.node.name and sc.size > 0:
-            yield self.engine.process(
-                self.runtime.network.transfer(
-                    self.node.name, buffer.node.name, sc.size
-                )
+            yield from self._remote_transfer(
+                self.node.name, buffer.node.name, sc.size
             )
         # Back-pressure (capacity extension): waiting for room is excluded
         # from the STP like any other wait on a peer stage.

@@ -159,3 +159,77 @@ class TestThrottleSleep:
         sleep = throttle_sleep(target, elapsed)
         assert sleep >= 0.0
         assert sleep + elapsed >= target - 1e-12
+
+
+class TestStalenessEviction:
+    """TTL-based slot eviction (fault tolerance, docs/fault-model.md)."""
+
+    @staticmethod
+    def clocked(ttl=1.0, op="min", **kwargs):
+        t = [0.0]
+        vec = BackwardStpVector(op, ttl=ttl, time_fn=lambda: t[0], **kwargs)
+        return vec, t
+
+    def test_ttl_requires_a_time_fn(self):
+        with pytest.raises(ValueError, match="time_fn"):
+            BackwardStpVector("min", ttl=1.0)
+
+    def test_nonpositive_ttl_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            BackwardStpVector("min", ttl=0.0, time_fn=lambda: 0.0)
+
+    def test_silent_slot_evicts_after_ttl(self):
+        vec, t = self.clocked(ttl=1.0)
+        vec.update("ghost", 50.0)
+        vec.update("live", 100.0)
+        t[0] = 0.9
+        vec.update("live", 100.0)
+        assert vec.compressed() == 50.0  # ghost still within its TTL
+        t[0] = 1.5  # ghost last heard at 0.0 — stale; live heard at 0.9
+        assert vec.compressed() == 100.0
+        assert vec.evictions == 1
+
+    def test_all_slots_stale_means_no_summary(self):
+        vec, t = self.clocked(ttl=1.0)
+        vec.update("a", 50.0)
+        vec.update("b", 70.0)
+        t[0] = 2.5
+        assert vec.compressed() is None
+        assert vec.evictions == 2
+
+    def test_refresh_keeps_a_slot_alive_indefinitely(self):
+        vec, t = self.clocked(ttl=1.0)
+        for step in range(10):
+            t[0] = step * 0.8
+            vec.update("a", 42.0)
+        assert vec.compressed() == 42.0
+        assert vec.evictions == 0
+
+    def test_eviction_drops_filter_state(self):
+        vec, t = self.clocked(ttl=1.0,
+                              summary_filter_factory=lambda: EwmaFilter(0.5))
+        vec.update("a", 100.0)
+        t[0] = 2.0
+        assert vec.compressed() is None
+        vec.update("a", 10.0)  # cold filter: no memory of the 100
+        assert vec.compressed() == pytest.approx(10.0)
+
+    def test_explicit_evict_reports_existence(self):
+        vec, _ = self.clocked()
+        vec.update("a", 5.0)
+        assert vec.evict("a") is True
+        assert vec.evict("a") is False
+        assert vec.compressed() is None
+
+    def test_no_ttl_never_evicts(self):
+        vec = BackwardStpVector("min")
+        vec.update("a", 5.0)
+        assert vec.evict_stale() == []
+        assert vec.compressed() == 5.0
+
+    def test_thread_state_passes_ttl_through(self):
+        t = [0.0]
+        state = ThreadAruState("A", op="min", ttl=1.0, time_fn=lambda: t[0])
+        state.update_backward("dead", 500.0)
+        t[0] = 2.0
+        assert state.summary(current_stp=100.0) == 100.0

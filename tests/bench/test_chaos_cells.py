@@ -1,0 +1,78 @@
+"""Sweep cells with fault schedules: determinism and cache behaviour.
+
+Fault injection must not weaken the sweep runner's contract: a faulted
+cell is still a pure function of its spec, so parallel execution and the
+content-addressed cache keep working bit-identically.
+"""
+
+import pickle
+
+import pytest
+
+from repro.aru import aru_min
+from repro.bench import CellSpec, SweepRunner, run_cell
+from repro.faults import FaultSpec
+
+HORIZON = 8.0
+
+FAULTS = (
+    FaultSpec(kind="thread_crash", at=3.0, target="target_detect2"),
+    FaultSpec(kind="thread_restart", at=5.0, target="target_detect2"),
+)
+
+
+def chaos_spec(seed=0):
+    return CellSpec(config="config1", policy=aru_min(), seed=seed,
+                    horizon=HORIZON, faults=FAULTS)
+
+
+@pytest.fixture(scope="module")
+def serial_results():
+    specs = [chaos_spec(0), chaos_spec(1)]
+    return specs, SweepRunner(workers=1).run(specs)
+
+
+def test_faulted_cell_executes(serial_results):
+    _, results = serial_results
+    for result in results:
+        assert result.ok, result.error
+        assert result.metrics.frames_delivered > 0
+
+
+def test_spec_with_faults_pickles():
+    spec = chaos_spec()
+    assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+def test_parallel_matches_serial_with_faults(serial_results):
+    specs, serial = serial_results
+    parallel = SweepRunner(workers=2).run(specs)
+    for ser, par in zip(serial, parallel):
+        assert pickle.dumps(ser) == pickle.dumps(par)
+
+
+def test_faults_change_the_result(serial_results):
+    specs, serial = serial_results
+    calm = run_cell(specs[0].with_(faults=()))
+    assert calm.ok
+    assert calm.metrics != serial[0].metrics
+
+
+def test_faulted_cells_cache_cleanly(tmp_path, serial_results):
+    specs, serial = serial_results
+    runner = SweepRunner(workers=1, cache=tmp_path / "cache")
+    cold = runner.run(specs)
+    warm = runner.run(specs)
+    assert runner.stats.executed == 0
+    assert runner.stats.cache_hits == len(specs)
+    for ref, c, w in zip(serial, cold, warm):
+        assert pickle.dumps(ref) == pickle.dumps(c) == pickle.dumps(w)
+
+
+def test_fault_schedule_distinguishes_cache_keys(tmp_path):
+    """Same cell, different schedule -> different cache entry."""
+    runner = SweepRunner(workers=1, cache=tmp_path / "cache")
+    a = runner.run([chaos_spec()])[0]
+    b = runner.run([chaos_spec().with_(faults=FAULTS[:1])])[0]
+    assert runner.stats.executed == 1  # second run was not a cache hit
+    assert pickle.dumps(a.metrics) != pickle.dumps(b.metrics)

@@ -1,0 +1,68 @@
+"""Shared fixtures: a tiny noise-free two-node pipeline to break.
+
+``build_pipeline`` places the source on ``n0`` and the sink on the last
+node, so the sink's gets are remote transfers over the ``n0->n1`` link —
+the surface every link fault acts on.
+"""
+
+import pytest
+
+from repro.aru import aru_disabled
+from repro.cluster import ClusterSpec, LinkSpec, NodeSpec
+from repro.runtime import (
+    Compute,
+    Get,
+    PeriodicitySync,
+    Put,
+    Runtime,
+    RuntimeConfig,
+    Sleep,
+    TaskGraph,
+)
+
+
+def quiet_cluster(n_nodes=2):
+    """Deterministic nodes, a link slow enough to measure (2 ms/item)."""
+    return ClusterSpec(
+        nodes=tuple(NodeSpec(name=f"n{i}") for i in range(n_nodes)),
+        link=LinkSpec(latency_s=1e-3, bandwidth_bps=10**8),
+    )
+
+
+def build_pipeline(aru=None, retry=None, seed=0, item_size=100_000,
+                   src_sleep=0.01, dst_compute=0.02):
+    def src(ctx):
+        ts = 0
+        while True:
+            yield Sleep(src_sleep)
+            yield Put("c", ts=ts, size=item_size)
+            ts += 1
+            yield PeriodicitySync()
+
+    def dst(ctx):
+        while True:
+            yield Get("c")
+            yield Compute(dst_compute)
+            yield PeriodicitySync()
+
+    g = TaskGraph()
+    g.add_thread("src", src)
+    g.add_thread("dst", dst, sink=True)
+    g.add_channel("c")
+    g.connect("src", "c").connect("c", "dst")
+    config = {
+        "cluster": quiet_cluster(),
+        "aru": aru or aru_disabled(),
+        "placement": {"src": "n0", "dst": "n1"},
+        "seed": seed,
+    }
+    if retry is not None:
+        config["retry"] = retry
+    return Runtime(g, RuntimeConfig(**config))
+
+
+@pytest.fixture
+def make_pipeline():
+    """The :func:`build_pipeline` factory, as a fixture (tests are not a
+    package, so helpers travel through conftest fixtures)."""
+    return build_pipeline

@@ -1,0 +1,60 @@
+"""Smoke + acceptance: the failure_injection example and the bundled
+chaos schedule, both at tracker scale."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).parents[2]
+
+
+def load_example(name):
+    path = REPO / "examples" / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def example_result():
+    module = load_example("failure_injection")
+    return module.main()
+
+
+def test_example_unthrottles_after_the_crash(example_result):
+    # healthy: throttled well above the ~33 ms intrinsic frame period
+    assert example_result["pre"] > 0.1
+    # crashed + TTL evictions: back under half the throttled period
+    assert example_result["ghost"] < example_result["pre"] / 2
+
+
+def test_example_rethrottles_after_the_restarts(example_result):
+    pre, final = example_result["pre"], example_result["final"]
+    assert final == pytest.approx(pre, rel=0.15)
+
+
+def test_example_detects_every_fault(example_result):
+    log = example_result["log"]
+    summary = log.summary()
+    assert summary["injected"] == 8
+    assert summary["detected"] == 8
+    assert summary["recovered"] == 8
+
+
+def test_bundled_chaos_schedule_acceptance(capsys):
+    """`repro chaos examples/chaos_tracker.yaml`: every fault detected,
+    source throttle back within 10 % of its pre-fault period."""
+    pytest.importorskip("yaml")
+    from repro.cli import main
+
+    rc = main(["chaos", str(REPO / "examples" / "chaos_tracker.yaml")])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "9 faults injected, 9 detected, 9 recovered" in out
+    assert "MISSED" not in out
+    assert "NOT recovered" not in out
+    assert "digitizer" in out and "— recovered" in out

@@ -1,0 +1,64 @@
+"""Ghost-consumer regression: stale summary slots must stop throttling.
+
+Under min-compression a source throttles to its slowest consumer's
+advertised period. When that consumer dies its last advertisement stays
+in the backwardSTP slots forever — unless a staleness TTL evicts it.
+These tests pin the TTL mechanism end-to-end: with a TTL the source
+un-throttles back toward its intrinsic period within ~2x TTL (channel
+slot, then the thread's own slot); without one it stays pinned to the
+ghost.
+"""
+
+import pytest
+
+from repro.aru import aru_min
+from repro.faults import (
+    FaultInjector,
+    FaultSchedule,
+    FaultSpec,
+    mean_period,
+)
+
+TTL = 1.0
+T_KILL = 3.0
+HORIZON = 10.0
+# source: 10 ms sleep; sink: 20 ms compute + ~2 ms transfer
+
+
+def run_with(ttl, make_pipeline):
+    rt = make_pipeline(aru=aru_min().with_(staleness_ttl=ttl))
+    FaultInjector(rt, FaultSchedule(
+        [FaultSpec(kind="thread_crash", at=T_KILL, target="dst")]
+    )).install()
+    trace = rt.run(until=HORIZON)
+    throttled = mean_period(trace, "src", T_KILL - 1.5, T_KILL)
+    post = mean_period(trace, "src", T_KILL + 2 * TTL + 0.5, HORIZON)
+    return throttled, post
+
+
+def test_source_unthrottles_within_two_ttls_of_the_kill(make_pipeline):
+    throttled, post = run_with(TTL, make_pipeline)
+    assert throttled > 0.02  # pinned to the consumer pre-kill
+    assert post < 0.015      # back near the intrinsic 10 ms period
+
+
+def test_without_ttl_the_ghost_pins_the_throttle_forever(make_pipeline):
+    throttled, post = run_with(None, make_pipeline)
+    assert throttled > 0.02
+    assert post == pytest.approx(throttled, rel=0.25)
+    assert post > 0.02
+
+
+def test_restart_repropagates_and_rethrottles(make_pipeline):
+    rt = make_pipeline(aru=aru_min().with_(staleness_ttl=TTL))
+    FaultInjector(rt, FaultSchedule([
+        FaultSpec(kind="thread_crash", at=T_KILL, target="dst"),
+        FaultSpec(kind="thread_restart", at=7.0, target="dst"),
+    ])).install()
+    trace = rt.run(until=14.0)
+    throttled = mean_period(trace, "src", 1.5, T_KILL)
+    ghost = mean_period(trace, "src", T_KILL + 2 * TTL + 0.5, 7.0)
+    rethrottled = mean_period(trace, "src", 11.0, 14.0)
+    assert ghost < 0.015
+    assert rethrottled == pytest.approx(throttled, rel=0.25)
+    assert rethrottled > 0.02

@@ -1,0 +1,173 @@
+"""FaultInjector/FaultDetector against the two-node pipeline."""
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import FaultInjector, FaultSchedule, FaultSpec
+from repro.metrics import trace_to_dict
+
+
+def install(runtime, *faults, **kwargs):
+    return FaultInjector(runtime, FaultSchedule(faults), **kwargs).install()
+
+
+class TestCrashDetection:
+    def test_crash_is_detected_within_poll_interval(self, make_pipeline):
+        rt = make_pipeline()
+        inj = install(
+            rt, FaultSpec(kind="thread_crash", at=1.0, target="dst"),
+            detect_interval=0.1)
+        rt.run(until=2.0)
+        assert not rt.thread_alive("dst")
+        (record,) = inj.log.records
+        assert record.detected and record.detected_by == "thread_dead"
+        assert record.detection_latency == pytest.approx(0.1, abs=0.11)
+        assert not record.recovered
+
+    def test_injection_at_time_zero(self, make_pipeline):
+        rt = make_pipeline()
+        inj = install(rt, FaultSpec(kind="thread_crash", at=0.0, target="src"))
+        rt.run(until=1.0)
+        assert not rt.thread_alive("src")
+        assert inj.log.records[0].t_injected == 0.0
+
+
+class TestStall:
+    def test_stall_detected_and_self_recovers(self, make_pipeline):
+        rt = make_pipeline()
+        inj = install(
+            rt, FaultSpec(kind="thread_stall", at=1.0, target="dst",
+                          duration=1.0),
+            detect_interval=0.1, stall_timeout=0.3)
+        rt.run(until=4.0)
+        (record,) = inj.log.records
+        assert record.detected and record.detected_by == "thread_stalled"
+        assert record.recovered and record.t_recovered == pytest.approx(2.0)
+        # the thread survived the stall and went back to work
+        assert rt.thread_alive("dst")
+        late = [it for it in rt.recorder.iterations_of("dst")
+                if it.t_end > 2.5]
+        assert late
+
+    def test_blocked_thread_is_not_flagged_as_stalled(self, make_pipeline):
+        """A sink starved of input is waiting, not stalled."""
+        rt = make_pipeline()
+        inj = install(
+            rt, FaultSpec(kind="thread_crash", at=1.0, target="src"),
+            detect_interval=0.1, stall_timeout=0.3)
+        rt.run(until=4.0)
+        stalls = [s for s in inj.log.symptoms if s.symptom == "thread_stalled"]
+        assert not stalls
+
+
+class TestRestart:
+    def test_restart_revives_a_crashed_thread(self, make_pipeline):
+        rt = make_pipeline()
+        inj = install(
+            rt,
+            FaultSpec(kind="thread_crash", at=1.0, target="dst"),
+            FaultSpec(kind="thread_restart", at=2.0, target="dst"),
+            detect_interval=0.1)
+        rt.run(until=4.0)
+        assert rt.thread_alive("dst")
+        crash, restart = inj.log.records
+        assert crash.recovered and crash.t_recovered == pytest.approx(2.0)
+        assert restart.detected and restart.detected_by == "thread_back"
+        late = [it for it in rt.recorder.iterations_of("dst")
+                if it.t_end > 2.0]
+        assert late
+
+    def test_restart_reregisters_connections_exactly_once(self, make_pipeline):
+        rt = make_pipeline()
+        channel = rt.channel("c")
+        consumers_before = len(channel.in_conns)
+        install(
+            rt,
+            FaultSpec(kind="thread_crash", at=1.0, target="dst"),
+            FaultSpec(kind="thread_restart", at=2.0, target="dst"),
+            FaultSpec(kind="thread_restart", at=3.0, target="dst"))
+        rt.run(until=4.0)
+        assert len(channel.in_conns) == consumers_before
+
+    def test_restart_of_a_live_thread_is_a_clean_respawn(self, make_pipeline):
+        rt = make_pipeline()
+        install(rt, FaultSpec(kind="thread_restart", at=1.0, target="src"))
+        rt.run(until=2.0)
+        assert rt.thread_alive("src")
+        assert len(rt.channel("c").out_conns) == 1
+
+
+class TestNodeFaults:
+    def test_node_crash_kills_residents_and_is_detected(self, make_pipeline):
+        rt = make_pipeline()
+        inj = install(
+            rt, FaultSpec(kind="node_crash", at=1.0, target="n1"),
+            detect_interval=0.1)
+        rt.run(until=2.0)
+        assert not rt.thread_alive("dst")
+        assert rt.nodes["n1"].failed
+        (record,) = inj.log.records
+        assert record.detected and record.detected_by == "node_dead"
+
+    def test_node_restart_respawns_dead_residents(self, make_pipeline):
+        rt = make_pipeline()
+        inj = install(
+            rt,
+            FaultSpec(kind="node_crash", at=1.0, target="n1"),
+            FaultSpec(kind="node_restart", at=2.0, target="n1"),
+            detect_interval=0.1)
+        rt.run(until=4.0)
+        assert rt.thread_alive("dst")
+        assert not rt.nodes["n1"].failed
+        assert rt.nodes["n1"].crash_count == 1
+        crash, restart = inj.log.records
+        assert crash.recovered
+        assert restart.detected and restart.detected_by == "node_back"
+
+
+class TestInstallContract:
+    def test_empty_schedule_is_bit_identical_to_no_injector(
+            self, make_pipeline):
+        from repro.runtime.connection import reset_conn_ids
+        from repro.runtime.item import reset_item_ids
+
+        reset_item_ids(), reset_conn_ids()
+        plain = make_pipeline()
+        plain_trace = plain.run(until=3.0)
+
+        reset_item_ids(), reset_conn_ids()
+        chaotic = make_pipeline()
+        FaultInjector(chaotic, FaultSchedule()).install()
+        chaos_trace = chaotic.run(until=3.0)
+
+        assert trace_to_dict(chaos_trace) == trace_to_dict(plain_trace)
+        assert chaotic.fault_hook is None
+
+    def test_install_twice_raises(self, make_pipeline):
+        rt = make_pipeline()
+        inj = FaultInjector(rt, FaultSchedule())
+        inj.install()
+        with pytest.raises(FaultError, match="twice"):
+            inj.install()
+
+    @pytest.mark.parametrize("spec", [
+        FaultSpec(kind="thread_crash", at=1.0, target="ghost"),
+        FaultSpec(kind="node_crash", at=1.0, target="n9"),
+        FaultSpec(kind="link_restore", at=1.0, target="n0->n9"),
+        FaultSpec(kind="link_restore", at=1.0, target="n0->n0"),
+        FaultSpec(kind="message_drop", at=1.0, target="nope->n1",
+                  probability=0.5),
+    ])
+    def test_unknown_targets_rejected_at_install(self, make_pipeline, spec):
+        rt = make_pipeline()
+        with pytest.raises(FaultError, match="targets"):
+            FaultInjector(rt, FaultSchedule([spec])).install()
+
+    def test_detector_parameters_validated(self, make_pipeline):
+        rt = make_pipeline()
+        with pytest.raises(FaultError, match="interval"):
+            FaultInjector(rt, FaultSchedule(), detect_interval=0.0)
+        with pytest.raises(FaultError, match="stall_timeout"):
+            FaultInjector(rt, FaultSchedule(), stall_timeout=-1.0)
+        with pytest.raises(FaultError, match="degrade_ratio"):
+            FaultInjector(rt, FaultSchedule(), degrade_ratio=1.0)

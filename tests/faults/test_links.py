@@ -1,0 +1,183 @@
+"""Link faults: degrade, partition (fail/block), message drop, retry."""
+
+import pytest
+
+from repro.faults import FaultInjector, FaultSchedule, FaultSpec
+from repro.metrics import trace_to_dict
+from repro.runtime.retry import RetryPolicy
+
+
+def install(runtime, *faults, **kwargs):
+    return FaultInjector(runtime, FaultSchedule(faults), **kwargs).install()
+
+
+class TestDegrade:
+    def test_degrade_slows_transfers_and_is_detected(self, make_pipeline):
+        rt = make_pipeline()
+        inj = install(
+            rt,
+            FaultSpec(kind="link_degrade", at=1.0, target="n0->n1",
+                      factor=50.0, duration=1.0),
+            detect_interval=0.1)
+        rt.run(until=4.0)
+        degrade = inj.log.records[0]
+        assert degrade.detected and degrade.detected_by == "link_slow"
+        assert degrade.recovered and degrade.t_recovered == pytest.approx(2.0)
+        # the detector also saw the link come back
+        assert any(s.symptom == "link_ok" for s in inj.log.symptoms)
+        # transfers inside the window took ~50x the nominal ~2 ms
+        in_window = [it for it in rt.recorder.iterations_of("dst")
+                     if 1.0 < it.t_end <= 2.2]
+        assert in_window
+        assert max(it.t_end - it.t_start for it in in_window) > 0.05
+
+    def test_explicit_restore_clears_an_unbounded_degrade(self, make_pipeline):
+        rt = make_pipeline()
+        inj = install(
+            rt,
+            FaultSpec(kind="link_degrade", at=1.0, target="n0->n1",
+                      factor=50.0),
+            FaultSpec(kind="link_restore", at=2.0, target="n0->n1"),
+            detect_interval=0.1)
+        rt.run(until=4.0)
+        degrade, restore = inj.log.records
+        assert degrade.recovered and degrade.t_recovered == pytest.approx(2.0)
+        assert restore.detected and restore.detected_by == "link_ok"
+        assert rt.network.link("n0", "n1").healthy
+
+
+class TestPartition:
+    def test_fail_mode_is_survived_by_retries(self, make_pipeline):
+        rt = make_pipeline()
+        inj = install(
+            rt,
+            FaultSpec(kind="link_partition", at=1.0, target="n0->n1",
+                      duration=1.0),
+            detect_interval=0.1)
+        rt.run(until=4.0)
+        partition = inj.log.records[0]
+        assert partition.detected and partition.detected_by == "link_down"
+        assert partition.recovered
+        driver = rt.drivers["dst"]
+        assert driver.transport_errors > 0
+        assert driver.transport_retries > 0
+        assert rt.thread_alive("dst")
+        # deliveries resume after the window closes
+        late = [it for it in rt.recorder.iterations_of("dst")
+                if it.t_end > 2.0]
+        assert late
+
+    def test_block_mode_parks_transfers_until_restore(self, make_pipeline):
+        rt = make_pipeline()
+        inj = install(
+            rt,
+            FaultSpec(kind="link_partition", at=1.0, target="n0->n1",
+                      mode="block", duration=1.0),
+            detect_interval=0.1)
+        rt.run(until=4.0)
+        partition = inj.log.records[0]
+        assert partition.detected and partition.detected_by == "link_blocked"
+        link = rt.network.link("n0", "n1")
+        assert link.transfers_blocked > 0
+        # blocked transfers never error — they wait
+        assert rt.drivers["dst"].transport_errors == 0
+        assert rt.thread_alive("dst")
+        late = [it for it in rt.recorder.iterations_of("dst")
+                if it.t_end > 2.0]
+        assert late
+
+    def test_exhausted_retries_kill_the_thread(self, make_pipeline):
+        rt = make_pipeline(retry=RetryPolicy(max_attempts=2,
+                                             backoff_base=0.01))
+        install(
+            rt,
+            FaultSpec(kind="link_partition", at=1.0, target="n0->n1",
+                      duration=30.0))
+        rt.run(until=4.0)
+        assert not rt.thread_alive("dst")
+
+
+class TestMessageDrop:
+    def test_drops_are_retried_and_detected(self, make_pipeline):
+        rt = make_pipeline()
+        inj = install(
+            rt,
+            FaultSpec(kind="message_drop", at=1.0, target="n0->n1",
+                      probability=0.5, duration=1.0),
+            detect_interval=0.1)
+        rt.run(until=4.0)
+        drop = inj.log.records[0]
+        assert drop.detected and drop.detected_by == "message_dropped"
+        assert drop.recovered and drop.t_recovered == pytest.approx(2.0)
+        assert rt.network.link("n0", "n1").transfers_dropped > 0
+        assert rt.thread_alive("dst")
+
+    def test_certain_loss_with_finite_retries_kills_the_thread(
+            self, make_pipeline):
+        rt = make_pipeline(retry=RetryPolicy(max_attempts=3,
+                                             backoff_base=0.01))
+        install(
+            rt,
+            FaultSpec(kind="message_drop", at=1.0, target="n0->n1",
+                      probability=1.0, duration=30.0))
+        rt.run(until=4.0)
+        assert not rt.thread_alive("dst")
+
+    def test_identical_runs_are_bit_identical(self, make_pipeline):
+        from repro.runtime.connection import reset_conn_ids
+        from repro.runtime.item import reset_item_ids
+
+        def run_once():
+            reset_item_ids(), reset_conn_ids()
+            rt = make_pipeline()
+            install(
+                rt,
+                FaultSpec(kind="message_drop", at=1.0, target="n0->n1",
+                          probability=0.3, duration=2.0, seed=5))
+            trace = rt.run(until=4.0)
+            return (trace_to_dict(trace),
+                    rt.network.link("n0", "n1").transfers_dropped,
+                    rt.drivers["dst"].transport_retries)
+
+        assert run_once() == run_once()
+
+    def test_drop_seed_changes_the_outcome_stream(self, make_pipeline):
+        def dropped(seed):
+            rt = make_pipeline()
+            install(
+                rt,
+                FaultSpec(kind="message_drop", at=1.0, target="n0->n1",
+                          probability=0.5, duration=2.0, seed=seed))
+            rt.run(until=4.0)
+            return [it.t_end for it in rt.recorder.iterations_of("dst")]
+
+        assert dropped(0) != dropped(1)
+
+
+class TestRetryPolicy:
+    def test_backoff_doubles_and_caps(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_max=0.5)
+        assert policy.backoff(1) == pytest.approx(0.1)
+        assert policy.backoff(2) == pytest.approx(0.2)
+        assert policy.backoff(3) == pytest.approx(0.4)
+        assert policy.backoff(4) == pytest.approx(0.5)
+        assert policy.backoff(10) == pytest.approx(0.5)
+
+    def test_default_never_exhausts(self):
+        policy = RetryPolicy()
+        assert not policy.exhausted(10 ** 6)
+
+    def test_finite_attempts_exhaust(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert not policy.exhausted(2)
+        assert policy.exhausted(3)
+
+    def test_validation(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            RetryPolicy(backoff_base=-0.1)
+        with pytest.raises(ConfigError):
+            RetryPolicy(backoff_max=0.01, backoff_base=0.02)
+        with pytest.raises(ConfigError):
+            RetryPolicy(max_attempts=0)

@@ -1,0 +1,110 @@
+"""FaultEventLog matching semantics and the gantt fault row."""
+
+import pytest
+
+from repro.metrics import FaultEventLog, gantt
+from repro.metrics.gantt import fault_markers
+from repro.metrics.recorder import TraceRecorder
+
+
+class TestSymptomMatching:
+    def test_symptom_confirms_matching_record(self):
+        log = FaultEventLog()
+        log.on_injected("thread_crash", "worker", 1.0)
+        record = log.on_symptom("thread_dead", "worker", 1.25)
+        assert record is not None
+        assert record.detected_by == "thread_dead"
+        assert record.detection_latency == pytest.approx(0.25)
+
+    def test_symptom_for_wrong_target_stays_unmatched(self):
+        log = FaultEventLog()
+        log.on_injected("thread_crash", "worker", 1.0)
+        assert log.on_symptom("thread_dead", "other", 1.25) is None
+        assert len(log.unmatched_symptoms()) == 1
+
+    def test_symptom_before_injection_cannot_confirm(self):
+        log = FaultEventLog()
+        log.on_injected("thread_crash", "worker", 2.0)
+        assert log.on_symptom("thread_dead", "worker", 1.0) is None
+        assert log.undetected()
+
+    def test_earliest_undetected_record_wins(self):
+        log = FaultEventLog()
+        first = log.on_injected("thread_crash", "worker", 1.0)
+        second = log.on_injected("thread_crash", "worker", 2.0)
+        log.on_symptom("thread_dead", "worker", 2.5)
+        assert first.detected and not second.detected
+
+    def test_unknown_symptom_is_kept_but_matches_nothing(self):
+        log = FaultEventLog()
+        log.on_injected("thread_crash", "worker", 1.0)
+        assert log.on_symptom("coffee_cold", "worker", 1.5) is None
+        assert log.summary()["unmatched_symptoms"] == 1
+
+    def test_both_partition_symptoms_match(self):
+        log = FaultEventLog()
+        log.on_injected("link_partition", "a->b", 1.0)
+        assert log.on_symptom("link_blocked", "a->b", 1.5) is not None
+        log.on_injected("link_partition", "a->b", 3.0)
+        assert log.on_symptom("link_down", "a->b", 3.5) is not None
+
+
+class TestRecovery:
+    def test_recovery_marks_open_records_of_given_kinds(self):
+        log = FaultEventLog()
+        crash = log.on_injected("thread_crash", "worker", 1.0)
+        stall = log.on_injected("thread_stall", "worker", 2.0)
+        resolved = log.on_recovered("worker", 5.0,
+                                    kinds=("thread_crash", "thread_stall"))
+        assert resolved == [crash, stall]
+        assert crash.recovery_latency == pytest.approx(4.0)
+
+    def test_recovery_ignores_other_targets_and_earlier_times(self):
+        log = FaultEventLog()
+        log.on_injected("thread_crash", "worker", 4.0)
+        assert log.on_recovered("other", 5.0) == []
+        assert log.on_recovered("worker", 3.0) == []
+
+    def test_summary_counts(self):
+        log = FaultEventLog()
+        log.on_injected("thread_crash", "worker", 1.0)
+        log.on_symptom("thread_dead", "worker", 1.2)
+        log.on_recovered("worker", 2.0)
+        assert log.summary() == {"injected": 1, "detected": 1,
+                                 "recovered": 1, "symptoms": 1,
+                                 "unmatched_symptoms": 0}
+        assert len(log) == 1
+
+
+class TestGanttFaultRow:
+    def make_log(self):
+        log = FaultEventLog()
+        log.on_injected("thread_crash", "worker", 1.0)
+        log.on_symptom("thread_dead", "worker", 2.0)
+        log.on_recovered("worker", 3.0)
+        return log
+
+    def test_markers_land_in_their_buckets(self):
+        cells = fault_markers(self.make_log(), 4, 0.0, 4.0)
+        assert cells == [" ", "!", "d", "r"]
+
+    def test_detection_beats_recovery_in_a_shared_bucket(self):
+        # two buckets over [0,4]: detection (t=2) and recovery (t=3)
+        # share the second; 'd' outranks 'r'
+        cells = fault_markers(self.make_log(), 2, 0.0, 4.0)
+        assert cells == ["!", "d"]
+
+    def test_empty_span_is_blank(self):
+        assert fault_markers(self.make_log(), 4, 2.0, 2.0) == [" "] * 4
+
+    def test_gantt_appends_fault_row(self):
+        recorder = TraceRecorder()
+        recorder.on_iteration(
+            thread="worker", t_start=0.0, t_end=4.0,
+            compute=4.0, blocked=0.0, slept=0.0,
+            inputs=(), outputs=(), is_sink=True,
+        )
+        recorder.finalize(4.0)
+        chart = gantt(recorder, width=8, fault_log=self.make_log())
+        assert "faults" in chart
+        assert "!=injected d=detected r=recovered" in chart

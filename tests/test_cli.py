@@ -132,3 +132,59 @@ def test_unknown_policy_exits():
 def test_missing_command_exits():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_chaos_list_faults(capsys):
+    from repro.faults import FAULT_KINDS
+
+    rc = main(["chaos", "--list-faults"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    for kind in FAULT_KINDS:
+        assert kind in out
+
+
+def test_chaos_requires_a_schedule():
+    with pytest.raises(SystemExit, match="schedule"):
+        main(["chaos"])
+
+
+def test_chaos_run_from_json(tmp_path, capsys):
+    import json
+
+    chaos = {
+        "experiment": {"app": "tracker", "config": "config1",
+                       "aru": {"preset": "aru-min", "staleness_ttl": 2.0},
+                       "horizon": 20},
+        "detector": {"interval": 0.25},
+        "faults": [
+            {"kind": "thread_crash", "at": 5.0, "thread": "target_detect2"},
+            {"kind": "thread_restart", "at": 9.0, "thread": "target_detect2"},
+        ],
+    }
+    path = tmp_path / "chaos.json"
+    path.write_text(json.dumps(chaos))
+    trace_path = tmp_path / "run.json"
+    rc = main(["chaos", str(path), "--save-trace", str(trace_path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "2 scheduled faults" in out
+    assert "2 faults injected, 2 detected, 2 recovered" in out
+    assert "faults: !=injected d=detected r=recovered" in out
+    assert "throttle recovery" in out
+    assert trace_path.exists()
+
+
+def test_chaos_horizon_override(tmp_path, capsys):
+    import json
+
+    chaos = {
+        "app": "tracker", "config": "config1", "horizon": 120,
+        "faults": [{"kind": "thread_crash", "at": 2.0, "thread": "gui"}],
+    }
+    path = tmp_path / "chaos.json"
+    path.write_text(json.dumps(chaos))
+    rc = main(["chaos", str(path), "--horizon", "6"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "6.0s simulated" in out
