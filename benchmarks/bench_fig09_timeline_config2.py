@@ -5,7 +5,6 @@ node, channels co-located with producers, Gigabit interconnect). See
 ``bench_fig08_timeline_config1.py`` for the rendering and shape targets.
 """
 
-import numpy as np
 
 from bench_fig08_timeline_config1 import _render
 

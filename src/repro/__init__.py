@@ -5,7 +5,9 @@ Knobe, *"Adaptive Resource Utilization via Feedback Control for Streaming
 Applications"* (IPDPS Workshops, 2005): a Stampede-style streaming runtime
 (timestamped channels/queues + task threads), the ARU feedback mechanism
 (sustainable-thread-period measurement + backward summary-STP propagation
-+ source throttling), four garbage collectors (REF/TGC/DGC/IGC), a
++ source throttling) factored into a pluggable control plane
+(:mod:`repro.control`: sensors, propagation, policies, actuators), four
+garbage collectors (REF/TGC/DGC/IGC), a
 discrete-event cluster simulator standing in for the paper's 17-node SMP
 testbed, and the color-based people-tracker evaluation.
 
@@ -38,6 +40,14 @@ _LAZY = {
     "AruConfig": "repro.aru",
     "MIN_OPERATOR": "repro.aru",
     "MAX_OPERATOR": "repro.aru",
+    "RatePolicy": "repro.control",
+    "SummaryStpPolicy": "repro.control",
+    "PidPolicy": "repro.control",
+    "NullPolicy": "repro.control",
+    "ThreadController": "repro.control",
+    "register_policy": "repro.control",
+    "resolve_policy": "repro.control",
+    "list_policies": "repro.control",
     "FaultSpec": "repro.faults",
     "FaultSchedule": "repro.faults",
     "FaultInjector": "repro.faults",

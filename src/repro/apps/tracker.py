@@ -28,7 +28,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, Optional
 
-import numpy as np
 
 from repro.apps import vision
 from repro.apps.vision import StageCost

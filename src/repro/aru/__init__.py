@@ -5,12 +5,24 @@ Components:
 * :mod:`repro.aru.stp` — sustainable-thread-period measurement (§3.3.1);
 * :mod:`repro.aru.summary` — backwardSTP vectors and summary-STP (§3.3.2);
 * :mod:`repro.aru.operators` — min/max/user compression operators;
-* :mod:`repro.aru.controller` — source-thread throttle actuation;
 * :mod:`repro.aru.filters` — STP noise filters (paper's future work);
-* :mod:`repro.aru.config` — policy configs (`no-aru`, `aru-min`, `aru-max`).
+* :mod:`repro.aru.config` — declarative policy configs (`no-aru`,
+  `aru-min`, `aru-max`, `aru-pid`, `null`).
+
+The live feedback loop itself — sensors, the piggyback bus, rate
+policies, actuators — lives in :mod:`repro.control`; this package is
+the paper-specific measurement/state layer those policies build on
+(:func:`throttle_sleep` is re-exported for compatibility).
 """
 
-from repro.aru.config import AruConfig, aru_disabled, aru_max, aru_min
+from repro.aru.config import (
+    AruConfig,
+    aru_disabled,
+    aru_max,
+    aru_min,
+    aru_null,
+    aru_pid,
+)
 from repro.aru.controller import throttle_sleep
 from repro.aru.filters import (
     EwmaFilter,
@@ -39,6 +51,8 @@ __all__ = [
     "aru_disabled",
     "aru_min",
     "aru_max",
+    "aru_pid",
+    "aru_null",
     "throttle_sleep",
     "StpMeter",
     "BackwardStpVector",

@@ -1,13 +1,30 @@
-"""ARU configuration and the three policies evaluated in the paper."""
+"""ARU configuration: the declarative description of one control stack.
+
+An :class:`AruConfig` names a policy *kind* plus every knob the control
+plane (:mod:`repro.control`) needs to assemble it — compression
+operators, noise filters, headroom, staleness TTL, PID gains. It stays
+a frozen, picklable value object so sweep cells and result-cache keys
+can carry it verbatim.
+
+Presets cover the paper's three evaluated policies (``no-aru`` /
+``aru-min`` / ``aru-max``) plus the PI-controller extension
+(``aru-pid``) and the wired-but-inert ``null`` baseline; register more
+via :func:`repro.control.register_policy`.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Callable, Optional, Union
+from dataclasses import dataclass, replace
+from typing import Optional, Union
 
 from repro.aru.filters import FilterFactory, resolve_factory
 from repro.aru.operators import Operator, resolve
 from repro.errors import ConfigError
+
+#: Policy kinds the control-plane factory can assemble. Kept as a local
+#: constant (not imported from repro.control) so this module stays
+#: import-cycle free; repro.control.factory raises on any drift.
+_POLICY_KINDS = ("summary-stp", "pid", "null")
 
 
 @dataclass(frozen=True)
@@ -19,6 +36,12 @@ class AruConfig:
     enabled:
         Master switch. Disabled = the paper's "No ARU" baseline (summary
         values are neither piggybacked nor acted upon).
+    policy:
+        Which :class:`~repro.control.policy.RatePolicy` the control
+        plane assembles: ``"summary-stp"`` (the paper's mechanism,
+        default), ``"pid"`` (velocity-form PI over the same
+        measurement), or ``"null"`` (wired but inert — behaviourally
+        identical to ``enabled=False``).
     default_channel_op:
         Compression operator channels use over their consumers' summaries
         unless the channel declares its own (the optional argument the
@@ -42,9 +65,13 @@ class AruConfig:
         ghost period. Must exceed the pipeline's largest steady-state
         feedback interval. ``None`` (default) keeps slots forever — the
         paper's fault-free behaviour.
+    pid_kp / pid_ki:
+        Gains of the ``"pid"`` policy (velocity-form PI; unused by the
+        other kinds).
     """
 
     enabled: bool = True
+    policy: str = "summary-stp"
     default_channel_op: Union[str, Operator] = "min"
     thread_op: Union[str, Operator] = "min"
     throttle_sources_only: bool = True
@@ -52,11 +79,24 @@ class AruConfig:
     summary_filter: Union[str, FilterFactory, None] = None
     headroom: float = 1.0
     staleness_ttl: Optional[float] = None
+    pid_kp: float = 0.5
+    pid_ki: float = 0.25
     name: str = "aru"
 
     def __post_init__(self) -> None:
+        if self.policy not in _POLICY_KINDS:
+            raise ConfigError(
+                f"unknown policy kind {self.policy!r}; "
+                f"expected one of {_POLICY_KINDS}"
+            )
         if self.headroom <= 0:
             raise ConfigError(f"headroom must be positive, got {self.headroom}")
+        if self.pid_kp < 0 or self.pid_ki < 0:
+            raise ConfigError(
+                f"PID gains must be >= 0, got kp={self.pid_kp} ki={self.pid_ki}"
+            )
+        if self.policy == "pid" and self.pid_kp == 0 and self.pid_ki == 0:
+            raise ConfigError("the pid policy needs a non-zero gain")
         if self.staleness_ttl is not None and self.staleness_ttl <= 0:
             raise ConfigError(
                 f"staleness_ttl must be positive, got {self.staleness_ttl}"
@@ -90,4 +130,27 @@ def aru_max(**overrides) -> AruConfig:
     true for the tracker, where the GUI consumes both detection outputs).
     """
     cfg = AruConfig(default_channel_op="max", thread_op="max", name="aru-max")
+    return cfg.with_(**overrides) if overrides else cfg
+
+
+def aru_pid(**overrides) -> AruConfig:
+    """The PI-controller policy over the min-compressed summary-STP.
+
+    Same propagation as ``aru-min``; only the actuated target differs —
+    it approaches the measured sustainable period smoothly instead of
+    jumping to every new measurement.
+    """
+    cfg = AruConfig(policy="pid", default_channel_op="min", thread_op="min",
+                    name="aru-pid")
+    return cfg.with_(**overrides) if overrides else cfg
+
+
+def aru_null(**overrides) -> AruConfig:
+    """The control plane wired through but making no decisions.
+
+    Behaviourally identical to :func:`aru_disabled` (the differential
+    test suite asserts bit-identical traces); exists to prove the
+    plumbing itself is free of side effects.
+    """
+    cfg = AruConfig(policy="null", name="null")
     return cfg.with_(**overrides) if overrides else cfg

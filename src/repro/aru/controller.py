@@ -1,42 +1,15 @@
-"""Source-thread throttling — the actuation half of the feedback loop.
+"""Source-thread throttling — compatibility shim.
 
-Paper §3.3.2: *"Source threads ... use the propagated summary-STP
-information to adjust their rate of data item production."* The actuation
-is a sleep inserted at ``periodicity_sync()`` that tops the iteration up
-to the target period; threads already slower than the target sleep
-nothing. Mid-pipeline threads are throttled *indirectly* — they block on
-get-latest once their producers slow down ("this cascading effect
-indirectly adjusts the production rate of all upstream threads").
+The actuation math moved into the control plane
+(:mod:`repro.control.actuator`) when the feedback loop was carved into
+sensor/propagation/policy/actuator layers; this module re-exports
+:func:`throttle_sleep` so existing imports keep working. New code
+should import from :mod:`repro.control` and, when it needs more than
+the bare function, use :class:`repro.control.SleepThrottle`.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from repro.control.actuator import throttle_sleep
 
-
-def throttle_sleep(target_period: Optional[float], iteration_elapsed: float,
-                   headroom: float = 1.0) -> float:
-    """Seconds of sleep needed to stretch this iteration to the target.
-
-    Parameters
-    ----------
-    target_period:
-        The compressed downstream summary-STP (``None`` before any feedback
-        has arrived — no throttling during cold start).
-    iteration_elapsed:
-        Wall time already spent in the current iteration, *including*
-        blocking: the consumer-visible period is what must match.
-    headroom:
-        Multiplier on the target (extension knob; ``1.0`` reproduces the
-        paper). Values < 1 under-throttle (keep a production safety
-        margin), values > 1 over-throttle.
-    """
-    if iteration_elapsed < 0:
-        raise ValueError(f"negative iteration_elapsed: {iteration_elapsed}")
-    if headroom <= 0:
-        raise ValueError(f"headroom must be positive, got {headroom}")
-    if target_period is None:
-        return 0.0
-    if target_period < 0:
-        raise ValueError(f"negative target period: {target_period}")
-    return max(0.0, target_period * headroom - iteration_elapsed)
+__all__ = ["throttle_sleep"]

@@ -93,6 +93,12 @@ class BackwardStpVector:
         self._last_heard.pop(conn_id, None)
         return existed
 
+    def clear(self) -> None:
+        """Drop every slot and its filter state (cold restart)."""
+        self._values.clear()
+        self._filters.clear()
+        self._last_heard.clear()
+
     def evict_stale(self) -> List[object]:
         """Evict every slot older than the TTL; returns the evicted ids."""
         if self.ttl is None or not self._values:

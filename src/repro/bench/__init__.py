@@ -22,6 +22,7 @@ from repro.bench.experiments import (
     run_grid,
     run_tracker_once,
 )
+from repro.bench.identity import metrics_fingerprint
 from repro.bench.probes import PROBES, probe
 from repro.bench.report import ascii_timeline, format_table, timeline_csv
 from repro.bench.runner import (
@@ -54,6 +55,7 @@ __all__ = [
     "SweepStats",
     "run_cell",
     "default_workers",
+    "metrics_fingerprint",
     "ResultCache",
     "DEFAULT_CACHE_DIR",
     "canonical_repr",

@@ -28,7 +28,7 @@ import os
 import pickle
 import tempfile
 from pathlib import Path
-from typing import Any, Optional
+from typing import Any
 
 #: Default cache location, relative to the working directory.
 DEFAULT_CACHE_DIR = ".bench_cache"

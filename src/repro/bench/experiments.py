@@ -10,7 +10,7 @@ over seeds, reporting across-run standard deviations where the paper does
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -109,7 +109,7 @@ def metrics_from_trace(
 
 def run_tracker_once(
     config: str,
-    policy: AruConfig,
+    policy: Union[AruConfig, str],
     seed: int = 0,
     horizon: float = DEFAULT_HORIZON,
     tracker_cfg: Optional[TrackerConfig] = None,
@@ -117,9 +117,11 @@ def run_tracker_once(
 ) -> RunMetrics:
     """One full tracker simulation + postmortem.
 
-    This is the single-cell convenience wrapper over the sweep path:
-    errors propagate (unlike :func:`repro.bench.runner.run_cell`, which
-    folds them into the result).
+    ``policy`` is an explicit :class:`AruConfig` or a registered policy
+    name (``"aru-min"``, ``"aru-pid"``, ...). This is the single-cell
+    convenience wrapper over the sweep path: errors propagate (unlike
+    :func:`repro.bench.runner.run_cell`, which folds them into the
+    result).
     """
     from repro.bench.runner import CellSpec, _execute_cell
 

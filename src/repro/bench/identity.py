@@ -1,0 +1,45 @@
+"""Canonical content fingerprints of sweep-cell results.
+
+The DES is deterministic, so two runs of the same cell must agree on
+every metric *bit for bit* — a property both the control-plane
+differential tests and ``benchmarks/check_control_identity.py`` assert
+by comparing fingerprints. The hash covers a cell's full
+:class:`~repro.bench.experiments.RunMetrics` (scalars bit-exact via
+``float.hex``, footprint timelines via raw array bytes) plus any probe
+extras, so an equality of fingerprints means the whole postmortem is
+identical, not just a headline number.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def metrics_fingerprint(result) -> str:
+    """Canonical sha256 of one :class:`CellResult`'s metrics + extras."""
+    m = result.metrics
+    h = hashlib.sha256()
+
+    def feed(*parts) -> None:
+        for part in parts:
+            if isinstance(part, float):
+                h.update(part.hex().encode())
+            elif isinstance(part, (int, str)):
+                h.update(repr(part).encode())
+            elif part is None:
+                h.update(b"None")
+            else:
+                raise TypeError(f"unhashable metric part: {part!r}")
+            h.update(b"|")
+
+    feed(m.config, m.policy, m.seed, m.horizon,
+         m.mem_mean, m.mem_std, m.mem_peak, m.igc_mean, m.igc_std,
+         m.wasted_memory, m.wasted_computation, m.throughput,
+         m.latency_mean, m.latency_std, m.jitter,
+         m.frames_produced, m.frames_delivered)
+    for timeline in (m.footprint, m.igc_footprint):
+        h.update(timeline.times.tobytes())
+        h.update(timeline.values.tobytes())
+    for key in sorted(result.extras):
+        feed(key, float(result.extras[key]))
+    return h.hexdigest()

@@ -92,3 +92,32 @@ def throttle_phases(
         out[f"target:{label}"] = target
         out[f"fps:{label}"] = len(delivered) / (hi - lo)
     return out
+
+
+@probe("control_phases")
+def control_phases(
+    graph,
+    recorder,
+    thread: str = "digitizer",
+    phases: Sequence[Tuple[str, float, float]] = (),
+):
+    """:func:`throttle_phases` plus per-window target jitter.
+
+    Adds ``target_std:<label>`` (std of the throttle target within the
+    window) — the signal-smoothness measurement policy comparisons need
+    (``benchmarks/bench_abl_pid.py``). A separate probe so existing
+    ``throttle_phases`` cells keep their extras (and hence their
+    content-addressed cache keys and fingerprints) bit-identical.
+    """
+    from repro.metrics.control import control_series
+
+    out = throttle_phases(graph, recorder, thread=thread, phases=phases)
+    series = control_series(recorder, thread)
+    for label, lo, hi in phases:
+        mask = (series.times >= lo) & (series.times < hi)
+        mask &= ~np.isnan(series.throttle_target)
+        out[f"target_std:{label}"] = (
+            float(np.std(series.throttle_target[mask])) if mask.any()
+            else float("nan")
+        )
+    return out

@@ -28,7 +28,7 @@ import os
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field, replace
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.aru.config import AruConfig, aru_disabled
 from repro.bench.cache import ResultCache
@@ -53,8 +53,10 @@ class CellSpec:
     """
 
     config: str = "config1"
-    policy: AruConfig = field(default_factory=aru_disabled)
-    #: Row label for grouping/reporting; defaults to ``policy.name``.
+    #: An explicit :class:`AruConfig` or a registered policy name (the
+    #: control-plane registry resolves names in the worker).
+    policy: Union[AruConfig, str] = field(default_factory=aru_disabled)
+    #: Row label for grouping/reporting; defaults to the policy's name.
     label: str = ""
     seed: int = 0
     horizon: float = 120.0
@@ -74,8 +76,22 @@ class CellSpec:
     probe_args: Tuple[Tuple[str, Any], ...] = ()
 
     @property
+    def aru(self) -> AruConfig:
+        """The resolved :class:`AruConfig` (names go via the registry)."""
+        from repro.control.registry import resolve_policy
+
+        return resolve_policy(self.policy)
+
+    @property
     def policy_label(self) -> str:
-        return self.label or self.policy.name
+        if self.label:
+            return self.label
+        try:
+            return self.aru.name
+        except ConfigError:
+            # An unresolvable name still needs a label so the failed
+            # cell can be reported.
+            return str(self.policy)
 
     def with_(self, **changes) -> "CellSpec":
         return replace(self, **changes)
@@ -153,12 +169,13 @@ def _execute_cell(spec: CellSpec) -> CellResult:
     from repro.runtime.runtime import Runtime, RuntimeConfig
 
     graph = build_tracker(spec.tracker)
+    aru = spec.aru
     runtime = Runtime(
         graph,
         RuntimeConfig(
             cluster=spec._cluster(),
             gc=spec._gc(),
-            aru=spec.policy,
+            aru=aru,
             seed=spec.seed,
             placement=spec._placement(),
             loads=spec.loads,
@@ -169,7 +186,7 @@ def _execute_cell(spec: CellSpec) -> CellResult:
 
         FaultInjector(runtime, FaultSchedule(spec.faults)).install()
     recorder = runtime.run(until=spec.horizon)
-    metrics = metrics_from_trace(spec.config, spec.policy.name, spec.seed,
+    metrics = metrics_from_trace(spec.config, aru.name, spec.seed,
                                  spec.horizon, recorder)
     extras: Dict[str, float] = {}
     if spec.probe is not None:

@@ -28,16 +28,16 @@ from typing import Any, Dict
 from repro.apps.gesture import GestureConfig, build_gesture
 from repro.apps.stereo import StereoConfig, build_stereo
 from repro.apps.tracker import TrackerConfig, build_tracker, tracker_placement
-from repro.aru.config import AruConfig, aru_disabled, aru_max, aru_min
+from repro.aru.config import AruConfig, aru_disabled
 from repro.cluster.load import LoadSpec
 from repro.cluster.spec import config1_spec, config2_spec
+from repro.control.registry import resolve_policy
 from repro.errors import ConfigError
 from repro.metrics.recorder import TraceRecorder
 from repro.runtime.runtime import Runtime, RuntimeConfig
 
 _TOP_KEYS = {"app", "config", "aru", "gc", "seed", "horizon", "loads",
              "tracker", "gesture", "stereo", "placement"}
-_ARU_PRESETS = {"no-aru": aru_disabled, "aru-min": aru_min, "aru-max": aru_max}
 
 
 def _check_keys(d: Dict[str, Any], allowed, where: str) -> None:
@@ -47,16 +47,16 @@ def _check_keys(d: Dict[str, Any], allowed, where: str) -> None:
 
 
 def aru_from_dict(spec: Any) -> AruConfig:
-    """``"aru-max"`` / ``{"preset": ..., <AruConfig overrides>}`` -> config."""
+    """``"aru-max"`` / ``{"preset": ..., <AruConfig overrides>}`` -> config.
+
+    Preset names resolve through the control-plane policy registry, so
+    extensions registered via :func:`repro.control.register_policy` are
+    usable from spec files too.
+    """
     if spec is None:
         return aru_disabled()
     if isinstance(spec, str):
-        preset = _ARU_PRESETS.get(spec)
-        if preset is None:
-            raise ConfigError(
-                f"unknown ARU preset {spec!r}; expected {sorted(_ARU_PRESETS)}"
-            )
-        return preset()
+        return resolve_policy(spec)
     if not isinstance(spec, dict):
         raise ConfigError(f"aru spec must be a name or object, got {spec!r}")
     spec = dict(spec)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from repro.bench.experiments import PolicyAggregate
 from repro.bench.report import format_table
@@ -13,7 +13,16 @@ MB = 1e6
 
 def _aggs_for(grid: Dict[Tuple[str, str], PolicyAggregate], config: str
               ) -> List[PolicyAggregate]:
-    return [grid[(config, p)] for p in _POLICY_ORDER if (config, p) in grid]
+    """Aggregates for ``config``: paper policies first, then any others.
+
+    Custom policies (a ``sweep --policy aru-pid`` run, a registered
+    preset) are appended in grid order so every table renders whatever
+    grid it is given instead of assuming the paper's three columns.
+    """
+    ordered = [grid[(config, p)] for p in _POLICY_ORDER if (config, p) in grid]
+    ordered += [agg for (cfg, p), agg in grid.items()
+                if cfg == config and p not in _POLICY_ORDER]
+    return ordered
 
 
 def fig6_memory_table(grid: Dict[Tuple[str, str], PolicyAggregate],

@@ -6,14 +6,19 @@ Usage (also available as ``python -m repro``):
 
     repro-aru run-tracker --config 1 --policy aru-max --horizon 120 \\
         [--seed 0] [--gc dgc] [--save-trace run.json]
+    repro-aru run-tracker --list-policies
     repro-aru sweep [--workers 4] [--no-cache] [--cache-dir .bench_cache] \\
-        [--seeds 3] [--horizon 120] [--save-csv grid.csv]
+        [--seeds 3] [--horizon 120] [--policy aru-pid] [--save-csv grid.csv]
     repro-aru paper-tables [--seeds 2] [--horizon 120] [--save-csv grid.csv]
     repro-aru profile [--config 1] [--policy aru-min] [--horizon 30] \\
         [--sort cumulative] [--limit 25]
     repro-aru chaos examples/chaos_tracker.yaml [--horizon 60] \\
-        [--width 72] [--save-trace run.json]
+        [--policy aru-min] [--width 72] [--save-trace run.json]
     repro-aru chaos --list-faults
+
+``--policy`` accepts any name registered with
+:func:`repro.control.register_policy`; ``--list-policies`` prints the
+catalog.
     repro-aru analyze run.json
     repro-aru compare a.json b.json
     repro-aru timeline run.json [--channel C3] [--width 72]
@@ -26,7 +31,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.aru import aru_disabled, aru_max, aru_min
+from repro.aru.config import AruConfig
 from repro.bench import (
     ascii_timeline,
     fig6_memory_table,
@@ -37,6 +42,8 @@ from repro.bench import (
     run_tracker_once,
     shape_checks,
 )
+from repro.control.registry import policies_help_text, resolve_policy
+from repro.errors import ConfigError
 from repro.metrics import (
     PostmortemAnalyzer,
     jitter,
@@ -45,20 +52,24 @@ from repro.metrics import (
     throughput_fps,
 )
 
-_POLICIES = {
-    "no-aru": aru_disabled,
-    "aru-min": aru_min,
-    "aru-max": aru_max,
-}
 
+def _policy(name: str) -> AruConfig:
+    """Resolve a policy name through the control-plane registry.
 
-def _policy(name: str):
+    Unknown names exit with the registry's did-you-mean message instead
+    of a traceback.
+    """
     try:
-        return _POLICIES[name]()
-    except KeyError:
-        raise SystemExit(
-            f"unknown policy {name!r}; choose from {sorted(_POLICIES)}"
-        ) from None
+        return resolve_policy(name)
+    except ConfigError as exc:
+        raise SystemExit(f"error: {exc}") from None
+
+
+def _maybe_list_policies(args) -> bool:
+    if getattr(args, "list_policies", False):
+        print(policies_help_text())
+        return True
+    return False
 
 
 def _workers_arg(value: str) -> int:
@@ -89,6 +100,8 @@ def _print_run_summary(run) -> None:
 
 
 def cmd_run_tracker(args) -> int:
+    if _maybe_list_policies(args):
+        return 0
     config = f"config{args.config}"
     run = run_tracker_once(
         config,
@@ -152,14 +165,22 @@ def cmd_sweep(args) -> int:
 
     from repro.bench import ResultCache, SweepRunner
 
+    if _maybe_list_policies(args):
+        return 0
+    policies = None
+    if args.policy is not None:
+        cfg = _policy(args.policy)
+        policies = {cfg.name: (lambda c=cfg: c)}
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     runner = SweepRunner(workers=args.workers, cache=cache)
     seeds = tuple(range(args.seeds))
-    print(f"Sweeping 2 configs x 3 policies x {len(seeds)} seeds "
+    print(f"Sweeping 2 configs x {len(policies) if policies else 3} policies "
+          f"x {len(seeds)} seeds "
           f"x {args.horizon:.0f}s on {runner.workers} worker(s), "
           f"cache={'off' if cache is None else args.cache_dir} ...\n")
     t0 = time.perf_counter()
-    grid = run_grid(seeds=seeds, horizon=args.horizon, runner=runner)
+    grid = run_grid(seeds=seeds, horizon=args.horizon, runner=runner,
+                    policies=policies)
     wall = time.perf_counter() - t0
     _print_grid_tables(grid, save_csv=args.save_csv)
     stats = runner.stats
@@ -199,6 +220,8 @@ def cmd_chaos(args) -> int:
     from repro.metrics import gantt, save_trace
     from repro.runtime import Runtime
 
+    if _maybe_list_policies(args):
+        return 0
     if args.list_faults:
         print(list_faults_text())
         return 0
@@ -207,6 +230,10 @@ def cmd_chaos(args) -> int:
             "chaos: a schedule file is required (or use --list-faults)")
     experiment, schedule, detector = load_chaos_file(args.schedule)
     graph, runtime_config, horizon = experiment_from_dict(experiment)
+    if args.policy is not None:
+        from dataclasses import replace
+
+        runtime_config = replace(runtime_config, aru=_policy(args.policy))
     if args.horizon is not None:
         horizon = args.horizon
     runtime = Runtime(graph, runtime_config)
@@ -335,8 +362,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_run = sub.add_parser("run-tracker", help="one tracker simulation")
     p_run.add_argument("--config", type=int, choices=(1, 2), default=1)
-    p_run.add_argument("--policy", default="aru-min",
-                       choices=sorted(_POLICIES))
+    p_run.add_argument("--policy", default="aru-min", metavar="NAME",
+                       help="registered policy name (default aru-min; "
+                            "see --list-policies)")
+    p_run.add_argument("--list-policies", action="store_true",
+                       help="print the policy catalog and exit")
     p_run.add_argument("--seed", type=int, default=0)
     p_run.add_argument("--horizon", type=float, default=120.0)
     p_run.add_argument("--gc", default="dgc",
@@ -367,6 +397,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--cache-dir", metavar="PATH", default=".bench_cache",
                          help="result cache directory (default .bench_cache)")
     p_sweep.add_argument("--save-csv", metavar="PATH", default=None)
+    p_sweep.add_argument("--policy", default=None, metavar="NAME",
+                         help="sweep a single registered policy instead of "
+                              "the paper's three")
+    p_sweep.add_argument("--list-policies", action="store_true",
+                         help="print the policy catalog and exit")
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_rc = sub.add_parser("run-config",
@@ -386,6 +421,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="override the experiment's horizon")
     p_chaos.add_argument("--width", type=int, default=72,
                          help="gantt chart width (default 72)")
+    p_chaos.add_argument("--policy", default=None, metavar="NAME",
+                         help="override the experiment's ARU policy with a "
+                              "registered one")
+    p_chaos.add_argument("--list-policies", action="store_true",
+                         help="print the policy catalog and exit")
     p_chaos.add_argument("--save-trace", metavar="PATH", default=None)
     p_chaos.set_defaults(func=cmd_chaos)
 
@@ -402,8 +442,8 @@ def build_parser() -> argparse.ArgumentParser:
         "profile",
         help="cProfile one tracker cell (simulation + full postmortem)")
     p_prof.add_argument("--config", type=int, choices=(1, 2), default=1)
-    p_prof.add_argument("--policy", default="aru-min",
-                        choices=sorted(_POLICIES))
+    p_prof.add_argument("--policy", default="aru-min", metavar="NAME",
+                        help="registered policy name (default aru-min)")
     p_prof.add_argument("--seed", type=int, default=0)
     p_prof.add_argument("--horizon", type=float, default=30.0)
     p_prof.add_argument("--gc", default="dgc",

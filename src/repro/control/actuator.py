@@ -1,0 +1,82 @@
+"""Actuators: turn a policy's target period into a runtime action.
+
+Paper §3.3.2: *"Source threads ... use the propagated summary-STP
+information to adjust their rate of data item production."* The paper's
+actuation — and the default here — is a sleep inserted at
+``periodicity_sync()`` that tops the iteration up to the target period
+(:class:`SleepThrottle`); threads already slower than the target sleep
+nothing. Mid-pipeline threads are throttled *indirectly* — they block on
+get-latest once their producers slow down ("this cascading effect
+indirectly adjusts the production rate of all upstream threads").
+
+The :class:`Actuator` interface is deliberately narrow (``plan(target,
+signals) -> seconds of sleep``) but leaves room for other knobs —
+batch-size or admission-control actuators would subclass it and return
+0.0 while adjusting their own state.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.control.signals import Signals
+
+
+def throttle_sleep(target_period: Optional[float], iteration_elapsed: float,
+                   headroom: float = 1.0) -> float:
+    """Seconds of sleep needed to stretch this iteration to the target.
+
+    Parameters
+    ----------
+    target_period:
+        The policy's target period (``None`` before any feedback has
+        arrived — no throttling during cold start).
+    iteration_elapsed:
+        Wall time already spent in the current iteration, *including*
+        blocking: the consumer-visible period is what must match.
+    headroom:
+        Multiplier on the target (extension knob; ``1.0`` reproduces the
+        paper). Values < 1 under-throttle (keep a production safety
+        margin), values > 1 over-throttle.
+    """
+    if iteration_elapsed < 0:
+        raise ValueError(f"negative iteration_elapsed: {iteration_elapsed}")
+    if headroom <= 0:
+        raise ValueError(f"headroom must be positive, got {headroom}")
+    if target_period is None:
+        return 0.0
+    if target_period < 0:
+        raise ValueError(f"negative target period: {target_period}")
+    return max(0.0, target_period * headroom - iteration_elapsed)
+
+
+class Actuator:
+    """Actuation interface of the control plane."""
+
+    def plan(self, target: Optional[float], signals: Signals) -> float:
+        """Seconds the thread should sleep this iteration (0 = none)."""
+        raise NotImplementedError
+
+
+class SleepThrottle(Actuator):
+    """The paper's actuator: source-side sleep at ``periodicity_sync()``.
+
+    ``headroom`` is the single source of truth for the throttle-target
+    multiplier (it used to be duplicated as a ``ThreadDriver`` kwarg);
+    configure it via :attr:`repro.aru.config.AruConfig.headroom`.
+    """
+
+    def __init__(self, headroom: float = 1.0) -> None:
+        if headroom <= 0:
+            raise ValueError(f"headroom must be positive, got {headroom}")
+        self.headroom = headroom
+
+    def plan(self, target: Optional[float], signals: Signals) -> float:
+        return throttle_sleep(target, signals.iteration_elapsed, self.headroom)
+
+
+class NullActuator(Actuator):
+    """No actuation — observe-only control loops (e.g. dry-run policies)."""
+
+    def plan(self, target: Optional[float], signals: Signals) -> float:
+        return 0.0

@@ -1,0 +1,80 @@
+"""Assembly: an :class:`~repro.aru.config.AruConfig` -> live control objects.
+
+Both executors (the DES :class:`~repro.runtime.runtime.Runtime` and the
+real-threads :class:`~repro.rt_threads.executor.ThreadedRuntime`) build
+their per-thread control stacks through this one factory, so a policy
+added here — or registered by an extension — works on both without
+either executor knowing policy kinds exist.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Union
+
+from repro.aru.config import AruConfig
+from repro.aru.filters import resolve_factory
+from repro.aru.operators import Operator
+from repro.aru.stp import StpMeter
+from repro.aru.summary import ThreadAruState
+from repro.control.actuator import SleepThrottle
+from repro.control.controller import ThreadController
+from repro.control.policy import NullPolicy, PidPolicy, RatePolicy, SummaryStpPolicy
+from repro.control.sensor import StpSensor
+from repro.errors import ConfigError
+
+
+def build_policy(
+    config: AruConfig,
+    name: str,
+    compress_op: Union[str, Operator, None] = None,
+    time_fn: Callable[[], float] = None,
+) -> RatePolicy:
+    """The policy instance for one thread.
+
+    ``compress_op`` overrides the config's thread operator (per-node
+    graph attribute); ``time_fn`` stamps feedback arrivals for the
+    staleness TTL.
+    """
+    if not config.enabled or config.policy == "null":
+        return NullPolicy()
+    state = ThreadAruState(
+        name,
+        op=compress_op or config.thread_op,
+        summary_filter_factory=resolve_factory(config.summary_filter),
+        ttl=config.staleness_ttl,
+        time_fn=time_fn,
+    )
+    if config.policy == "summary-stp":
+        return SummaryStpPolicy(state)
+    if config.policy == "pid":
+        return PidPolicy(state, kp=config.pid_kp, ki=config.pid_ki)
+    raise ConfigError(  # pragma: no cover - AruConfig validates the kind
+        f"unknown policy kind {config.policy!r}"
+    )
+
+
+def build_thread_controller(
+    config: AruConfig,
+    name: str,
+    meter: StpMeter,
+    time_fn: Callable[[], float],
+    is_source: bool,
+    compress_op: Union[str, Operator, None] = None,
+) -> ThreadController:
+    """The full control stack for one thread.
+
+    Every thread gets a controller — a disabled config yields a
+    :class:`NullPolicy` stack whose decisions are all ``None``/0.0, so
+    drivers carry no "is ARU on?" branches of their own.
+    """
+    policy = build_policy(config, name, compress_op=compress_op,
+                          time_fn=time_fn)
+    throttled = policy.propagates and (
+        is_source or not config.throttle_sources_only
+    )
+    return ThreadController(
+        sensor=StpSensor(meter, time_fn),
+        policy=policy,
+        actuator=SleepThrottle(config.headroom),
+        throttled=throttled,
+    )

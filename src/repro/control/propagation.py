@@ -1,0 +1,102 @@
+"""The feedback bus: connection-level transport of summary values.
+
+The paper piggybacks feedback on the existing data path (§3.3.2): a
+consumer's summary-STP rides upstream on every ``get``, a buffer's
+compressed summary rides back to the producer on every ``put``. This
+module owns that transport as one explicit layer:
+
+* :class:`FeedbackEndpoint` — the buffer-side half: receives consumer
+  summaries per connection, advertises the compressed value to
+  producers, and detaches slots when consumers unregister (thread
+  restart) — the seam fault recovery and staleness eviction hook into;
+* :class:`FeedbackBus` — the per-runtime factory that decides, from the
+  :class:`~repro.aru.config.AruConfig`, whether buffers get endpoints at
+  all (policies with ``propagates = False`` build none, reproducing the
+  No-ARU baseline with zero transport overhead) and with which
+  compression operator, summary filter, and staleness TTL.
+
+Channels and queues talk only to their endpoint; they no longer know
+what a backwardSTP vector is.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Union
+
+from repro.aru.config import AruConfig
+from repro.aru.filters import resolve_factory
+from repro.aru.operators import Operator
+from repro.aru.summary import BufferAruState
+
+
+class FeedbackEndpoint:
+    """Buffer-side feedback port wrapping a :class:`BufferAruState`."""
+
+    def __init__(self, state: BufferAruState) -> None:
+        self.state = state
+
+    def receive(self, conn_id: object, value: float) -> None:
+        """A consumer summary arrived, piggybacked on a get."""
+        self.state.update_backward(conn_id, value)
+
+    def advertise(self) -> Optional[float]:
+        """The compressed summary to return to a producer on a put."""
+        return self.state.summary()
+
+    def detach(self, conn_id: object) -> bool:
+        """Drop one consumer's slot (unregistration / thread restart)."""
+        return self.state.backward.evict(conn_id)
+
+    @property
+    def backward(self):
+        """The underlying backwardSTP vector (diagnostics/tests)."""
+        return self.state.backward
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FeedbackEndpoint {self.state.name!r}>"
+
+
+class FeedbackBus:
+    """Builds the feedback plane of one runtime from its ARU config."""
+
+    def __init__(self, config: AruConfig,
+                 time_fn: Optional[Callable[[], float]] = None) -> None:
+        self.config = config
+        self.time_fn = time_fn
+        #: Endpoints built so far, by buffer name (diagnostics).
+        self.endpoints: Dict[str, FeedbackEndpoint] = {}
+
+    @property
+    def propagates(self) -> bool:
+        """Whether feedback values are transported at all."""
+        return self.config.enabled and self.config.policy != "null"
+
+    def buffer_state(
+        self, name: str,
+        compress_op: Union[str, Operator, None] = None,
+    ) -> Optional[BufferAruState]:
+        """The backwardSTP state for one buffer, or None when feedback
+        is off. ``compress_op`` overrides the config's channel default
+        (the optional argument the paper adds to ``spd_chan_alloc()``)."""
+        if not self.propagates:
+            return None
+        cfg = self.config
+        return BufferAruState(
+            name,
+            op=compress_op or cfg.default_channel_op,
+            summary_filter_factory=resolve_factory(cfg.summary_filter),
+            ttl=cfg.staleness_ttl,
+            time_fn=self.time_fn,
+        )
+
+    def endpoint_for(
+        self, name: str,
+        compress_op: Union[str, Operator, None] = None,
+    ) -> Optional[FeedbackEndpoint]:
+        """Build (and remember) the feedback endpoint for one buffer."""
+        state = self.buffer_state(name, compress_op)
+        if state is None:
+            return None
+        endpoint = FeedbackEndpoint(state)
+        self.endpoints[name] = endpoint
+        return endpoint

@@ -1,0 +1,107 @@
+"""The policy registry: names usable from CLI flags and spec files.
+
+Registered names resolve to :class:`~repro.aru.config.AruConfig` values
+— the picklable, declarative description of a full control stack
+(policy kind + operators + filters + headroom + TTL). Keeping the
+registry value-based means spec files, sweep cells, and the CLI all
+share one resolution path and stay process-pool safe.
+
+Unknown names raise :class:`~repro.errors.ConfigError` with close-match
+suggestions; config typos must never silently run a default policy.
+
+Extensions register their own presets::
+
+    from repro.control import register_policy
+    from repro.aru import AruConfig
+
+    register_policy("aru-pid-hot", lambda: AruConfig(
+        policy="pid", pid_kp=0.9, pid_ki=0.5, name="aru-pid-hot"),
+        help="PI controller with aggressive gains")
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import Callable, Dict, List, NamedTuple, Union
+
+from repro.aru.config import (
+    AruConfig,
+    aru_disabled,
+    aru_max,
+    aru_min,
+    aru_null,
+    aru_pid,
+)
+from repro.errors import ConfigError
+
+
+class PolicyEntry(NamedTuple):
+    """One registered policy preset."""
+
+    factory: Callable[[], AruConfig]
+    help: str
+
+
+_REGISTRY: Dict[str, PolicyEntry] = {}
+
+
+def register_policy(name: str, factory: Callable[[], AruConfig],
+                    help: str = "") -> None:
+    """Register (or replace) a named policy preset."""
+    if not name:
+        raise ConfigError("policy name must be non-empty")
+    _REGISTRY[name] = PolicyEntry(factory=factory, help=help)
+
+
+def list_policies() -> List[str]:
+    """Registered policy names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def resolve_policy(policy: Union[str, AruConfig]) -> AruConfig:
+    """A name or an explicit config -> the :class:`AruConfig` to run.
+
+    Raises :class:`ConfigError` with did-you-mean suggestions for
+    unknown names.
+    """
+    if isinstance(policy, AruConfig):
+        return policy
+    entry = _REGISTRY.get(policy)
+    if entry is None:
+        close = difflib.get_close_matches(str(policy), _REGISTRY, n=3,
+                                          cutoff=0.4)
+        hint = f"; did you mean {' or '.join(map(repr, close))}?" if close \
+            else ""
+        raise ConfigError(
+            f"unknown policy {policy!r}{hint} "
+            f"(available: {', '.join(list_policies())})"
+        )
+    return entry.factory()
+
+
+def policies_help_text() -> str:
+    """One-line-per-policy catalog (the CLI's ``--list-policies``)."""
+    width = max(len(name) for name in _REGISTRY)
+    lines = ["registered policies:"]
+    for name in list_policies():
+        lines.append(f"  {name:<{width}}  {_REGISTRY[name].help}")
+    return "\n".join(lines)
+
+
+register_policy(
+    "no-aru", aru_disabled,
+    help="feedback loop off — the paper's baseline (maximum waste)")
+register_policy(
+    "aru-min", aru_min,
+    help="summary-STP with conservative min compression (paper default)")
+register_policy(
+    "aru-max", aru_max,
+    help="summary-STP with aggressive max compression (data-dependent "
+         "consumers)")
+register_policy(
+    "aru-pid", aru_pid,
+    help="velocity-form PI controller over the summary-STP measurement")
+register_policy(
+    "null", aru_null,
+    help="NullPolicy: control plane wired but inert (differential "
+         "baseline)")

@@ -1,0 +1,49 @@
+"""The signal record flowing from sensors to policies.
+
+A :class:`Signals` snapshot is what a :class:`~repro.control.sensor.Sensor`
+hands to a :class:`~repro.control.policy.RatePolicy` at each decision
+point (every piggyback opportunity and every ``periodicity_sync()``).
+It deliberately carries *measurements only* — no feedback state, which
+lives in the policy, and no actuation state, which lives in the actuator
+— so a policy can be unit-tested by constructing snapshots by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Signals:
+    """One sensor snapshot of a thread's observable state.
+
+    Attributes
+    ----------
+    now:
+        Clock reading (simulated or wall seconds) at snapshot time.
+    current_stp:
+        The thread's filtered current-STP (paper §3.3.1) — ``None``
+        until the first completed iteration.
+    raw_stp:
+        The unfiltered period of the last completed iteration.
+    iteration_elapsed:
+        Wall time already spent in the *open* iteration, including
+        blocking — what a throttle actuator must top up to the target.
+    iterations:
+        Completed iterations so far.
+    queue_depth:
+        Total items buffered across the thread's input connections
+        (``None`` when the sensor does not meter queues).
+    drops:
+        Total items skipped-over (dropped unread) across the thread's
+        input connections (``None`` when not metered).
+    """
+
+    now: float
+    current_stp: Optional[float]
+    raw_stp: Optional[float]
+    iteration_elapsed: float
+    iterations: int = 0
+    queue_depth: Optional[int] = None
+    drops: Optional[int] = None

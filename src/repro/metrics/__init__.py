@@ -3,8 +3,10 @@
 from repro.metrics.control import (
     ControlSeries,
     control_series,
+    convergence_ratio,
     settling_time,
     smoothness,
+    steady_state,
     throttle_duty,
     tracking_error,
 )
@@ -61,6 +63,8 @@ __all__ = [
     "settling_time",
     "tracking_error",
     "smoothness",
+    "steady_state",
+    "convergence_ratio",
     "throttle_duty",
     "save_trace",
     "load_trace",

@@ -2,7 +2,12 @@
 
 Extracts per-thread STP/summary/throttle-target series from a trace and
 computes loop-quality statistics — settling time, steady-state tracking
-error, signal smoothness. Used by the filter/noise ablations and the
+error, signal smoothness, steady-state level. The throttle target is
+recorded generically as *the policy's decision* at each sync point —
+the compressed summary-STP for the paper's policy, the integrated
+target for the PI policy, NaN for the inert ones — so every helper here
+works for any :class:`~repro.control.policy.RatePolicy`. Used by the
+filter/noise ablations, the PID-convergence bench, and the
 adaptive-filters example to *look at* the control loop rather than only
 its end effects.
 """
@@ -10,7 +15,7 @@ its end effects.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 
@@ -101,6 +106,39 @@ def smoothness(series: ControlSeries, after: float = 0.0) -> float:
         return float("nan")
     steps = np.abs(np.diff(values)) / np.maximum(values[:-1], 1e-12)
     return float(np.mean(steps))
+
+
+def steady_state(series: ControlSeries, after: float = 0.0) -> float:
+    """Mean policy decision (throttle target) after time ``after``.
+
+    The natural "where did the loop converge to?" statistic: for the
+    summary-STP policy it is the mean advertised sustainable period; for
+    the PI policy it is the integrated target, so comparing the two on
+    the same workload quantifies how closely the controller tracks the
+    measured sustainable rate. NaN when the thread was never throttled
+    in the window.
+    """
+    mask = (series.times >= after) & ~np.isnan(series.throttle_target)
+    if not mask.any():
+        return float("nan")
+    return float(np.mean(series.throttle_target[mask]))
+
+
+def convergence_ratio(
+    series: ControlSeries,
+    reference: float,
+    after: float = 0.0,
+) -> float:
+    """Steady-state decision relative to a reference period.
+
+    ``1.0`` means the policy settled exactly on ``reference`` (e.g. the
+    sustainable period measured by the summary-STP policy on the same
+    cell); the PID acceptance bench asserts ``|ratio - 1| <= 0.1``.
+    """
+    level = steady_state(series, after=after)
+    if reference <= 0 or np.isnan(level):
+        return float("nan")
+    return float(level / reference)
 
 
 def throttle_duty(series: ControlSeries, after: float = 0.0) -> float:

@@ -20,7 +20,7 @@ side-effect-free with respect to simulation determinism.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 #: Which fault kinds a given symptom can confirm. A symptom only stamps

@@ -11,7 +11,7 @@ statistics exactly (no sampling error).
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional, Sequence, Tuple
+from typing import Callable, Iterable, Optional, Tuple
 
 import numpy as np
 

@@ -13,7 +13,7 @@ with throttle sleep while consumers stay saturated.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 import numpy as np
 

@@ -34,7 +34,7 @@ across the optimization (the sweep cache keys rely on this).
 from __future__ import annotations
 
 from functools import cached_property
-from typing import Dict, FrozenSet, List, Set, Tuple
+from typing import Dict, FrozenSet, Set, Tuple
 
 import numpy as np
 

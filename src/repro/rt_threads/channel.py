@@ -13,13 +13,13 @@ from __future__ import annotations
 
 import threading
 from bisect import bisect_left, bisect_right, insort
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.aru.summary import BufferAruState
 from repro.errors import ItemDropped, SimulationError
 from repro.runtime.connection import InputConnection, OutputConnection
 from repro.runtime.item import Item, ItemView
-from repro.vt.timestamp import EARLIEST, LATEST, _Sentinel
+from repro.vt.timestamp import EARLIEST, LATEST
 
 
 class ThreadChannel:

@@ -25,10 +25,11 @@ import time
 from typing import Dict, Optional
 
 from repro.aru.config import AruConfig, aru_disabled
-from repro.aru.controller import throttle_sleep
 from repro.aru.filters import resolve_factory
 from repro.aru.stp import StpMeter
-from repro.aru.summary import BufferAruState, ThreadAruState
+from repro.control.controller import ThreadController
+from repro.control.factory import build_thread_controller
+from repro.control.propagation import FeedbackBus
 from repro.errors import ConfigError, SimulationError
 from repro.metrics.recorder import TraceRecorder
 from repro.rt_threads.channel import ThreadChannel
@@ -56,17 +57,15 @@ class _ThreadDriver(threading.Thread):
     """One real thread interpreting a task body."""
 
     def __init__(self, executor: "ThreadedRuntime", name: str, fn, ctx: TaskContext,
-                 aru_state: Optional[ThreadAruState], meter: StpMeter,
-                 throttled: bool, headroom: float) -> None:
+                 controller: ThreadController) -> None:
         super().__init__(name=f"stampede-{name}", daemon=True)
         self.executor = executor
         self.task_name = name
         self.fn = fn
         self.ctx = ctx
-        self.aru = aru_state
-        self.meter = meter
-        self.throttled = throttled
-        self.headroom = headroom
+        self.controller = controller
+        self.meter = controller.meter
+        self.throttled = controller.throttled
         self.in_conns: Dict[str, tuple] = {}
         self.out_conns: Dict[str, tuple] = {}
         self._held = []
@@ -79,10 +78,13 @@ class _ThreadDriver(threading.Thread):
         self.error: Optional[BaseException] = None
 
     # ------------------------------------------------------------------
+    @property
+    def aru(self):
+        """Compat accessor: the policy's ThreadAruState, when it has one."""
+        return getattr(self.controller.policy, "state", None)
+
     def my_summary(self) -> Optional[float]:
-        if self.aru is None:
-            return None
-        return self.aru.summary(self.meter.current_stp)
+        return self.controller.outbound_summary()
 
     def run(self) -> None:  # pragma: no cover - exercised via integration tests
         try:
@@ -155,8 +157,7 @@ class _ThreadDriver(threading.Thread):
                 created_at=ex.clock.now(),
             )
             feedback = channel.put(conn, item)
-            if self.aru is not None and feedback is not None:
-                self.aru.update_backward(conn.conn_id, feedback)
+            self.controller.on_feedback(conn.conn_id, feedback)
             self._iter_outputs.append(item.item_id)
             return item.item_id
         if isinstance(syscall, Sleep):
@@ -210,16 +211,13 @@ class _ThreadDriver(threading.Thread):
 
     def _do_sync(self):
         ex = self.executor
-        target = None
         slept = 0.0
-        if self.aru is not None and self.throttled:
-            target = self.aru.compressed_backward()
-            sleep_t = throttle_sleep(target, self.meter.iteration_elapsed, self.headroom)
-            if sleep_t > 0:
-                self.meter.sleep_started()
-                time.sleep(sleep_t)
-                self.meter.sleep_ended()
-                slept = sleep_t
+        target, sleep_t = self.controller.plan_throttle()
+        if sleep_t > 0:
+            self.meter.sleep_started()
+            time.sleep(sleep_t)
+            self.meter.sleep_ended()
+            slept = sleep_t
         stp = self.meter.sync()
         t_end = ex.clock.now()
         blocked = self.meter.total_blocked - self._prev_blocked
@@ -296,19 +294,13 @@ class ThreadedRuntime:
         self.recorder_lock = threading.Lock()
         self.stop_event = threading.Event()
         self.rngs = RngRegistry(seed=seed)
+        self.feedback_bus = FeedbackBus(self.aru_config, time_fn=self.clock.now)
 
         self.channels: Dict[str, ThreadChannel] = {}
         for name in graph.buffers():
-            aru_state = None
-            if self.aru_config.enabled:
-                op = graph.attrs(name).get("compress_op") \
-                    or self.aru_config.default_channel_op
-                aru_state = BufferAruState(
-                    name, op=op,
-                    summary_filter_factory=resolve_factory(
-                        self.aru_config.summary_filter
-                    ),
-                )
+            aru_state = self.feedback_bus.buffer_state(
+                name, graph.attrs(name).get("compress_op")
+            )
             self.channels[name] = ThreadChannel(
                 name, self.recorder, self.clock, aru_state, self.recorder_lock
             )
@@ -321,16 +313,17 @@ class ThreadedRuntime:
     def _build_driver(self, name: str) -> _ThreadDriver:
         attrs = self.graph.attrs(name)
         cfg = self.aru_config
-        aru_state = None
-        if cfg.enabled:
-            op = attrs.get("compress_op") or cfg.thread_op
-            aru_state = ThreadAruState(
-                name, op=op,
-                summary_filter_factory=resolve_factory(cfg.summary_filter),
-            )
         meter = StpMeter(self.clock, stp_filter=resolve_factory(cfg.stp_filter)())
         is_source = self.graph.is_source(name)
         is_sink = self.graph.is_sink(name)
+        controller = build_thread_controller(
+            cfg,
+            name,
+            meter,
+            self.clock.now,
+            is_source,
+            compress_op=attrs.get("compress_op"),
+        )
         ctx = TaskContext(
             name=name,
             params=attrs.get("params", {}),
@@ -339,11 +332,7 @@ class ThreadedRuntime:
             is_source=is_source,
             is_sink=is_sink,
         )
-        driver = _ThreadDriver(
-            self, name, attrs["fn"], ctx, aru_state, meter,
-            throttled=cfg.enabled and (is_source or not cfg.throttle_sources_only),
-            headroom=cfg.headroom,
-        )
+        driver = _ThreadDriver(self, name, attrs["fn"], ctx, controller)
         for buf in self.graph.inputs_of(name):
             channel = self.channels[buf]
             driver.in_conns[buf] = (channel, channel.register_consumer(name))

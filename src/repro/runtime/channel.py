@@ -10,7 +10,9 @@ Semantics (paper §1):
   recent data from its input buffers";
 * skipped items remain in memory until a garbage collector proves them
   dead — exactly the waste ARU exists to prevent;
-* every get/put piggybacks ARU summary-STP values (§3.3.2).
+* every get/put piggybacks feedback values through the channel's
+  :class:`~repro.control.propagation.FeedbackEndpoint` (§3.3.2) — the
+  channel transports them without knowing what they mean.
 
 The channel is executor-agnostic state plus event-based blocking: drivers
 call ``request_get``/``wait_for_room`` to obtain events and
@@ -23,6 +25,7 @@ from bisect import bisect_left, bisect_right, insort
 from typing import TYPE_CHECKING, List, Optional, Union
 
 from repro.aru.summary import BufferAruState
+from repro.control.propagation import FeedbackEndpoint
 from repro.errors import ItemDropped, SimulationError
 from repro.runtime.connection import InputConnection, OutputConnection
 from repro.runtime.item import Item, ItemView
@@ -53,13 +56,18 @@ class Channel:
         gc: "GarbageCollector",
         aru_state: Optional[BufferAruState] = None,
         capacity: Optional[int] = None,
+        feedback: Optional[FeedbackEndpoint] = None,
     ) -> None:
         self.engine = engine
         self.name = name
         self.node = node
         self.recorder = recorder
         self.gc = gc
-        self.aru = aru_state
+        # ``aru_state`` is the pre-control-plane spelling: wrap it into
+        # an endpoint so hand-built harnesses keep working.
+        if feedback is None and aru_state is not None:
+            feedback = FeedbackEndpoint(aru_state)
+        self.feedback = feedback
         self.capacity = capacity
         self._items: dict[int, Item] = {}
         self._order: List[int] = []  # sorted timestamps present
@@ -107,10 +115,15 @@ class Channel:
             raise SimulationError(
                 f"consumer {conn.thread!r} not registered on {self.name!r}"
             ) from None
-        if self.aru is not None:
-            self.aru.backward.evict(conn.conn_id)
+        if self.feedback is not None:
+            self.feedback.detach(conn.conn_id)
 
     # -- introspection ------------------------------------------------------
+    @property
+    def aru(self) -> Optional[BufferAruState]:
+        """The buffer's ARU state, when feedback propagation is wired."""
+        return self.feedback.state if self.feedback is not None else None
+
     def __len__(self) -> int:
         return len(self._items)
 
@@ -181,7 +194,7 @@ class Channel:
         self.gc.on_put(self, item)
         self.maybe_collect(t)
         self._getters.notify_all()
-        return self.aru.summary() if self.aru is not None else None
+        return self.feedback.advertise() if self.feedback is not None else None
 
     # -- get side ----------------------------------------------------------
     def _match(self, conn: InputConnection, request: Request) -> Optional[Item]:
@@ -251,8 +264,8 @@ class Channel:
         self.total_gets += 1
         item.acquire()
         self.recorder.on_get(item.item_id, conn.conn_id, conn.thread, t)
-        if self.aru is not None and consumer_summary is not None:
-            self.aru.update_backward(conn.conn_id, consumer_summary)
+        if self.feedback is not None and consumer_summary is not None:
+            self.feedback.receive(conn.conn_id, consumer_summary)
         self.gc.on_get(self, conn, item)
         self.maybe_collect(t)
         return ItemView(item, self.name)

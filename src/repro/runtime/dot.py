@@ -9,7 +9,7 @@ labels.
 
 from __future__ import annotations
 
-from repro.runtime.graph import CHANNEL, QUEUE, TaskGraph
+from repro.runtime.graph import CHANNEL, TaskGraph
 
 
 def _escape(text: str) -> str:

@@ -14,7 +14,7 @@ final release.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Optional, Tuple
+from typing import Any, Tuple
 
 from repro.errors import SimulationError
 

@@ -1,10 +1,11 @@
 """Runtime orchestration: graph + config -> a runnable simulated system.
 
 :class:`Runtime` instantiates the cluster (nodes, network), the buffers
-(channels/queues with their GC and ARU state), and one
-:class:`~repro.runtime.thread.ThreadDriver` per task thread, then runs the
-event engine for a simulated horizon. After :meth:`run`, the trace in
-:attr:`recorder` feeds the metrics modules.
+(channels/queues with their GC and feedback endpoints), and one
+:class:`~repro.runtime.thread.ThreadDriver` per task thread — each with a
+control stack assembled by :mod:`repro.control` from the configured
+policy — then runs the event engine for a simulated horizon. After
+:meth:`run`, the trace in :attr:`recorder` feeds the metrics modules.
 """
 
 from __future__ import annotations
@@ -15,11 +16,12 @@ from typing import Dict, Optional, Union
 from repro.aru.config import AruConfig, aru_disabled
 from repro.aru.filters import resolve_factory
 from repro.aru.stp import StpMeter
-from repro.aru.summary import BufferAruState, ThreadAruState
 from repro.cluster.load import LoadSpec, spawn_load
 from repro.cluster.network import Network
 from repro.cluster.node import Node
 from repro.cluster.spec import ClusterSpec, config1_spec
+from repro.control.factory import build_thread_controller
+from repro.control.propagation import FeedbackBus
 from repro.errors import ConfigError, SimulationError
 from repro.gc import GarbageCollector, make_gc
 from repro.metrics.recorder import TraceRecorder
@@ -71,6 +73,7 @@ class Runtime:
             for spec in self.config.cluster.nodes
         }
         self.network = Network(self.engine, self.config.cluster)
+        self.feedback_bus = FeedbackBus(self.config.aru, time_fn=self.clock.now)
 
         self._thread_placement = {
             t: self._resolve_thread_node(t) for t in graph.threads()
@@ -128,22 +131,13 @@ class Runtime:
         return name
 
     # -- construction ----------------------------------------------------
-    def _buffer_aru_state(self, name: str) -> Optional[BufferAruState]:
-        aru = self.config.aru
-        if not aru.enabled:
-            return None
-        op = self.graph.attrs(name).get("compress_op") or aru.default_channel_op
-        return BufferAruState(
-            name, op=op,
-            summary_filter_factory=resolve_factory(aru.summary_filter),
-            ttl=aru.staleness_ttl, time_fn=self.clock.now,
-        )
-
     def _build_buffer(self, name: str):
         kind = self.graph.kind(name)
         node = self.nodes[self._resolve_buffer_node(name)]
         capacity = self.graph.attrs(name).get("capacity")
-        aru_state = self._buffer_aru_state(name)
+        feedback = self.feedback_bus.endpoint_for(
+            name, self.graph.attrs(name).get("compress_op")
+        )
         if kind == CHANNEL:
             return Channel(
                 self.engine,
@@ -151,7 +145,7 @@ class Runtime:
                 node,
                 recorder=self.recorder,
                 gc=self.gc,
-                aru_state=aru_state,
+                feedback=feedback,
                 capacity=capacity,
             )
         if kind == QUEUE:
@@ -160,7 +154,7 @@ class Runtime:
                 name,
                 node,
                 recorder=self.recorder,
-                aru_state=aru_state,
+                feedback=feedback,
                 capacity=capacity,
             )
         raise SimulationError(f"unknown buffer kind {kind!r}")  # pragma: no cover
@@ -179,19 +173,17 @@ class Runtime:
             for buf in self.graph.outputs_of(name)
         }
 
-        aru_state = None
-        if aru.enabled:
-            op = attrs.get("compress_op") or aru.thread_op
-            aru_state = ThreadAruState(
-                name, op=op,
-                summary_filter_factory=resolve_factory(aru.summary_filter),
-                ttl=aru.staleness_ttl, time_fn=self.clock.now,
-            )
         meter = StpMeter(self.clock, stp_filter=resolve_factory(aru.stp_filter)())
-
         is_source = self.graph.is_source(name)
         is_sink = self.graph.is_sink(name)
-        throttled = aru.enabled and (is_source or not aru.throttle_sources_only)
+        controller = build_thread_controller(
+            aru,
+            name,
+            meter,
+            self.clock.now,
+            is_source,
+            compress_op=attrs.get("compress_op"),
+        )
         ctx = TaskContext(
             name=name,
             params=attrs.get("params", {}),
@@ -208,10 +200,7 @@ class Runtime:
             in_conns=in_conns,
             out_conns=out_conns,
             ctx=ctx,
-            aru_state=aru_state,
-            meter=meter,
-            throttled=throttled,
-            headroom=aru.headroom,
+            controller=controller,
         )
 
     # -- execution ---------------------------------------------------------

@@ -6,9 +6,10 @@ whichever consumer pops first (work-queue semantics). No skipping happens,
 so queues create no GC problem: an item is freed when the consumer that
 popped it releases it at the end of its iteration.
 
-ARU piggybacking works exactly as for channels: gets carry the consumer's
-summary-STP into the queue's backwardSTP vector; puts return the queue's
-compressed summary to the producer.
+Feedback piggybacking works exactly as for channels: gets carry the
+consumer's summary into the queue's
+:class:`~repro.control.propagation.FeedbackEndpoint`; puts return the
+queue's compressed summary to the producer.
 """
 
 from __future__ import annotations
@@ -17,6 +18,7 @@ from collections import deque
 from typing import TYPE_CHECKING, Deque, List, Optional
 
 from repro.aru.summary import BufferAruState
+from repro.control.propagation import FeedbackEndpoint
 from repro.errors import SimulationError
 from repro.runtime.connection import InputConnection, OutputConnection
 from repro.runtime.item import Item, ItemView
@@ -42,12 +44,17 @@ class SQueue:
         recorder: "TraceRecorder",
         aru_state: Optional[BufferAruState] = None,
         capacity: Optional[int] = None,
+        feedback: Optional[FeedbackEndpoint] = None,
     ) -> None:
         self.engine = engine
         self.name = name
         self.node = node
         self.recorder = recorder
-        self.aru = aru_state
+        # ``aru_state`` is the pre-control-plane spelling: wrap it into
+        # an endpoint so hand-built harnesses keep working.
+        if feedback is None and aru_state is not None:
+            feedback = FeedbackEndpoint(aru_state)
+        self.feedback = feedback
         self.capacity = capacity
         self._fifo: Deque[Item] = deque()
         self.in_conns: List[InputConnection] = []
@@ -86,10 +93,15 @@ class SQueue:
             raise SimulationError(
                 f"consumer {conn.thread!r} not registered on {self.name!r}"
             ) from None
-        if self.aru is not None:
-            self.aru.backward.evict(conn.conn_id)
+        if self.feedback is not None:
+            self.feedback.detach(conn.conn_id)
 
     # -- introspection ------------------------------------------------------
+    @property
+    def aru(self) -> Optional[BufferAruState]:
+        """The queue's ARU state, when feedback propagation is wired."""
+        return self.feedback.state if self.feedback is not None else None
+
     def __len__(self) -> int:
         return len(self._fifo)
 
@@ -123,7 +135,7 @@ class SQueue:
             t=t,
         )
         self._getters.notify_all()
-        return self.aru.summary() if self.aru is not None else None
+        return self.feedback.advertise() if self.feedback is not None else None
 
     # -- get side ----------------------------------------------------------
     def request_get(self, conn: InputConnection, request: object = None) -> Event:
@@ -156,8 +168,8 @@ class SQueue:
         self.total_gets += 1
         item.acquire()
         self.recorder.on_get(item.item_id, conn.conn_id, conn.thread, t)
-        if self.aru is not None and consumer_summary is not None:
-            self.aru.update_backward(conn.conn_id, consumer_summary)
+        if self.feedback is not None and consumer_summary is not None:
+            self.feedback.receive(conn.conn_id, consumer_summary)
         if self.capacity is not None:
             self._putters.notify_all()
         return ItemView(item, self.name)

@@ -22,7 +22,7 @@ syscall                yields back
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Union
 
 from repro.vt.timestamp import LATEST, Timestamp, _Sentinel

@@ -6,21 +6,24 @@ each syscall onto channels, CPU pools, and network links, while doing the
 bookkeeping the paper's mechanisms require —
 
 * STP metering with blocking/throttle exclusion (§3.3.1);
-* ARU piggybacking on every put/get and source throttling at
-  ``periodicity_sync()`` (§3.3.2);
+* feedback piggybacking on every put/get and source throttling at
+  ``periodicity_sync()`` (§3.3.2), both delegated to the thread's
+  :class:`~repro.control.controller.ThreadController` — the driver
+  transports values and realizes planned sleeps, the control plane
+  decides;
 * reference management (gets hold items until the end of the iteration);
 * the per-iteration trace records driving the §4 metrics.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional, Tuple
 
 import numpy as np
 
-from repro.aru.controller import throttle_sleep
-from repro.aru.stp import StpMeter
-from repro.aru.summary import ThreadAruState
+from repro.control.actuator import SleepThrottle
+from repro.control.controller import ThreadController
 from repro.errors import LinkDown, MessageDropped, SimulationError
 from repro.runtime.connection import InputConnection, OutputConnection
 from repro.runtime.item import Item, ItemView
@@ -85,10 +88,8 @@ class ThreadDriver:
         in_conns: Dict[str, Tuple[object, InputConnection]],
         out_conns: Dict[str, Tuple[object, OutputConnection]],
         ctx: TaskContext,
-        aru_state: Optional[ThreadAruState],
-        meter: StpMeter,
-        throttled: bool,
-        headroom: float = 1.0,
+        controller: ThreadController,
+        headroom: Optional[float] = None,
     ) -> None:
         self.runtime = runtime
         self.engine = runtime.engine
@@ -98,10 +99,19 @@ class ThreadDriver:
         self.in_conns = in_conns
         self.out_conns = out_conns
         self.ctx = ctx
-        self.aru = aru_state
-        self.meter = meter
-        self.throttled = throttled
-        self.headroom = headroom
+        self.controller = controller
+        self.meter = controller.meter
+        self.throttled = controller.throttled
+        if headroom is not None:
+            warnings.warn(
+                "ThreadDriver's headroom kwarg is deprecated; set "
+                "AruConfig.headroom (the actuator's single source of "
+                "truth) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if isinstance(controller.actuator, SleepThrottle):
+                controller.actuator.headroom = headroom
         # per-iteration accumulators
         self._iter_start = runtime.clock.now()
         self._iter_inputs: List[int] = []
@@ -145,11 +155,15 @@ class ThreadDriver:
         tell a stalled thread from one that is merely starved."""
         return self.meter._pause_kind is not None
 
+    @property
+    def aru(self):
+        """The thread's backwardSTP state, when its policy keeps one
+        (compatibility accessor; None for null/disabled stacks)."""
+        return getattr(self.controller.policy, "state", None)
+
     def my_summary(self) -> Optional[float]:
-        """The summary-STP this thread currently advertises upstream."""
-        if self.aru is None:
-            return None
-        return self.aru.summary(self.meter.current_stp)
+        """The summary value this thread currently advertises upstream."""
+        return self.controller.outbound_summary()
 
     # -- fault injection ---------------------------------------------------
     def stall(self, duration: float) -> None:
@@ -392,26 +406,23 @@ class ThreadDriver:
             created_at=self.now(),
         )
         feedback = buffer.commit_put(conn, item, t=self.now())
-        if self.aru is not None and feedback is not None:
-            self.aru.update_backward(conn.conn_id, feedback)
+        self.controller.on_feedback(conn.conn_id, feedback)
         self._iter_outputs.append(item.item_id)
         if not self.in_conns:
             self._next_src_ts = max(self._next_src_ts, item.ts + 1)
         return item.item_id
 
     def _do_sync(self) -> Generator:
-        # 1. Source throttling (the ARU actuation) — stretch the iteration
-        #    to the propagated summary-STP target before closing it.
-        target: Optional[float] = None
+        # 1. Source throttling (the actuation) — the policy turns the
+        #    propagated feedback into a target period, the actuator into
+        #    a sleep that stretches the iteration to it.
         slept = 0.0
-        if self.aru is not None and self.throttled:
-            target = self.aru.compressed_backward()
-            sleep_t = throttle_sleep(target, self.meter.iteration_elapsed, self.headroom)
-            if sleep_t > 0:
-                self.meter.sleep_started()
-                yield self.engine.timeout(sleep_t)
-                self.meter.sleep_ended()
-                slept = sleep_t
+        target, sleep_t = self.controller.plan_throttle()
+        if sleep_t > 0:
+            self.meter.sleep_started()
+            yield self.engine.timeout(sleep_t)
+            self.meter.sleep_ended()
+            slept = sleep_t
         # 2. Close the iteration: current-STP per fig. 2.
         stp = self.meter.sync()
         t_end = self.now()

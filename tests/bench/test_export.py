@@ -1,6 +1,5 @@
 """Tests for grid CSV export and trace comparison."""
 
-import pytest
 
 from repro.apps import StageCost, TrackerConfig
 from repro.aru import aru_disabled, aru_min

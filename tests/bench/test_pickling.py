@@ -14,7 +14,7 @@ import pickle
 import pytest
 
 from repro.apps import TrackerConfig
-from repro.aru import AruConfig, aru_disabled, aru_max, aru_min
+from repro.aru import AruConfig, aru_max, aru_min
 from repro.aru.filters import ParametrizedFilterFactory, resolve_factory
 from repro.aru.operators import KthOperator, resolve
 from repro.bench import CellSpec, grid_specs, run_cell

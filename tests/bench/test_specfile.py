@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.aru import AruConfig
 from repro.bench import aru_from_dict, experiment_from_dict, run_experiment
 from repro.errors import ConfigError
 

@@ -1,0 +1,67 @@
+"""Policy registry: resolution, suggestions, extension registration."""
+
+import pytest
+
+from repro.aru import AruConfig, aru_min
+from repro.control import (
+    list_policies,
+    policies_help_text,
+    register_policy,
+    resolve_policy,
+)
+from repro.control.registry import _REGISTRY
+from repro.errors import ConfigError
+
+
+def test_builtin_names_resolve():
+    assert resolve_policy("no-aru").enabled is False
+    assert resolve_policy("aru-min").thread_op == "min"
+    assert resolve_policy("aru-max").thread_op == "max"
+    assert resolve_policy("aru-pid").policy == "pid"
+    assert resolve_policy("null").policy == "null"
+
+
+def test_config_passes_through():
+    cfg = aru_min(headroom=1.1)
+    assert resolve_policy(cfg) is cfg
+
+
+def test_unknown_name_suggests_close_match():
+    with pytest.raises(ConfigError, match="did you mean 'aru-min'"):
+        resolve_policy("aru-mn")
+
+
+def test_unknown_name_lists_available():
+    with pytest.raises(ConfigError, match="available: .*no-aru"):
+        resolve_policy("warp-speed")
+
+
+def test_list_policies_sorted():
+    names = list_policies()
+    assert names == sorted(names)
+    assert {"no-aru", "aru-min", "aru-max", "aru-pid", "null"} <= set(names)
+
+
+def test_register_custom_policy():
+    try:
+        register_policy(
+            "aru-pid-hot",
+            lambda: AruConfig(policy="pid", pid_kp=0.9, pid_ki=0.5,
+                              name="aru-pid-hot"),
+            help="hot gains")
+        cfg = resolve_policy("aru-pid-hot")
+        assert cfg.pid_kp == 0.9
+        assert "aru-pid-hot" in policies_help_text()
+    finally:
+        _REGISTRY.pop("aru-pid-hot", None)
+
+
+def test_empty_name_rejected():
+    with pytest.raises(ConfigError):
+        register_policy("", aru_min)
+
+
+def test_help_text_covers_every_policy():
+    text = policies_help_text()
+    for name in list_policies():
+        assert name in text

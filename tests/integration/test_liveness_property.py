@@ -7,7 +7,6 @@ failure mode of aggressive feedback — a producer throttled below every
 consumer's appetite with no recovery path.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -14,7 +14,6 @@ the structural invariants after every step:
 * recorder alloc/free pairing is consistent.
 """
 
-import pytest
 from hypothesis import settings
 from hypothesis import strategies as st
 from hypothesis.stateful import (

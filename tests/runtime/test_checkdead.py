@@ -6,9 +6,7 @@ from repro.aru import aru_disabled
 from repro.cluster import ClusterSpec, NodeSpec
 from repro.runtime import (
     CheckDead,
-    Compute,
     Get,
-    Now,
     PeriodicitySync,
     Put,
     Runtime,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.aru import aru_disabled, aru_min
+from repro.aru import aru_min
 from repro.cluster import ClusterSpec, LinkSpec, NodeSpec, config2_spec
 from repro.errors import ConfigError, SimulationError
 from repro.runtime import (

@@ -1,6 +1,5 @@
 """Stateful property-based testing of SQueue invariants."""
 
-import pytest
 from hypothesis import settings
 from hypothesis import strategies as st
 from hypothesis.stateful import (

@@ -1,6 +1,5 @@
 """Edge cases of composite events and process interruption."""
 
-import pytest
 
 from repro.errors import ProcessKilled
 from repro.sim import Engine

@@ -82,6 +82,32 @@ def test_sweep_smoke_parallel(tmp_path, capsys):
     assert "0 executed, 18 cache hits" in capsys.readouterr().out
 
 
+def test_sweep_single_policy(tmp_path, capsys):
+    """``sweep --policy`` restricts the grid to one (custom) policy; the
+    tables must render it even though it isn't a paper column."""
+    rc = main(["sweep", "--policy", "aru-pid", "--horizon", "5",
+               "--cache-dir", str(tmp_path / "cache")])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "1 policies" in out
+    assert "aru-pid" in out
+    assert "6 cells" in out and "6 executed" in out
+
+
+def test_sweep_list_policies(capsys):
+    rc = main(["sweep", "--list-policies"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    for name in ("no-aru", "aru-min", "aru-max", "aru-pid", "null"):
+        assert name in out
+
+
+def test_chaos_policy_override_unknown_name():
+    with pytest.raises(SystemExit, match="unknown policy"):
+        main(["chaos", "examples/chaos_tracker.yaml",
+              "--policy", "warp-speed"])
+
+
 def test_compare_command(tmp_path, capsys):
     a, b = tmp_path / "a.json", tmp_path / "b.json"
     main(["run-tracker", "--horizon", "10", "--policy", "no-aru",

@@ -14,6 +14,7 @@ PUBLIC_SUBPACKAGES = (
     "repro.runtime",
     "repro.gc",
     "repro.aru",
+    "repro.control",
     "repro.faults",
     "repro.metrics",
     "repro.apps",
