@@ -34,7 +34,10 @@ from typing import Dict, List
 BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_kernel.json"
 
 #: Rates (higher is better) whose regression fails the gate.
-GATED_RATES = ("dispatch_events_per_sec",)
+#: ``telemetry_off_ops_per_sec`` gates the ISSUE-5 zero-overhead
+#: contract: the disabled-telemetry hot path must stay one attribute
+#: check, so its rate cannot quietly erode as instrumentation grows.
+GATED_RATES = ("dispatch_events_per_sec", "telemetry_off_ops_per_sec")
 
 #: Maximum allowed fractional drop of a gated rate vs baseline.
 DEFAULT_THRESHOLD = 0.30
@@ -123,12 +126,58 @@ def _measure_postmortem_ms() -> float:
     return _best_of(analyze, repeat=3) * 1e3
 
 
+class _BenchItem:
+    """The attribute surface the hub hooks touch, without runtime setup."""
+
+    __slots__ = ("item_id", "ts", "size", "producer", "parents")
+
+    def __init__(self, item_id: int) -> None:
+        self.item_id = item_id
+        self.ts = item_id
+        self.size = 100
+        self.producer = "p"
+        self.parents = ()
+
+
+def _measure_telemetry(enabled: bool) -> float:
+    """Rate of the instrumented put/get hot-path pattern.
+
+    Replicates exactly what Channel.commit_put/commit_get pay per item:
+    one ``obs.enabled`` check and, when live, the ``on_put``/``on_get``
+    hook bodies. The *off* rate is the zero-overhead contract; the *on*
+    rate is recorded so the cost of live telemetry stays visible.
+    """
+    from repro.obs import NULL_HUB, TelemetryConfig, TelemetryHub
+
+    n = _N_EVENTS
+
+    def spin():
+        if enabled:
+            # Unbounded span cap would make the loop allocation-bound on
+            # the span list; size it to the workload.
+            obs = TelemetryHub(TelemetryConfig(max_spans=4 * n))
+        else:
+            obs = NULL_HUB
+        items = [_BenchItem(i) for i in range(200)]
+        t = 0.0
+        for i in range(n):
+            item = items[i % 200]
+            if obs.enabled:
+                obs.on_put("C1", "channel", item, t)
+            if obs.enabled:
+                obs.on_get("C1", "channel", item, "c", t)
+
+    return _N_EVENTS / _best_of(spin)
+
+
 def measure() -> Dict[str, float]:
     """One full measurement pass; keys match the baseline file."""
     return {
         "dispatch_events_per_sec": _measure_dispatch(),
         "trampoline_events_per_sec": _measure_trampoline(),
         "postmortem_ms": _measure_postmortem_ms(),
+        "telemetry_off_ops_per_sec": _measure_telemetry(enabled=False),
+        "telemetry_on_ops_per_sec": _measure_telemetry(enabled=True),
     }
 
 

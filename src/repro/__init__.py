@@ -55,6 +55,12 @@ _LAZY = {
     "PostmortemAnalyzer": "repro.metrics",
     "build_tracker": "repro.apps",
     "TrackerConfig": "repro.apps",
+    "run_experiment": "repro.experiment",
+    "ExperimentSpec": "repro.experiment",
+    "RunResult": "repro.experiment",
+    "TelemetryHub": "repro.obs",
+    "TelemetryConfig": "repro.obs",
+    "NULL_HUB": "repro.obs",
 }
 
 __all__ = sorted(_LAZY) + ["__version__"]

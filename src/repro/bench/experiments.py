@@ -175,6 +175,7 @@ def grid_specs(
     horizon: float = DEFAULT_HORIZON,
     tracker_cfg: Optional[TrackerConfig] = None,
     gc: str = "dgc",
+    telemetry: bool = False,
 ) -> List["CellSpec"]:
     """The paper's §5 grid as a flat list of sweep cell specs.
 
@@ -187,7 +188,8 @@ def grid_specs(
     policies = policies or POLICY_FACTORIES
     return [
         CellSpec(config=config, policy=factory(), label=label, seed=seed,
-                 horizon=horizon, tracker=tracker_cfg, gc=gc)
+                 horizon=horizon, tracker=tracker_cfg, gc=gc,
+                 telemetry=telemetry)
         for config in configs
         for label, factory in policies.items()
         for seed in seeds
@@ -203,6 +205,7 @@ def run_grid(
     gc: str = "dgc",
     runner: Optional["SweepRunner"] = None,
     workers: int = 1,
+    telemetry: bool = False,
 ) -> Dict[Tuple[str, str], PolicyAggregate]:
     """Run the full (config x policy x seed) grid of the paper's §5.
 
@@ -214,7 +217,8 @@ def run_grid(
     """
     from repro.bench.runner import SweepRunner
 
-    specs = grid_specs(configs, policies, seeds, horizon, tracker_cfg, gc)
+    specs = grid_specs(configs, policies, seeds, horizon, tracker_cfg, gc,
+                       telemetry=telemetry)
     runner = runner or SweepRunner(workers=workers)
     results = runner.run_metrics(specs)
     out: Dict[Tuple[str, str], PolicyAggregate] = {}

@@ -74,6 +74,10 @@ class CellSpec:
     #: Name of a registered in-worker probe (see repro.bench.probes).
     probe: Optional[str] = None
     probe_args: Tuple[Tuple[str, Any], ...] = ()
+    #: Record telemetry (repro.obs) for this cell. The summary lands in
+    #: :attr:`CellResult.telemetry` — deliberately NOT in ``extras``, so
+    #: the determinism fingerprint is identical with telemetry on or off.
+    telemetry: bool = False
 
     @property
     def aru(self) -> AruConfig:
@@ -156,6 +160,10 @@ class CellResult:
     metrics: Optional[Any] = None  # RunMetrics of a successful cell
     extras: Dict[str, float] = field(default_factory=dict)
     error: Optional[str] = None  # formatted traceback of a failed cell
+    #: Telemetry snapshot (hub.snapshot()) when the cell ran with
+    #: ``telemetry=True``; None otherwise. Kept out of ``extras``
+    #: because extras feed the determinism fingerprint.
+    telemetry: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -163,37 +171,39 @@ class CellResult:
 
 
 def _execute_cell(spec: CellSpec) -> CellResult:
-    """Run one cell, letting any simulation error propagate."""
-    from repro.apps.tracker import build_tracker
+    """Run one cell, letting any simulation error propagate.
+
+    Delegates runtime assembly to :func:`repro.run_experiment` so the
+    sweep path and the interactive paths cannot drift apart.
+    """
     from repro.bench.experiments import metrics_from_trace
-    from repro.runtime.runtime import Runtime, RuntimeConfig
+    from repro.experiment import ExperimentSpec, run_experiment
 
-    graph = build_tracker(spec.tracker)
     aru = spec.aru
-    runtime = Runtime(
-        graph,
-        RuntimeConfig(
-            cluster=spec._cluster(),
-            gc=spec._gc(),
-            aru=aru,
-            seed=spec.seed,
-            placement=spec._placement(),
-            loads=spec.loads,
-        ),
-    )
-    if spec.faults:
-        from repro.faults import FaultInjector, FaultSchedule
-
-        FaultInjector(runtime, FaultSchedule(spec.faults)).install()
-    recorder = runtime.run(until=spec.horizon)
+    result = run_experiment(ExperimentSpec(
+        app="tracker",
+        app_config=spec.tracker,
+        config=spec._cluster(),
+        policy=aru,
+        gc=spec._gc(),
+        seed=spec.seed,
+        horizon=spec.horizon,
+        placement=spec._placement(),
+        loads=spec.loads,
+        faults=spec.faults,
+        telemetry=spec.telemetry,
+    ))
+    recorder = result.trace
     metrics = metrics_from_trace(spec.config, aru.name, spec.seed,
                                  spec.horizon, recorder)
     extras: Dict[str, float] = {}
     if spec.probe is not None:
         extras = resolve_probe(spec.probe)(
-            graph, recorder, **dict(spec.probe_args)
+            result.runtime.graph, recorder, **dict(spec.probe_args)
         )
-    return CellResult(spec=spec, metrics=metrics, extras=extras)
+    telemetry = result.telemetry.snapshot() if spec.telemetry else None
+    return CellResult(spec=spec, metrics=metrics, extras=extras,
+                      telemetry=telemetry)
 
 
 def run_cell(spec: CellSpec) -> CellResult:

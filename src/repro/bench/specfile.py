@@ -34,7 +34,7 @@ from repro.cluster.spec import config1_spec, config2_spec
 from repro.control.registry import resolve_policy
 from repro.errors import ConfigError
 from repro.metrics.recorder import TraceRecorder
-from repro.runtime.runtime import Runtime, RuntimeConfig
+from repro.runtime.runtime import RuntimeConfig
 
 _TOP_KEYS = {"app", "config", "aru", "gc", "seed", "horizon", "loads",
              "tracker", "gesture", "stereo", "placement"}
@@ -120,6 +120,11 @@ def experiment_from_dict(spec: Dict[str, Any]):
 
 
 def run_experiment(spec: Dict[str, Any]) -> TraceRecorder:
-    """Build and run the experiment described by ``spec``."""
-    graph, runtime_config, horizon = experiment_from_dict(spec)
-    return Runtime(graph, runtime_config).run(until=horizon)
+    """Build and run the experiment described by ``spec``.
+
+    Delegates to :func:`repro.run_experiment` (the unified front door);
+    kept for spec-file callers that only want the trace.
+    """
+    from repro.experiment import run_experiment as _run
+
+    return _run(spec).trace

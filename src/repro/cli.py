@@ -5,20 +5,25 @@ Usage (also available as ``python -m repro``):
 .. code-block:: text
 
     repro-aru run-tracker --config 1 --policy aru-max --horizon 120 \\
-        [--seed 0] [--gc dgc] [--save-trace run.json]
+        [--seed 0] [--gc dgc] [--save-trace run.json] [--telemetry DIR]
     repro-aru run-tracker --list-policies
     repro-aru sweep [--workers 4] [--no-cache] [--cache-dir .bench_cache] \\
-        [--seeds 3] [--horizon 120] [--policy aru-pid] [--save-csv grid.csv]
+        [--seeds 3] [--horizon 120] [--policy aru-pid] [--save-csv grid.csv] \\
+        [--telemetry DIR]
     repro-aru paper-tables [--seeds 2] [--horizon 120] [--save-csv grid.csv]
     repro-aru profile [--config 1] [--policy aru-min] [--horizon 30] \\
         [--sort cumulative] [--limit 25]
     repro-aru chaos examples/chaos_tracker.yaml [--horizon 60] \\
-        [--policy aru-min] [--width 72] [--save-trace run.json]
+        [--policy aru-min] [--width 72] [--save-trace run.json] \\
+        [--telemetry DIR]
     repro-aru chaos --list-faults
+    repro-aru obs telemetry/run.jsonl
 
 ``--policy`` accepts any name registered with
 :func:`repro.control.register_policy`; ``--list-policies`` prints the
-catalog.
+catalog. ``--telemetry DIR`` records :mod:`repro.obs` metrics + spans
+during the run and exports them as a Chrome/Perfetto trace, a JSONL
+dump, and Prometheus text (see docs/observability.md).
     repro-aru analyze run.json
     repro-aru compare a.json b.json
     repro-aru timeline run.json [--channel C3] [--width 72]
@@ -83,6 +88,33 @@ def _workers_arg(value: str) -> int:
     return n
 
 
+def _export_telemetry(hub, out_dir: str, label: str) -> None:
+    """Write a hub's three export formats into ``out_dir`` and print the
+    closing summary table plus where everything landed."""
+    from pathlib import Path
+
+    from repro.obs import (
+        summary_table,
+        write_chrome_trace,
+        write_jsonl,
+        prometheus_text,
+    )
+
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    trace_path = out / f"{label}.trace.json"
+    jsonl_path = out / f"{label}.jsonl"
+    prom_path = out / f"{label}.prom"
+    n_events = write_chrome_trace(hub, str(trace_path))
+    n_records = write_jsonl(hub, str(jsonl_path))
+    prom_path.write_text(prometheus_text(hub))
+    print()
+    print(summary_table(hub))
+    print()
+    print(f"telemetry: {trace_path} ({n_events} events, load in Perfetto), "
+          f"{jsonl_path} ({n_records} records), {prom_path}")
+
+
 def _print_run_summary(run) -> None:
     print(f"config={run.config} policy={run.policy} seed={run.seed} "
           f"horizon={run.horizon:.0f}s")
@@ -103,6 +135,25 @@ def cmd_run_tracker(args) -> int:
     if _maybe_list_policies(args):
         return 0
     config = f"config{args.config}"
+    if args.telemetry:
+        from repro.bench.experiments import metrics_from_trace
+        from repro.experiment import ExperimentSpec, run_experiment
+
+        result = run_experiment(ExperimentSpec(
+            config=config, policy=_policy(args.policy), gc=args.gc,
+            seed=args.seed, horizon=args.horizon, telemetry=True,
+        ))
+        run = metrics_from_trace(config, _policy(args.policy).name,
+                                 args.seed, args.horizon, result.trace)
+        _print_run_summary(run)
+        _export_telemetry(result.telemetry, args.telemetry,
+                          f"tracker-{config}-{args.policy}-s{args.seed}")
+        if args.save_trace:
+            from repro.metrics import save_trace
+
+            save_trace(result.trace, args.save_trace)
+            print(f"  trace saved      : {args.save_trace}")
+        return 0
     run = run_tracker_once(
         config,
         _policy(args.policy),
@@ -172,7 +223,22 @@ def cmd_sweep(args) -> int:
         cfg = _policy(args.policy)
         policies = {cfg.name: (lambda c=cfg: c)}
     cache = None if args.no_cache else ResultCache(args.cache_dir)
-    runner = SweepRunner(workers=args.workers, cache=cache)
+    progress = None
+    if args.telemetry:
+        import json as _json
+        from pathlib import Path
+
+        tel_dir = Path(args.telemetry)
+        tel_dir.mkdir(parents=True, exist_ok=True)
+
+        def progress(done, total, result):
+            if result.ok and result.telemetry is not None:
+                spec = result.spec
+                name = (f"{spec.config}-{spec.policy_label}"
+                        f"-s{spec.seed}.telemetry.json")
+                (tel_dir / name).write_text(_json.dumps(result.telemetry))
+
+    runner = SweepRunner(workers=args.workers, cache=cache, progress=progress)
     seeds = tuple(range(args.seeds))
     print(f"Sweeping 2 configs x {len(policies) if policies else 3} policies "
           f"x {len(seeds)} seeds "
@@ -180,8 +246,10 @@ def cmd_sweep(args) -> int:
           f"cache={'off' if cache is None else args.cache_dir} ...\n")
     t0 = time.perf_counter()
     grid = run_grid(seeds=seeds, horizon=args.horizon, runner=runner,
-                    policies=policies)
+                    policies=policies, telemetry=bool(args.telemetry))
     wall = time.perf_counter() - t0
+    if args.telemetry:
+        print(f"per-cell telemetry snapshots in {args.telemetry}/\n")
     _print_grid_tables(grid, save_csv=args.save_csv)
     stats = runner.stats
     print(f"\nsweep: {stats.total} cells in {wall:.1f}s wall — "
@@ -230,12 +298,18 @@ def cmd_chaos(args) -> int:
             "chaos: a schedule file is required (or use --list-faults)")
     experiment, schedule, detector = load_chaos_file(args.schedule)
     graph, runtime_config, horizon = experiment_from_dict(experiment)
-    if args.policy is not None:
-        from dataclasses import replace
+    from dataclasses import replace
 
+    if args.policy is not None:
         runtime_config = replace(runtime_config, aru=_policy(args.policy))
     if args.horizon is not None:
         horizon = args.horizon
+    hub = None
+    if args.telemetry:
+        from repro.obs import TelemetryHub
+
+        hub = TelemetryHub()
+        runtime_config = replace(runtime_config, telemetry=hub)
     runtime = Runtime(graph, runtime_config)
     kwargs = dict(detector)
     if "interval" in kwargs:
@@ -248,6 +322,12 @@ def cmd_chaos(args) -> int:
     print(gantt(recorder, width=args.width, fault_log=injector.log))
     print()
     print(resilience_report(injector.log, recorder, sources=graph.sources()))
+    if hub is not None:
+        from pathlib import Path
+
+        label = f"chaos-{Path(args.schedule).stem}"
+        print()
+        _export_telemetry(hub, args.telemetry, label)
     if args.save_trace:
         save_trace(recorder, args.save_trace)
         print(f"\ntrace saved to {args.save_trace}")
@@ -352,6 +432,17 @@ def cmd_timeline(args) -> int:
     return 0
 
 
+def cmd_obs(args) -> int:
+    """Summarize a telemetry JSONL export offline."""
+    from repro.obs import read_jsonl, summary_from_records
+
+    records = read_jsonl(args.file)
+    print(f"telemetry: {args.file} ({len(records)} records)")
+    print()
+    print(summary_from_records(records))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-aru",
@@ -372,6 +463,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--gc", default="dgc",
                        choices=("null", "ref", "tgc", "dgc"))
     p_run.add_argument("--save-trace", metavar="PATH", default=None)
+    p_run.add_argument("--telemetry", metavar="DIR", default=None,
+                       help="record repro.obs telemetry and export it "
+                            "(Chrome trace + JSONL + Prometheus text) to DIR")
     p_run.set_defaults(func=cmd_run_tracker)
 
     p_tables = sub.add_parser("paper-tables",
@@ -402,6 +496,9 @@ def build_parser() -> argparse.ArgumentParser:
                               "the paper's three")
     p_sweep.add_argument("--list-policies", action="store_true",
                          help="print the policy catalog and exit")
+    p_sweep.add_argument("--telemetry", metavar="DIR", default=None,
+                         help="record telemetry per cell and write "
+                              "snapshot JSONs into DIR")
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_rc = sub.add_parser("run-config",
@@ -427,6 +524,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--list-policies", action="store_true",
                          help="print the policy catalog and exit")
     p_chaos.add_argument("--save-trace", metavar="PATH", default=None)
+    p_chaos.add_argument("--telemetry", metavar="DIR", default=None,
+                         help="record repro.obs telemetry (incl. fault "
+                              "events) and export it to DIR")
     p_chaos.set_defaults(func=cmd_chaos)
 
     p_cmp = sub.add_parser("compare", help="compare two saved traces")
@@ -471,6 +571,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_tl.add_argument("--width", type=int, default=72)
     p_tl.add_argument("--height", type=int, default=14)
     p_tl.set_defaults(func=cmd_timeline)
+
+    p_obs = sub.add_parser(
+        "obs", help="summarize a telemetry JSONL export (repro.obs)")
+    p_obs.add_argument("file", help="JSONL file written by --telemetry")
+    p_obs.set_defaults(func=cmd_obs)
     return parser
 
 

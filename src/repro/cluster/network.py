@@ -21,6 +21,7 @@ from typing import Callable, Dict, Generator, Optional, Tuple
 
 from repro.cluster.spec import ClusterSpec, LinkSpec
 from repro.errors import ConfigError, LinkDown, MessageDropped
+from repro.obs.hub import NULL_HUB
 from repro.sim.engine import Engine
 from repro.sim.resources import Resource, WaitQueue
 
@@ -34,10 +35,12 @@ LinkObserver = Callable[..., None]
 class Link:
     """One serialized point-to-point link."""
 
-    def __init__(self, engine: Engine, spec: LinkSpec, name: str = "") -> None:
+    def __init__(self, engine: Engine, spec: LinkSpec, name: str = "",
+                 obs=NULL_HUB) -> None:
         self.engine = engine
         self.spec = spec
         self.name = name
+        self.obs = obs
         self._wire = Resource(engine, capacity=1, name=f"link.{name}")
         #: Total bytes moved over this link.
         self.bytes_transferred = 0
@@ -133,6 +136,8 @@ class Link:
             self.bytes_transferred += nbytes
             self.busy_time += duration
             self._wire.release()
+        if self.obs.enabled:
+            self.obs.on_transfer(self.name, nbytes, duration, self.engine.now)
         if (self._drop_rng is not None
                 and self._drop_rng.random() < self.drop_probability):
             self.transfers_dropped += 1
@@ -146,9 +151,10 @@ class Link:
 class Network:
     """Full-mesh network over a cluster's nodes, links created lazily."""
 
-    def __init__(self, engine: Engine, spec: ClusterSpec) -> None:
+    def __init__(self, engine: Engine, spec: ClusterSpec, obs=NULL_HUB) -> None:
         self.engine = engine
         self.spec = spec
+        self.obs = obs
         self._links: Dict[Tuple[str, str], Link] = {}
         self._observer: Optional[LinkObserver] = None
 
@@ -162,7 +168,8 @@ class Network:
         key = (src, dst)
         link = self._links.get(key)
         if link is None:
-            link = Link(self.engine, self.spec.link, name=f"{src}->{dst}")
+            link = Link(self.engine, self.spec.link, name=f"{src}->{dst}",
+                        obs=self.obs)
             link.observer = self._observer
             self._links[key] = link
         return link

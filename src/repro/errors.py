@@ -51,3 +51,8 @@ class ConfigError(ReproError):
 
 class TraceError(ReproError):
     """The metrics trace is inconsistent (e.g. free before alloc)."""
+
+
+class TelemetryError(ReproError):
+    """The telemetry subsystem was misused (metric type clash, bad label
+    set, export of an unbound hub...)."""

@@ -76,23 +76,34 @@ class FaultDetector:
         self._node_up: Dict[str, bool] = {name: True for name in runtime.nodes}
         self._link_state: Dict[str, str] = {}
 
+    def _symptom(self, symptom: str, target: str, t: float,
+                 source: Optional[str] = None) -> None:
+        """Log one detected symptom and mirror it into telemetry."""
+        if source is not None:
+            self.log.on_symptom(symptom, target, t, source=source)
+        else:
+            self.log.on_symptom(symptom, target, t)
+        obs = self.runtime.obs
+        if obs.enabled:
+            obs.on_fault("detected", symptom, target, t, source=source)
+
     # -- pushed symptoms ---------------------------------------------------
     def on_transport_error(self, symptom: str, target: str, source: str) -> None:
         """Runtime fault-hook: a thread hit LinkDown/MessageDropped."""
         t = self.runtime.engine.now
         if symptom == "link_down":
             self._link_state[target] = "down"
-        self.log.on_symptom(symptom, target, t, source=source)
+        self._symptom(symptom, target, t, source=source)
 
     def on_link_observation(self, symptom: str, link_name: str, **info) -> None:
         """Link observer: transfer outcomes and blocked partitions."""
         t = self.runtime.engine.now
         if symptom == "link_blocked":
             self._link_state[link_name] = "down"
-            self.log.on_symptom("link_blocked", link_name, t)
+            self._symptom("link_blocked", link_name, t)
             return
         if symptom != "transfer_ok":  # pragma: no cover - future symptoms
-            self.log.on_symptom(symptom, link_name, t)
+            self._symptom(symptom, link_name, t)
             return
         nominal = info.get("nominal", 0.0)
         duration = info.get("duration", 0.0)
@@ -100,10 +111,10 @@ class FaultDetector:
         previous = self._link_state.get(link_name, "ok")
         if slow and previous != "slow":
             self._link_state[link_name] = "slow"
-            self.log.on_symptom("link_slow", link_name, t)
+            self._symptom("link_slow", link_name, t)
         elif not slow and previous != "ok":
             self._link_state[link_name] = "ok"
-            self.log.on_symptom("link_ok", link_name, t)
+            self._symptom("link_ok", link_name, t)
 
     # -- liveness/stall poll ----------------------------------------------
     def poll(self) -> Generator:
@@ -115,11 +126,11 @@ class FaultDetector:
                 alive = runtime.thread_alive(name)
                 was_alive = self._thread_alive.get(name, True)
                 if was_alive and not alive:
-                    self.log.on_symptom("thread_dead", name, t)
+                    self._symptom("thread_dead", name, t)
                     self._progress.pop(name, None)
                     self._stalled_flagged.pop(name, None)
                 elif alive and not was_alive:
-                    self.log.on_symptom("thread_back", name, t)
+                    self._symptom("thread_back", name, t)
                 self._thread_alive[name] = alive
                 if not alive:
                     continue
@@ -133,7 +144,7 @@ class FaultDetector:
                       and not driver.waiting
                       and not self._stalled_flagged.get(name)):
                     self._stalled_flagged[name] = True
-                    self.log.on_symptom("thread_stalled", name, t)
+                    self._symptom("thread_stalled", name, t)
             for node_name in self._node_up:
                 residents = runtime.threads_on(node_name)
                 if not residents:
@@ -141,9 +152,9 @@ class FaultDetector:
                 down = all(not self._thread_alive[th] for th in residents)
                 was_up = self._node_up[node_name]
                 if was_up and down:
-                    self.log.on_symptom("node_dead", node_name, t)
+                    self._symptom("node_dead", node_name, t)
                 elif not was_up and not down:
-                    self.log.on_symptom("node_back", node_name, t)
+                    self._symptom("node_back", node_name, t)
                 self._node_up[node_name] = not down
             yield runtime.engine.timeout(self.interval)
 
@@ -220,8 +231,11 @@ class FaultInjector:
     def _expire(self, spec: FaultSpec, undo) -> Generator:
         yield self.runtime.engine.timeout(spec.duration)
         undo()
-        self.log.on_recovered(spec.target, self.runtime.engine.now,
-                              kinds=(spec.kind,))
+        t = self.runtime.engine.now
+        self.log.on_recovered(spec.target, t, kinds=(spec.kind,))
+        obs = self.runtime.obs
+        if obs.enabled:
+            obs.on_fault("recovered", spec.kind, spec.target, t)
 
     def _window(self, spec: FaultSpec, undo) -> None:
         if spec.duration is not None:
@@ -237,6 +251,9 @@ class FaultInjector:
         if spec.duration is not None:
             detail = f"for {spec.duration:g}s"
         record = self.log.on_injected(spec.kind, spec.target, t, detail=detail)
+        obs = runtime.obs
+        if obs.enabled:
+            obs.on_fault("injected", spec.kind, spec.target, t)
         kind = spec.kind
         if kind in RECOVERY_KINDS:
             # A recovery action is its own recovery; what remains open is

@@ -1,0 +1,80 @@
+"""``repro.obs`` — telemetry for the streaming runtime.
+
+A zero-overhead-when-disabled observability subsystem with three parts:
+
+* **metrics** (:mod:`repro.obs.metrics`): Counter / Gauge / Histogram
+  instruments keyed on ``(name, labels)``, timestamped with the DES
+  clock;
+* **spans** (:mod:`repro.obs.spans`): causal tracing of items along the
+  pipeline (Digitizer → ... → GUI), with parent span ids piggybacked
+  along the data path the same way the summary-STP is, plus fault
+  instants and producer→consumer flow arrows;
+* **exporters** (:mod:`repro.obs.export`): Prometheus text format,
+  Chrome-trace/Perfetto JSON, and a JSONL stream; rendered for humans
+  by :mod:`repro.obs.summary` and the ``repro obs`` CLI subcommand.
+
+The hub (:class:`TelemetryHub`) is the single object call sites talk
+to. Disabled runtimes share the :data:`NULL_HUB` null object, so every
+instrumentation point costs one attribute check when telemetry is off —
+see ``benchmarks/check_regression.py`` for the gate.
+
+Enable per run via ``RuntimeConfig(telemetry=True)``,
+``repro.run_experiment(ExperimentSpec(..., telemetry=True))``, or the
+``--telemetry`` CLI flag.
+"""
+
+from __future__ import annotations
+
+from repro.obs.export import (
+    chrome_trace,
+    chrome_trace_events,
+    iter_jsonl,
+    prometheus_text,
+    read_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.hub import (
+    NULL_HUB,
+    NullTelemetryHub,
+    TelemetryConfig,
+    TelemetryHub,
+    resolve_hub,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    canonical_labels,
+)
+from repro.obs.spans import Flow, Instant, Span, SpanTracer
+from repro.obs.summary import summary_from_records, summary_table
+
+__all__ = [
+    "NULL_HUB",
+    "NullTelemetryHub",
+    "TelemetryConfig",
+    "TelemetryHub",
+    "resolve_hub",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "canonical_labels",
+    "Span",
+    "Instant",
+    "Flow",
+    "SpanTracer",
+    "prometheus_text",
+    "chrome_trace",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "iter_jsonl",
+    "write_jsonl",
+    "read_jsonl",
+    "summary_table",
+    "summary_from_records",
+]

@@ -1,0 +1,214 @@
+"""Exporters: Prometheus text, Chrome-trace JSON, and JSONL streams.
+
+All three work from a live :class:`~repro.obs.hub.TelemetryHub` — the
+Chrome-trace/Perfetto export turns the tracer's tracks into synthetic
+processes/threads so thread iterations, buffer residencies, link
+transfers, producer→consumer flow arrows, and fault instants land on
+separate swim-lanes. Timestamps are simulated seconds scaled to
+microseconds (the unit Chrome-trace mandates).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Dict, Iterator, List
+
+from repro.errors import TelemetryError
+from repro.obs.hub import TelemetryHub
+from repro.obs.metrics import Counter, Gauge, Histogram
+
+#: Chrome-trace wants integer-ish microseconds; the DES clock is seconds.
+_US = 1e6
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+def _prom_labels(labels, extra: Dict[str, str] = None) -> str:
+    pairs = list(labels)
+    if extra:
+        pairs += sorted(extra.items())
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def _prom_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def prometheus_text(hub: TelemetryHub) -> str:
+    """The registry in Prometheus text exposition format (one scrape)."""
+    if not hub.enabled:
+        raise TelemetryError("cannot export a disabled (null) telemetry hub")
+    lines: List[str] = []
+    typed = set()
+    for metric in hub.metrics.collect():
+        if metric.name not in typed:
+            typed.add(metric.name)
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.metric_type}")
+        if isinstance(metric, (Counter, Gauge)):
+            lines.append(
+                f"{metric.name}{_prom_labels(metric.labels)} "
+                f"{_prom_value(metric.value)}"
+            )
+        elif isinstance(metric, Histogram):
+            for bound, running in metric.cumulative():
+                le = "+Inf" if bound == float("inf") else _prom_value(bound)
+                lines.append(
+                    f"{metric.name}_bucket"
+                    f"{_prom_labels(metric.labels, {'le': le})} {running}"
+                )
+            lines.append(
+                f"{metric.name}_sum{_prom_labels(metric.labels)} "
+                f"{_prom_value(metric.total)}"
+            )
+            lines.append(
+                f"{metric.name}_count{_prom_labels(metric.labels)} "
+                f"{metric.count}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace (Perfetto-loadable)
+# ---------------------------------------------------------------------------
+
+def _track_registry(hub: TelemetryHub) -> Dict[str, int]:
+    """Assign each track name a stable synthetic tid (sorted order)."""
+    tracks = set()
+    for span in hub.tracer.spans:
+        tracks.add(span.track)
+    for inst in hub.tracer.instants:
+        tracks.add(inst.track)
+    for flow in hub.tracer.flows:
+        tracks.add(flow.track)
+    return {name: i + 1 for i, name in enumerate(sorted(tracks))}
+
+
+def chrome_trace_events(hub: TelemetryHub) -> List[dict]:
+    """The tracer as a list of Chrome-trace event dicts."""
+    if not hub.enabled:
+        raise TelemetryError("cannot export a disabled (null) telemetry hub")
+    tids = _track_registry(hub)
+    pid = 1
+    events: List[dict] = []
+    for track, tid in sorted(tids.items(), key=lambda kv: kv[1]):
+        events.append({
+            "ph": "M", "pid": pid, "tid": tid, "name": "thread_name",
+            "args": {"name": track},
+        })
+    for span in hub.tracer.spans:
+        end = span.t_end if span.t_end is not None else span.t_start
+        args = dict(span.args)
+        if span.parent_id is not None:
+            args["parent_span"] = span.parent_id
+        args["span_id"] = span.span_id
+        events.append({
+            "ph": "X", "pid": pid, "tid": tids[span.track],
+            "name": span.name, "cat": span.cat,
+            "ts": span.t_start * _US,
+            "dur": max((end - span.t_start) * _US, 1.0),
+            "args": args,
+        })
+    for inst in hub.tracer.instants:
+        events.append({
+            "ph": "i", "pid": pid, "tid": tids[inst.track],
+            "name": inst.name, "cat": inst.cat, "ts": inst.t * _US,
+            "s": "g", "args": dict(inst.args),
+        })
+    for flow in hub.tracer.flows:
+        event = {
+            "ph": flow.phase, "pid": pid, "tid": tids[flow.track],
+            "name": flow.name, "cat": "dataflow", "id": flow.flow_id,
+            "ts": flow.t * _US,
+        }
+        if flow.phase == "f":
+            event["bp"] = "e"  # bind to enclosing slice
+        events.append(event)
+    return events
+
+
+def chrome_trace(hub: TelemetryHub) -> dict:
+    """Full Chrome-trace document (``traceEvents`` + metadata)."""
+    return {
+        "traceEvents": chrome_trace_events(hub),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "source": "repro.obs",
+            "clock": "simulated-seconds-as-us",
+            **{str(k): str(v) for k, v in hub.run_meta.items()},
+            "dropped_events": hub.tracer.dropped,
+        },
+    }
+
+
+def write_chrome_trace(hub: TelemetryHub, path: str) -> int:
+    """Write the Perfetto-loadable trace JSON; returns the event count."""
+    doc = chrome_trace(hub)
+    with open(path, "w") as fh:
+        json.dump(doc, fh)
+    return len(doc["traceEvents"])
+
+
+# ---------------------------------------------------------------------------
+# JSONL stream
+# ---------------------------------------------------------------------------
+
+def iter_jsonl(hub: TelemetryHub) -> Iterator[dict]:
+    """Every telemetry record as a flat dict stream: header, metric
+    samples, spans, instants, flows — each stamped with a ``rec`` tag so
+    a reader can demultiplex without schema knowledge."""
+    if not hub.enabled:
+        raise TelemetryError("cannot export a disabled (null) telemetry hub")
+    yield {"rec": "meta", **{str(k): v for k, v in hub.run_meta.items()},
+           "t_end": hub.t_end, **hub.tracer.stats()}
+    for sample in hub.metrics.snapshot():
+        yield {"rec": "metric", **sample}
+    for span in hub.tracer.spans:
+        yield {"rec": "span", "span_id": span.span_id, "name": span.name,
+               "cat": span.cat, "track": span.track, "t_start": span.t_start,
+               "t_end": span.t_end, "parent_id": span.parent_id,
+               "args": span.args}
+    for inst in hub.tracer.instants:
+        yield {"rec": "instant", "name": inst.name, "cat": inst.cat,
+               "track": inst.track, "t": inst.t, "args": inst.args}
+    for flow in hub.tracer.flows:
+        yield {"rec": "flow", "phase": flow.phase, "flow_id": flow.flow_id,
+               "track": flow.track, "t": flow.t}
+
+
+def write_jsonl(hub: TelemetryHub, path: str) -> int:
+    """Write the JSONL stream to ``path``; returns the record count."""
+    n = 0
+    with open(path, "w") as fh:
+        for record in iter_jsonl(hub):
+            fh.write(json.dumps(record))
+            fh.write("\n")
+            n += 1
+    return n
+
+
+def read_jsonl(path_or_file) -> List[dict]:
+    """Load a JSONL telemetry export back into a record list."""
+    if hasattr(path_or_file, "read"):
+        return _read_jsonl_file(path_or_file)
+    with open(path_or_file) as fh:
+        return _read_jsonl_file(fh)
+
+
+def _read_jsonl_file(fh: IO[str]) -> List[dict]:
+    records = []
+    for line in fh:
+        line = line.strip()
+        if line:
+            records.append(json.loads(line))
+    return records

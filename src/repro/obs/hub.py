@@ -1,0 +1,331 @@
+"""The telemetry hub: one object owning a run's metrics and spans.
+
+Design constraints (ISSUE 5):
+
+* **zero overhead when disabled** — a runtime without telemetry holds
+  the module-level :data:`NULL_HUB` singleton, whose ``enabled`` is
+  False; every instrumentation point is guarded by one attribute check
+  (``if obs.enabled:``), so the disabled hot path pays a single load +
+  branch and the micro-bench gate in ``benchmarks/check_regression.py``
+  stays within threshold;
+* **observation must not perturb** — hook bodies only *read* runtime
+  state and write hub-private structures; they never touch the engine
+  calendar, the RNG registry, or ARU state, so a telemetry-on run is
+  bit-identical to a telemetry-off run (asserted by
+  ``tests/obs/test_integration.py`` via ``metrics_fingerprint``);
+* **sampling-aware** — item spans/flows are kept for every Nth item
+  (:attr:`TelemetryConfig.span_sample`), and the span store is bounded
+  with an explicit dropped counter.
+
+The hub exposes *semantic* hooks (``on_put``, ``on_sync``,
+``on_fault``, ...) rather than raw instruments so call sites stay one
+line; the registry and tracer remain reachable for ad-hoc instruments
+(``hub.metrics.counter(...)``) and for the exporters in
+:mod:`repro.obs.export`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Union
+
+from repro.errors import ConfigError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanTracer
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Declarative description of one run's telemetry.
+
+    Attributes
+    ----------
+    enabled:
+        Master switch; False resolves to :data:`NULL_HUB`.
+    metrics / spans:
+        Record the metric registry / the span trace. Both default on;
+        turning ``spans`` off keeps counters at a fraction of the
+        memory for long runs.
+    span_sample:
+        Keep every Nth item's residency span and producer→consumer
+        flows (1 = every item). Iteration and transfer spans are not
+        sampled — there is one per iteration, not one per item.
+    max_spans:
+        Upper bound on recorded span/instant/flow events; overflow is
+        counted, never silent.
+    """
+
+    enabled: bool = True
+    metrics: bool = True
+    spans: bool = True
+    span_sample: int = 1
+    max_spans: int = 200_000
+
+    def __post_init__(self) -> None:
+        if self.span_sample < 1:
+            raise ConfigError(
+                f"span_sample must be >= 1, got {self.span_sample}"
+            )
+        if self.max_spans < 1:
+            raise ConfigError(f"max_spans must be >= 1, got {self.max_spans}")
+
+
+class NullTelemetryHub:
+    """The disabled hub: every hook is a no-op, ``enabled`` is False.
+
+    Hot paths guard with ``if obs.enabled:`` and never call further; the
+    no-op methods exist so unguarded diagnostic code is still safe.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+
+    def __bool__(self) -> bool:
+        return False
+
+    def bind(self, time_fn=None, run=None) -> "NullTelemetryHub":
+        return self
+
+    def on_put(self, *a, **k) -> None: ...
+    def on_get(self, *a, **k) -> None: ...
+    def on_skip(self, *a, **k) -> None: ...
+    def on_free(self, *a, **k) -> None: ...
+    def on_transfer(self, *a, **k) -> None: ...
+    def on_sync(self, *a, **k) -> None: ...
+    def on_fault(self, *a, **k) -> None: ...
+    def on_finalize(self, *a, **k) -> None: ...
+
+    def snapshot(self) -> dict:
+        return {"enabled": False, "metrics": [], "spans": {}, "meta": {}}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<NullTelemetryHub>"
+
+
+#: The module-level disabled hub every un-instrumented runtime shares.
+NULL_HUB = NullTelemetryHub()
+
+
+class TelemetryHub:
+    """A live telemetry sink for one run."""
+
+    enabled = True
+
+    def __init__(self, config: Optional[TelemetryConfig] = None,
+                 time_fn: Optional[Callable[[], float]] = None) -> None:
+        self.config = config or TelemetryConfig()
+        self.metrics = MetricsRegistry(time_fn)
+        self.tracer = SpanTracer(sample=self.config.span_sample,
+                                 max_spans=self.config.max_spans)
+        self.run_meta: Dict[str, object] = {}
+        self.t_end: Optional[float] = None
+        #: thread name -> currently open iteration span id (span mode).
+        self._iter_open: Dict[str, int] = {}
+
+    # -- lifecycle ----------------------------------------------------------
+    def bind(self, time_fn: Optional[Callable[[], float]] = None,
+             run: Optional[Dict[str, object]] = None) -> "TelemetryHub":
+        """Attach the DES clock (metric timestamps) and run metadata."""
+        if time_fn is not None:
+            self.metrics.time_fn = time_fn
+        if run:
+            self.run_meta.update(run)
+        return self
+
+    # -- buffer path --------------------------------------------------------
+    def on_put(self, buffer: str, kind: str, item, t: float) -> None:
+        """An item landed in a channel/queue (called from ``commit_put``)."""
+        cfg = self.config
+        if cfg.metrics:
+            m = self.metrics
+            labels = {"buffer": buffer, "kind": kind}
+            m.counter("repro_buffer_puts_total", labels).inc()
+            m.gauge("repro_buffer_depth", labels).inc()
+            m.gauge("repro_buffer_bytes_held", labels).inc(item.size)
+        if cfg.spans:
+            tracer = self.tracer
+            item_id = item.item_id
+            if tracer.sampled(item_id):
+                parent = None
+                for pid in item.parents:
+                    parent = tracer.item_span.get(pid)
+                    if parent is not None:
+                        break
+                span = tracer.begin(
+                    name=f"ts={item.ts}", cat="item",
+                    track=f"buffer/{buffer}", t=t, parent_id=parent,
+                    args={"item_id": item_id, "producer": item.producer,
+                          "size": item.size},
+                )
+                if span is not None:
+                    tracer.item_span[item_id] = span.span_id
+                tracer.flow("s", item_id, f"thread/{item.producer}", t)
+
+    def on_get(self, buffer: str, kind: str, item, consumer: str,
+               t: float) -> None:
+        """A consumer committed a get (channel skip-read or queue pop)."""
+        if self.config.metrics:
+            self.metrics.counter(
+                "repro_buffer_gets_total",
+                {"buffer": buffer, "kind": kind, "consumer": consumer},
+            ).inc()
+        if self.config.spans and self.tracer.sampled(item.item_id):
+            self.tracer.flow("f", item.item_id, f"thread/{consumer}", t)
+
+    def on_skip(self, buffer: str, item_id: int, consumer: str,
+                t: float) -> None:
+        """A stored item was skipped over unread — the paper's waste."""
+        if self.config.metrics:
+            self.metrics.counter(
+                "repro_buffer_skips_total",
+                {"buffer": buffer, "consumer": consumer},
+            ).inc()
+
+    def on_free(self, buffer: str, kind: str, item, t: float,
+                collector: str) -> None:
+        """Storage reclaimed (GC identification or queue pop-release)."""
+        if self.config.metrics:
+            m = self.metrics
+            labels = {"buffer": buffer, "kind": kind}
+            m.gauge("repro_buffer_depth", labels).dec()
+            m.gauge("repro_buffer_bytes_held", labels).dec(item.size)
+            m.counter("repro_gc_reclaimed_items_total",
+                      {"buffer": buffer, "gc": collector}).inc()
+            m.counter("repro_gc_reclaimed_bytes_total",
+                      {"buffer": buffer, "gc": collector}).inc(item.size)
+        if self.config.spans:
+            span_id = self.tracer.item_span.get(item.item_id)
+            if span_id is not None:
+                self.tracer.end_id(span_id, t)
+
+    # -- network path -------------------------------------------------------
+    def on_transfer(self, link: str, nbytes: int, duration: float,
+                    t: float) -> None:
+        """A link transfer completed (``t`` is the completion time)."""
+        if self.config.metrics:
+            m = self.metrics
+            m.counter("repro_link_transfer_bytes_total", {"link": link}).inc(nbytes)
+            m.counter("repro_link_transfers_total", {"link": link}).inc()
+            m.histogram("repro_link_transfer_seconds", {"link": link}).observe(duration)
+        if self.config.spans:
+            span = self.tracer.begin(
+                name=f"{nbytes}B", cat="transfer", track=f"link/{link}",
+                t=t - duration, args={"bytes": nbytes},
+            )
+            self.tracer.end(span, t)
+
+    # -- control path -------------------------------------------------------
+    def on_sync(self, thread: str, t_start: float, t_end: float,
+                compute: float, blocked: float, slept: float,
+                stp: Optional[float], summary: Optional[float],
+                target: Optional[float]) -> None:
+        """One iteration closed at ``periodicity_sync()``.
+
+        Records the §3.3 loop signals: observed current-STP, advertised
+        summary-STP, throttle target, and realized throttle sleep.
+        """
+        if self.config.metrics:
+            m = self.metrics
+            labels = {"thread": thread}
+            m.counter("repro_iterations_total", labels).inc()
+            m.histogram("repro_iteration_seconds", labels).observe(t_end - t_start)
+            m.counter("repro_compute_seconds_total", labels).inc(compute)
+            m.counter("repro_blocked_seconds_total", labels).inc(blocked)
+            if slept:
+                m.counter("repro_throttle_sleep_seconds_total", labels).inc(slept)
+            if stp is not None:
+                m.gauge("repro_stp_current_seconds", labels).set(stp)
+            if summary is not None:
+                m.gauge("repro_stp_summary_seconds", labels).set(summary)
+            if target is not None:
+                m.gauge("repro_throttle_target_seconds", labels).set(target)
+        if self.config.spans:
+            args: Dict[str, object] = {"compute": compute, "blocked": blocked}
+            if stp is not None:
+                args["stp"] = stp
+            if summary is not None:
+                args["summary_stp"] = summary
+            if slept:
+                args["throttle_sleep"] = slept
+            span = self.tracer.begin(name="iteration", cat="iteration",
+                                     track=f"thread/{thread}", t=t_start,
+                                     args=args)
+            self.tracer.end(span, t_end)
+
+    # -- fault path ---------------------------------------------------------
+    def on_fault(self, phase: str, kind: str, target: str, t: float,
+                 source: Optional[str] = None) -> None:
+        """A fault lifecycle event: ``injected``/``symptom``/``recovered``."""
+        if self.config.metrics:
+            self.metrics.counter(
+                "repro_fault_events_total", {"phase": phase, "kind": kind}
+            ).inc()
+        if self.config.spans:
+            args: Dict[str, object] = {"kind": kind, "target": target}
+            if source:
+                args["source"] = source
+            self.tracer.instant(f"{phase}:{kind}", cat="fault",
+                                track="faults", t=t, args=args)
+
+    # -- run lifecycle ------------------------------------------------------
+    def on_finalize(self, stats: Dict[str, dict], t: float) -> None:
+        """Fold end-of-run runtime statistics into gauges; flush spans."""
+        self.t_end = t
+        if self.config.metrics:
+            m = self.metrics
+            engine = stats.get("engine", {})
+            m.gauge("repro_engine_events_processed").set(
+                engine.get("events_processed", 0))
+            m.gauge("repro_sim_time_seconds").set(engine.get("now", t))
+            for name, node in stats.get("nodes", {}).items():
+                labels = {"node": name}
+                m.gauge("repro_node_mem_peak_bytes", labels).set(node["mem_peak"])
+                m.gauge("repro_node_busy_seconds", labels).set(node["busy_time"])
+            network = stats.get("network", {})
+            m.gauge("repro_network_bytes_total").set(
+                network.get("total_bytes", 0))
+        if self.config.spans:
+            self.tracer.close_open_spans(t)
+
+    # -- export -------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Plain-data view of the whole hub (picklable, JSON-able)."""
+        return {
+            "enabled": True,
+            "meta": dict(self.run_meta),
+            "t_end": self.t_end,
+            "metrics": self.metrics.snapshot(),
+            "spans": self.tracer.stats(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<TelemetryHub metrics={len(self.metrics)} "
+                f"spans={self.tracer.stats()['spans']}>")
+
+
+#: What call sites may hand to :func:`resolve_hub`.
+TelemetryLike = Union[None, bool, TelemetryConfig, TelemetryHub,
+                      NullTelemetryHub]
+
+
+def resolve_hub(value: TelemetryLike) -> Union[TelemetryHub, NullTelemetryHub]:
+    """Coerce a config-surface value into a live (or null) hub.
+
+    ``None``/``False`` → :data:`NULL_HUB`; ``True`` → a fresh default
+    hub; a :class:`TelemetryConfig` → a hub built from it (or
+    :data:`NULL_HUB` when it is disabled); an existing hub passes
+    through so callers can keep a handle for post-run export.
+    """
+    if value is None or value is False:
+        return NULL_HUB
+    if value is True:
+        return TelemetryHub()
+    if isinstance(value, TelemetryConfig):
+        return TelemetryHub(value) if value.enabled else NULL_HUB
+    if isinstance(value, (TelemetryHub, NullTelemetryHub)):
+        return value
+    raise ConfigError(
+        f"telemetry must be a bool, TelemetryConfig, or TelemetryHub; "
+        f"got {value!r}"
+    )

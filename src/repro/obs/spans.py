@@ -1,0 +1,177 @@
+"""Span tracing: the causal path of items through the pipeline.
+
+A span is one timed slice on a named *track* (a thread, a channel, a
+network link). The tracer records three event families, all stamped
+with the DES clock:
+
+* **spans** — ``begin``/``end`` slices (thread iterations, item
+  residencies, link transfers). Item spans carry a ``parent_id``
+  pointing at the span of the first input item of the producing
+  iteration — the span id is piggybacked along the data path exactly
+  like the summary-STP, so an item's ancestry chain Digitizer→...→GUI
+  can be walked without re-deriving causality from the trace;
+* **instants** — zero-duration markers (fault injected/detected/
+  recovered events);
+* **flows** — producer→consumer arrows keyed on the item id, rendered
+  by Perfetto as arrows between the enclosing slices.
+
+The tracer is bounded: past ``max_spans`` recorded events, new spans
+are counted in :attr:`SpanTracer.dropped` instead of stored — a
+truncated export says so rather than silently looking complete.
+Sampling (``sample`` > 1) keeps every Nth item path end to end: the
+decision is a pure function of the item id, so the producer-side flow
+start and the consumer-side flow finish always agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class Span:
+    """One timed slice on a track."""
+
+    span_id: int
+    name: str
+    cat: str
+    track: str
+    t_start: float
+    t_end: Optional[float] = None
+    parent_id: Optional[int] = None
+    args: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def open(self) -> bool:
+        return self.t_end is None
+
+    @property
+    def duration(self) -> float:
+        return (self.t_end - self.t_start) if self.t_end is not None else 0.0
+
+
+@dataclass
+class Instant:
+    """A zero-duration marker on a track."""
+
+    name: str
+    cat: str
+    track: str
+    t: float
+    args: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class Flow:
+    """One end of a producer→consumer arrow, keyed on the item id."""
+
+    phase: str  # "s" (start) or "f" (finish)
+    flow_id: int
+    track: str
+    t: float
+    name: str = "item"
+
+
+class SpanTracer:
+    """Bounded, sampling-aware recorder of spans, instants, and flows."""
+
+    def __init__(self, sample: int = 1, max_spans: int = 200_000) -> None:
+        if sample < 1:
+            raise ValueError(f"span sample must be >= 1, got {sample}")
+        if max_spans < 1:
+            raise ValueError(f"max_spans must be >= 1, got {max_spans}")
+        self.sample = sample
+        self.max_spans = max_spans
+        self.spans: List[Span] = []
+        self.instants: List[Instant] = []
+        self.flows: List[Flow] = []
+        #: Spans not recorded because the cap was reached.
+        self.dropped = 0
+        self._next_id = 1
+        #: item_id -> span_id of the item's residency span (the causal
+        #: chain walks these).
+        self.item_span: Dict[int, int] = {}
+        self._by_id: Dict[int, Span] = {}
+
+    # ------------------------------------------------------------------
+    def sampled(self, item_id: int) -> bool:
+        """Whether the item's path is kept under the sampling rate."""
+        return item_id % self.sample == 0
+
+    @property
+    def recorded(self) -> int:
+        return len(self.spans) + len(self.instants) + len(self.flows)
+
+    def _room(self) -> bool:
+        if self.recorded >= self.max_spans:
+            self.dropped += 1
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    def begin(self, name: str, cat: str, track: str, t: float,
+              parent_id: Optional[int] = None,
+              args: Optional[Dict[str, object]] = None) -> Optional[Span]:
+        """Open a span; returns None when the cap swallowed it."""
+        if not self._room():
+            return None
+        span = Span(span_id=self._next_id, name=name, cat=cat, track=track,
+                    t_start=t, parent_id=parent_id, args=args or {})
+        self._next_id += 1
+        self.spans.append(span)
+        self._by_id[span.span_id] = span
+        return span
+
+    def end(self, span: Optional[Span], t: float) -> None:
+        if span is not None and span.t_end is None:
+            span.t_end = t
+
+    def end_id(self, span_id: int, t: float) -> None:
+        self.end(self._by_id.get(span_id), t)
+
+    def get(self, span_id: int) -> Optional[Span]:
+        return self._by_id.get(span_id)
+
+    def instant(self, name: str, cat: str, track: str, t: float,
+                args: Optional[Dict[str, object]] = None) -> None:
+        if self._room():
+            self.instants.append(Instant(name, cat, track, t, args or {}))
+
+    def flow(self, phase: str, flow_id: int, track: str, t: float,
+             name: str = "item") -> None:
+        if self._room():
+            self.flows.append(Flow(phase, flow_id, track, t, name))
+
+    # ------------------------------------------------------------------
+    def close_open_spans(self, t: float) -> int:
+        """Close every still-open span at ``t`` (end-of-run flush)."""
+        closed = 0
+        for span in self.spans:
+            if span.t_end is None:
+                span.t_end = t
+                closed += 1
+        return closed
+
+    def ancestry(self, item_id: int) -> List[Span]:
+        """The item's causal span chain, newest first (tests/diagnostics)."""
+        chain: List[Span] = []
+        span_id = self.item_span.get(item_id)
+        seen = set()
+        while span_id is not None and span_id not in seen:
+            seen.add(span_id)
+            span = self._by_id.get(span_id)
+            if span is None:
+                break
+            chain.append(span)
+            span_id = span.parent_id
+        return chain
+
+    def stats(self) -> dict:
+        return {
+            "spans": len(self.spans),
+            "instants": len(self.instants),
+            "flows": len(self.flows),
+            "dropped": self.dropped,
+            "sample": self.sample,
+        }

@@ -1,0 +1,155 @@
+"""Human-readable summary rendering for a telemetry hub or its exports.
+
+Used by the ``repro obs`` CLI subcommand and by ``--telemetry`` run
+modes to print a closing table: per-thread iteration/STP figures,
+per-buffer put/get/skip/reclaim totals, link traffic, and fault counts.
+Works either from a live hub or from a JSONL export re-read from disk,
+so the CLI can summarize a run that happened in another process.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List
+
+from repro.obs.hub import TelemetryHub
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e12:
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+def _table(headers: List[str], rows: List[List[str]]) -> List[str]:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(r) for r in rows)
+    return out
+
+
+def _metric_rows(samples: List[dict]) -> Dict[str, Dict[tuple, dict]]:
+    """Group metric samples by name, keyed on the sorted label tuple."""
+    grouped: Dict[str, Dict[tuple, dict]] = defaultdict(dict)
+    for s in samples:
+        key = tuple(sorted(s.get("labels", {}).items()))
+        grouped[s["name"]][key] = s
+    return grouped
+
+
+def _label(key: tuple, field: str) -> str:
+    return dict(key).get(field, "")
+
+
+def summary_from_samples(samples: List[dict], span_stats: dict = None) -> str:
+    """Render the summary table from plain metric samples (JSONL shape)."""
+    grouped = _metric_rows(samples)
+    sections: List[str] = []
+
+    threads = sorted({
+        _label(k, "thread")
+        for k in grouped.get("repro_iterations_total", {})
+    })
+    if threads:
+        rows = []
+        for th in threads:
+            key = (("thread", th),)
+            iters = grouped["repro_iterations_total"].get(key, {}).get("value", 0)
+            hist = grouped.get("repro_iteration_seconds", {}).get(key, {})
+            mean = (hist.get("sum", 0.0) / hist["count"]) if hist.get("count") else 0.0
+            stp = grouped.get("repro_stp_current_seconds", {}).get(key, {}).get("value")
+            summ = grouped.get("repro_stp_summary_seconds", {}).get(key, {}).get("value")
+            slept = grouped.get("repro_throttle_sleep_seconds_total", {}).get(key, {}).get("value", 0.0)
+            rows.append([
+                th, _fmt(iters), f"{mean:.4f}",
+                f"{stp:.4f}" if stp is not None else "-",
+                f"{summ:.4f}" if summ is not None else "-",
+                f"{slept:.3f}",
+            ])
+        sections.append("threads")
+        sections.extend(_table(
+            ["thread", "iters", "mean_period", "stp", "summary_stp", "slept"],
+            rows))
+
+    buffers = sorted({
+        _label(k, "buffer") for k in grouped.get("repro_buffer_puts_total", {})
+    })
+    if buffers:
+        rows = []
+        for buf in buffers:
+            def total(name, match=buf, field="buffer"):
+                return sum(
+                    s.get("value", 0) for k, s in grouped.get(name, {}).items()
+                    if _label(k, field) == match
+                )
+            rows.append([
+                buf,
+                _fmt(total("repro_buffer_puts_total")),
+                _fmt(total("repro_buffer_gets_total")),
+                _fmt(total("repro_buffer_skips_total")),
+                _fmt(total("repro_gc_reclaimed_items_total")),
+                _fmt(total("repro_buffer_depth")),
+            ])
+        sections.append("")
+        sections.append("buffers")
+        sections.extend(_table(
+            ["buffer", "puts", "gets", "skips", "reclaimed", "depth_end"],
+            rows))
+
+    links = sorted({
+        _label(k, "link")
+        for k in grouped.get("repro_link_transfers_total", {})
+    })
+    if links:
+        rows = []
+        for link in links:
+            key = (("link", link),)
+            n = grouped["repro_link_transfers_total"].get(key, {}).get("value", 0)
+            nbytes = grouped.get("repro_link_transfer_bytes_total", {}).get(key, {}).get("value", 0)
+            rows.append([link, _fmt(n), _fmt(nbytes)])
+        sections.append("")
+        sections.append("links")
+        sections.extend(_table(["link", "transfers", "bytes"], rows))
+
+    faults = grouped.get("repro_fault_events_total", {})
+    if faults:
+        rows = [
+            [_label(k, "phase"), _label(k, "kind"), _fmt(s.get("value", 0))]
+            for k, s in sorted(faults.items())
+        ]
+        sections.append("")
+        sections.append("faults")
+        sections.extend(_table(["phase", "kind", "count"], rows))
+
+    if span_stats:
+        if sections:
+            sections.append("")
+        sections.append(
+            "spans: {spans} recorded, {instants} instants, {flows} flows, "
+            "{dropped} dropped (sample=1/{sample})".format(**span_stats)
+        )
+
+    if not sections:
+        return "(no telemetry recorded)"
+    return "\n".join(sections)
+
+
+def summary_table(hub: TelemetryHub) -> str:
+    """Render the closing summary table from a live hub."""
+    return summary_from_samples(hub.metrics.snapshot(), hub.tracer.stats())
+
+
+def summary_from_records(records: List[dict]) -> str:
+    """Render the summary table from a re-read JSONL export."""
+    samples = [r for r in records if r.get("rec") == "metric"]
+    meta = next((r for r in records if r.get("rec") == "meta"), None)
+    span_stats = None
+    if meta and "spans" in meta:
+        span_stats = {k: meta.get(k, 0)
+                      for k in ("spans", "instants", "flows", "dropped", "sample")}
+    return summary_from_samples(samples, span_stats)

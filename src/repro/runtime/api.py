@@ -46,7 +46,6 @@ from repro.aru.config import AruConfig, aru_disabled
 from repro.cluster.spec import ClusterSpec
 from repro.metrics.recorder import TraceRecorder
 from repro.runtime.graph import TaskGraph
-from repro.runtime.runtime import Runtime, RuntimeConfig
 from repro.runtime.syscalls import (
     Compute,
     Get,
@@ -164,6 +163,15 @@ class StampedeApp:
         self.graph.connect(buffer, thread)
         return self
 
+    # -- pythonic aliases --------------------------------------------------
+    # Preferred spellings for new code (see docs/tutorial.md); the
+    # ``spd_*`` names mirror the paper's Stampede C API and stay.
+    create_thread = spd_thread_create
+    alloc_channel = spd_chan_alloc
+    alloc_queue = spd_queue_alloc
+    attach_output = spd_attach_output
+    attach_input = spd_attach_input
+
     # -- execution ---------------------------------------------------------
     def run_simulated(
         self,
@@ -174,16 +182,27 @@ class StampedeApp:
         gc: Union[str, None] = "dgc",
         seed: int = 0,
         placement: Optional[Dict[str, str]] = None,
+        telemetry: Any = False,
     ) -> TraceRecorder:
-        """Run on the DES executor; returns the finalized trace."""
-        kwargs: Dict[str, Any] = dict(
-            gc=gc, aru=aru or aru_disabled(), seed=seed,
+        """Run on the DES executor; returns the finalized trace.
+
+        Delegates to :func:`repro.run_experiment` (the unified front
+        door); use that directly when you want the full
+        :class:`~repro.experiment.RunResult` instead of just the trace.
+        """
+        from repro.experiment import ExperimentSpec, run_experiment
+
+        spec = ExperimentSpec(
+            app=self.graph,
+            config=cluster,
+            policy=aru or aru_disabled(),
+            gc=gc,
+            seed=seed,
+            horizon=until,
             placement=placement or {},
+            telemetry=telemetry,
         )
-        if cluster is not None:
-            kwargs["cluster"] = cluster
-        runtime = Runtime(self.graph, RuntimeConfig(**kwargs))
-        return runtime.run(until=until)
+        return run_experiment(spec).trace
 
     def run_threads(
         self,

@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING, List, Optional, Union
 from repro.aru.summary import BufferAruState
 from repro.control.propagation import FeedbackEndpoint
 from repro.errors import ItemDropped, SimulationError
+from repro.obs.hub import NULL_HUB
 from repro.runtime.connection import InputConnection, OutputConnection
 from repro.runtime.item import Item, ItemView
 from repro.sim.engine import Engine
@@ -57,12 +58,14 @@ class Channel:
         aru_state: Optional[BufferAruState] = None,
         capacity: Optional[int] = None,
         feedback: Optional[FeedbackEndpoint] = None,
+        obs=NULL_HUB,
     ) -> None:
         self.engine = engine
         self.name = name
         self.node = node
         self.recorder = recorder
         self.gc = gc
+        self.obs = obs
         # ``aru_state`` is the pre-control-plane spelling: wrap it into
         # an endpoint so hand-built harnesses keep working.
         if feedback is None and aru_state is not None:
@@ -185,12 +188,17 @@ class Channel:
             parents=item.parents,
             t=t,
         )
+        obs = self.obs
+        if obs.enabled:
+            obs.on_put(self.name, self.kind, item, t)
         # Dead on arrival for consumers whose cursor already passed this ts.
         for in_conn in self.in_conns:
             if in_conn.last_got >= item.ts:
                 in_conn.skips += 1
                 self.total_skips += 1
                 self.recorder.on_skip(item.item_id, in_conn.conn_id, in_conn.thread, t)
+                if obs.enabled:
+                    obs.on_skip(self.name, item.item_id, in_conn.thread, t)
         self.gc.on_put(self, item)
         self.maybe_collect(t)
         self._getters.notify_all()
@@ -252,6 +260,7 @@ class Channel:
                 f"(cursor={conn.last_got}, request={request!r})"
             )
         # Skip-marking: present items the cursor jumps over.
+        obs = self.obs
         lo = bisect_right(self._order, conn.last_got)
         hi = bisect_left(self._order, item.ts)
         for ts in self._order[lo:hi]:
@@ -259,11 +268,15 @@ class Channel:
             conn.skips += 1
             self.total_skips += 1
             self.recorder.on_skip(skipped.item_id, conn.conn_id, conn.thread, t)
+            if obs.enabled:
+                obs.on_skip(self.name, skipped.item_id, conn.thread, t)
         conn.last_got = item.ts
         conn.gets += 1
         self.total_gets += 1
         item.acquire()
         self.recorder.on_get(item.item_id, conn.conn_id, conn.thread, t)
+        if obs.enabled:
+            obs.on_get(self.name, self.kind, item, conn.thread, t)
         if self.feedback is not None and consumer_summary is not None:
             self.feedback.receive(conn.conn_id, consumer_summary)
         self.gc.on_get(self, conn, item)
@@ -308,6 +321,8 @@ class Channel:
         self.total_frees += 1
         self.node.free(item.size)
         self.recorder.on_free(item.item_id, t)
+        if self.obs.enabled:
+            self.obs.on_free(self.name, self.kind, item, t, self.gc.name)
         if self.capacity is not None:
             self._putters.notify_all()
 

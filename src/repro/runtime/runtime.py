@@ -25,6 +25,7 @@ from repro.control.propagation import FeedbackBus
 from repro.errors import ConfigError, SimulationError
 from repro.gc import GarbageCollector, make_gc
 from repro.metrics.recorder import TraceRecorder
+from repro.obs.hub import resolve_hub
 from repro.runtime.channel import Channel
 from repro.runtime.graph import CHANNEL, QUEUE, TaskGraph
 from repro.runtime.retry import RetryPolicy
@@ -51,6 +52,10 @@ class RuntimeConfig:
     loads: tuple = ()
     #: Transport retry/backoff for remote put/get under link faults.
     retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: Telemetry: False/None (off, zero overhead), True (default hub),
+    #: a :class:`~repro.obs.TelemetryConfig`, or a pre-built
+    #: :class:`~repro.obs.TelemetryHub` the caller keeps for export.
+    telemetry: object = False
 
 
 class Runtime:
@@ -65,6 +70,11 @@ class Runtime:
         self.clock = SimClock(self.engine)
         self.rngs = RngRegistry(seed=self.config.seed)
         self.recorder = TraceRecorder(record_stp=self.config.record_stp)
+        self.obs = resolve_hub(self.config.telemetry).bind(
+            time_fn=self.clock.now,
+            run={"seed": self.config.seed, "gc": str(self.config.gc),
+                 "policy": self.config.aru.policy},
+        )
         self.gc = make_gc(self.config.gc)
         self.gc.bind(self)
 
@@ -72,7 +82,7 @@ class Runtime:
             spec.name: Node(self.engine, spec, self.rngs)
             for spec in self.config.cluster.nodes
         }
-        self.network = Network(self.engine, self.config.cluster)
+        self.network = Network(self.engine, self.config.cluster, obs=self.obs)
         self.feedback_bus = FeedbackBus(self.config.aru, time_fn=self.clock.now)
 
         self._thread_placement = {
@@ -147,6 +157,7 @@ class Runtime:
                 gc=self.gc,
                 feedback=feedback,
                 capacity=capacity,
+                obs=self.obs,
             )
         if kind == QUEUE:
             return SQueue(
@@ -156,6 +167,7 @@ class Runtime:
                 recorder=self.recorder,
                 feedback=feedback,
                 capacity=capacity,
+                obs=self.obs,
             )
         raise SimulationError(f"unknown buffer kind {kind!r}")  # pragma: no cover
 
@@ -236,6 +248,8 @@ class Runtime:
             raise SimulationError("runtime already finalized")
         self._ran = True
         self.recorder.finalize(self.engine.now)
+        if self.obs.enabled:
+            self.obs.on_finalize(self.stats(), self.engine.now)
         return self.recorder
 
     # -- runtime-global state -------------------------------------------------

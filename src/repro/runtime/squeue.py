@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING, Deque, List, Optional
 from repro.aru.summary import BufferAruState
 from repro.control.propagation import FeedbackEndpoint
 from repro.errors import SimulationError
+from repro.obs.hub import NULL_HUB
 from repro.runtime.connection import InputConnection, OutputConnection
 from repro.runtime.item import Item, ItemView
 from repro.sim.engine import Engine
@@ -45,11 +46,13 @@ class SQueue:
         aru_state: Optional[BufferAruState] = None,
         capacity: Optional[int] = None,
         feedback: Optional[FeedbackEndpoint] = None,
+        obs=NULL_HUB,
     ) -> None:
         self.engine = engine
         self.name = name
         self.node = node
         self.recorder = recorder
+        self.obs = obs
         # ``aru_state`` is the pre-control-plane spelling: wrap it into
         # an endpoint so hand-built harnesses keep working.
         if feedback is None and aru_state is not None:
@@ -134,6 +137,8 @@ class SQueue:
             parents=item.parents,
             t=t,
         )
+        if self.obs.enabled:
+            self.obs.on_put(self.name, self.kind, item, t)
         self._getters.notify_all()
         return self.feedback.advertise() if self.feedback is not None else None
 
@@ -168,6 +173,8 @@ class SQueue:
         self.total_gets += 1
         item.acquire()
         self.recorder.on_get(item.item_id, conn.conn_id, conn.thread, t)
+        if self.obs.enabled:
+            self.obs.on_get(self.name, self.kind, item, conn.thread, t)
         if self.feedback is not None and consumer_summary is not None:
             self.feedback.receive(conn.conn_id, consumer_summary)
         if self.capacity is not None:
@@ -182,6 +189,8 @@ class SQueue:
             self.total_frees += 1
             self.node.free(item.size)
             self.recorder.on_free(item.item_id, t)
+            if self.obs.enabled:
+                self.obs.on_free(self.name, self.kind, item, t, "queue")
 
     def maybe_collect(self, t: float) -> int:
         """Queues self-manage storage; nothing for a GC to do."""

@@ -17,12 +17,10 @@ bookkeeping the paper's mechanisms require —
 
 from __future__ import annotations
 
-import warnings
 from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional, Tuple
 
 import numpy as np
 
-from repro.control.actuator import SleepThrottle
 from repro.control.controller import ThreadController
 from repro.errors import LinkDown, MessageDropped, SimulationError
 from repro.runtime.connection import InputConnection, OutputConnection
@@ -89,8 +87,9 @@ class ThreadDriver:
         out_conns: Dict[str, Tuple[object, OutputConnection]],
         ctx: TaskContext,
         controller: ThreadController,
-        headroom: Optional[float] = None,
     ) -> None:
+        # NOTE: the deprecated ``headroom`` kwarg was removed; set
+        # ``AruConfig.headroom`` (the actuator's single source of truth).
         self.runtime = runtime
         self.engine = runtime.engine
         self.name = name
@@ -102,16 +101,6 @@ class ThreadDriver:
         self.controller = controller
         self.meter = controller.meter
         self.throttled = controller.throttled
-        if headroom is not None:
-            warnings.warn(
-                "ThreadDriver's headroom kwarg is deprecated; set "
-                "AruConfig.headroom (the actuator's single source of "
-                "truth) instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            if isinstance(controller.actuator, SleepThrottle):
-                controller.actuator.headroom = headroom
         # per-iteration accumulators
         self._iter_start = runtime.clock.now()
         self._iter_inputs: List[int] = []
@@ -428,6 +417,7 @@ class ThreadDriver:
         t_end = self.now()
         blocked = self.meter.total_blocked - self._prev_blocked
         self._prev_blocked = self.meter.total_blocked
+        summary = self.my_summary()
         recorder = self.runtime.recorder
         recorder.on_iteration(
             thread=self.name,
@@ -444,10 +434,23 @@ class ThreadDriver:
             thread=self.name,
             t=t_end,
             current_stp=stp,
-            summary=self.my_summary(),
+            summary=summary,
             throttle_target=target,
             slept=slept,
         )
+        obs = self.runtime.obs
+        if obs.enabled:
+            obs.on_sync(
+                thread=self.name,
+                t_start=self._iter_start,
+                t_end=t_end,
+                compute=self._iter_compute,
+                blocked=blocked,
+                slept=slept,
+                stp=stp,
+                summary=summary,
+                target=target,
+            )
         # 3. Release this iteration's item references.
         self._release_held()
         self._iter_inputs = []

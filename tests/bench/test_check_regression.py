@@ -31,7 +31,9 @@ cr = _load_module()
 class TestComparePolicy:
     BASE = {"dispatch_events_per_sec": 1_000_000.0,
             "trampoline_events_per_sec": 1_500_000.0,
-            "postmortem_ms": 25.0}
+            "postmortem_ms": 25.0,
+            "telemetry_off_ops_per_sec": 10_000_000.0,
+            "telemetry_on_ops_per_sec": 100_000.0}
 
     def test_equal_rates_pass(self):
         assert cr.compare(dict(self.BASE), dict(self.BASE)) == []
@@ -57,8 +59,17 @@ class TestComparePolicy:
 
     def test_ungated_rates_do_not_gate(self):
         current = dict(self.BASE, trampoline_events_per_sec=1.0,
-                       postmortem_ms=1e9)
+                       postmortem_ms=1e9,
+                       telemetry_on_ops_per_sec=1.0)
         assert cr.compare(current, self.BASE) == []
+
+    def test_telemetry_off_rate_gates(self):
+        # The ISSUE-5 zero-overhead contract: a big drop of the
+        # telemetry-disabled hot-path rate fails the gate.
+        current = dict(self.BASE, telemetry_off_ops_per_sec=1_000_000.0)
+        failures = cr.compare(current, self.BASE, threshold=0.30)
+        assert len(failures) == 1
+        assert "telemetry_off_ops_per_sec" in failures[0]
 
     def test_missing_gated_rate_fails_loudly(self):
         assert cr.compare({}, self.BASE)
@@ -74,7 +85,9 @@ class TestCliPlumbing:
     def test_update_writes_baseline(self, tmp_path, monkeypatch, capsys):
         fake = {"dispatch_events_per_sec": 10.0,
                 "trampoline_events_per_sec": 20.0,
-                "postmortem_ms": 5.0}
+                "postmortem_ms": 5.0,
+                "telemetry_off_ops_per_sec": 30.0,
+                "telemetry_on_ops_per_sec": 2.0}
         monkeypatch.setattr(cr, "measure", lambda: dict(fake))
         baseline = tmp_path / "base.json"
         rc = cr.main(["--baseline", str(baseline), "--update"])
@@ -98,9 +111,11 @@ class TestCliPlumbing:
     def test_pass_exits_zero(self, tmp_path, monkeypatch):
         baseline = tmp_path / "base.json"
         baseline.write_text(json.dumps(
-            {"rates": {"dispatch_events_per_sec": 1000.0}}))
+            {"rates": {"dispatch_events_per_sec": 1000.0,
+                       "telemetry_off_ops_per_sec": 1000.0}}))
         monkeypatch.setattr(
-            cr, "measure", lambda: {"dispatch_events_per_sec": 950.0})
+            cr, "measure", lambda: {"dispatch_events_per_sec": 950.0,
+                                    "telemetry_off_ops_per_sec": 990.0})
         assert cr.main(["--baseline", str(baseline)]) == 0
 
 

@@ -174,8 +174,10 @@ class TestSensors:
         assert sig.drops == 7
 
 
-class TestHeadroomKwargDeprecation:
-    def test_driver_kwarg_warns_and_forwards(self):
+class TestHeadroomKwargRemoved:
+    def test_driver_kwarg_now_raises(self):
+        """The deprecated ``headroom`` kwarg completed its cycle: passing
+        it is a TypeError; AruConfig.headroom is the only spelling."""
         from repro.apps import build_tracker
         from repro.runtime import Runtime, RuntimeConfig
         from repro.runtime.thread import ThreadDriver
@@ -184,17 +186,19 @@ class TestHeadroomKwargDeprecation:
         old = rt.drivers["digitizer"]
         controller = build_thread_controller(
             aru_max(), "digitizer", make_meter(rt.clock), rt.clock.now, True)
-        with pytest.warns(DeprecationWarning, match="AruConfig.headroom"):
-            driver = ThreadDriver(
+        with pytest.raises(TypeError, match="headroom"):
+            ThreadDriver(
                 runtime=rt, name="extra", fn=old.fn, node=old.node,
                 in_conns={}, out_conns={}, ctx=old.ctx,
                 controller=controller, headroom=0.9)
-        assert driver.controller.actuator.headroom == pytest.approx(0.9)
 
-    def test_no_warning_without_kwarg(self):
+    def test_config_headroom_still_lands_on_actuator(self):
         from repro.apps import build_tracker
         from repro.runtime import Runtime, RuntimeConfig
 
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
-            Runtime(build_tracker(), RuntimeConfig(aru=aru_max()))
+            rt = Runtime(build_tracker(),
+                         RuntimeConfig(aru=aru_max(headroom=1.3)))
+        actuator = rt.drivers["digitizer"].controller.actuator
+        assert actuator.headroom == pytest.approx(1.3)

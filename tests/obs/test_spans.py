@@ -1,0 +1,114 @@
+"""Tests for the span tracer: slices, instants, flows, bounds, ancestry."""
+
+import pytest
+
+from repro.obs import SpanTracer
+
+
+class TestSpanLifecycle:
+    def test_begin_end(self):
+        tr = SpanTracer()
+        s = tr.begin("iter", "thread", "thread/digitizer", t=1.0)
+        assert s.open
+        tr.end(s, 2.5)
+        assert not s.open
+        assert s.duration == 1.5
+
+    def test_span_ids_are_unique_and_ordered(self):
+        tr = SpanTracer()
+        a = tr.begin("a", "c", "t", 0.0)
+        b = tr.begin("b", "c", "t", 0.0)
+        assert b.span_id == a.span_id + 1
+
+    def test_end_id_closes_by_id(self):
+        tr = SpanTracer()
+        s = tr.begin("a", "c", "t", 0.0)
+        tr.end_id(s.span_id, 3.0)
+        assert s.t_end == 3.0
+
+    def test_end_is_idempotent(self):
+        tr = SpanTracer()
+        s = tr.begin("a", "c", "t", 0.0)
+        tr.end(s, 1.0)
+        tr.end(s, 9.0)  # second end must not move it
+        assert s.t_end == 1.0
+
+    def test_end_none_is_noop(self):
+        SpanTracer().end(None, 1.0)  # cap-swallowed spans come back None
+
+    def test_close_open_spans_flushes(self):
+        tr = SpanTracer()
+        tr.begin("a", "c", "t", 0.0)
+        s = tr.begin("b", "c", "t", 0.0)
+        tr.end(s, 1.0)
+        assert tr.close_open_spans(5.0) == 1
+        assert all(sp.t_end is not None for sp in tr.spans)
+
+
+class TestBounds:
+    def test_cap_drops_and_counts(self):
+        tr = SpanTracer(max_spans=2)
+        tr.begin("a", "c", "t", 0.0)
+        tr.begin("b", "c", "t", 0.0)
+        assert tr.begin("c", "c", "t", 0.0) is None
+        tr.instant("x", "c", "t", 0.0)
+        tr.flow("s", 1, "t", 0.0)
+        assert tr.recorded == 2
+        assert tr.dropped == 3
+
+    def test_bad_sample_rejected(self):
+        with pytest.raises(ValueError, match="sample"):
+            SpanTracer(sample=0)
+
+    def test_bad_max_spans_rejected(self):
+        with pytest.raises(ValueError, match="max_spans"):
+            SpanTracer(max_spans=0)
+
+
+class TestSampling:
+    def test_sample_1_keeps_everything(self):
+        tr = SpanTracer(sample=1)
+        assert all(tr.sampled(i) for i in range(10))
+
+    def test_sample_n_is_pure_in_item_id(self):
+        tr = SpanTracer(sample=4)
+        kept = [i for i in range(16) if tr.sampled(i)]
+        assert kept == [0, 4, 8, 12]
+        # producer and consumer make the same call — purity is the
+        # contract that keeps flow starts and finishes paired.
+        assert [tr.sampled(i) for i in range(16)] == \
+               [tr.sampled(i) for i in range(16)]
+
+
+class TestAncestry:
+    def test_chain_walks_parents_newest_first(self):
+        tr = SpanTracer()
+        root = tr.begin("ts=0", "item", "buffer/C1", 0.0)
+        mid = tr.begin("ts=0", "item", "buffer/C2", 1.0,
+                       parent_id=root.span_id)
+        leaf = tr.begin("ts=0", "item", "buffer/C3", 2.0,
+                        parent_id=mid.span_id)
+        tr.item_span[42] = leaf.span_id
+        chain = tr.ancestry(42)
+        assert [s.track for s in chain] == \
+               ["buffer/C3", "buffer/C2", "buffer/C1"]
+
+    def test_unknown_item_empty_chain(self):
+        assert SpanTracer().ancestry(999) == []
+
+    def test_cycle_guard_terminates(self):
+        tr = SpanTracer()
+        a = tr.begin("a", "item", "t", 0.0)
+        a.parent_id = a.span_id  # pathological self-parent
+        tr.item_span[1] = a.span_id
+        assert len(tr.ancestry(1)) == 1
+
+
+class TestStats:
+    def test_stats_shape(self):
+        tr = SpanTracer(sample=2)
+        tr.begin("a", "c", "t", 0.0)
+        tr.instant("i", "c", "t", 0.0)
+        tr.flow("s", 7, "t", 0.0)
+        assert tr.stats() == {"spans": 1, "instants": 1, "flows": 1,
+                              "dropped": 0, "sample": 2}

@@ -214,3 +214,69 @@ def test_chaos_horizon_override(tmp_path, capsys):
     assert rc == 0
     out = capsys.readouterr().out
     assert "6.0s simulated" in out
+
+
+def test_run_tracker_telemetry_exports(tmp_path, capsys):
+    out_dir = tmp_path / "tel"
+    rc = main(["run-tracker", "--horizon", "8", "--policy", "aru-min",
+               "--telemetry", str(out_dir)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "throughput" in out            # the normal run summary
+    assert "threads" in out               # the telemetry summary table
+    assert "load in Perfetto" in out
+    label = "tracker-config1-aru-min-s0"
+    assert (out_dir / f"{label}.trace.json").exists()
+    assert (out_dir / f"{label}.jsonl").exists()
+    prom = (out_dir / f"{label}.prom").read_text()
+    assert "repro_iterations_total" in prom
+
+
+def test_obs_summarizes_jsonl(tmp_path, capsys):
+    out_dir = tmp_path / "tel"
+    main(["run-tracker", "--horizon", "8", "--telemetry", str(out_dir)])
+    capsys.readouterr()
+    (jsonl,) = out_dir.glob("*.jsonl")
+    rc = main(["obs", str(jsonl)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "records)" in out
+    assert "digitizer" in out and "buffers" in out
+
+
+def test_chaos_telemetry_trace_has_fault_instants(tmp_path, capsys):
+    import json
+
+    chaos = {
+        "app": "tracker", "config": "config1", "horizon": 12,
+        "faults": [{"kind": "thread_crash", "at": 3.0,
+                    "thread": "target_detect2"},
+                   {"kind": "thread_restart", "at": 7.0,
+                    "thread": "target_detect2"}],
+    }
+    path = tmp_path / "chaos.json"
+    path.write_text(json.dumps(chaos))
+    out_dir = tmp_path / "tel"
+    rc = main(["chaos", str(path), "--telemetry", str(out_dir)])
+    assert rc == 0
+    capsys.readouterr()
+    doc = json.loads((out_dir / "chaos-chaos.trace.json").read_text())
+    instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+    assert any(e["name"] == "injected:thread_crash" for e in instants)
+
+
+def test_sweep_telemetry_writes_cell_snapshots(tmp_path, capsys):
+    import json
+
+    out_dir = tmp_path / "tel"
+    rc = main(["sweep", "--seeds", "1", "--horizon", "5", "--workers", "1",
+               "--policy", "aru-min", "--no-cache",
+               "--telemetry", str(out_dir)])
+    assert rc == 0
+    capsys.readouterr()
+    snaps = sorted(out_dir.glob("*.telemetry.json"))
+    assert len(snaps) == 2  # config1 + config2, one seed
+    snap = json.loads(snaps[0].read_text())
+    assert snap["enabled"] is True
+    assert any(m["name"] == "repro_iterations_total"
+               for m in snap["metrics"])

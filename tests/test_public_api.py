@@ -20,7 +20,28 @@ PUBLIC_SUBPACKAGES = (
     "repro.apps",
     "repro.rt_threads",
     "repro.bench",
+    "repro.obs",
 )
+
+#: The lazily re-exported top-level names. A frozen snapshot: adding a
+#: name here is a deliberate API decision; removing one is a breaking
+#: change and must fail this test first.
+TOP_LEVEL_API = {
+    "Engine", "RngRegistry", "Timestamp",
+    "ClusterSpec", "NodeSpec",
+    "Runtime", "RuntimeConfig", "TaskGraph",
+    "Get", "Put", "Compute", "PeriodicitySync",
+    "AruConfig", "MIN_OPERATOR", "MAX_OPERATOR",
+    "RatePolicy", "SummaryStpPolicy", "PidPolicy", "NullPolicy",
+    "ThreadController", "register_policy", "resolve_policy",
+    "list_policies",
+    "FaultSpec", "FaultSchedule", "FaultInjector",
+    "TraceRecorder", "PostmortemAnalyzer",
+    "build_tracker", "TrackerConfig",
+    "run_experiment", "ExperimentSpec", "RunResult",
+    "TelemetryHub", "TelemetryConfig", "NULL_HUB",
+    "__version__",
+}
 
 
 def test_version():
@@ -40,6 +61,22 @@ def test_unknown_attribute_raises():
 
 def test_dir_lists_all():
     assert set(repro.__all__) <= set(dir(repro))
+
+
+def test_top_level_api_snapshot():
+    assert set(repro.__all__) == TOP_LEVEL_API
+
+
+def test_facade_and_obs_reexports_are_the_real_objects():
+    from repro.experiment import ExperimentSpec, RunResult, run_experiment
+    from repro.obs import NULL_HUB, TelemetryConfig, TelemetryHub
+
+    assert repro.run_experiment is run_experiment
+    assert repro.ExperimentSpec is ExperimentSpec
+    assert repro.RunResult is RunResult
+    assert repro.TelemetryHub is TelemetryHub
+    assert repro.TelemetryConfig is TelemetryConfig
+    assert repro.NULL_HUB is NULL_HUB
 
 
 @pytest.mark.parametrize("package", PUBLIC_SUBPACKAGES)
