@@ -48,6 +48,13 @@ _LAZY = {
     "register_policy": "repro.control",
     "resolve_policy": "repro.control",
     "list_policies": "repro.control",
+    "ScaleConfig": "repro.control",
+    "ScalePolicy": "repro.control",
+    "ErlangScalePolicy": "repro.control",
+    "NullScalePolicy": "repro.control",
+    "register_scale_policy": "repro.control",
+    "resolve_scale_policy": "repro.control",
+    "list_scale_policies": "repro.control",
     "FaultSpec": "repro.faults",
     "FaultSchedule": "repro.faults",
     "FaultInjector": "repro.faults",

@@ -22,6 +22,14 @@ from repro.apps.vision import (
     detect_target,
     make_frame,
 )
+from repro.apps.elastic import (
+    WORKLOADS,
+    build_workload,
+    elastic_pipeline,
+    make_draining_sink,
+    make_pool_worker,
+    make_swing_source,
+)
 from repro.apps.workloads import (
     fan_in,
     fan_out,
@@ -59,4 +67,10 @@ __all__ = [
     "make_source",
     "make_worker",
     "make_sink",
+    "elastic_pipeline",
+    "build_workload",
+    "WORKLOADS",
+    "make_swing_source",
+    "make_pool_worker",
+    "make_draining_sink",
 ]

@@ -94,6 +94,51 @@ def throttle_phases(
     return out
 
 
+@probe("latency_phases")
+def latency_phases(
+    graph,
+    recorder,
+    phases: Sequence[Tuple[str, float, float]] = (),
+    stage: str = "",
+):
+    """Per-phase end-to-end latency percentiles and delivered fps.
+
+    For each ``(label, t_lo, t_hi)`` window the result carries
+    ``p50:<label>``/``p95:<label>`` (seconds, over items consumed by
+    sink iterations ending inside the window) and ``fps:<label>``.
+    With ``stage`` naming a replicated stage, ``replicas_final`` and
+    ``replicas_spawned`` report where elastic scaling ended up — the
+    in-cell evidence that a latency difference came from the pool
+    actually resizing.
+    """
+    from repro.metrics.performance import _oldest_source_anchor
+
+    anchors = _oldest_source_anchor(recorder)
+    out: Dict[str, float] = {}
+    for label, lo, hi in phases:
+        samples = []
+        delivered = 0
+        for it in recorder.sink_iterations():
+            if lo <= it.t_end < hi:
+                delivered += 1
+                for item_id in it.inputs:
+                    anchor = anchors.get(item_id)
+                    if anchor is not None:
+                        samples.append(it.t_end - anchor)
+        if samples:
+            arr = np.asarray(samples)
+            out[f"p50:{label}"] = float(np.percentile(arr, 50))
+            out[f"p95:{label}"] = float(np.percentile(arr, 95))
+        else:
+            out[f"p50:{label}"] = float("nan")
+            out[f"p95:{label}"] = float("nan")
+        out[f"fps:{label}"] = delivered / (hi - lo)
+    if stage and stage in graph.replicated_stages():
+        out["replicas_final"] = float(len(graph.replicas_of(stage)))
+        out["replicas_spawned"] = float(graph.stage_spec(stage)["next_index"])
+    return out
+
+
 @probe("control_phases")
 def control_phases(
     graph,

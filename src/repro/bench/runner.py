@@ -61,6 +61,15 @@ class CellSpec:
     seed: int = 0
     horizon: float = 120.0
     tracker: Optional[Any] = None  # TrackerConfig; Any avoids a cycle
+    #: Registered workload name (see repro.apps.elastic.WORKLOADS);
+    #: ``None`` runs the default tracker app. Kept as a string so the
+    #: spec stays picklable and cache-keyable.
+    workload: Optional[str] = None
+    workload_args: Tuple[Tuple[str, Any], ...] = ()
+    #: Elastic-parallelism policy: a registered scale-policy name or an
+    #: explicit :class:`~repro.control.ScaleConfig`; ``None`` = not
+    #: configured (fixed N, zero added events).
+    scale_policy: Optional[Any] = None
     gc: str = "dgc"
     #: DGC pass interval override (``None`` = the collector's default).
     gc_interval: Optional[float] = None
@@ -140,6 +149,8 @@ class CellSpec:
     def _placement(self) -> Dict[str, str]:
         from repro.apps.tracker import tracker_placement
 
+        if self.workload is not None:
+            return {}
         return tracker_placement() if self.config == "config2" else {}
 
     def _gc(self):
@@ -180,11 +191,19 @@ def _execute_cell(spec: CellSpec) -> CellResult:
     from repro.experiment import ExperimentSpec, run_experiment
 
     aru = spec.aru
+    if spec.workload is not None:
+        from repro.apps.elastic import build_workload
+
+        app: Any = build_workload(spec.workload, **dict(spec.workload_args))
+        app_config = None
+    else:
+        app, app_config = "tracker", spec.tracker
     result = run_experiment(ExperimentSpec(
-        app="tracker",
-        app_config=spec.tracker,
+        app=app,
+        app_config=app_config,
         config=spec._cluster(),
         policy=aru,
+        scale_policy=spec.scale_policy,
         gc=spec._gc(),
         seed=spec.seed,
         horizon=spec.horizon,

@@ -47,7 +47,12 @@ from repro.bench import (
     run_tracker_once,
     shape_checks,
 )
-from repro.control.registry import policies_help_text, resolve_policy
+from repro.control.registry import (
+    policies_help_text,
+    resolve_policy,
+    resolve_scale_policy,
+    scale_policies_help_text,
+)
 from repro.errors import ConfigError
 from repro.metrics import (
     PostmortemAnalyzer,
@@ -74,7 +79,18 @@ def _maybe_list_policies(args) -> bool:
     if getattr(args, "list_policies", False):
         print(policies_help_text())
         return True
+    if getattr(args, "list_scale_policies", False):
+        print(scale_policies_help_text())
+        return True
     return False
+
+
+def _scale_policy(name):
+    """Resolve a scale-policy name through the scale registry."""
+    try:
+        return resolve_scale_policy(name)
+    except ConfigError as exc:
+        raise SystemExit(f"error: {exc}") from None
 
 
 def _workers_arg(value: str) -> int:
@@ -334,6 +350,58 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+def cmd_elastic(args) -> int:
+    """Run the elastic workload under a scale policy, report the swing."""
+    from repro.apps.elastic import elastic_pipeline
+    from repro.experiment import ExperimentSpec, run_experiment
+    from repro.metrics.performance import latency_percentiles, throughput_fps
+
+    if _maybe_list_policies(args):
+        return 0
+    swing = (args.swing_start, args.swing_end, args.swing_factor)
+    graph = elastic_pipeline(
+        replicas=args.replicas,
+        max_replicas=args.max_replicas,
+        worker_cost=args.worker_cost,
+        steady_period=args.period,
+        swing=swing if args.swing_factor != 1.0 else None,
+    )
+    result = run_experiment(ExperimentSpec(
+        app=graph,
+        config=f"config{args.config}",
+        policy=_policy(args.policy),
+        scale_policy=_scale_policy(args.scale_policy),
+        seed=args.seed,
+        horizon=args.horizon,
+        telemetry=bool(args.telemetry),
+    ))
+    recorder = result.trace
+    runtime = result.runtime
+    pct = latency_percentiles(recorder, percentiles=(50, 95))
+    print(f"elastic run: scale-policy={args.scale_policy or 'none'} "
+          f"policy={args.policy} seed={args.seed} "
+          f"horizon={args.horizon:.0f}s swing=x{args.swing_factor:.0f} "
+          f"during [{args.swing_start:.0f}, {args.swing_end:.0f})s")
+    print(f"  throughput       : {throughput_fps(recorder):8.2f} fps")
+    print(f"  latency p50      : {pct.get(50, float('nan')) * 1e3:8.0f} ms")
+    print(f"  latency p95      : {pct.get(95, float('nan')) * 1e3:8.0f} ms")
+    for stage, info in result.stats.get("scaling", {}).items():
+        print(f"  stage {stage!r}: {info['replicas']} replicas at end, "
+              f"{info['decisions']} control decisions")
+    for stage, ctl in runtime.scalers.items():
+        events = [(t, cur, des, ap) for (t, cur, des, ap) in ctl.decisions
+                  if ap]
+        for t, cur, des, applied in events:
+            verb = "out" if applied > 0 else "in"
+            print(f"    t={t:7.2f}s scale-{verb:3s} {cur} -> {cur + applied} "
+                  f"(desired {des})")
+    if args.telemetry:
+        _export_telemetry(result.telemetry, args.telemetry,
+                          f"elastic-{args.scale_policy or 'fixed'}"
+                          f"-s{args.seed}")
+    return 0
+
+
 def cmd_compare(args) -> int:
     from repro.bench import compare_traces
 
@@ -528,6 +596,40 @@ def build_parser() -> argparse.ArgumentParser:
                          help="record repro.obs telemetry (incl. fault "
                               "events) and export it to DIR")
     p_chaos.set_defaults(func=cmd_chaos)
+
+    p_el = sub.add_parser(
+        "elastic",
+        help="run the elastic replicated-stage workload under a scale "
+             "policy")
+    p_el.add_argument("--config", type=int, choices=(1, 2), default=1)
+    p_el.add_argument("--policy", default="no-aru", metavar="NAME",
+                      help="ARU rate policy (default no-aru)")
+    p_el.add_argument("--scale-policy", default="erlang", metavar="NAME",
+                      help="registered scale policy (default erlang; "
+                           "see --list-scale-policies)")
+    p_el.add_argument("--list-scale-policies", action="store_true",
+                      help="print the scale-policy catalog and exit")
+    p_el.add_argument("--list-policies", action="store_true",
+                      help="print the rate-policy catalog and exit")
+    p_el.add_argument("--replicas", type=int, default=1,
+                      help="initial worker replicas (default 1)")
+    p_el.add_argument("--max-replicas", type=int, default=6,
+                      help="scale-out ceiling (default 6)")
+    p_el.add_argument("--worker-cost", type=float, default=0.03,
+                      help="per-item worker compute seconds (default 0.03)")
+    p_el.add_argument("--period", type=float, default=0.12,
+                      help="steady source period seconds (default 0.12)")
+    p_el.add_argument("--swing-start", type=float, default=40.0)
+    p_el.add_argument("--swing-end", type=float, default=80.0)
+    p_el.add_argument("--swing-factor", type=float, default=10.0,
+                      help="rate multiplier during the swing (default 10; "
+                           "1 disables the swing)")
+    p_el.add_argument("--seed", type=int, default=0)
+    p_el.add_argument("--horizon", type=float, default=120.0)
+    p_el.add_argument("--telemetry", metavar="DIR", default=None,
+                      help="record repro.obs telemetry (incl. scale "
+                           "events) and export it to DIR")
+    p_el.set_defaults(func=cmd_elastic)
 
     p_cmp = sub.add_parser("compare", help="compare two saved traces")
     p_cmp.add_argument("trace_a")

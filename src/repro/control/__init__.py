@@ -29,6 +29,7 @@ to configs. See ``docs/control-plane.md`` for a worked custom policy.
 from repro.control.actuator import (
     Actuator,
     NullActuator,
+    ScaleActuator,
     SleepThrottle,
     throttle_sleep,
 )
@@ -43,9 +44,26 @@ from repro.control.policy import (
 from repro.control.propagation import FeedbackBus, FeedbackEndpoint
 from repro.control.registry import (
     list_policies,
+    list_scale_policies,
     policies_help_text,
     register_policy,
+    register_scale_policy,
     resolve_policy,
+    resolve_scale_policy,
+    scale_policies_help_text,
+)
+from repro.control.scale import (
+    ErlangScalePolicy,
+    NullScalePolicy,
+    ScaleConfig,
+    ScalePolicy,
+    StageScaleController,
+    StageSensor,
+    StageSignals,
+    build_scale_policy,
+    erlang_c,
+    erlang_wait,
+    required_replicas,
 )
 from repro.control.sensor import PipelineSensor, Sensor, StpSensor
 from repro.control.signals import Signals
@@ -72,4 +90,20 @@ __all__ = [
     "resolve_policy",
     "list_policies",
     "policies_help_text",
+    "ScaleActuator",
+    "ScaleConfig",
+    "ScalePolicy",
+    "NullScalePolicy",
+    "ErlangScalePolicy",
+    "StageSignals",
+    "StageSensor",
+    "StageScaleController",
+    "build_scale_policy",
+    "erlang_c",
+    "erlang_wait",
+    "required_replicas",
+    "register_scale_policy",
+    "resolve_scale_policy",
+    "list_scale_policies",
+    "scale_policies_help_text",
 ]

@@ -17,9 +17,12 @@ batch-size or admission-control actuators would subclass it and return
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.control.signals import Signals
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.runtime import Runtime
 
 
 def throttle_sleep(target_period: Optional[float], iteration_elapsed: float,
@@ -80,3 +83,44 @@ class NullActuator(Actuator):
 
     def plan(self, target: Optional[float], signals: Signals) -> float:
         return 0.0
+
+
+class ScaleActuator:
+    """The scale verb: change a replicated stage's worker count.
+
+    Where :class:`SleepThrottle` modulates the *period* of a fixed
+    thread set, this actuator modulates its *parallelism* — the second
+    control dimension ISSUE 6 adds. ``apply(delta)`` walks
+    :meth:`~repro.runtime.runtime.Runtime.scale_out` /
+    :meth:`~repro.runtime.runtime.Runtime.scale_in` one replica at a
+    time and stops early when the runtime refuses (max/min bound hit,
+    or node CPU admission denied), so a partially-honoured request is
+    visible to the controller as a smaller return value.
+    """
+
+    def __init__(self, runtime: "Runtime", stage: str) -> None:
+        self.runtime = runtime
+        self.stage = stage
+        #: Cumulative actuation counters for reports.
+        self.total_spawned = 0
+        self.total_retired = 0
+
+    def apply(self, delta: int, reason: str = "") -> int:
+        """Add (``delta > 0``) or retire (``delta < 0``) replicas.
+
+        Returns the signed count actually applied.
+        """
+        applied = 0
+        if delta > 0:
+            for _ in range(delta):
+                if self.runtime.scale_out(self.stage, reason=reason) is None:
+                    break
+                applied += 1
+            self.total_spawned += applied
+        elif delta < 0:
+            for _ in range(-delta):
+                if self.runtime.scale_in(self.stage, reason=reason) is None:
+                    break
+                applied -= 1
+            self.total_retired += -applied
+        return applied

@@ -32,6 +32,13 @@ from repro.aru.config import (
     aru_null,
     aru_pid,
 )
+from repro.control.scale import (
+    ScaleConfig,
+    scale_disabled,
+    scale_erlang,
+    scale_erlang_latency,
+    scale_null,
+)
 from repro.errors import ConfigError
 
 
@@ -105,3 +112,77 @@ register_policy(
     "null", aru_null,
     help="NullPolicy: control plane wired but inert (differential "
          "baseline)")
+
+
+# -- scale-policy registry -------------------------------------------------
+# The same value-based scheme for the elastic-parallelism dimension:
+# names resolve to picklable ScaleConfig values, so sweep cells and the
+# CLI share one resolution path (``--scale-policy`` / ``scale_policy=``).
+
+
+class ScalePolicyEntry(NamedTuple):
+    """One registered scale-policy preset."""
+
+    factory: Callable[[], ScaleConfig]
+    help: str
+
+
+_SCALE_REGISTRY: Dict[str, ScalePolicyEntry] = {}
+
+
+def register_scale_policy(name: str, factory: Callable[[], ScaleConfig],
+                          help: str = "") -> None:
+    """Register (or replace) a named scale-policy preset."""
+    if not name:
+        raise ConfigError("scale policy name must be non-empty")
+    _SCALE_REGISTRY[name] = ScalePolicyEntry(factory=factory, help=help)
+
+
+def list_scale_policies() -> List[str]:
+    """Registered scale-policy names, sorted."""
+    return sorted(_SCALE_REGISTRY)
+
+
+def resolve_scale_policy(
+        policy: Union[str, ScaleConfig, None]) -> Union[ScaleConfig, None]:
+    """A name, explicit config, or None -> the :class:`ScaleConfig` to run.
+
+    ``None`` passes through (elastic scaling not configured). Unknown
+    names raise :class:`ConfigError` with did-you-mean suggestions.
+    """
+    if policy is None or isinstance(policy, ScaleConfig):
+        return policy
+    entry = _SCALE_REGISTRY.get(policy)
+    if entry is None:
+        close = difflib.get_close_matches(str(policy), _SCALE_REGISTRY, n=3,
+                                          cutoff=0.4)
+        hint = f"; did you mean {' or '.join(map(repr, close))}?" if close \
+            else ""
+        raise ConfigError(
+            f"unknown scale policy {policy!r}{hint} "
+            f"(available: {', '.join(list_scale_policies())})"
+        )
+    return entry.factory()
+
+
+def scale_policies_help_text() -> str:
+    """One-line-per-policy catalog (the CLI's ``--list-scale-policies``)."""
+    width = max(len(name) for name in _SCALE_REGISTRY)
+    lines = ["registered scale policies:"]
+    for name in list_scale_policies():
+        lines.append(f"  {name:<{width}}  {_SCALE_REGISTRY[name].help}")
+    return "\n".join(lines)
+
+
+register_scale_policy(
+    "no-scale", scale_disabled,
+    help="elastic scaling off — fixed-N baseline (zero added events)")
+register_scale_policy(
+    "null-scale", scale_null,
+    help="NullScalePolicy: scaling surface wired, no controller installed")
+register_scale_policy(
+    "erlang", scale_erlang,
+    help="DRS-style Erlang utilisation predictor (N = ceil(lambda*s/rho))")
+register_scale_policy(
+    "erlang-latency", scale_erlang_latency,
+    help="Erlang predictor sized to an explicit queueing-wait budget")

@@ -45,6 +45,11 @@ class ExperimentSpec:
     policy:
         ARU policy: an :class:`~repro.aru.AruConfig`, a registered
         policy name (``"aru-max"``...), or None for disabled.
+    scale_policy:
+        Elastic-parallelism policy for replicated stages: a
+        :class:`~repro.control.ScaleConfig`, a registered name
+        (``"erlang"``...), or None for not configured. Only meaningful
+        when the resolved graph declares replicated stages.
     gc / seed / placement / loads / retry / record_stp:
         Forwarded to :class:`~repro.runtime.RuntimeConfig`.
     faults:
@@ -62,6 +67,7 @@ class ExperimentSpec:
     app_config: Any = None
     config: Any = None
     policy: Any = None
+    scale_policy: Any = None
     gc: Any = "dgc"
     seed: int = 0
     horizon: float = 120.0
@@ -140,6 +146,12 @@ class ExperimentSpec:
         from repro.control.registry import resolve_policy
         return resolve_policy(self.policy)
 
+    def resolve_scale_policy(self):
+        """The :class:`~repro.control.ScaleConfig` or None (names via
+        the scale registry)."""
+        from repro.control.registry import resolve_scale_policy
+        return resolve_scale_policy(self.scale_policy)
+
     def runtime_config(self):
         """The fully resolved :class:`~repro.runtime.RuntimeConfig`."""
         from repro.runtime.retry import RetryPolicy
@@ -155,6 +167,7 @@ class ExperimentSpec:
             record_stp=self.record_stp,
             loads=tuple(self.loads),
             telemetry=self.telemetry,
+            scale=self.resolve_scale_policy(),
         )
         if self.retry is not None:
             if not isinstance(self.retry, RetryPolicy):

@@ -94,6 +94,7 @@ class NullTelemetryHub:
     def on_transfer(self, *a, **k) -> None: ...
     def on_sync(self, *a, **k) -> None: ...
     def on_fault(self, *a, **k) -> None: ...
+    def on_scale(self, *a, **k) -> None: ...
     def on_finalize(self, *a, **k) -> None: ...
 
     def snapshot(self) -> dict:
@@ -267,6 +268,27 @@ class TelemetryHub:
                 args["source"] = source
             self.tracer.instant(f"{phase}:{kind}", cat="fault",
                                 track="faults", t=t, args=args)
+
+    # -- scaling path -------------------------------------------------------
+    def on_scale(self, stage: str, action: str, replicas_from: int,
+                 replicas_to: int, t: float, reason: str = "",
+                 replica: Optional[str] = None) -> None:
+        """A replicated stage changed size: ``out``/``in``/``restart``."""
+        if self.config.metrics:
+            m = self.metrics
+            m.gauge("repro_replicas", {"stage": stage}).set(replicas_to)
+            m.counter("repro_scale_events_total",
+                      {"stage": stage, "action": action}).inc()
+        if self.config.spans:
+            args: Dict[str, object] = {
+                "stage": stage, "from": replicas_from, "to": replicas_to,
+            }
+            if reason:
+                args["reason"] = reason
+            if replica:
+                args["replica"] = replica
+            self.tracer.instant(f"scale:{action}", cat="scale",
+                                track="scaling", t=t, args=args)
 
     # -- run lifecycle ------------------------------------------------------
     def on_finalize(self, stats: Dict[str, dict], t: float) -> None:

@@ -15,6 +15,13 @@ from repro.runtime.connection import InputConnection, OutputConnection
 from repro.runtime.dot import graph_to_dot
 from repro.runtime.graph import CHANNEL, QUEUE, THREAD, TaskGraph
 from repro.runtime.item import Item, ItemView, reset_item_ids
+from repro.runtime.replicated import (
+    HashPartitioner,
+    MergeChannel,
+    PartitionQueue,
+    RoundRobinPartitioner,
+    make_partitioner,
+)
 from repro.runtime.runtime import Runtime, RuntimeConfig
 from repro.runtime.squeue import SQueue
 from repro.runtime.syscalls import (
@@ -41,6 +48,11 @@ __all__ = [
     "RuntimeConfig",
     "Channel",
     "SQueue",
+    "PartitionQueue",
+    "MergeChannel",
+    "RoundRobinPartitioner",
+    "HashPartitioner",
+    "make_partitioner",
     "Item",
     "ItemView",
     "reset_item_ids",

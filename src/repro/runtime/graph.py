@@ -38,6 +38,8 @@ class TaskGraph:
     def __init__(self, name: str = "app") -> None:
         self.name = name
         self._g = nx.DiGraph()
+        #: stage name -> replication spec (see :meth:`add_replicated_stage`).
+        self._replicated: Dict[str, Dict[str, Any]] = {}
 
     # -- construction ----------------------------------------------------
     def _check_new_name(self, name: str) -> None:
@@ -118,6 +120,136 @@ class TaskGraph:
             raise GraphError(f"duplicate edge {src!r} -> {dst!r}")
         self._g.add_edge(src, dst)
         return self
+
+    # -- replicated stages -------------------------------------------------
+    def add_replicated_stage(
+        self,
+        stage: str,
+        fn: Callable,
+        *,
+        input: str,
+        output: str,
+        replicas: int = 1,
+        min_replicas: int = 1,
+        max_replicas: Optional[int] = None,
+        partition: str = "round-robin",
+        node: Optional[str] = None,
+        output_node: Optional[str] = None,
+        params: Optional[Dict[str, Any]] = None,
+        compress_op: Optional[object] = None,
+        input_capacity: Optional[int] = None,
+    ) -> "TaskGraph":
+        """Declare a stage of N identical workers behind a partition/merge pair.
+
+        Declares ``input`` as a partition queue (each admitted item is
+        routed to exactly one worker slot) and ``output`` as a merge
+        channel (results become visible in timestamp order), then adds
+        ``replicas`` worker threads named ``stage[i]``, each connected
+        ``input -> stage[i] -> output``. Upstream threads ``Put`` into
+        ``input`` and downstream threads ``Get`` from ``output`` exactly
+        as for plain buffers — replication is invisible to neighbours.
+
+        ``fn(ctx)`` is the worker body shared by all replicas; the
+        runtime can later add/retire replicas within
+        ``[min_replicas, max_replicas]`` (see
+        :meth:`~repro.runtime.runtime.Runtime.scale_out`).
+        """
+        from repro.runtime.replicated import PARTITION_KINDS
+
+        if stage in self._replicated:
+            raise GraphError(f"duplicate replicated stage {stage!r}")
+        if replicas < 1:
+            raise GraphError(f"stage {stage!r}: replicas must be >= 1")
+        if min_replicas < 1:
+            raise GraphError(f"stage {stage!r}: min_replicas must be >= 1")
+        if max_replicas is None:
+            max_replicas = max(replicas, 8)
+        if not (min_replicas <= replicas <= max_replicas):
+            raise GraphError(
+                f"stage {stage!r}: need min_replicas <= replicas <= "
+                f"max_replicas, got {min_replicas}/{replicas}/{max_replicas}"
+            )
+        if partition not in PARTITION_KINDS:
+            raise GraphError(
+                f"stage {stage!r}: unknown partition {partition!r} "
+                f"(expected one of {PARTITION_KINDS})"
+            )
+        self.add_queue(input, node=node, compress_op=compress_op,
+                       capacity=input_capacity)
+        self._g.nodes[input]["partition_of"] = stage
+        self._g.nodes[input]["partition"] = partition
+        self.add_channel(output, node=output_node)
+        self._g.nodes[output]["merge_of"] = stage
+        self._replicated[stage] = {
+            "fn": fn,
+            "input": input,
+            "output": output,
+            "min_replicas": min_replicas,
+            "max_replicas": max_replicas,
+            "partition": partition,
+            "node": node,
+            "params": dict(params or {}),
+            "compress_op": compress_op,
+            "next_index": 0,
+        }
+        for _ in range(replicas):
+            self.add_replica(stage)
+        return self
+
+    def stage_spec(self, stage: str) -> Dict[str, Any]:
+        """The replication spec declared by :meth:`add_replicated_stage`."""
+        try:
+            return self._replicated[stage]
+        except KeyError:
+            raise GraphError(f"unknown replicated stage {stage!r}") from None
+
+    def replicated_stages(self) -> List[str]:
+        """Names of declared replicated stages, in declaration order."""
+        return list(self._replicated)
+
+    def replicas_of(self, stage: str) -> List[str]:
+        """Current worker threads of ``stage``, ordered by replica index."""
+        self.stage_spec(stage)
+        members = [
+            (d["replica_index"], n)
+            for n, d in self._g.nodes(data=True)
+            if d.get("replica_of") == stage
+        ]
+        return [n for _, n in sorted(members)]
+
+    def add_replica(self, stage: str) -> str:
+        """Add one worker thread to ``stage``; returns its name.
+
+        Indices are never reused — each spawn gets a fresh ``stage[i]``
+        name, so trace records of retired replicas stay unambiguous.
+        """
+        spec = self.stage_spec(stage)
+        idx = spec["next_index"]
+        spec["next_index"] = idx + 1
+        name = f"{stage}[{idx}]"
+        self.add_thread(
+            name,
+            spec["fn"],
+            node=spec["node"],
+            params=dict(spec["params"]),
+            compress_op=spec["compress_op"],
+        )
+        self._g.nodes[name]["replica_of"] = stage
+        self._g.nodes[name]["replica_index"] = idx
+        self.connect(spec["input"], name)
+        self.connect(name, spec["output"])
+        return name
+
+    def remove_replica(self, stage: str, name: str) -> None:
+        """Remove a retired worker thread (and its edges) from the graph."""
+        self.stage_spec(stage)
+        if name not in self._g or self._g.nodes[name].get("replica_of") != stage:
+            raise GraphError(f"{name!r} is not a replica of stage {stage!r}")
+        if len(self.replicas_of(stage)) <= 1:
+            raise GraphError(
+                f"stage {stage!r}: cannot remove the last replica {name!r}"
+            )
+        self._g.remove_node(name)
 
     # -- inspection ---------------------------------------------------------
     def kind(self, name: str) -> str:

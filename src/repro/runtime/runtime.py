@@ -22,12 +22,14 @@ from repro.cluster.node import Node
 from repro.cluster.spec import ClusterSpec, config1_spec
 from repro.control.factory import build_thread_controller
 from repro.control.propagation import FeedbackBus
+from repro.control.scale import ScaleConfig, StageScaleController
 from repro.errors import ConfigError, SimulationError
 from repro.gc import GarbageCollector, make_gc
 from repro.metrics.recorder import TraceRecorder
 from repro.obs.hub import resolve_hub
 from repro.runtime.channel import Channel
 from repro.runtime.graph import CHANNEL, QUEUE, TaskGraph
+from repro.runtime.replicated import MergeChannel, PartitionQueue
 from repro.runtime.retry import RetryPolicy
 from repro.runtime.squeue import SQueue
 from repro.runtime.thread import TaskContext, ThreadDriver
@@ -52,6 +54,10 @@ class RuntimeConfig:
     loads: tuple = ()
     #: Transport retry/backoff for remote put/get under link faults.
     retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: Elastic-parallelism control for replicated stages; ``None`` (or a
+    #: disabled/null config) installs no controller processes, keeping
+    #: the run bit-identical to a fixed-N one.
+    scale: Optional[ScaleConfig] = None
     #: Telemetry: False/None (off, zero overhead), True (default hub),
     #: a :class:`~repro.obs.TelemetryConfig`, or a pre-built
     #: :class:`~repro.obs.TelemetryHub` the caller keeps for export.
@@ -94,6 +100,9 @@ class Runtime:
         self.drivers: Dict[str, ThreadDriver] = {}
         for name in graph.threads():
             self.drivers[name] = self._build_driver(name)
+        for stage in graph.replicated_stages():
+            spec = graph.stage_spec(stage)
+            self.buffers[spec["input"]].bind_merge(self.buffers[spec["output"]])
         self._processes = {
             name: self.engine.process(driver.run(), name=name)
             for name, driver in self.drivers.items()
@@ -104,6 +113,17 @@ class Runtime:
             if load.node not in self.nodes:
                 raise ConfigError(f"load targets unknown node {load.node!r}")
             spawn_load(self.engine, self.nodes[load.node], load)
+        #: Per-stage scale controllers (empty unless elastic scaling is
+        #: configured AND the graph has replicated stages — the same
+        #: zero-added-events-when-off contract as the fault injector).
+        self.scalers: Dict[str, StageScaleController] = {}
+        scale = self.config.scale
+        if (scale is not None and scale.enabled and scale.policy != "null"
+                and graph.replicated_stages()):
+            for stage in graph.replicated_stages():
+                ctl = StageScaleController(self, stage, scale)
+                self.scalers[stage] = ctl
+                self.engine.process(ctl.run(), name=f"scaler.{stage}")
         self._ran = False
         #: Failure-detection callback ``(symptom, target, source)``;
         #: installed by a FaultInjector, None in fault-free runs.
@@ -143,11 +163,34 @@ class Runtime:
     # -- construction ----------------------------------------------------
     def _build_buffer(self, name: str):
         kind = self.graph.kind(name)
+        attrs = self.graph.attrs(name)
         node = self.nodes[self._resolve_buffer_node(name)]
-        capacity = self.graph.attrs(name).get("capacity")
+        capacity = attrs.get("capacity")
         feedback = self.feedback_bus.endpoint_for(
-            name, self.graph.attrs(name).get("compress_op")
+            name, attrs.get("compress_op")
         )
+        if attrs.get("partition_of") is not None:
+            return PartitionQueue(
+                self.engine,
+                name,
+                node,
+                recorder=self.recorder,
+                feedback=feedback,
+                capacity=capacity,
+                obs=self.obs,
+                partition=attrs.get("partition", "round-robin"),
+            )
+        if attrs.get("merge_of") is not None:
+            return MergeChannel(
+                self.engine,
+                name,
+                node,
+                recorder=self.recorder,
+                gc=self.gc,
+                feedback=feedback,
+                capacity=capacity,
+                obs=self.obs,
+            )
         if kind == CHANNEL:
             return Channel(
                 self.engine,
@@ -335,6 +378,136 @@ class Runtime:
         self.drivers[name] = driver
         self._processes[name] = self.engine.process(driver.run(), name=name)
 
+    # -- elastic parallelism ------------------------------------------------
+    def replica_count(self, stage: str, alive_only: bool = True) -> int:
+        """Worker replicas of a replicated stage (alive by default)."""
+        names = self.graph.replicas_of(stage)
+        if not alive_only:
+            return len(names)
+        return sum(1 for n in names if self.thread_alive(n))
+
+    def _admit_replica(self, node_name: str) -> bool:
+        """R-Storm-style admission: charge the replica against the node.
+
+        A new worker is admitted only while its target node is up and
+        has an uncommitted CPU (alive resident threads < ``ncpus``) —
+        spawning past the core count would just re-create the
+        oversubscription the scale-out is trying to relieve.
+        """
+        node = self.nodes[node_name]
+        if node.failed:
+            return False
+        alive = sum(
+            1 for t in self.threads_on(node_name)
+            if self._processes[t].is_alive
+        )
+        return alive < node.spec.ncpus
+
+    def scale_out(self, stage: str, reason: str = "scale-out") -> Optional[str]:
+        """Spawn one more worker replica for ``stage``.
+
+        Reuses the restart machinery's spawn half: a fresh generator
+        with new connections, a reset STP meter, and cold ARU state —
+        a scaled-out worker is indistinguishable from a restarted one.
+        Returns the new thread name, or ``None`` if the stage is at
+        ``max_replicas`` or node admission refuses the CPU.
+        """
+        spec = self.graph.stage_spec(stage)
+        before = self.replica_count(stage)
+        if before >= spec["max_replicas"]:
+            return None
+        node_name = (self.config.placement.get(stage) or spec["node"]
+                     or self.config.cluster.nodes[0].name)
+        if node_name not in self.nodes:
+            raise ConfigError(
+                f"stage {stage!r} placed on unknown node {node_name!r}"
+            )
+        if not self._admit_replica(node_name):
+            return None
+        name = self.graph.add_replica(stage)
+        self._thread_placement[name] = self._resolve_thread_node(name)
+        driver = self._build_driver(name)
+        self.drivers[name] = driver
+        self._processes[name] = self.engine.process(driver.run(), name=name)
+        if self.obs.enabled:
+            self.obs.on_scale(stage, "out", before, before + 1,
+                              self.engine.now, reason, name)
+        return name
+
+    def scale_in(self, stage: str, reason: str = "scale-in") -> Optional[str]:
+        """Retire one worker replica of ``stage`` (highest index first).
+
+        Refuses to drop below ``min_replicas`` (and never below one).
+        Returns the retired thread name, or ``None`` if at the floor.
+        """
+        spec = self.graph.stage_spec(stage)
+        alive = [n for n in self.graph.replicas_of(stage)
+                 if self.thread_alive(n)]
+        if len(alive) <= max(1, spec["min_replicas"]):
+            return None
+        victim = alive[-1]
+        self.retire_replica(stage, victim, reason=reason)
+        return victim
+
+    def retire_replica(self, stage: str, name: str, reason: str = "retire") -> None:
+        """Remove one replica entirely (the restart machinery's kill half).
+
+        Killing releases the worker's held items; unregistering its
+        consumer connection makes the partition queue reassign the
+        replica's pending work to surviving slots and abandon its
+        in-flight timestamps on the merge, so the output frontier never
+        waits on a retired worker.
+        """
+        self.graph.stage_spec(stage)  # validates the stage exists
+        before = self.replica_count(stage)
+        process = self._processes.get(name)
+        if process is None:
+            raise ConfigError(f"no thread named {name!r}")
+        if process.is_alive:
+            process.kill(reason)
+        old = self.drivers[name]
+        now = self.engine.now
+        for buffer, conn in old.in_conns.values():
+            buffer.unregister_consumer(conn)
+            collect = getattr(buffer, "maybe_collect", None)
+            if collect is not None:
+                collect(now)
+        for buffer, conn in old.out_conns.values():
+            buffer.unregister_producer(conn)
+        del self.drivers[name]
+        del self._processes[name]
+        del self._thread_placement[name]
+        self.graph.remove_replica(stage, name)
+        if self.obs.enabled:
+            self.obs.on_scale(stage, "in", before,
+                              self.replica_count(stage), now, reason, name)
+
+    def reap_dead_replicas(self, stage: str) -> int:
+        """Clean up crashed replicas of ``stage``; returns replicas handled.
+
+        A crashed replica above the floor is retired (its partition slot
+        reassigned, its merge timestamps abandoned); at or below the
+        floor it is restarted instead, so a replicated stage never
+        silently loses its minimum capacity.
+        """
+        spec = self.graph.stage_spec(stage)
+        floor = max(1, spec["min_replicas"])
+        handled = 0
+        for name in self.graph.replicas_of(stage):
+            if self.thread_alive(name):
+                continue
+            if self.replica_count(stage) > floor:
+                self.retire_replica(stage, name, reason="reap")
+            else:
+                self.restart_thread(name)
+                if self.obs.enabled:
+                    self.obs.on_scale(stage, "restart",
+                                      self.replica_count(stage),
+                                      self.replica_count(stage),
+                                      self.engine.now, "reap", name)
+            handled += 1
+        return handled
+
     def threads_on(self, node_name: str) -> list:
         """Task threads placed on the named cluster node."""
         if node_name not in self.nodes:
@@ -368,7 +541,7 @@ class Runtime:
 
     def stats(self) -> Dict[str, dict]:
         """Snapshot of runtime-object statistics (diagnostics/reports)."""
-        return {
+        snapshot = {
             "engine": {
                 "now": self.engine.now,
                 "events_processed": self.engine.events_processed,
@@ -406,3 +579,13 @@ class Runtime:
                 for name, driver in self.drivers.items()
             },
         }
+        if self.graph.replicated_stages():
+            snapshot["scaling"] = {
+                stage: {
+                    "replicas": self.replica_count(stage),
+                    "decisions": (len(self.scalers[stage].decisions)
+                                  if stage in self.scalers else 0),
+                }
+                for stage in self.graph.replicated_stages()
+            }
+        return snapshot

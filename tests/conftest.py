@@ -1,0 +1,25 @@
+"""Shared test fixtures.
+
+The policy registries in :mod:`repro.control.registry` are process-wide
+mutable state; tests that register presets (directly, or by running
+``examples/custom_policy.py``-style code) used to leak those
+registrations into every later test in the session. The autouse
+fixture below snapshots both registries before each test and restores
+them afterwards, so registry mutations cannot escape a test.
+"""
+
+import pytest
+
+from repro.control import registry as _registry
+
+
+@pytest.fixture(autouse=True)
+def _isolated_policy_registries():
+    """Snapshot/restore the rate and scale policy registries."""
+    rate = dict(_registry._REGISTRY)
+    scale = dict(_registry._SCALE_REGISTRY)
+    yield
+    _registry._REGISTRY.clear()
+    _registry._REGISTRY.update(rate)
+    _registry._SCALE_REGISTRY.clear()
+    _registry._SCALE_REGISTRY.update(scale)

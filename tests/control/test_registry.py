@@ -4,12 +4,16 @@ import pytest
 
 from repro.aru import AruConfig, aru_min
 from repro.control import (
+    ScaleConfig,
     list_policies,
+    list_scale_policies,
     policies_help_text,
     register_policy,
+    register_scale_policy,
     resolve_policy,
+    resolve_scale_policy,
+    scale_policies_help_text,
 )
-from repro.control.registry import _REGISTRY
 from repro.errors import ConfigError
 
 
@@ -43,17 +47,24 @@ def test_list_policies_sorted():
 
 
 def test_register_custom_policy():
-    try:
-        register_policy(
-            "aru-pid-hot",
-            lambda: AruConfig(policy="pid", pid_kp=0.9, pid_ki=0.5,
-                              name="aru-pid-hot"),
-            help="hot gains")
-        cfg = resolve_policy("aru-pid-hot")
-        assert cfg.pid_kp == 0.9
-        assert "aru-pid-hot" in policies_help_text()
-    finally:
-        _REGISTRY.pop("aru-pid-hot", None)
+    # No manual cleanup: the autouse conftest fixture restores the
+    # registry after every test.
+    register_policy(
+        "aru-pid-hot",
+        lambda: AruConfig(policy="pid", pid_kp=0.9, pid_ki=0.5,
+                          name="aru-pid-hot"),
+        help="hot gains")
+    cfg = resolve_policy("aru-pid-hot")
+    assert cfg.pid_kp == 0.9
+    assert "aru-pid-hot" in policies_help_text()
+
+
+def test_registry_mutations_do_not_leak():
+    """The previous test registered 'aru-pid-hot'; it must be gone here.
+
+    Guards the conftest fixture that snapshots/restores registry state
+    (tests run in file order, so this observes the restore)."""
+    assert "aru-pid-hot" not in list_policies()
 
 
 def test_empty_name_rejected():
@@ -64,4 +75,42 @@ def test_empty_name_rejected():
 def test_help_text_covers_every_policy():
     text = policies_help_text()
     for name in list_policies():
+        assert name in text
+
+
+# -- scale-policy registry --------------------------------------------------
+def test_builtin_scale_names_resolve():
+    assert resolve_scale_policy("no-scale").enabled is False
+    assert resolve_scale_policy("null-scale").policy == "null"
+    assert resolve_scale_policy("erlang").policy == "erlang"
+    assert resolve_scale_policy("erlang-latency").wait_budget is not None
+
+
+def test_scale_none_and_config_pass_through():
+    assert resolve_scale_policy(None) is None
+    cfg = ScaleConfig(target_utilization=0.5)
+    assert resolve_scale_policy(cfg) is cfg
+
+
+def test_unknown_scale_name_suggests_close_match():
+    with pytest.raises(ConfigError, match="did you mean 'erlang'"):
+        resolve_scale_policy("erlng")
+
+
+def test_register_custom_scale_policy():
+    register_scale_policy(
+        "erlang-tight",
+        lambda: ScaleConfig(target_utilization=0.5, name="erlang-tight"),
+        help="low-utilisation sizing")
+    assert resolve_scale_policy("erlang-tight").target_utilization == 0.5
+    assert "erlang-tight" in scale_policies_help_text()
+
+
+def test_scale_registry_mutations_do_not_leak():
+    assert "erlang-tight" not in list_scale_policies()
+
+
+def test_scale_help_text_covers_every_policy():
+    text = scale_policies_help_text()
+    for name in list_scale_policies():
         assert name in text

@@ -1,0 +1,274 @@
+"""Property-based invariants of the DES kernel (hypothesis).
+
+The example-based tests in ``test_engine.py`` pin specific scenarios;
+these generate random event interleavings and assert the kernel's
+determinism contract holds for *all* of them:
+
+* calendar ordering — events fire in (time, schedule-sequence) order,
+  so same-instant events fire in schedule order and time never goes
+  backwards;
+* kill-cancellation — a killed process stops exactly at its current
+  yield point, never observes another event, and leaves the rest of
+  the calendar unperturbed;
+* AnyOf/AllOf composition — the winner/completion-set is a pure
+  function of child (delay, index) order under any interleaving,
+  including already-fired children;
+* mid-run process add/remove — spawning and killing processes from
+  inside running processes (what elastic scale-out/in does) keeps the
+  trace deterministic: the same plan replayed gives a bit-identical
+  event log.
+
+Integer delays are used throughout so simultaneity is exact, which is
+precisely the regime where ordering bugs hide.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProcessKilled
+from repro.sim.engine import Engine
+
+# Delays as small ints: exact float representation, lots of ties.
+delays = st.lists(st.integers(min_value=0, max_value=8),
+                  min_size=1, max_size=24)
+
+
+@settings(max_examples=60, deadline=None)
+@given(delays)
+def test_calendar_fires_in_time_then_schedule_order(ds):
+    """Fire order == stable sort of creation order by delay."""
+    eng = Engine()
+    log = []
+    for i, d in enumerate(ds):
+        ev = eng.timeout(float(d), value=i)
+        ev.callbacks.append(lambda e, i=i: log.append((eng.now, i)))
+    eng.run()
+    expected = sorted(range(len(ds)), key=lambda i: ds[i])  # stable
+    assert [i for (_, i) in log] == expected
+    times = [t for (t, _) in log]
+    assert times == sorted(times)
+    assert [t for (t, i) in log] == [float(ds[i]) for (_, i) in log]
+
+
+@settings(max_examples=60, deadline=None)
+@given(delays, delays)
+def test_same_instant_events_fire_in_schedule_order(a, b):
+    """Interleaving two schedule batches preserves per-instant FIFO."""
+    eng = Engine()
+    log = []
+    tags = []
+    for batch, ds in (("a", a), ("b", b)):
+        for j, d in enumerate(ds):
+            tag = (batch, j)
+            tags.append((d, tag))
+            ev = eng.timeout(float(d), value=tag)
+            ev.callbacks.append(lambda e, tag=tag: log.append(tag))
+    eng.run()
+    # Stable sort over the global schedule order is the contract.
+    assert log == [tag for (_, tag) in
+                   sorted(tags, key=lambda pair: pair[0])]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.integers(min_value=1, max_value=6),
+             min_size=1, max_size=8),
+    st.integers(min_value=0, max_value=12),
+)
+def test_killed_process_observes_nothing_past_the_kill(steps, kill_at):
+    """A process killed at t observes no ticks scheduled after t."""
+    eng = Engine()
+    seen = []
+
+    def body():
+        try:
+            for s in steps:
+                yield eng.timeout(float(s))
+                seen.append(eng.now)
+        except ProcessKilled:
+            seen.append(("killed", eng.now))
+            raise
+
+    proc = eng.process(body())
+
+    def killer():
+        yield eng.timeout(float(kill_at))
+        proc.kill("test")
+
+    eng.process(killer())
+    eng.run()
+    assert not proc.is_alive
+    observed = [t for t in seen if not isinstance(t, tuple)]
+    # Every observed tick happened at or before the kill instant...
+    assert all(t <= kill_at for t in observed) or proc.ok
+    if not proc.ok:
+        # ...and the termination marker exists exactly once.
+        markers = [t for t in seen if isinstance(t, tuple)]
+        assert len(markers) == 1
+        assert markers[0][1] >= float(kill_at)
+        assert isinstance(proc.value, ProcessKilled)
+    # Killing a finished process stays a no-op.
+    proc.kill("again")
+    eng.run()
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=9),
+                min_size=1, max_size=8),
+       st.booleans())
+def test_anyof_picks_earliest_then_lowest_index(ds, prefire):
+    """AnyOf's winner is min by (delay, index); prefired children win."""
+    eng = Engine()
+    events = [eng.timeout(float(d), value=f"v{i}")
+              for i, d in enumerate(ds)]
+    if prefire:
+        # An extra already-triggered child must win immediately.
+        pre = eng.event()
+        pre.succeed("pre")
+        events.append(pre)
+    got = []
+
+    def waiter():
+        result = yield eng.any_of(events)
+        got.append(result)
+
+    eng.process(waiter())
+    eng.run()
+    assert len(got) == 1
+    idx, value = got[0]
+    if prefire:
+        # The pre-fired event was scheduled before every timeout fires
+        # at t=0... unless a timeout with delay 0 was scheduled first.
+        zero_first = 0 in ds
+        if zero_first:
+            expected_idx = ds.index(0)
+        else:
+            expected_idx = len(ds)
+        assert idx == expected_idx
+    else:
+        winner = min(range(len(ds)), key=lambda i: (ds[i], i))
+        assert idx == winner
+        assert value == f"v{winner}"
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=9),
+                min_size=0, max_size=8))
+def test_allof_completes_at_max_delay_with_ordered_values(ds):
+    """AllOf fires at max(delay) and preserves child value order."""
+    eng = Engine()
+    events = [eng.timeout(float(d), value=i) for i, d in enumerate(ds)]
+    got = []
+
+    def waiter():
+        values = yield eng.all_of(events)
+        got.append((eng.now, values))
+
+    eng.process(waiter())
+    eng.run()
+    assert len(got) == 1
+    t, values = got[0]
+    assert values == list(range(len(ds)))
+    assert t == (float(max(ds)) if ds else 0.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=9),
+                min_size=2, max_size=8),
+       st.integers(min_value=0, max_value=7))
+def test_anyof_composes_with_allof(ds, split):
+    """AnyOf over (AllOf(left), AllOf(right)) == earlier max-side."""
+    split = min(split, len(ds) - 1)
+    left, right = ds[: split + 1], ds[split + 1:]
+    eng = Engine()
+    sides = [eng.all_of([eng.timeout(float(d)) for d in left])]
+    if right:
+        sides.append(eng.all_of([eng.timeout(float(d)) for d in right]))
+    got = []
+
+    def waiter():
+        result = yield eng.any_of(sides)
+        got.append((eng.now, result[0]))
+
+    eng.process(waiter())
+    eng.run()
+    (t, idx), = got
+    maxes = [max(left) if left else 0, max(right) if right else 0][: len(sides)]
+    winner = min(range(len(sides)), key=lambda i: (maxes[i], i))
+    assert idx == winner
+    assert t == float(maxes[winner])
+
+
+# -- mid-run add/remove ------------------------------------------------------
+spawn_plan = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=10),   # spawn time
+        st.integers(min_value=1, max_value=5),    # tick period
+        st.one_of(st.none(),                      # kill time (None = never)
+                  st.integers(min_value=0, max_value=12)),
+    ),
+    min_size=1, max_size=6,
+)
+
+
+def _run_plan(plan, horizon=16.0):
+    """Execute a spawn/kill plan; returns the (ordered) event log."""
+    eng = Engine()
+    log = []
+
+    def ticker(tag, period):
+        while True:
+            yield eng.timeout(float(period))
+            log.append((eng.now, tag, "tick"))
+
+    def supervisor():
+        procs = []
+        for tag, (spawn_at, period, kill_at) in enumerate(plan):
+            p = {"tag": tag}
+            procs.append(p)
+
+            def spawner(tag=tag, spawn_at=spawn_at, period=period,
+                        kill_at=kill_at, slot=p):
+                yield eng.timeout(float(spawn_at))
+                proc = eng.process(ticker(tag, period),
+                                   name=f"ticker{tag}")
+                slot["proc"] = proc
+                log.append((eng.now, tag, "spawn"))
+                if kill_at is not None:
+                    yield eng.timeout(float(max(0, kill_at - spawn_at)))
+                    proc.kill("planned")
+                    log.append((eng.now, tag, "kill"))
+
+            eng.process(spawner(), name=f"spawner{tag}")
+        yield eng.timeout(0.0)
+
+    eng.process(supervisor())
+    eng.run(until=horizon)
+    return log, eng.events_processed
+
+
+@settings(max_examples=40, deadline=None)
+@given(spawn_plan)
+def test_mid_run_add_remove_is_deterministic(plan):
+    """The same spawn/kill plan replays to a bit-identical log."""
+    log1, n1 = _run_plan(plan)
+    log2, n2 = _run_plan(plan)
+    assert log1 == log2
+    assert n1 == n2
+
+
+@settings(max_examples=40, deadline=None)
+@given(spawn_plan)
+def test_killed_tickers_stop_and_survivors_continue(plan):
+    """No ticks from a process after its kill; survivors tick on."""
+    log, _ = _run_plan(plan)
+    kill_time = {}
+    for t, tag, kind in log:
+        if kind == "kill":
+            kill_time[tag] = t
+    for t, tag, kind in log:
+        if kind == "tick" and tag in kill_time:
+            assert t <= kill_time[tag]
+    for tag, (spawn_at, period, kill_at) in enumerate(plan):
+        if kill_at is None and spawn_at + period <= 16.0:
+            assert any(k == "tick" and g == tag for (_, g, k) in log)

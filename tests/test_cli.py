@@ -265,6 +265,53 @@ def test_chaos_telemetry_trace_has_fault_instants(tmp_path, capsys):
     assert any(e["name"] == "injected:thread_crash" for e in instants)
 
 
+def test_elastic_run_scales_and_reports(capsys):
+    rc = main(["elastic", "--horizon", "25", "--swing-start", "4",
+               "--swing-end", "16", "--swing-factor", "8",
+               "--worker-cost", "0.03", "--period", "0.1", "--seed", "0"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "elastic run: scale-policy=erlang" in out
+    assert "throughput" in out and "latency p95" in out
+    assert "stage 'workers':" in out
+    # the swing actually triggered the controller
+    assert "scale-out" in out
+
+
+def test_elastic_fixed_pool_has_no_scale_events(capsys):
+    rc = main(["elastic", "--scale-policy", "no-scale", "--horizon", "10",
+               "--swing-factor", "1"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "scale-policy=no-scale" in out
+    assert "0 control decisions" in out
+    assert "scale-out" not in out
+
+
+def test_elastic_list_scale_policies(capsys):
+    rc = main(["elastic", "--list-scale-policies"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    for name in ("erlang", "erlang-latency", "no-scale", "null-scale"):
+        assert name in out
+
+
+def test_elastic_unknown_scale_policy_exits():
+    with pytest.raises(SystemExit, match="scale policy"):
+        main(["elastic", "--scale-policy", "warp-speed"])
+
+
+def test_elastic_telemetry_exports(tmp_path, capsys):
+    out_dir = tmp_path / "tel"
+    rc = main(["elastic", "--horizon", "10", "--swing-factor", "1",
+               "--telemetry", str(out_dir)])
+    assert rc == 0
+    capsys.readouterr()
+    label = "elastic-erlang-s0"
+    assert (out_dir / f"{label}.trace.json").exists()
+    assert (out_dir / f"{label}.jsonl").exists()
+
+
 def test_sweep_telemetry_writes_cell_snapshots(tmp_path, capsys):
     import json
 

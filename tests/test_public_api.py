@@ -35,6 +35,8 @@ TOP_LEVEL_API = {
     "RatePolicy", "SummaryStpPolicy", "PidPolicy", "NullPolicy",
     "ThreadController", "register_policy", "resolve_policy",
     "list_policies",
+    "ScaleConfig", "ScalePolicy", "ErlangScalePolicy", "NullScalePolicy",
+    "register_scale_policy", "resolve_scale_policy", "list_scale_policies",
     "FaultSpec", "FaultSchedule", "FaultInjector",
     "TraceRecorder", "PostmortemAnalyzer",
     "build_tracker", "TrackerConfig",
