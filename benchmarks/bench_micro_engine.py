@@ -10,6 +10,8 @@ compares the dispatch rate against the committed ``BENCH_kernel.json``
 baseline.
 """
 
+import pytest
+
 from repro.aru import aru_disabled
 from repro.bench import run_tracker_once
 from repro.cluster import Node, NodeSpec
@@ -17,10 +19,15 @@ from repro.gc import make_gc
 from repro.metrics import TraceRecorder
 from repro.runtime import Channel, Item
 from repro.sim import Engine, RngRegistry
+from repro.sim.events import Timeout
 from repro.vt import LATEST
 
 N_EVENTS = 20_000
 N_OPS = 5_000
+
+#: Same-timestamp events per calendar tick in the cohort sweep: from
+#: fully scalar (every event its own instant) to one giant cohort.
+COHORT_SIZES = (1, 8, 64, 512)
 
 
 def _spin_engine():
@@ -38,6 +45,39 @@ def _spin_engine():
 def test_engine_event_rate(benchmark):
     events = benchmark(_spin_engine)
     assert events >= N_EVENTS
+
+
+def _schedule_cohorts(cohort: int) -> Engine:
+    """An engine with N_EVENTS pre-scheduled timeouts, ``cohort`` per tick."""
+    eng = Engine()
+    tick = 0.0
+    for i in range(N_EVENTS):
+        if i % cohort == 0:
+            tick += 0.001
+        Timeout(eng, tick)
+    return eng
+
+
+@pytest.mark.parametrize("cohort", COHORT_SIZES)
+def test_dispatch_rate_by_cohort_size(benchmark, cohort):
+    """Pure calendar drain across cohort sizes (the ISSUE-7 sweep).
+
+    Scheduling happens in per-round setup, outside the timed region, so
+    the measurement isolates the batched cohort dispatch loop. The
+    sweep shows how the per-tick batch amortizes the clock write and
+    heap pop: cohort=1 is the scalar worst case, larger cohorts
+    approach the pure dispatch ceiling that ``check_regression.py``
+    gates as ``dispatch_events_per_sec``.
+    """
+    def setup():
+        return (_schedule_cohorts(cohort),), {}
+
+    def drain(eng):
+        eng.run()
+        return eng.events_processed
+
+    events = benchmark.pedantic(drain, setup=setup, rounds=5)
+    assert events == N_EVENTS
 
 
 def _spin_trampoline():

@@ -12,7 +12,7 @@ Usage (also available as ``python -m repro``):
         [--telemetry DIR]
     repro-aru paper-tables [--seeds 2] [--horizon 120] [--save-csv grid.csv]
     repro-aru profile [--config 1] [--policy aru-min] [--horizon 30] \\
-        [--sort cumulative] [--limit 25]
+        [--sort cumtime|tottime|ncalls] [--top 25]
     repro-aru chaos examples/chaos_tracker.yaml [--horizon 60] \\
         [--policy aru-min] [--width 72] [--save-trace run.json] \\
         [--telemetry DIR]
@@ -651,9 +651,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument("--gc", default="dgc",
                         choices=("null", "ref", "tgc", "dgc"))
     p_prof.add_argument("--sort", default="cumulative",
-                        choices=("cumulative", "tottime", "ncalls"),
-                        help="pstats sort key (default cumulative)")
-    p_prof.add_argument("--limit", type=int, default=25,
+                        choices=("cumulative", "cumtime", "tottime", "ncalls"),
+                        help="pstats sort key; cumtime is an alias for "
+                             "cumulative (default cumulative)")
+    p_prof.add_argument("--top", "--limit", type=int, default=25,
+                        dest="limit", metavar="N",
                         help="rows of the hot-function table (default 25)")
     p_prof.set_defaults(func=cmd_profile)
 

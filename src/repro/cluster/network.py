@@ -41,6 +41,8 @@ class Link:
         self.spec = spec
         self.name = name
         self.obs = obs
+        # Fixed-slot telemetry handle, resolved once per link (ISSUE 7).
+        self._transfer_h = obs.transfer_handle(name)
         self._wire = Resource(engine, capacity=1, name=f"link.{name}")
         #: Total bytes moved over this link.
         self.bytes_transferred = 0
@@ -136,8 +138,11 @@ class Link:
             self.bytes_transferred += nbytes
             self.busy_time += duration
             self._wire.release()
-        if self.obs.enabled:
-            self.obs.on_transfer(self.name, nbytes, duration, self.engine.now)
+        obs = self.obs
+        if obs.enabled:
+            self._transfer_h.update(nbytes, duration)
+            if obs.spans_on:
+                obs.span_transfer(self.name, nbytes, duration, self.engine.now)
         if (self._drop_rng is not None
                 and self._drop_rng.random() < self.drop_probability):
             self.transfers_dropped += 1

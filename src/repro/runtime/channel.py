@@ -66,6 +66,11 @@ class Channel:
         self.recorder = recorder
         self.gc = gc
         self.obs = obs
+        # Fixed-slot telemetry handles, resolved once here instead of a
+        # (name, labels) registry lookup per operation (ISSUE 7). With
+        # telemetry or metrics off these are shared no-ops.
+        self._put_h = obs.put_handle(name, self.kind)
+        self._free_h = obs.free_handle(name, self.kind, gc.name)
         # ``aru_state`` is the pre-control-plane spelling: wrap it into
         # an endpoint so hand-built harnesses keep working.
         if feedback is None and aru_state is not None:
@@ -92,6 +97,10 @@ class Channel:
 
     def register_consumer(self, thread: str) -> InputConnection:
         conn = InputConnection(buffer=self.name, thread=thread)
+        obs = self.obs
+        if obs.enabled:
+            conn.get_h = obs.get_handle(self.name, self.kind, thread)
+            conn.skip_h = obs.skip_handle(self.name, thread)
         self.in_conns.append(conn)
         return conn
 
@@ -190,15 +199,16 @@ class Channel:
         )
         obs = self.obs
         if obs.enabled:
-            obs.on_put(self.name, self.kind, item, t)
+            self._put_h.add(1.0, item.size)
+            if obs.spans_on:
+                obs.span_put(self.name, item, t)
         # Dead on arrival for consumers whose cursor already passed this ts.
         for in_conn in self.in_conns:
             if in_conn.last_got >= item.ts:
                 in_conn.skips += 1
                 self.total_skips += 1
                 self.recorder.on_skip(item.item_id, in_conn.conn_id, in_conn.thread, t)
-                if obs.enabled:
-                    obs.on_skip(self.name, item.item_id, in_conn.thread, t)
+                in_conn.skip_h.inc()
         self.gc.on_put(self, item)
         self.maybe_collect(t)
         self._getters.notify_all()
@@ -268,15 +278,16 @@ class Channel:
             conn.skips += 1
             self.total_skips += 1
             self.recorder.on_skip(skipped.item_id, conn.conn_id, conn.thread, t)
-            if obs.enabled:
-                obs.on_skip(self.name, skipped.item_id, conn.thread, t)
+            conn.skip_h.inc()
         conn.last_got = item.ts
         conn.gets += 1
         self.total_gets += 1
         item.acquire()
         self.recorder.on_get(item.item_id, conn.conn_id, conn.thread, t)
         if obs.enabled:
-            obs.on_get(self.name, self.kind, item, conn.thread, t)
+            conn.get_h.inc()
+            if obs.spans_on:
+                obs.span_get(item, conn.thread, t)
         if self.feedback is not None and consumer_summary is not None:
             self.feedback.receive(conn.conn_id, consumer_summary)
         self.gc.on_get(self, conn, item)
@@ -321,8 +332,11 @@ class Channel:
         self.total_frees += 1
         self.node.free(item.size)
         self.recorder.on_free(item.item_id, t)
-        if self.obs.enabled:
-            self.obs.on_free(self.name, self.kind, item, t, self.gc.name)
+        obs = self.obs
+        if obs.enabled:
+            self._free_h.add(1.0, item.size)
+            if obs.spans_on:
+                obs.span_free(item, t)
         if self.capacity is not None:
             self._putters.notify_all()
 

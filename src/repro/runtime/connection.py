@@ -6,13 +6,18 @@ mechanisms need:
 
 * consumer connections hold the get-latest cursor (``last_got``) that both
   the skipping semantics and the dead-timestamp GC rely on;
-* both kinds are the slots of the ARU ``backwardSTP`` vectors.
+* both kinds are the slots of the ARU ``backwardSTP`` vectors;
+* consumer connections additionally carry their preresolved telemetry
+  handles (``get_h``/``skip_h``), wired once at registration so the
+  per-operation telemetry cost is a flat-array add (ISSUE 7).
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
+
+from repro.obs.metrics import NOOP_HANDLE
 
 _next_conn_id = itertools.count(1)
 
@@ -51,6 +56,10 @@ class InputConnection:
     #: Items gotten / skipped through this connection.
     gets: int = 0
     skips: int = 0
+    #: Fixed-slot telemetry handles, resolved once by the buffer's
+    #: ``register_consumer`` (no-ops when telemetry/metrics are off).
+    get_h: object = NOOP_HANDLE
+    skip_h: object = NOOP_HANDLE
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<In#{self.conn_id} {self.buffer}->{self.thread} last_got={self.last_got}>"

@@ -211,8 +211,11 @@ class PartitionQueue(SQueue):
             parents=item.parents,
             t=t,
         )
-        if self.obs.enabled:
-            self.obs.on_put(self.name, self.kind, item, t)
+        obs = self.obs
+        if obs.enabled:
+            self._put_h.add(1.0, item.size)
+            if obs.spans_on:
+                obs.span_put(self.name, item, t)
         if self._merge is not None:
             self._merge.expect(item.ts)
         self._getters.notify_all()
@@ -249,8 +252,11 @@ class PartitionQueue(SQueue):
         item.acquire()
         self._inflight[item.ts] = conn.conn_id
         self.recorder.on_get(item.item_id, conn.conn_id, conn.thread, t)
-        if self.obs.enabled:
-            self.obs.on_get(self.name, self.kind, item, conn.thread, t)
+        obs = self.obs
+        if obs.enabled:
+            conn.get_h.inc()
+            if obs.spans_on:
+                obs.span_get(item, conn.thread, t)
         if self.feedback is not None and consumer_summary is not None:
             self.feedback.receive(conn.conn_id, consumer_summary)
         if self.capacity is not None:

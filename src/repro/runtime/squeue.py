@@ -53,6 +53,12 @@ class SQueue:
         self.node = node
         self.recorder = recorder
         self.obs = obs
+        # Fixed-slot telemetry handles, resolved once here instead of a
+        # (name, labels) registry lookup per operation (ISSUE 7). With
+        # telemetry or metrics off these are shared no-ops. Queues
+        # self-manage storage, hence the fixed "queue" collector label.
+        self._put_h = obs.put_handle(name, self.kind)
+        self._free_h = obs.free_handle(name, self.kind, "queue")
         # ``aru_state`` is the pre-control-plane spelling: wrap it into
         # an endpoint so hand-built harnesses keep working.
         if feedback is None and aru_state is not None:
@@ -76,6 +82,10 @@ class SQueue:
 
     def register_consumer(self, thread: str) -> InputConnection:
         conn = InputConnection(buffer=self.name, thread=thread)
+        obs = self.obs
+        if obs.enabled:
+            conn.get_h = obs.get_handle(self.name, self.kind, thread)
+            conn.skip_h = obs.skip_handle(self.name, thread)
         self.in_conns.append(conn)
         return conn
 
@@ -137,8 +147,11 @@ class SQueue:
             parents=item.parents,
             t=t,
         )
-        if self.obs.enabled:
-            self.obs.on_put(self.name, self.kind, item, t)
+        obs = self.obs
+        if obs.enabled:
+            self._put_h.add(1.0, item.size)
+            if obs.spans_on:
+                obs.span_put(self.name, item, t)
         self._getters.notify_all()
         return self.feedback.advertise() if self.feedback is not None else None
 
@@ -173,8 +186,11 @@ class SQueue:
         self.total_gets += 1
         item.acquire()
         self.recorder.on_get(item.item_id, conn.conn_id, conn.thread, t)
-        if self.obs.enabled:
-            self.obs.on_get(self.name, self.kind, item, conn.thread, t)
+        obs = self.obs
+        if obs.enabled:
+            conn.get_h.inc()
+            if obs.spans_on:
+                obs.span_get(item, conn.thread, t)
         if self.feedback is not None and consumer_summary is not None:
             self.feedback.receive(conn.conn_id, consumer_summary)
         if self.capacity is not None:
@@ -189,8 +205,11 @@ class SQueue:
             self.total_frees += 1
             self.node.free(item.size)
             self.recorder.on_free(item.item_id, t)
-            if self.obs.enabled:
-                self.obs.on_free(self.name, self.kind, item, t, "queue")
+            obs = self.obs
+            if obs.enabled:
+                self._free_h.add(1.0, item.size)
+                if obs.spans_on:
+                    obs.span_free(item, t)
 
     def maybe_collect(self, t: float) -> int:
         """Queues self-manage storage; nothing for a GC to do."""

@@ -7,20 +7,23 @@ future living on an :class:`~repro.sim.engine.Engine`'s calendar. Processes
 engine resumes them when the yielded event fires.
 
 Events fire in deterministic order: primary key is simulated time, the tie
-breaker is a monotonically increasing sequence number assigned at schedule
-time, so two runs of the same model with the same seeds produce identical
-traces.
+breaker is schedule (FIFO) order within the instant, so two runs of the
+same model with the same seeds produce identical traces. The calendar is
+a cohort structure — per-timestamp FIFO buckets plus a heap of distinct
+times (see ``engine.py``); appending to a bucket *is* taking the next
+position in the tie-break order.
 
 Hot-path note: ``succeed``/``fail``/``Timeout.__init__`` push onto the
 engine calendar directly instead of going through ``Engine._schedule`` —
 these three run once per simulated event and the extra call layer is
-measurable. The calendar entry layout ``(time, seq, event)`` is part of
-the determinism contract and must not change.
+measurable. While the engine is running, same-instant triggers go to the
+O(1) current-tick FIFO (``Engine._immediate``) and fresh future timeouts
+to the one-entry staging slot; both placings preserve the exact order an
+eager calendar insert would have produced.
 """
 
 from __future__ import annotations
 
-from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, List, Optional
 
 from repro.errors import SimulationError
@@ -95,8 +98,10 @@ class Event:
         self._ok = True
         self._value = value
         engine = self.engine
-        heappush(engine._heap, (engine._now, engine._seq, self))
-        engine._seq += 1
+        if engine._running:
+            engine._immediate.append(self)
+        else:
+            engine._push(engine._now, self)
         return self
 
     def fail(self, exc: BaseException) -> "Event":
@@ -108,8 +113,10 @@ class Event:
         self._ok = False
         self._value = exc
         engine = self.engine
-        heappush(engine._heap, (engine._now, engine._seq, self))
-        engine._seq += 1
+        if engine._running:
+            engine._immediate.append(self)
+        else:
+            engine._push(engine._now, self)
         return self
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -160,8 +167,28 @@ class Timeout(Event):
         self._ok = True
         self.defused = False
         self.delay = delay
-        heappush(engine._heap, (engine._now + delay, engine._seq, self))
-        engine._seq += 1
+        when = engine._now + delay
+        if engine._running:
+            if when == engine._now:
+                # Zero-delay (or rounding-collapsed) timeout: current-tick
+                # FIFO, preserving schedule order with other same-instant
+                # triggers of this tick.
+                engine._immediate.append(self)
+            else:
+                # Future timeout created mid-dispatch: stage it instead of
+                # inserting into the calendar. Flushing the previous staged
+                # timeout *first* keeps every bucket's FIFO order equal to
+                # schedule order; if the creating process yields this one
+                # and it is globally next, the run loop fires it without
+                # any calendar traffic at all.
+                staged = engine._staged
+                if staged is not None:
+                    engine._staged = None
+                    engine._push(engine._staged_when, staged)
+                engine._staged = self
+                engine._staged_when = when
+        else:
+            engine._push(when, self)
 
 
 class AllOf(Event):

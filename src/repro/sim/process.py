@@ -90,7 +90,7 @@ class Process(Event):
                 waiting.cancelled = True
             elif waiting.callbacks is not None:
                 try:
-                    waiting.callbacks.remove(self._resume)
+                    waiting.callbacks.remove(self)
                 except ValueError:  # pragma: no cover
                     pass
         self._waiting_on = None
@@ -107,6 +107,11 @@ class Process(Event):
         else:
             event.defused = True
             self._throw(event._value)
+
+    #: Processes register *themselves* in event callback lists (saves a
+    #: bound-method allocation per wait); generic ``cb(event)`` dispatch
+    #: then lands here.
+    __call__ = _resume
 
     def _resume_direct(self, ok: bool, value: Any) -> None:
         """Advance the generator from a slim ``_Resume`` calendar entry."""
@@ -169,7 +174,7 @@ class Process(Event):
                     self, False, target._value
                 )
         else:
-            callbacks.append(self._resume)
+            callbacks.append(self)
             self._waiting_on = target
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -30,10 +30,12 @@ cr = _load_module()
 
 class TestComparePolicy:
     BASE = {"dispatch_events_per_sec": 1_000_000.0,
+            "chain_events_per_sec": 1_200_000.0,
             "trampoline_events_per_sec": 1_500_000.0,
             "postmortem_ms": 25.0,
             "telemetry_off_ops_per_sec": 10_000_000.0,
-            "telemetry_on_ops_per_sec": 100_000.0}
+            "telemetry_on_ops_per_sec": 5_000_000.0,
+            "telemetry_on_over_off_ratio": 1.5}
 
     def test_equal_rates_pass(self):
         assert cr.compare(dict(self.BASE), dict(self.BASE)) == []
@@ -71,6 +73,28 @@ class TestComparePolicy:
         assert len(failures) == 1
         assert "telemetry_off_ops_per_sec" in failures[0]
 
+    def test_telemetry_ratio_cap_gates(self):
+        # The ISSUE-7 leave-it-on contract: metrics-on must stay within
+        # 3x of metrics-off through the real channel site.
+        current = dict(self.BASE, telemetry_on_over_off_ratio=3.5)
+        failures = cr.compare(current, self.BASE)
+        assert len(failures) == 1
+        assert "telemetry_on_over_off_ratio" in failures[0]
+        assert "cap" in failures[0]
+
+    def test_telemetry_ratio_is_absolute_not_baseline_relative(self):
+        # A degraded committed baseline cannot grandfather a violation
+        # in, and a rising-but-under-cap ratio does not fail.
+        base = dict(self.BASE, telemetry_on_over_off_ratio=1.0)
+        current = dict(self.BASE, telemetry_on_over_off_ratio=2.9)
+        assert cr.compare(current, base) == []
+
+    def test_missing_ratio_fails_loudly(self):
+        current = dict(self.BASE)
+        del current["telemetry_on_over_off_ratio"]
+        failures = cr.compare(current, self.BASE)
+        assert failures and "telemetry_on_over_off_ratio" in failures[0]
+
     def test_missing_gated_rate_fails_loudly(self):
         assert cr.compare({}, self.BASE)
         assert cr.compare(self.BASE, {})
@@ -84,10 +108,12 @@ class TestComparePolicy:
 class TestCliPlumbing:
     def test_update_writes_baseline(self, tmp_path, monkeypatch, capsys):
         fake = {"dispatch_events_per_sec": 10.0,
+                "chain_events_per_sec": 15.0,
                 "trampoline_events_per_sec": 20.0,
                 "postmortem_ms": 5.0,
                 "telemetry_off_ops_per_sec": 30.0,
-                "telemetry_on_ops_per_sec": 2.0}
+                "telemetry_on_ops_per_sec": 20.0,
+                "telemetry_on_over_off_ratio": 1.5}
         monkeypatch.setattr(cr, "measure", lambda: dict(fake))
         baseline = tmp_path / "base.json"
         rc = cr.main(["--baseline", str(baseline), "--update"])
@@ -108,6 +134,25 @@ class TestCliPlumbing:
             cr, "measure", lambda: {"dispatch_events_per_sec": 100.0})
         assert cr.main(["--baseline", str(baseline)]) == 1
 
+    def test_ratio_only_passes_under_cap(self, monkeypatch, capsys):
+        monkeypatch.setattr(
+            cr, "measure_telemetry_pair",
+            lambda: {"telemetry_off_ops_per_sec": 100.0,
+                     "telemetry_on_ops_per_sec": 80.0,
+                     "telemetry_on_over_off_ratio": 1.25})
+        assert cr.main(["--ratio-only"]) == 0
+        assert "within the absolute cap" in capsys.readouterr().out
+
+    def test_ratio_only_gates_on_the_cap(self, monkeypatch, capsys):
+        # --ratio-only needs no baseline file: the cap is absolute.
+        monkeypatch.setattr(
+            cr, "measure_telemetry_pair",
+            lambda: {"telemetry_off_ops_per_sec": 100.0,
+                     "telemetry_on_ops_per_sec": 10.0,
+                     "telemetry_on_over_off_ratio": 10.0})
+        assert cr.main(["--ratio-only"]) == 1
+        assert "cap" in capsys.readouterr().err
+
     def test_pass_exits_zero(self, tmp_path, monkeypatch):
         baseline = tmp_path / "base.json"
         baseline.write_text(json.dumps(
@@ -115,7 +160,8 @@ class TestCliPlumbing:
                        "telemetry_off_ops_per_sec": 1000.0}}))
         monkeypatch.setattr(
             cr, "measure", lambda: {"dispatch_events_per_sec": 950.0,
-                                    "telemetry_off_ops_per_sec": 990.0})
+                                    "telemetry_off_ops_per_sec": 990.0,
+                                    "telemetry_on_over_off_ratio": 1.4})
         assert cr.main(["--baseline", str(baseline)]) == 0
 
 

@@ -1,0 +1,182 @@
+"""The ``_Resume`` free-list: recycling, the kill path, and the bound.
+
+ISSUE 7 satellite: the pool must also recycle entries cancelled by a
+kill — a killed waiter's in-flight resume entry pops as a counted no-op
+and goes back on the free list exactly like a delivered one, so kill
+storms cannot leak pool slots. These tests pin that, plus the hazard
+the cancelled path guards against: a recycled entry must never carry a
+stale ``cancelled`` flag (or a stale ``_waiting_on`` backref) into its
+next life.
+"""
+
+from repro.errors import ProcessKilled
+from repro.sim.engine import _RESUME_POOL_MAX, Engine
+from repro.sim.events import _Resume
+
+
+def _fired(eng, value="v"):
+    ev = eng.event()
+    ev.succeed(value)
+    return ev
+
+
+class TestDeliveredEntriesRecycle:
+    def test_start_resume_returns_to_pool(self):
+        eng = Engine()
+
+        def body(eng):
+            yield eng.timeout(1.0)
+
+        eng.process(body(eng))
+        assert len(eng._resume_pool) == 0  # entry is on the calendar
+        eng.run()
+        assert len(eng._resume_pool) == 1
+        entry = eng._resume_pool[0]
+        assert entry.process is None and entry.value is None
+
+    def test_already_fired_yield_reuses_pooled_entry(self):
+        eng = Engine()
+        fired = _fired(eng)
+
+        def body(eng):
+            for _ in range(50):
+                yield fired
+
+        eng.process(body(eng))
+        eng.run()
+        # One start entry + one already-fired-yield entry alive at a
+        # time, recycled turn by turn: the pool stays tiny.
+        assert 1 <= len(eng._resume_pool) <= 2
+
+    def test_pool_object_identity_is_reused(self):
+        eng = Engine()
+
+        def body(eng):
+            return
+            yield
+
+        eng.process(body(eng))
+        eng.run()
+        recycled = eng._resume_pool[-1]
+        # Starting another process must pop the recycled object off the
+        # free list, and finishing must return it.
+        eng.process(body(eng))
+        assert recycled not in eng._resume_pool
+        eng.run()
+        assert recycled in eng._resume_pool
+
+
+class TestKillCancellationRecycles:
+    def _run_kill_race(self):
+        """Drive the in-flight cancellation window.
+
+        At t=1 the cohort is [killer-timeout, victim-timeout]; the kill
+        tick lands on the current-tick FIFO *before* the victim's
+        already-fired yield entry does, so the kill delivery marks that
+        entry cancelled while it is still queued.
+        """
+        eng = Engine()
+        log = []
+        fired = _fired(eng)
+        seen = []
+
+        def victim(eng):
+            try:
+                yield eng.timeout(1.0)
+                yield fired
+                log.append("resumed")
+            except ProcessKilled:
+                log.append("killed")
+
+        ref = {}
+
+        def killer(eng):
+            yield eng.timeout(1.0)
+            ref["victim"].kill()
+
+        # Killer first: its t=1 timeout precedes the victim's in the
+        # cohort, so the kill tick reaches the current-tick FIFO before
+        # the victim's already-fired yield entry does.
+        eng.process(killer(eng), name="killer")
+        victim_proc = ref["victim"] = eng.process(victim(eng), name="victim")
+
+        while eng.peek() != float("inf"):
+            eng.step()
+            waiting = victim_proc._waiting_on
+            if type(waiting) is _Resume:
+                seen.append(waiting)
+        return eng, log, seen, victim_proc
+
+    def test_kill_marks_inflight_entry_cancelled_and_recycles_it(self):
+        eng, log, seen, _victim = self._run_kill_race()
+        assert log == ["killed"]
+        assert seen, "race did not produce an in-flight resume entry"
+        entry = seen[-1]
+        # The cancelled entry went back on the free list — kills do not
+        # leak pool slots.
+        assert entry in eng._resume_pool
+        assert entry.process is None and entry.value is None
+
+    def test_cancelled_entry_does_not_resume_the_victim(self):
+        _eng, log, _seen, _victim = self._run_kill_race()
+        assert "resumed" not in log
+
+    def test_victim_backref_cleared_before_recycling(self):
+        # The hazard: if the cancelled dispatch left ``_waiting_on``
+        # pointing at the recycled entry, a later kill of the same
+        # (dead) process could flag ``cancelled`` on a pool object now
+        # owned by someone else.
+        eng, _log, seen, victim = self._run_kill_race()
+        entry = seen[-1]
+        assert victim._waiting_on is not entry
+        assert victim._waiting_on is None
+        assert entry.process is None
+
+    def test_reused_entry_cancelled_flag_is_reset(self):
+        eng, _log, seen, _victim = self._run_kill_race()
+        entry = seen[-1]
+        assert entry.cancelled is True  # stays set while pooled...
+
+        def body(eng):
+            return
+            yield
+
+        fresh = eng._schedule_resume(eng.process(body(eng)), True, None)
+        if fresh is entry:  # pool is LIFO; the entry comes back first
+            assert fresh.cancelled is False
+        eng.run()
+
+
+class TestPoolBound:
+    def test_pool_never_exceeds_max(self):
+        eng = Engine()
+
+        def body(eng):
+            yield eng.timeout(1.0)
+
+        for _ in range(_RESUME_POOL_MAX + 72):
+            eng.process(body(eng))
+        eng.run()
+        assert len(eng._resume_pool) == _RESUME_POOL_MAX
+
+    def test_overflow_entries_are_dropped_not_errored(self):
+        eng = Engine()
+
+        def body(eng):
+            return
+            yield
+
+        for _ in range(_RESUME_POOL_MAX * 2):
+            eng.process(body(eng))
+        eng.run()
+        assert len(eng._resume_pool) == _RESUME_POOL_MAX
+        # And the pool keeps working afterwards.
+        done = []
+
+        def tail(eng):
+            yield eng.timeout(0.5)
+            done.append(True)
+
+        eng.process(tail(eng))
+        eng.run()
+        assert done == [True]

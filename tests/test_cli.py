@@ -54,6 +54,17 @@ def test_profile_command(capsys):
     assert "function calls" in out
 
 
+def test_profile_cumtime_sort_and_top(capsys):
+    # ISSUE-7 triage flags: --sort cumtime (pstats alias) and --top N
+    # (preferred spelling of --limit).
+    rc = main(["profile", "--horizon", "8", "--policy", "no-aru",
+               "--sort", "cumtime", "--top", "3"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "profiled: config1 policy=no-aru" in out
+    assert "cumtime" in out
+
+
 def test_paper_tables_quick(capsys):
     rc = main(["paper-tables", "--seeds", "1", "--horizon", "30"])
     assert rc == 0
