@@ -1,0 +1,169 @@
+#!/usr/bin/env python
+"""Multi-tenant substrate scaling and placement-quality benchmark.
+
+Two measurements, committed to ``benchmarks/BENCH_tenants.json``:
+
+1. **Scaling sweep** — fleets of 1/10/100/1000 identical light tracker
+   tenants on a 32-node cluster, all contending inside ONE engine run.
+   Reports wall seconds, engine events/s, and the Jain fairness index
+   over per-tenant goodput. The contract: the substrate scales to a
+   thousand coexisting tenants and equal-priority tenants share
+   near-evenly (Jain >= 0.9) under rstorm packing.
+
+2. **Placement quality** — rstorm vs round-robin on a heterogeneous
+   cluster (2 big + 6 small nodes). rstorm colocates neighboring
+   threads and packs by min-distance over the CPU/mem/bandwidth budget;
+   round-robin fragments every tenant across the fabric. The committed
+   numbers show rstorm winning on mean p95 latency.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_tenants.py             # print
+    PYTHONPATH=src python benchmarks/bench_tenants.py --update    # re-baseline
+    PYTHONPATH=src python benchmarks/bench_tenants.py --max-tenants 100
+
+The absolute rates are machine-dependent and non-gating (the CI
+perf-smoke job prints them to the step summary); the *shape* — Jain at
+every fleet size, rstorm < round-robin p95 — is what the committed
+baseline documents.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_tenants.json"
+
+FLEET_SIZES = (1, 10, 100, 1000)
+
+#: Jain floor for equal-priority fleets under rstorm (acceptance bar).
+JAIN_FLOOR = 0.9
+
+
+def _light_fleet(n):
+    from repro.tenancy import TenantSpec, scaled_tracker_config
+    from repro.tenancy.tenant import ResourceDemand
+
+    cfg = scaled_tracker_config(0.02, frame_period=0.25, cv=0.0)
+    demand = ResourceDemand(cpu=0.05, mem_bytes=2**20,
+                            bandwidth_bps=1_000_000)
+    return tuple(TenantSpec(f"t{i}", app_config=cfg, demand=demand)
+                 for i in range(n))
+
+
+def measure_scaling(max_tenants: int) -> list:
+    from repro.cluster.spec import uniform_spec
+    from repro.tenancy import TenancySpec, run_tenants
+
+    rows = []
+    for n in FLEET_SIZES:
+        if n > max_tenants:
+            print(f"  (skipping fleet of {n}: --max-tenants {max_tenants})")
+            continue
+        spec = TenancySpec(tenants=_light_fleet(n),
+                           cluster=uniform_spec(32, ncpus=16,
+                                                bandwidth_bps=10**9),
+                           horizon=3.0)
+        t0 = time.perf_counter()
+        result = run_tenants(spec)
+        wall = time.perf_counter() - t0
+        events = result.stats["engine"]["events_processed"]
+        rows.append({
+            "tenants": n,
+            "admitted": len(result.admitted),
+            "wall_s": wall,
+            "events": events,
+            "events_per_sec": events / wall,
+            "jain": result.fairness.jain,
+        })
+        print(f"  {n:5d} tenants: {wall:7.2f}s  "
+              f"{events / wall:10.0f} events/s  "
+              f"jain={result.fairness.jain:.3f}")
+    return rows
+
+
+def measure_placement_quality() -> dict:
+    from repro.cluster.spec import heterogeneous_spec
+    from repro.tenancy import TenancySpec, run_tenants, scaled_tracker_config
+    from repro.tenancy.tenant import ResourceDemand
+
+    cfg = scaled_tracker_config(0.1, frame_period=0.2, cv=0.0)
+    cluster = heterogeneous_spec(n_big=2, n_small=6)
+    demand = ResourceDemand(cpu=0.4, mem_bytes=8 * 2**20,
+                            bandwidth_bps=4_000_000)
+    from repro.tenancy import TenantSpec
+
+    tenants = tuple(TenantSpec(f"t{i}", app_config=cfg, demand=demand)
+                    for i in range(10))
+    out = {}
+    for placement in ("rstorm", "round-robin"):
+        result = run_tenants(TenancySpec(
+            tenants=tenants, cluster=cluster, placement=placement,
+            admission="reject", horizon=8.0))
+        p95s = [r.latency_p95 for r in result.records.values()
+                if r.latency_p95 == r.latency_p95]
+        out[placement] = {
+            "admitted": len(result.admitted),
+            "p95_latency_mean_s": float(np.mean(p95s)) if p95s else None,
+            "jain": result.fairness.jain,
+        }
+        print(f"  {placement:12s}: admitted={out[placement]['admitted']:2d}  "
+              f"mean p95={out[placement]['p95_latency_mean_s'] * 1e3:6.1f}ms  "
+              f"jain={out[placement]['jain']:.3f}")
+    return out
+
+
+def check(payload: dict) -> list:
+    """Shape checks on a measurement (machine-independent)."""
+    problems = []
+    for row in payload["scaling"]:
+        if row["admitted"] != row["tenants"]:
+            problems.append(
+                f"fleet of {row['tenants']}: only {row['admitted']} admitted")
+        if row["jain"] < JAIN_FLOOR:
+            problems.append(
+                f"fleet of {row['tenants']}: jain {row['jain']:.3f} "
+                f"< {JAIN_FLOOR}")
+    quality = payload["placement_quality"]
+    rs, rr = quality["rstorm"], quality["round-robin"]
+    rstorm_wins = (rs["admitted"] > rr["admitted"]
+                   or (rs["p95_latency_mean_s"] or 1e9)
+                   < (rr["p95_latency_mean_s"] or 1e9))
+    if not rstorm_wins:
+        problems.append(
+            "rstorm must beat round-robin on p95 latency or admitted count")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--update", action="store_true",
+                        help=f"rewrite {BASELINE_PATH.name}")
+    parser.add_argument("--max-tenants", type=int, default=FLEET_SIZES[-1],
+                        help="cap the scaling sweep (CI uses 100)")
+    args = parser.parse_args(argv)
+
+    print("scaling sweep (32 uniform nodes, one shared engine):")
+    scaling = measure_scaling(args.max_tenants)
+    print("placement quality (2 big + 6 small nodes, 10 tenants):")
+    quality = measure_placement_quality()
+    payload = {"scaling": scaling, "placement_quality": quality}
+
+    problems = check(payload)
+    for p in problems:
+        print(f"FAIL: {p}")
+
+    if args.update:
+        BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {BASELINE_PATH}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

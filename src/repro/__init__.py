@@ -65,6 +65,13 @@ _LAZY = {
     "run_experiment": "repro.experiment",
     "ExperimentSpec": "repro.experiment",
     "RunResult": "repro.experiment",
+    "TenancySpec": "repro.tenancy",
+    "TenantSpec": "repro.tenancy",
+    "TenancyResult": "repro.tenancy",
+    "ResourceDemand": "repro.tenancy",
+    "Scheduler": "repro.tenancy",
+    "run_tenants": "repro.tenancy",
+    "register_placement": "repro.tenancy",
     "TelemetryHub": "repro.obs",
     "TelemetryConfig": "repro.obs",
     "NULL_HUB": "repro.obs",

@@ -402,6 +402,77 @@ def cmd_elastic(args) -> int:
     return 0
 
 
+def cmd_tenants(args) -> int:
+    """Run a multi-tenant fleet on one shared cluster."""
+    import json
+    from pathlib import Path
+
+    from repro.tenancy import (
+        TenancySpec,
+        TenantSpec,
+        placements_help_text,
+        run_tenants,
+        scaled_tracker_config,
+        tenancy_from_dict,
+    )
+
+    if args.list_placements:
+        print(placements_help_text())
+        return 0
+    if _maybe_list_policies(args):
+        return 0
+    try:
+        if args.spec is not None:
+            raw = json.loads(Path(args.spec).read_text())
+            spec = tenancy_from_dict(raw)
+            if args.placement is not None:
+                spec = spec.with_(placement=args.placement)
+            if args.horizon is not None:
+                spec = spec.with_(horizon=args.horizon)
+        else:
+            # Synthetic fleet: N equal scaled-down trackers.
+            cfg = scaled_tracker_config(0.1, frame_period=0.2, cv=0.0)
+            policy = _policy(args.policy) if args.policy else None
+            spec = TenancySpec(
+                tenants=tuple(
+                    TenantSpec(f"tenant{i}", app_config=cfg, policy=policy)
+                    for i in range(args.tenants)
+                ),
+                cluster=args.nodes,
+                placement=args.placement or "rstorm",
+                admission=args.admission,
+                seed=args.seed,
+                horizon=args.horizon if args.horizon is not None else 10.0,
+            )
+        result = run_tenants(spec)
+    except ConfigError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    n = len(result.records)
+    admitted = len(result.admitted)
+    print(f"tenants: {n} declared, {admitted} admitted, "
+          f"placement={result.runtime.scheduler.strategy.name} "
+          f"admission={spec.admission} horizon={spec.horizon:.0f}s")
+    if args.json:
+        payload = {
+            "tenants": {
+                name: {
+                    "state": rec.state,
+                    "deliveries": rec.deliveries,
+                    "goodput": rec.goodput,
+                    "latency_p95": rec.latency_p95,
+                    "placement": rec.placement,
+                }
+                for name, rec in result.records.items()
+            },
+            "jain": result.fairness.jain,
+            "weighted_jain": result.fairness.weighted_jain,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(result.format())
+    return 0
+
+
 def cmd_compare(args) -> int:
     from repro.bench import compare_traces
 
@@ -630,6 +701,39 @@ def build_parser() -> argparse.ArgumentParser:
                       help="record repro.obs telemetry (incl. scale "
                            "events) and export it to DIR")
     p_el.set_defaults(func=cmd_elastic)
+
+    p_ten = sub.add_parser(
+        "tenants",
+        help="run a multi-tenant fleet on one shared cluster")
+    p_ten.add_argument("spec", nargs="?", default=None,
+                       help="JSON tenancy spec (see repro.tenancy.specfile); "
+                            "omit for a synthetic tracker fleet")
+    p_ten.add_argument("--tenants", type=int, default=4, metavar="N",
+                       help="synthetic fleet size when no spec file is "
+                            "given (default 4)")
+    p_ten.add_argument("--nodes", type=int, default=4,
+                       help="uniform cluster size for the synthetic fleet "
+                            "(default 4)")
+    p_ten.add_argument("--placement", default=None, metavar="NAME",
+                       help="placement strategy (default rstorm; see "
+                            "--list-placements)")
+    p_ten.add_argument("--list-placements", action="store_true",
+                       help="print the placement-strategy catalog and exit")
+    p_ten.add_argument("--admission", default="queue",
+                       choices=("queue", "reject"),
+                       help="over-capacity behaviour (default queue)")
+    p_ten.add_argument("--policy", default=None, metavar="NAME",
+                       help="per-tenant ARU policy for the synthetic fleet "
+                            "(default none)")
+    p_ten.add_argument("--list-policies", action="store_true",
+                       help="print the policy catalog and exit")
+    p_ten.add_argument("--seed", type=int, default=0)
+    p_ten.add_argument("--horizon", type=float, default=None,
+                       help="override the spec's horizon (synthetic default "
+                            "10s)")
+    p_ten.add_argument("--json", action="store_true",
+                       help="machine-readable per-tenant summary")
+    p_ten.set_defaults(func=cmd_tenants)
 
     p_cmp = sub.add_parser("compare", help="compare two saved traces")
     p_cmp.add_argument("trace_a")

@@ -173,8 +173,8 @@ class Network:
         key = (src, dst)
         link = self._links.get(key)
         if link is None:
-            link = Link(self.engine, self.spec.link, name=f"{src}->{dst}",
-                        obs=self.obs)
+            link = Link(self.engine, self.spec.link_spec(src, dst),
+                        name=f"{src}->{dst}", obs=self.obs)
             link.observer = self._observer
             self._links[key] = link
         return link

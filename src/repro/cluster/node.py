@@ -53,6 +53,40 @@ class Node:
         self.failed = False
         #: Number of crash faults applied to this node so far.
         self.crash_count = 0
+        # -- scheduler reservations (declarative, see repro.tenancy) ------
+        #: CPU cores committed to placed tenants (may be fractional).
+        self.cpu_committed = 0.0
+        #: Bytes of memory committed to placed tenants.
+        self.mem_committed = 0
+        #: NIC bytes/second committed to placed tenants.
+        self.bw_committed = 0
+
+    # -- scheduler reservations ---------------------------------------------
+    def commit(self, cpu: float, mem_bytes: int, bandwidth_bps: int) -> None:
+        """Reserve declared tenant demand against this node's budgets.
+
+        Pure accounting for the cluster scheduler — it never gates the
+        data path (actual CPU time still flows through :meth:`compute`).
+        """
+        if cpu < 0 or mem_bytes < 0 or bandwidth_bps < 0:
+            raise SimulationError(
+                f"node {self.name!r}: negative commitment "
+                f"({cpu}, {mem_bytes}, {bandwidth_bps})"
+            )
+        self.cpu_committed += cpu
+        self.mem_committed += mem_bytes
+        self.bw_committed += bandwidth_bps
+
+    def uncommit(self, cpu: float, mem_bytes: int, bandwidth_bps: int) -> None:
+        """Release a reservation made with :meth:`commit`."""
+        if (self.cpu_committed - cpu < -1e-9 or self.mem_committed < mem_bytes
+                or self.bw_committed < bandwidth_bps):
+            raise SimulationError(
+                f"node {self.name!r}: releasing more than committed"
+            )
+        self.cpu_committed = max(0.0, self.cpu_committed - cpu)
+        self.mem_committed -= mem_bytes
+        self.bw_committed -= bandwidth_bps
 
     # -- fault control ------------------------------------------------------
     def fail(self) -> None:

@@ -14,7 +14,7 @@ configurations:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional, Tuple
 
 from repro.errors import ConfigError
 
@@ -54,6 +54,13 @@ class NodeSpec:
         :func:`repro.cluster.contention.memory_pressure_factor`). Nonzero
         on the shared config-1 node, where the paper's ARU-min throughput
         gain comes from relieving exactly this pressure.
+    bandwidth_bps:
+        The node's NIC budget, bytes/second — a *declarative* resource
+        budget for R-Storm-style placement (see :mod:`repro.tenancy`),
+        not a data-path rate limit (wire time stays the link's job).
+        Together with ``ncpus`` and ``mem_bytes`` this forms the
+        per-node CPU/memory/bandwidth vector the scheduler packs
+        against.
     """
 
     name: str
@@ -62,6 +69,7 @@ class NodeSpec:
     smp_contention_alpha: float = 0.0
     sched_noise_cv: float = 0.0
     mem_pressure_per_mb: float = 0.0
+    bandwidth_bps: int = GIGABIT_BPS
 
     def __post_init__(self) -> None:
         if self.ncpus < 1:
@@ -74,6 +82,15 @@ class NodeSpec:
             raise ConfigError(f"node {self.name!r}: negative scheduling noise")
         if self.mem_pressure_per_mb < 0:
             raise ConfigError(f"node {self.name!r}: negative memory pressure")
+        if self.bandwidth_bps <= 0:
+            raise ConfigError(
+                f"node {self.name!r}: bandwidth_bps must be positive"
+            )
+
+    @property
+    def capacity_vector(self) -> Tuple[float, int, int]:
+        """The placement budget ``(ncpus, mem_bytes, bandwidth_bps)``."""
+        return (float(self.ncpus), self.mem_bytes, self.bandwidth_bps)
 
 
 @dataclass(frozen=True)
@@ -97,19 +114,72 @@ class LinkSpec:
 
 
 @dataclass(frozen=True)
+class PairLink:
+    """One per-directed-pair link override inside a :class:`ClusterSpec`.
+
+    The default interconnect is uniform (``ClusterSpec.link``); a
+    heterogeneous fabric declares exceptions as ``PairLink`` entries —
+    e.g. a slow uplink between two racks.
+    """
+
+    src: str
+    dst: str
+    spec: LinkSpec = field(default_factory=LinkSpec)
+
+    def __post_init__(self) -> None:
+        if not self.src or not self.dst:
+            raise ConfigError("link endpoints must be non-empty node names")
+        if self.src == self.dst:
+            raise ConfigError(f"no self-link: {self.src!r} -> {self.dst!r}")
+
+
+@dataclass(frozen=True)
 class ClusterSpec:
-    """A set of nodes plus a uniform interconnect."""
+    """A set of nodes plus an interconnect.
+
+    The interconnect is uniform (``link``) unless per-directed-pair
+    :class:`PairLink` overrides are declared in ``links``. Validation
+    rejects duplicate node names and duplicate link endpoints with a
+    clear :class:`~repro.errors.ConfigError` — collisions must never
+    silently shadow an earlier declaration.
+    """
 
     nodes: tuple  # tuple[NodeSpec, ...]
     link: LinkSpec = field(default_factory=LinkSpec)
     name: str = "cluster"
+    links: tuple = ()  # tuple[PairLink, ...]
 
     def __post_init__(self) -> None:
         if not self.nodes:
             raise ConfigError("cluster needs at least one node")
         names = [n.name for n in self.nodes]
-        if len(set(names)) != len(names):
-            raise ConfigError(f"duplicate node names: {names}")
+        seen: set = set()
+        for n in names:
+            if n in seen:
+                raise ConfigError(
+                    f"cluster {self.name!r}: duplicate node name {n!r}"
+                )
+            seen.add(n)
+        endpoints: set = set()
+        for pair in self.links:
+            if not isinstance(pair, PairLink):
+                raise ConfigError(
+                    f"cluster {self.name!r}: links must be PairLink "
+                    f"instances, got {pair!r}"
+                )
+            for end in (pair.src, pair.dst):
+                if end not in seen:
+                    raise ConfigError(
+                        f"cluster {self.name!r}: link endpoint {end!r} is "
+                        f"not a node (nodes: {sorted(seen)})"
+                    )
+            key = (pair.src, pair.dst)
+            if key in endpoints:
+                raise ConfigError(
+                    f"cluster {self.name!r}: duplicate link "
+                    f"{pair.src!r} -> {pair.dst!r}"
+                )
+            endpoints.add(key)
 
     @property
     def node_names(self) -> List[str]:
@@ -120,6 +190,17 @@ class ClusterSpec:
             if n.name == name:
                 return n
         raise ConfigError(f"no node named {name!r} in {self.name!r}")
+
+    def link_spec(self, src: str, dst: str) -> LinkSpec:
+        """The :class:`LinkSpec` for the directed pair ``src -> dst``.
+
+        Per-pair overrides win; everything else uses the uniform
+        ``link``.
+        """
+        for pair in self.links:
+            if pair.src == src and pair.dst == dst:
+                return pair.spec
+        return self.link
 
 
 def config1_spec(
@@ -168,4 +249,80 @@ def config2_spec(
         ),
         link=link or LinkSpec(),
         name=f"config2-{n_nodes}node",
+    )
+
+
+def uniform_spec(
+    n_nodes: int,
+    *,
+    ncpus: int = 8,
+    mem_bytes: int = int(3.69 * 2**30),
+    bandwidth_bps: int = GIGABIT_BPS,
+    sched_noise_cv: float = 0.0,
+    link: Optional[LinkSpec] = None,
+    name: Optional[str] = None,
+) -> ClusterSpec:
+    """``n_nodes`` identical nodes — the multi-tenant substrate shape.
+
+    Unlike the paper configs this defaults to *quiet* nodes (no
+    contention/noise), so fleet benchmarks measure placement and
+    scheduling effects rather than per-node stochastic inflation.
+    """
+    if n_nodes < 1:
+        raise ConfigError(f"need at least one node, got {n_nodes}")
+    return ClusterSpec(
+        nodes=tuple(
+            NodeSpec(
+                name=f"node{i}",
+                ncpus=ncpus,
+                mem_bytes=mem_bytes,
+                bandwidth_bps=bandwidth_bps,
+                sched_noise_cv=sched_noise_cv,
+            )
+            for i in range(n_nodes)
+        ),
+        link=link or LinkSpec(),
+        name=name or f"uniform-{n_nodes}node",
+    )
+
+
+def heterogeneous_spec(
+    *,
+    n_big: int = 4,
+    n_small: int = 4,
+    big_ncpus: int = 16,
+    small_ncpus: int = 2,
+    big_bandwidth_bps: int = GIGABIT_BPS,
+    small_bandwidth_bps: int = GIGABIT_BPS // 8,
+    mem_bytes: int = int(3.69 * 2**30),
+    link: Optional[LinkSpec] = None,
+    name: Optional[str] = None,
+) -> ClusterSpec:
+    """A mixed fleet: ``n_big`` fat nodes plus ``n_small`` thin ones.
+
+    The shape where placement policy matters: capacity-blind strategies
+    treat ``small`` nodes like ``big`` ones and overload them, while
+    resource-aware packing respects the per-node budget vectors. Small
+    nodes get proportionally less memory and NIC bandwidth too.
+    """
+    if n_big < 0 or n_small < 0 or n_big + n_small < 1:
+        raise ConfigError("need at least one node")
+    big = tuple(
+        NodeSpec(name=f"big{i}", ncpus=big_ncpus, mem_bytes=mem_bytes,
+                 bandwidth_bps=big_bandwidth_bps)
+        for i in range(n_big)
+    )
+    small = tuple(
+        NodeSpec(
+            name=f"small{i}",
+            ncpus=small_ncpus,
+            mem_bytes=max(1, mem_bytes * small_ncpus // max(1, big_ncpus)),
+            bandwidth_bps=small_bandwidth_bps,
+        )
+        for i in range(n_small)
+    )
+    return ClusterSpec(
+        nodes=big + small,
+        link=link or LinkSpec(),
+        name=name or f"hetero-{n_big}big-{n_small}small",
     )

@@ -21,7 +21,6 @@ Extensions register their own presets::
 
 from __future__ import annotations
 
-import difflib
 from typing import Callable, Dict, List, NamedTuple, Union
 
 from repro.aru.config import (
@@ -39,7 +38,7 @@ from repro.control.scale import (
     scale_erlang_latency,
     scale_null,
 )
-from repro.errors import ConfigError
+from repro.errors import ConfigError, unknown_name_error
 
 
 class PolicyEntry(NamedTuple):
@@ -75,14 +74,7 @@ def resolve_policy(policy: Union[str, AruConfig]) -> AruConfig:
         return policy
     entry = _REGISTRY.get(policy)
     if entry is None:
-        close = difflib.get_close_matches(str(policy), _REGISTRY, n=3,
-                                          cutoff=0.4)
-        hint = f"; did you mean {' or '.join(map(repr, close))}?" if close \
-            else ""
-        raise ConfigError(
-            f"unknown policy {policy!r}{hint} "
-            f"(available: {', '.join(list_policies())})"
-        )
+        raise unknown_name_error("policy", policy, _REGISTRY)
     return entry.factory()
 
 
@@ -154,14 +146,7 @@ def resolve_scale_policy(
         return policy
     entry = _SCALE_REGISTRY.get(policy)
     if entry is None:
-        close = difflib.get_close_matches(str(policy), _SCALE_REGISTRY, n=3,
-                                          cutoff=0.4)
-        hint = f"; did you mean {' or '.join(map(repr, close))}?" if close \
-            else ""
-        raise ConfigError(
-            f"unknown scale policy {policy!r}{hint} "
-            f"(available: {', '.join(list_scale_policies())})"
-        )
+        raise unknown_name_error("scale policy", policy, _SCALE_REGISTRY)
     return entry.factory()
 
 

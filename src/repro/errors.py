@@ -3,9 +3,17 @@
 Every error raised by this library derives from :class:`ReproError`, so
 callers can catch the whole family with one ``except`` clause while still
 being able to discriminate on the specific subclass.
+
+:func:`unknown_name_error` is the shared did-you-mean builder used by
+every name registry (rate policies, scale policies, placement
+strategies): config typos must never silently run a default, and every
+registry should complain in the same voice.
 """
 
 from __future__ import annotations
+
+import difflib
+from typing import Iterable
 
 
 class ReproError(Exception):
@@ -56,3 +64,20 @@ class TraceError(ReproError):
 class TelemetryError(ReproError):
     """The telemetry subsystem was misused (metric type clash, bad label
     set, export of an unbound hub...)."""
+
+
+def unknown_name_error(kind: str, name: object,
+                       available: Iterable[str]) -> ConfigError:
+    """A :class:`ConfigError` for an unknown registry name.
+
+    Builds the uniform ``unknown <kind> <name>; did you mean ...?
+    (available: ...)`` message with :mod:`difflib` close-match
+    suggestions. Callers ``raise`` the returned exception, keeping the
+    traceback anchored at the resolution site.
+    """
+    names = sorted(available)
+    close = difflib.get_close_matches(str(name), names, n=3, cutoff=0.4)
+    hint = f"; did you mean {' or '.join(map(repr, close))}?" if close else ""
+    return ConfigError(
+        f"unknown {kind} {name!r}{hint} (available: {', '.join(names)})"
+    )

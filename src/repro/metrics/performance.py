@@ -107,6 +107,27 @@ def latency_samples(recorder: TraceRecorder, warmup: float = 0.0) -> List[float]
     return samples
 
 
+def latency_samples_by_thread(
+    recorder: TraceRecorder, warmup: float = 0.0
+) -> Dict[str, List[float]]:
+    """Latency samples grouped by the sink thread that delivered them.
+
+    Multi-tenant runs have one sink per tenant (namespaced thread names),
+    so grouping by ``it.thread`` yields per-tenant latency distributions
+    from a single shared trace.
+    """
+    anchors = _oldest_source_anchor(recorder)
+    grouped: Dict[str, List[float]] = {}
+    for it in recorder.sink_iterations():
+        if it.t_end < warmup:
+            continue
+        for item_id in it.inputs:
+            anchor = anchors.get(item_id)
+            if anchor is not None:
+                grouped.setdefault(it.thread, []).append(it.t_end - anchor)
+    return grouped
+
+
 def latency_stats(recorder: TraceRecorder, warmup: float = 0.0) -> tuple:
     """(mean, std) of latency in seconds; (nan, nan) with no deliveries."""
     samples = latency_samples(recorder, warmup)

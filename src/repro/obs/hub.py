@@ -178,6 +178,7 @@ class NullTelemetryHub:
     def on_sync(self, *a, **k) -> None: ...
     def on_fault(self, *a, **k) -> None: ...
     def on_scale(self, *a, **k) -> None: ...
+    def on_tenant(self, *a, **k) -> None: ...
     def on_finalize(self, *a, **k) -> None: ...
 
     def put_handle(self, *a, **k):
@@ -199,6 +200,9 @@ class NullTelemetryHub:
         return NOOP_HANDLE
 
     def fault_handle(self, *a, **k):
+        return NOOP_HANDLE
+
+    def tenant_handle(self, *a, **k):
         return NOOP_HANDLE
 
     def span_put(self, *a, **k) -> None: ...
@@ -388,6 +392,20 @@ class TelemetryHub:
             self._handles[key] = handle
         return handle
 
+    def tenant_handle(self, tenant: str):
+        """Handle for one tenant's sink deliveries: ``.inc()`` per frame."""
+        if not self.metrics_on:
+            return NOOP_HANDLE
+        key = ("tenant", tenant)
+        handle = self._handles.get(key)
+        if handle is None:
+            bank = self.metrics.bank
+            slot = bank.counter_slot("repro_tenant_deliveries_total",
+                                     {"tenant": tenant})
+            handle = CounterHandle(bank.values, slot)
+            self._handles[key] = handle
+        return handle
+
     # -- span helpers -------------------------------------------------------
     # The span side of each semantic hook, callable directly by hot sites
     # behind ``if obs.spans_on:`` so metrics-only runs skip the frames.
@@ -541,6 +559,21 @@ class TelemetryHub:
                 args["replica"] = replica
             self.tracer.instant(f"scale:{action}", cat="scale",
                                 track="scaling", t=t, args=args)
+
+    # -- tenancy path -------------------------------------------------------
+    def on_tenant(self, phase: str, tenant: str, t: float,
+                  detail: str = "") -> None:
+        """A tenant lifecycle event: admitted/queued/rejected/departed/
+        evicted/replaced. O(tenant transitions), so ad-hoc instruments."""
+        if self.metrics_on:
+            self.metrics.counter("repro_tenant_events_total",
+                                 {"phase": phase}).inc()
+        if self.spans_on:
+            args: Dict[str, object] = {"tenant": tenant}
+            if detail:
+                args["detail"] = detail
+            self.tracer.instant(f"tenant:{phase}", cat="tenant",
+                                track="tenants", t=t, args=args)
 
     # -- run lifecycle ------------------------------------------------------
     def on_finalize(self, stats: Dict[str, dict], t: float) -> None:

@@ -318,6 +318,24 @@ class Channel:
                 item.doomed = True
         return freed
 
+    def drain(self, t: float) -> int:
+        """Reclaim all storage (tenant departure / teardown).
+
+        Frees every unreferenced item immediately and dooms the rest so
+        they free when their last consumer releases them. Returns the
+        number of items freed now.
+        """
+        freed = 0
+        for item in self.items_snapshot():
+            if item.freed:
+                continue
+            if item.refcount == 0:
+                self._free(item, t)
+                freed += 1
+            else:
+                item.doomed = True
+        return freed
+
     def _free(self, item: Item, t: float) -> None:
         if item.freed:  # pragma: no cover - defensive
             raise SimulationError(f"double free of {item!r} in {self.name!r}")

@@ -40,6 +40,9 @@ class TaskGraph:
         self._g = nx.DiGraph()
         #: stage name -> replication spec (see :meth:`add_replicated_stage`).
         self._replicated: Dict[str, Dict[str, Any]] = {}
+        #: Whether any thread is explicitly marked ``sink`` (cached so
+        #: :meth:`is_sink` stays O(degree) on merged multi-tenant graphs).
+        self._has_marked_sink = False
 
     # -- construction ----------------------------------------------------
     def _check_new_name(self, name: str) -> None:
@@ -69,6 +72,8 @@ class TaskGraph:
             params=dict(params or {}),
             compress_op=compress_op,
         )
+        if sink:
+            self._has_marked_sink = True
         return self
 
     def add_channel(
@@ -251,6 +256,54 @@ class TaskGraph:
             )
         self._g.remove_node(name)
 
+    # -- composition --------------------------------------------------------
+    def merge(self, other: "TaskGraph", prefix: str = "") -> Dict[str, str]:
+        """Copy another graph's nodes and edges into this one, renamed.
+
+        Every node of ``other`` is added as ``prefix + name`` (threads,
+        buffers, replicated-stage bookkeeping and edges alike); cluster
+        placement hints (``node=``) are *not* renamed — they refer to
+        hardware, not graph nodes. Returns the ``old name -> new name``
+        mapping. This is the multi-tenancy primitive: each tenant's app
+        graph merges into one shared graph under its namespace, so all
+        tenants coexist in a single engine run.
+
+        Raises :class:`GraphError` on any name collision, leaving
+        ``self`` untouched.
+        """
+        if other is self:
+            raise GraphError("cannot merge a graph into itself")
+        mapping = {n: f"{prefix}{n}" for n in other._g.nodes}
+        for new in mapping.values():
+            if new in self._g:
+                raise GraphError(
+                    f"merge collision: {new!r} already exists in "
+                    f"{self.name!r}"
+                )
+        for stage in other._replicated:
+            if f"{prefix}{stage}" in self._replicated:
+                raise GraphError(
+                    f"merge collision: replicated stage "
+                    f"{prefix}{stage!r} already exists in {self.name!r}"
+                )
+        for old, new in mapping.items():
+            data = dict(other._g.nodes[old])
+            for key in ("partition_of", "merge_of", "replica_of"):
+                if data.get(key) is not None:
+                    data[key] = f"{prefix}{data[key]}"
+            self._g.add_node(new, **data)
+            if data.get("sink"):
+                self._has_marked_sink = True
+        for u, v in other._g.edges:
+            self._g.add_edge(mapping[u], mapping[v])
+        for stage, spec in other._replicated.items():
+            spec = dict(spec)
+            spec["params"] = dict(spec["params"])
+            spec["input"] = f"{prefix}{spec['input']}"
+            spec["output"] = f"{prefix}{spec['output']}"
+            self._replicated[f"{prefix}{stage}"] = spec
+        return mapping
+
     # -- inspection ---------------------------------------------------------
     def kind(self, name: str) -> str:
         try:
@@ -303,10 +356,16 @@ class TaskGraph:
         return [t for t in self.threads() if not self.outputs_of(t)]
 
     def is_source(self, thread: str) -> bool:
-        return thread in self.sources()
+        if self.kind(thread) != THREAD:
+            return False
+        return not self.inputs_of(thread)
 
     def is_sink(self, thread: str) -> bool:
-        return thread in self.sinks()
+        if self.kind(thread) != THREAD:
+            return False
+        if self._has_marked_sink:
+            return bool(self._g.nodes[thread].get("sink"))
+        return not self.outputs_of(thread)
 
     @property
     def nx_graph(self) -> nx.DiGraph:

@@ -70,7 +70,7 @@ class Runtime:
     def __init__(self, graph: TaskGraph, config: Optional[RuntimeConfig] = None) -> None:
         self.graph = graph
         self.config = config or RuntimeConfig()
-        graph.validate()
+        self._validate_graph()
 
         self.engine = Engine()
         self.clock = SimClock(self.engine)
@@ -117,17 +117,61 @@ class Runtime:
         #: configured AND the graph has replicated stages — the same
         #: zero-added-events-when-off contract as the fault injector).
         self.scalers: Dict[str, StageScaleController] = {}
-        scale = self.config.scale
-        if (scale is not None and scale.enabled and scale.policy != "null"
-                and graph.replicated_stages()):
-            for stage in graph.replicated_stages():
-                ctl = StageScaleController(self, stage, scale)
-                self.scalers[stage] = ctl
-                self.engine.process(ctl.run(), name=f"scaler.{stage}")
+        self._scaler_processes: Dict[str, object] = {}
+        self._install_scale_controllers(graph.replicated_stages())
         self._ran = False
         #: Failure-detection callback ``(symptom, target, source)``;
         #: installed by a FaultInjector, None in fault-free runs.
         self.fault_hook = None
+
+    # -- per-thread/buffer resolution hooks ---------------------------------
+    # Single-tenant wiring delegates straight to the run-level config; the
+    # multi-tenant runtime (repro.tenancy) overrides these so each tenant
+    # gets its own control plane, RNG streams, and namespaced buffers
+    # without the base construction path paying anything for it.
+    def _validate_graph(self) -> None:
+        self.graph.validate()
+
+    def _aru_for(self, thread: str) -> AruConfig:
+        """The ARU config that builds ``thread``'s control stack."""
+        return self.config.aru
+
+    def _feedback_endpoint_for(self, buffer: str, compress_op):
+        """The feedback endpoint wired into ``buffer`` (may be None)."""
+        return self.feedback_bus.endpoint_for(buffer, compress_op)
+
+    def _task_rng(self, thread: str):
+        """The RNG stream driving ``thread``'s task body."""
+        return self.rngs.stream(f"task.{thread}")
+
+    def _conn_key(self, thread: str, buffer: str) -> str:
+        """The name ``thread``'s task body uses for ``buffer``.
+
+        Task bodies yield ``Get``/``Put`` with the channel names their
+        graph declared; a namespacing runtime maps the (renamed) global
+        buffer back to that local name here.
+        """
+        return buffer
+
+    def _delivery_handle(self, thread: str):
+        """Per-tenant delivery counter for a sink thread, or None."""
+        return None
+
+    def _scale_config_for(self, stage: str) -> Optional[ScaleConfig]:
+        """The elastic-scaling config governing ``stage`` (None = off)."""
+        return self.config.scale
+
+    def _install_scale_controllers(self, stages) -> None:
+        """Spawn scale-controller processes for ``stages`` where configured."""
+        for stage in stages:
+            scale = self._scale_config_for(stage)
+            if scale is None or not scale.enabled or scale.policy == "null":
+                continue
+            ctl = StageScaleController(self, stage, scale)
+            self.scalers[stage] = ctl
+            self._scaler_processes[stage] = self.engine.process(
+                ctl.run(), name=f"scaler.{stage}"
+            )
 
     # -- placement ---------------------------------------------------------
     def _resolve_thread_node(self, thread: str) -> str:
@@ -166,9 +210,7 @@ class Runtime:
         attrs = self.graph.attrs(name)
         node = self.nodes[self._resolve_buffer_node(name)]
         capacity = attrs.get("capacity")
-        feedback = self.feedback_bus.endpoint_for(
-            name, attrs.get("compress_op")
-        )
+        feedback = self._feedback_endpoint_for(name, attrs.get("compress_op"))
         if attrs.get("partition_of") is not None:
             return PartitionQueue(
                 self.engine,
@@ -217,14 +259,16 @@ class Runtime:
     def _build_driver(self, name: str) -> ThreadDriver:
         attrs = self.graph.attrs(name)
         node = self.nodes[self._thread_placement[name]]
-        aru = self.config.aru
+        aru = self._aru_for(name)
 
         in_conns = {
-            buf: (self.buffers[buf], self.buffers[buf].register_consumer(name))
+            self._conn_key(name, buf):
+                (self.buffers[buf], self.buffers[buf].register_consumer(name))
             for buf in self.graph.inputs_of(name)
         }
         out_conns = {
-            buf: (self.buffers[buf], self.buffers[buf].register_producer(name))
+            self._conn_key(name, buf):
+                (self.buffers[buf], self.buffers[buf].register_producer(name))
             for buf in self.graph.outputs_of(name)
         }
 
@@ -242,7 +286,7 @@ class Runtime:
         ctx = TaskContext(
             name=name,
             params=attrs.get("params", {}),
-            rng=self.rngs.stream(f"task.{name}"),
+            rng=self._task_rng(name),
             clock=self.clock,
             is_source=is_source,
             is_sink=is_sink,

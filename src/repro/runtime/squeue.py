@@ -215,5 +215,31 @@ class SQueue:
         """Queues self-manage storage; nothing for a GC to do."""
         return 0
 
+    def drain(self, t: float) -> int:
+        """Reclaim all queued storage (tenant departure / teardown).
+
+        Queued items are by construction unreferenced (a pop removes the
+        item from the FIFO), so every one frees immediately. Returns the
+        number of items freed.
+        """
+        freed = 0
+        while self._fifo:
+            item = self._fifo.popleft()
+            if item.freed:  # pragma: no cover - defensive
+                continue
+            item.freed = True
+            self.total_frees += 1
+            freed += 1
+            self.node.free(item.size)
+            self.recorder.on_free(item.item_id, t)
+            obs = self.obs
+            if obs.enabled:
+                self._free_h.add(1.0, item.size)
+                if obs.spans_on:
+                    obs.span_free(item, t)
+        if self.capacity is not None:
+            self._putters.notify_all()
+        return freed
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<SQueue {self.name!r} depth={len(self._fifo)} on {self.node.name}>"

@@ -105,6 +105,9 @@ class ThreadDriver:
         # resolved once per thread instead of eight registry lookups per
         # iteration (ISSUE 7). No-op when telemetry/metrics are off.
         self._sync_h = runtime.obs.sync_handle(name)
+        # Per-tenant delivery counter: non-None only for sink threads of
+        # a multi-tenant runtime with telemetry on (see repro.tenancy).
+        self._deliver_h = runtime._delivery_handle(name)
         # per-iteration accumulators
         self._iter_start = runtime.clock.now()
         self._iter_inputs: List[int] = []
@@ -448,6 +451,8 @@ class ThreadDriver:
                 self._iter_start, t_end, self._iter_compute, blocked,
                 slept, stp, summary, target,
             )
+            if self._deliver_h is not None:
+                self._deliver_h.inc()
             if obs.spans_on:
                 obs.span_sync(
                     self.name, self._iter_start, t_end, self._iter_compute,

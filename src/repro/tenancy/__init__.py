@@ -1,0 +1,74 @@
+"""Multi-tenancy: many applications sharing one simulated cluster.
+
+The tenancy layer turns the cluster into a shared substrate: a
+:class:`Scheduler` with pluggable placement strategies admits
+:class:`TenantSpec`-described applications into a single
+:class:`~repro.tenancy.runtime.TenantRuntime` engine run — every tenant
+contending for the same nodes and links, each with its own control
+plane, RNG streams, and namespaced graph slice. :func:`run_tenants` is
+the front door, mirroring :func:`repro.run_experiment`.
+
+Timescale separation (docs/multi-tenancy.md): the **scheduler** decides
+*where* threads run (arrival / departure / fault granularity); **ARU**
+decides *how fast* they consume (every iteration); **ScalePolicy**
+decides *how many* replicas run (every control period).
+"""
+
+from repro.tenancy.fairness import (
+    FairnessReport,
+    fairness_report,
+    jain_index,
+    weighted_jain_index,
+)
+from repro.tenancy.placement import (
+    PlacementView,
+    available_placements,
+    placements_help_text,
+    register_placement,
+    resolve_placement,
+)
+from repro.tenancy.run import (
+    TenancyResult,
+    TenancySpec,
+    TenantRecord,
+    churn,
+    poisson_arrivals,
+    run_tenants,
+    scaled_tracker_config,
+)
+from repro.tenancy.runtime import TenantRuntime
+from repro.tenancy.scheduler import ADMISSION_MODES, Scheduler
+from repro.tenancy.specfile import tenancy_from_dict
+from repro.tenancy.tenant import (
+    TENANT_STATES,
+    ResourceDemand,
+    Tenant,
+    TenantSpec,
+)
+
+__all__ = [
+    "ADMISSION_MODES",
+    "FairnessReport",
+    "PlacementView",
+    "ResourceDemand",
+    "Scheduler",
+    "TENANT_STATES",
+    "TenancyResult",
+    "TenancySpec",
+    "Tenant",
+    "TenantRecord",
+    "TenantRuntime",
+    "TenantSpec",
+    "available_placements",
+    "churn",
+    "fairness_report",
+    "jain_index",
+    "placements_help_text",
+    "poisson_arrivals",
+    "register_placement",
+    "resolve_placement",
+    "run_tenants",
+    "scaled_tracker_config",
+    "tenancy_from_dict",
+    "weighted_jain_index",
+]

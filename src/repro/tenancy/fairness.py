@@ -1,0 +1,98 @@
+"""Cross-tenant fairness metrics: Jain's index and share reports.
+
+Jain's fairness index over allocations ``x_1..x_n``:
+
+``J = (sum x)^2 / (n * sum x^2)``
+
+J is 1 when every tenant gets the same goodput, 1/n when one tenant
+gets everything. The *weighted* variant normalizes each allocation by
+the tenant's declared weight first, so a priority tenant legitimately
+receiving twice the goodput of a weight-1 tenant still scores 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping
+
+from repro.errors import ConfigError
+
+
+def jain_index(values: Iterable[float]) -> float:
+    """Jain's fairness index; nan for no values, 1.0 for all-zero."""
+    xs = [float(v) for v in values]
+    if not xs:
+        return float("nan")
+    if any(x < 0 for x in xs):
+        raise ConfigError("jain_index requires non-negative allocations")
+    square_sum = sum(x * x for x in xs)
+    if square_sum == 0.0:
+        return 1.0
+    total = sum(xs)
+    return (total * total) / (len(xs) * square_sum)
+
+
+def weighted_jain_index(values: Iterable[float],
+                        weights: Iterable[float]) -> float:
+    """Jain's index over weight-normalized allocations ``x_i / w_i``."""
+    xs = list(values)
+    ws = list(weights)
+    if len(xs) != len(ws):
+        raise ConfigError(
+            f"got {len(xs)} allocations but {len(ws)} weights"
+        )
+    if any(w <= 0 for w in ws):
+        raise ConfigError("weights must be positive")
+    return jain_index(x / w for x, w in zip(xs, ws))
+
+
+@dataclass
+class FairnessReport:
+    """Cross-tenant goodput fairness for one run."""
+
+    #: tenant -> goodput (deliveries per resident second).
+    goodput: Dict[str, float] = field(default_factory=dict)
+    #: tenant -> declared fairness weight.
+    weights: Dict[str, float] = field(default_factory=dict)
+    jain: float = float("nan")
+    weighted_jain: float = float("nan")
+
+    @property
+    def shares(self) -> Dict[str, float]:
+        """Each tenant's fraction of total goodput."""
+        total = sum(self.goodput.values())
+        if total <= 0:
+            return {name: 0.0 for name in self.goodput}
+        return {name: g / total for name, g in self.goodput.items()}
+
+    def format(self) -> str:
+        """Human-readable fairness table."""
+        lines = [
+            f"fairness: jain={self.jain:.3f} "
+            f"weighted={self.weighted_jain:.3f} "
+            f"({len(self.goodput)} tenants)"
+        ]
+        shares = self.shares
+        width = max((len(n) for n in self.goodput), default=0)
+        for name in sorted(self.goodput):
+            lines.append(
+                f"  {name:<{width}}  goodput={self.goodput[name]:8.3f}/s "
+                f"share={shares[name]:6.1%} weight={self.weights[name]:g}"
+            )
+        return "\n".join(lines)
+
+
+def fairness_report(goodput: Mapping[str, float],
+                    weights: Mapping[str, float]) -> FairnessReport:
+    """Build the report for admitted tenants' goodput."""
+    names = sorted(goodput)
+    ws = {name: float(weights.get(name, 1.0)) for name in names}
+    return FairnessReport(
+        goodput={name: float(goodput[name]) for name in names},
+        weights=ws,
+        jain=jain_index(goodput[name] for name in names),
+        weighted_jain=weighted_jain_index(
+            (goodput[name] for name in names),
+            (ws[name] for name in names),
+        ),
+    )

@@ -1,0 +1,270 @@
+"""Pluggable placement strategies for the cluster scheduler.
+
+A strategy maps one tenant's threads onto cluster nodes against a
+:class:`PlacementView` — the scheduler's snapshot of per-node available
+resources. Strategies are pure bin-packing logic: no engine, no RNG, so
+the hypothesis property tests drive them directly.
+
+Built-ins (see :func:`placements_help_text`):
+
+* ``round-robin`` — capacity-aware cycling: each thread goes to the next
+  feasible node after a persistent cursor. The capacity-blind baseline
+  benchmarks compare against.
+* ``rstorm`` — R-Storm-style min-distance bin packing (Peng et al.,
+  "R-Storm: Resource-Aware Scheduling in Storm"): place each thread on
+  the feasible node minimizing the euclidean distance between what
+  remains after placement and zero (tight packing), preferring nodes
+  that already host one of the thread's graph neighbors (colocation cuts
+  network transfers).
+* ``spread`` — maximize post-placement headroom: each thread goes to the
+  feasible node with the largest minimum available fraction, leveling
+  load at the cost of more remote hops.
+
+Register custom strategies with :func:`register_placement`; names
+resolve through :func:`resolve_placement` (CLI ``--placement``, spec
+files, :class:`~repro.tenancy.run.TenancySpec`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import ConfigError, unknown_name_error
+
+#: Placement feasibility slack for float CPU arithmetic.
+_EPS = 1e-9
+
+
+@dataclass
+class PlacementView:
+    """One admission attempt's snapshot of the cluster.
+
+    ``available`` is mutable on purpose: strategies subtract each
+    placed thread's demand via :meth:`take`, so feasibility for the
+    tenant's *later* threads accounts for its earlier ones. The
+    scheduler builds a fresh view per attempt; a failed attempt
+    discards it, leaving the reservation ledger untouched.
+    """
+
+    #: Candidate node names, in cluster declaration order (failed nodes
+    #: are excluded by the scheduler before the view is built).
+    nodes: Tuple[str, ...]
+    #: node -> full capacity vector (cpu, mem_bytes, bandwidth_bps).
+    capacity: Dict[str, Tuple[float, float, float]]
+    #: node -> remaining capacity vector, consumed during placement.
+    available: Dict[str, List[float]]
+    #: thread -> graph-neighbor threads (shared buffer), for colocation.
+    neighbors: Mapping[str, frozenset] = field(default_factory=dict)
+
+    def fits(self, node: str, demand: Tuple[float, float, float]) -> bool:
+        avail = self.available[node]
+        return all(avail[i] + _EPS >= demand[i] for i in range(3))
+
+    def take(self, node: str, demand: Tuple[float, float, float]) -> None:
+        avail = self.available[node]
+        for i in range(3):
+            avail[i] -= demand[i]
+
+
+class RoundRobinPlacement:
+    """Capacity-aware round-robin: next feasible node after the cursor.
+
+    The cursor persists across admissions (one strategy instance per
+    scheduler), so successive tenants start from different nodes — the
+    classic capacity-blind baseline, made merely capacity-*checking* so
+    it can still refuse an infeasible tenant.
+    """
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def place(self, tenant: str, threads, demands, view: PlacementView
+              ) -> Optional[Dict[str, str]]:
+        if not view.nodes:
+            return None
+        n = len(view.nodes)
+        assignment: Dict[str, str] = {}
+        for thread in threads:
+            vector = demands[thread].as_vector()
+            chosen = None
+            for k in range(n):
+                node = view.nodes[(self._cursor + k) % n]
+                if view.fits(node, vector):
+                    chosen = node
+                    self._cursor = (self._cursor + k + 1) % n
+                    break
+            if chosen is None:
+                return None
+            view.take(chosen, vector)
+            assignment[thread] = chosen
+        return assignment
+
+
+class RStormPlacement:
+    """R-Storm min-distance bin packing with neighbor colocation.
+
+    Per thread, among feasible nodes, minimize the tuple
+    ``(colocation_penalty, distance, node_index)`` where the penalty is
+    0 when the node already hosts one of the thread's graph neighbors
+    (placed earlier in this attempt) and the distance is the euclidean
+    norm of the post-placement remainder as fractions of node capacity —
+    small remainder = tight packing, leaving big nodes whole for big
+    tenants. The node index makes ties deterministic.
+    """
+
+    name = "rstorm"
+
+    def place(self, tenant: str, threads, demands, view: PlacementView
+              ) -> Optional[Dict[str, str]]:
+        assignment: Dict[str, str] = {}
+        for thread in threads:
+            vector = demands[thread].as_vector()
+            neighbor_nodes = {
+                assignment[other]
+                for other in view.neighbors.get(thread, ())
+                if other in assignment
+            }
+            best = None
+            best_key = None
+            for index, node in enumerate(view.nodes):
+                if not view.fits(node, vector):
+                    continue
+                capacity = view.capacity[node]
+                avail = view.available[node]
+                distance = 0.0
+                for i in range(3):
+                    if capacity[i] > 0:
+                        remainder = (avail[i] - vector[i]) / capacity[i]
+                        distance += remainder * remainder
+                key = (0 if node in neighbor_nodes else 1,
+                       math.sqrt(distance), index)
+                if best_key is None or key < best_key:
+                    best, best_key = node, key
+            if best is None:
+                return None
+            view.take(best, vector)
+            assignment[thread] = best
+        return assignment
+
+
+class SpreadPlacement:
+    """Headroom-maximizing spread: level load across the cluster.
+
+    Each thread goes to the feasible node whose *minimum* available
+    fraction after placement is largest — the anti-packing strategy,
+    useful when per-node interference dominates network cost.
+    """
+
+    name = "spread"
+
+    def place(self, tenant: str, threads, demands, view: PlacementView
+              ) -> Optional[Dict[str, str]]:
+        assignment: Dict[str, str] = {}
+        for thread in threads:
+            vector = demands[thread].as_vector()
+            best = None
+            best_key = None
+            for index, node in enumerate(view.nodes):
+                if not view.fits(node, vector):
+                    continue
+                capacity = view.capacity[node]
+                avail = view.available[node]
+                headroom = min(
+                    (avail[i] - vector[i]) / capacity[i]
+                    for i in range(3) if capacity[i] > 0
+                )
+                key = (-headroom, index)
+                if best_key is None or key < best_key:
+                    best, best_key = node, key
+            if best is None:
+                return None
+            view.take(best, vector)
+            assignment[thread] = best
+        return assignment
+
+
+# -- registry ---------------------------------------------------------------
+
+
+class _Entry:
+    __slots__ = ("factory", "help")
+
+    def __init__(self, factory: Callable[[], object], help: str) -> None:
+        self.factory = factory
+        self.help = help
+
+
+_PLACEMENTS: Dict[str, _Entry] = {}
+
+
+def register_placement(name: str, factory: Callable[[], object],
+                       help: str = "", replace: bool = False) -> None:
+    """Register a placement strategy under ``name``.
+
+    ``factory`` returns a fresh strategy instance (strategies may be
+    stateful, e.g. the round-robin cursor, so each scheduler gets its
+    own). Use ``replace=True`` to intentionally shadow a built-in.
+    """
+    if not name:
+        raise ConfigError("placement name must be non-empty")
+    if name in _PLACEMENTS and not replace:
+        raise ConfigError(
+            f"placement {name!r} is already registered "
+            f"(pass replace=True to override)"
+        )
+    if not callable(factory):
+        raise ConfigError(f"placement factory must be callable, got {factory!r}")
+    _PLACEMENTS[name] = _Entry(factory, help)
+
+
+def resolve_placement(value):
+    """A strategy instance from a registered name (or pass one through)."""
+    if value is None:
+        value = "rstorm"
+    if hasattr(value, "place"):
+        return value
+    if not isinstance(value, str):
+        raise ConfigError(
+            f"placement must be a registered name or an object with a "
+            f".place() method, got {value!r}"
+        )
+    entry = _PLACEMENTS.get(value)
+    if entry is None:
+        raise unknown_name_error("placement", value, _PLACEMENTS)
+    return entry.factory()
+
+
+def available_placements() -> List[str]:
+    """Registered strategy names, sorted."""
+    return sorted(_PLACEMENTS)
+
+
+def placements_help_text() -> str:
+    """The ``--list-placements`` catalog."""
+    names = available_placements()
+    width = max(len(n) for n in names) if names else 0
+    lines = ["registered placement strategies:"]
+    for name in names:
+        lines.append(f"  {name:<{width}}  {_PLACEMENTS[name].help}")
+    return "\n".join(lines)
+
+
+register_placement(
+    "round-robin", RoundRobinPlacement,
+    help="next feasible node after a persistent cursor (capacity-blind "
+         "baseline)",
+)
+register_placement(
+    "rstorm", RStormPlacement,
+    help="R-Storm min-distance bin packing over CPU/mem/bandwidth with "
+         "neighbor colocation",
+)
+register_placement(
+    "spread", SpreadPlacement,
+    help="maximize post-placement headroom; levels load, ignores "
+         "colocation",
+)

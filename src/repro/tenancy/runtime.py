@@ -1,0 +1,350 @@
+"""The shared multi-tenant runtime: one engine, many tenants.
+
+:class:`TenantRuntime` extends :class:`~repro.runtime.Runtime` with the
+tenancy lifecycle: tenants admit into (and depart from) one *shared*
+task graph mid-run, every tenant's threads contending for the same
+simulated nodes and links. The base runtime's per-thread resolution
+hooks are overridden so each tenant gets:
+
+* a **private control plane** — its own
+  :class:`~repro.control.propagation.FeedbackBus` built from its own
+  ARU config, so backwardSTP never crosses tenant boundaries;
+* **private RNG streams** — a per-tenant
+  :class:`~repro.sim.rng.RngRegistry` keyed by *local* thread names, so
+  equal-seeded tenants of one app draw identical workloads regardless
+  of admission order;
+* **namespaced wiring** — graph nodes merge in as
+  ``<tenant>/<local>``, while ``_conn_key`` maps buffers back to the
+  local names the task bodies hard-code.
+
+Zero-cost-abstraction contract: a run with one static tenant under the
+empty namespace adds *no* engine processes and *no* RNG draws over the
+equivalent single-tenant :class:`~repro.runtime.Runtime`, so its
+metrics fingerprint is bit-identical (asserted by
+``tests/tenancy/test_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigError
+from repro.runtime.graph import TaskGraph
+from repro.runtime.runtime import Runtime, RuntimeConfig
+from repro.tenancy.scheduler import Scheduler
+from repro.tenancy.tenant import (
+    DEPARTED,
+    EVICTED,
+    QUEUED,
+    REJECTED,
+    RUNNING,
+    Tenant,
+)
+
+
+class TenantRuntime(Runtime):
+    """A :class:`Runtime` whose graph is populated by tenant admission."""
+
+    def __init__(self, config: Optional[RuntimeConfig] = None,
+                 scheduler: Optional[Scheduler] = None) -> None:
+        if scheduler is None:
+            scheduler = Scheduler((config or RuntimeConfig()).cluster)
+        self.scheduler = scheduler
+        #: Every tenant ever admitted (RUNNING/DEPARTED/EVICTED), by name.
+        self.tenants: Dict[str, Tenant] = {}
+        #: The at-most-one tenant running under the empty namespace.
+        self._blank_tenant: Optional[str] = None
+        #: Tenants waiting for capacity (``admission="queue"``).
+        self.queued: List[Tenant] = []
+        #: ``(t, tenant, decision, detail)`` admission history.
+        self.admission_log: List[tuple] = []
+        super().__init__(TaskGraph(name="tenancy"), config)
+        scheduler.bind(self.nodes)
+
+    # -- hook overrides ------------------------------------------------------
+    def _validate_graph(self) -> None:
+        # The shared graph starts empty (tenants may all arrive late);
+        # each tenant's private graph is validated at admission instead.
+        pass
+
+    def _owner_of(self, name: str) -> Optional[Tenant]:
+        """The tenant owning a namespaced graph node (None if unowned)."""
+        namespace, sep, _ = name.partition("/")
+        if sep and namespace in self.tenants:
+            return self.tenants[namespace]
+        if self._blank_tenant is not None:
+            return self.tenants[self._blank_tenant]
+        return None
+
+    def _aru_for(self, thread: str):
+        tenant = self._owner_of(thread)
+        return tenant.aru if tenant is not None else self.config.aru
+
+    def _feedback_endpoint_for(self, buffer: str, compress_op):
+        tenant = self._owner_of(buffer)
+        if tenant is None:
+            return super()._feedback_endpoint_for(buffer, compress_op)
+        return tenant.bus(self.clock.now).endpoint_for(buffer, compress_op)
+
+    def _task_rng(self, thread: str):
+        tenant = self._owner_of(thread)
+        if tenant is None:
+            return super()._task_rng(thread)
+        return tenant.rngs.stream(f"task.{tenant.local_name(thread)}")
+
+    def _conn_key(self, thread: str, buffer: str) -> str:
+        tenant = self._owner_of(thread)
+        return tenant.local_name(buffer) if tenant is not None else buffer
+
+    def _delivery_handle(self, thread: str):
+        if not self.obs.enabled:
+            return None
+        tenant = self._owner_of(thread)
+        if tenant is None or not self.graph.is_sink(thread):
+            return None
+        return self.obs.tenant_handle(tenant.name)
+
+    def _scale_config_for(self, stage: str):
+        tenant = self._owner_of(stage)
+        return tenant.scale if tenant is not None else self.config.scale
+
+    # -- admission -----------------------------------------------------------
+    def admit_tenant(self, tenant: Tenant) -> bool:
+        """Place, reserve, and wire one tenant into the shared run.
+
+        Returns False (with no side effects) when the scheduler finds
+        no feasible placement; the caller decides queue-vs-reject.
+        """
+        now = self.engine.now
+        if tenant.name in self.tenants and tenant.state == RUNNING:
+            raise ConfigError(f"tenant {tenant.name!r} is already running")
+        tenant.build(self.config.seed)
+        if tenant.prefix == "" and self._blank_tenant not in (None, tenant.name):
+            raise ConfigError(
+                f"tenant {tenant.name!r}: only one blank-namespace tenant "
+                f"per run (already: {self._blank_tenant!r})"
+            )
+        locals_ = tenant.graph.threads()
+        placement_local = self.scheduler.admit(
+            tenant.name, locals_, tenant.demands, tenant.neighbors()
+        )
+        if placement_local is None:
+            return False
+
+        readmission = bool(tenant.mapping)
+        if not readmission:
+            mapping = self.graph.merge(tenant.graph, prefix=tenant.prefix)
+            tenant.mapping = mapping
+            tenant.threads = tuple(mapping[t] for t in tenant.graph.threads())
+            tenant.buffers = tuple(mapping[b] for b in tenant.graph.buffers())
+            tenant.stages = tuple(
+                f"{tenant.prefix}{s}" for s in tenant.graph.replicated_stages()
+            )
+        tenant.placement_local = dict(placement_local)
+        tenant.placement = {
+            tenant.mapping[t]: node for t, node in placement_local.items()
+        }
+        # Register the owner before wiring: every hook below resolves
+        # through it (control plane, RNG, conn keys, delivery handles).
+        self.tenants[tenant.name] = tenant
+        if tenant.prefix == "":
+            self._blank_tenant = tenant.name
+        self.config.placement.update(tenant.placement)
+        for stage in tenant.stages:
+            spec = self.graph.stage_spec(stage)
+            first = self.graph.replicas_of(stage)
+            if first:
+                self.config.placement[stage] = tenant.placement.get(
+                    first[0], spec["node"]
+                )
+        self._thread_placement.update(tenant.placement)
+        if not readmission:
+            for name in tenant.buffers:
+                self.buffers[name] = self._build_buffer(name)
+        for name in tenant.threads:
+            driver = self._build_driver(name)
+            self.drivers[name] = driver
+            self._processes[name] = self.engine.process(driver.run(), name=name)
+        if not readmission:
+            for stage in tenant.stages:
+                spec = self.graph.stage_spec(stage)
+                self.buffers[spec["input"]].bind_merge(
+                    self.buffers[spec["output"]]
+                )
+        self._install_scale_controllers(tenant.stages)
+        tenant.state = RUNNING
+        tenant.admitted_at = now
+        tenant.departed_at = None
+        self.admission_log.append((now, tenant.name, "admitted", ""))
+        if self.obs.enabled:
+            self.obs.on_tenant("admitted", tenant.name, now)
+        return True
+
+    def arrive(self, tenant: Tenant) -> str:
+        """Admission front door: admit, else queue or reject."""
+        if self.admit_tenant(tenant):
+            return "admitted"
+        now = self.engine.now
+        if self.scheduler.admission == "queue":
+            tenant.state = QUEUED
+            self.tenants.setdefault(tenant.name, tenant)
+            self.queued.append(tenant)
+            decision = "queued"
+        else:
+            tenant.state = REJECTED
+            self.tenants.setdefault(tenant.name, tenant)
+            decision = "rejected"
+        self.admission_log.append((now, tenant.name, decision, ""))
+        if self.obs.enabled:
+            self.obs.on_tenant(decision, tenant.name, now)
+        return decision
+
+    def retry_queued(self) -> int:
+        """Try admitting queued tenants (priority, then FIFO) after a
+        departure freed capacity. Stops at the first still-infeasible
+        tenant so a large high-priority tenant is never starved by
+        smaller later arrivals. Returns the number admitted."""
+        if not self.queued:
+            return 0
+        order = sorted(
+            range(len(self.queued)),
+            key=lambda i: (-self.queued[i].priority, i),
+        )
+        admitted = []
+        for i in order:
+            if self.admit_tenant(self.queued[i]):
+                admitted.append(i)
+            else:
+                break
+        for i in sorted(admitted, reverse=True):
+            del self.queued[i]
+        return len(admitted)
+
+    # -- departure -----------------------------------------------------------
+    def depart_tenant(self, tenant: Tenant, reason: str = "departure",
+                      state: str = DEPARTED, release: bool = True) -> None:
+        """Tear one tenant down: kill threads, reclaim storage, release
+        reservations. The tenant's graph nodes stay in the shared graph
+        (dead), preserving trace attribution."""
+        if tenant.state != RUNNING:
+            raise ConfigError(
+                f"tenant {tenant.name!r} is {tenant.state}, not running"
+            )
+        now = self.engine.now
+        for stage in tenant.stages:
+            process = self._scaler_processes.pop(stage, None)
+            if process is not None and process.is_alive:
+                process.kill(reason)
+            self.scalers.pop(stage, None)
+        for name in tenant.threads:
+            process = self._processes.get(name)
+            if process is not None and process.is_alive:
+                process.kill(reason)
+        for name in tenant.threads:
+            old = self.drivers.pop(name, None)
+            if old is None:
+                continue
+            for buffer, conn in old.in_conns.values():
+                buffer.unregister_consumer(conn)
+            for buffer, conn in old.out_conns.values():
+                buffer.unregister_producer(conn)
+            self._processes.pop(name, None)
+            self._thread_placement.pop(name, None)
+            self.config.placement.pop(name, None)
+        for stage in tenant.stages:
+            self.config.placement.pop(stage, None)
+        for name in tenant.buffers:
+            buffer = self.buffers.get(name)
+            if buffer is not None:
+                buffer.drain(now)
+        if release:
+            self.scheduler.release(tenant.placement_local, tenant.demands)
+        tenant.state = state
+        tenant.departed_at = now
+        phase = "evicted" if state == EVICTED else "departed"
+        self.admission_log.append((now, tenant.name, phase, reason))
+        if self.obs.enabled:
+            self.obs.on_tenant(phase, tenant.name, now, detail=reason)
+
+    # -- fault surface --------------------------------------------------------
+    def crash_node(self, name: str, reason: str = "node crash") -> None:
+        """Crash a node, then evict-and-re-place only its tenants.
+
+        Each tenant with threads resident on the crashed node gets those
+        threads re-placed by the scheduler over the surviving nodes
+        (reservations move with them); when no feasible re-placement
+        exists the whole tenant is evicted. Tenants elsewhere in the
+        cluster are untouched — blast-radius containment is the point.
+        """
+        resident = list(self.threads_on(name))
+        super().crash_node(name, reason)
+        self.scheduler.mark_failed(name)
+        by_tenant: Dict[str, List[str]] = {}
+        for thread in resident:
+            tenant = self._owner_of(thread)
+            if tenant is not None and tenant.state == RUNNING:
+                by_tenant.setdefault(tenant.name, []).append(thread)
+        for tenant_name, threads in by_tenant.items():
+            self._replace_tenant_threads(
+                self.tenants[tenant_name], threads, crashed=name,
+                reason=reason,
+            )
+
+    def _replace_tenant_threads(self, tenant: Tenant, threads: List[str],
+                                crashed: str, reason: str) -> None:
+        now = self.engine.now
+        locals_ = [tenant.local_name(t) for t in threads]
+        moved = {l: tenant.placement_local[l] for l in locals_}
+        demands = {l: tenant.demands[l] for l in locals_}
+        self.scheduler.release(moved, demands)
+        new_local = self.scheduler.admit(
+            tenant.name, locals_, demands, tenant.neighbors()
+        )
+        if new_local is None:
+            # No feasible re-placement: evict. The moved threads'
+            # reservations are already released; release the rest here.
+            unaffected = {
+                l: n for l, n in tenant.placement_local.items()
+                if l not in moved
+            }
+            self.scheduler.release(
+                unaffected, {l: tenant.demands[l] for l in unaffected}
+            )
+            self.depart_tenant(
+                tenant, reason=f"evicted: {crashed} crashed",
+                state=EVICTED, release=False,
+            )
+            tenant.detail = f"no feasible re-placement after {crashed}"
+            return
+        for local, node in new_local.items():
+            shared = tenant.mapping[local]
+            tenant.placement_local[local] = node
+            tenant.placement[shared] = node
+            self._thread_placement[shared] = node
+            self.config.placement[shared] = node
+        # The tenant restarts cold *as a unit*, like a supervisor
+        # restarting a job: fresh generators reset timestamp counters,
+        # so pre-crash items must not survive (a restarted producer
+        # would collide with its own old timestamps) and threads that
+        # escaped the crash must not keep cursors pointing past
+        # everything the new incarnation will produce (a get-LATEST
+        # consumer would wedge until the counter caught up).
+        for name in tenant.buffers:
+            self.buffers[name].drain(now)
+        for name in tenant.threads:
+            self.restart_thread(name)
+        detail = ",".join(
+            f"{l}->{n}" for l, n in sorted(new_local.items())
+        )
+        tenant.detail = f"re-placed off {crashed}: {detail}"
+        self.admission_log.append((now, tenant.name, "replaced", detail))
+        if self.fault_hook is not None:
+            self.fault_hook("tenant_replaced", tenant.name, crashed)
+        if self.obs.enabled:
+            self.obs.on_tenant("replaced", tenant.name, now, detail=detail)
+
+    def restart_node(self, name: str) -> None:
+        """Recover a node: re-admit capacity, then retry the queue."""
+        self.scheduler.mark_recovered(name)
+        super().restart_node(name)
+        self.retry_queued()

@@ -1,0 +1,173 @@
+"""The cluster scheduler: admission control plus reservation accounting.
+
+The :class:`Scheduler` owns the declarative side of multi-tenancy: a
+per-node ledger of committed CPU/memory/bandwidth reservations packed
+against each node's :attr:`~repro.cluster.spec.NodeSpec.capacity_vector`
+by a pluggable placement strategy. It is deliberately engine-free —
+admission decisions are pure functions of the ledger — so the property
+tests exercise it without a DES run; a live
+:class:`~repro.tenancy.runtime.TenantRuntime` binds it to real
+:class:`~repro.cluster.node.Node` objects, mirroring every reservation
+into their ``commit``/``uncommit`` accounting for observability.
+
+Timescale separation (see docs/multi-tenancy.md): the scheduler decides
+*where* threads run, at tenant arrival/departure/fault granularity; ARU
+decides *how fast* they run, every iteration; ScalePolicy decides *how
+many* replicas run, every control period.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.cluster.spec import ClusterSpec
+from repro.errors import ConfigError, SimulationError
+from repro.tenancy.placement import PlacementView, resolve_placement
+from repro.tenancy.tenant import ResourceDemand
+
+_EPS = 1e-9
+
+#: Valid over-capacity behaviours.
+ADMISSION_MODES = ("queue", "reject")
+
+
+class Scheduler:
+    """Resource-aware admission and placement over one cluster."""
+
+    def __init__(self, cluster: ClusterSpec, placement="rstorm",
+                 admission: str = "queue") -> None:
+        if admission not in ADMISSION_MODES:
+            raise ConfigError(
+                f"admission must be one of {ADMISSION_MODES}, "
+                f"got {admission!r}"
+            )
+        self.cluster = cluster
+        self.strategy = resolve_placement(placement)
+        self.admission = admission
+        self._specs = {n.name: n for n in cluster.nodes}
+        #: node -> [cpu, mem_bytes, bandwidth_bps] currently reserved.
+        self.committed: Dict[str, List[float]] = {
+            n.name: [0.0, 0.0, 0.0] for n in cluster.nodes
+        }
+        #: Nodes excluded from placement (crashed).
+        self.failed: Set[str] = set()
+        #: Live Node objects to mirror reservations into (optional).
+        self._nodes = None
+
+    def bind(self, nodes) -> "Scheduler":
+        """Mirror present and future reservations into live nodes."""
+        self._nodes = nodes
+        for name, committed in self.committed.items():
+            node = nodes.get(name)
+            if node is not None and any(committed):
+                node.commit(committed[0], committed[1], committed[2])
+        return self
+
+    # -- capacity queries --------------------------------------------------
+    def capacity(self, name: str) -> Tuple[float, float, float]:
+        spec = self._specs.get(name)
+        if spec is None:
+            raise ConfigError(f"no node named {name!r}")
+        return spec.capacity_vector
+
+    def available(self, name: str) -> Tuple[float, float, float]:
+        """Uncommitted capacity of one node (ignores failure state)."""
+        cap = self.capacity(name)
+        committed = self.committed[name]
+        return tuple(cap[i] - committed[i] for i in range(3))
+
+    def utilization(self) -> Dict[str, float]:
+        """Per-node committed-CPU fraction (diagnostics)."""
+        out = {}
+        for name in self.committed:
+            cap = self.capacity(name)
+            out[name] = self.committed[name][0] / cap[0] if cap[0] else 0.0
+        return out
+
+    # -- placement ---------------------------------------------------------
+    def _view(self, neighbors: Optional[Mapping] = None) -> PlacementView:
+        nodes = tuple(
+            n.name for n in self.cluster.nodes if n.name not in self.failed
+        )
+        return PlacementView(
+            nodes=nodes,
+            capacity={n: self.capacity(n) for n in nodes},
+            available={n: list(self.available(n)) for n in nodes},
+            neighbors=neighbors or {},
+        )
+
+    def try_place(self, tenant: str, threads,
+                  demands: Mapping[str, ResourceDemand],
+                  neighbors: Optional[Mapping] = None
+                  ) -> Optional[Dict[str, str]]:
+        """A feasible thread->node map, or None — no ledger changes."""
+        for thread in threads:
+            if thread not in demands:
+                raise ConfigError(
+                    f"tenant {tenant!r}: no demand declared for "
+                    f"thread {thread!r}"
+                )
+        return self.strategy.place(
+            tenant, list(threads), demands, self._view(neighbors)
+        )
+
+    def admit(self, tenant: str, threads,
+              demands: Mapping[str, ResourceDemand],
+              neighbors: Optional[Mapping] = None
+              ) -> Optional[Dict[str, str]]:
+        """Place and commit in one step; None leaves the ledger untouched."""
+        placement = self.try_place(tenant, threads, demands, neighbors)
+        if placement is not None:
+            self.commit(placement, demands)
+        return placement
+
+    # -- the reservation ledger --------------------------------------------
+    def commit(self, placement: Mapping[str, str],
+               demands: Mapping[str, ResourceDemand]) -> None:
+        """Reserve each placed thread's demand on its node."""
+        for thread, node in placement.items():
+            vector = demands[thread].as_vector()
+            committed = self.committed[node]
+            cap = self.capacity(node)
+            for i in range(3):
+                if committed[i] + vector[i] > cap[i] + _EPS:
+                    raise SimulationError(
+                        f"over-commit on node {node!r} placing "
+                        f"{thread!r}: axis {i} "
+                        f"{committed[i] + vector[i]:.3f} > {cap[i]:.3f}"
+                    )
+                committed[i] += vector[i]
+            if self._nodes is not None:
+                self._nodes[node].commit(vector[0], vector[1], vector[2])
+
+    def release(self, placement: Mapping[str, str],
+                demands: Mapping[str, ResourceDemand]) -> None:
+        """Return reservations made by :meth:`commit`."""
+        for thread, node in placement.items():
+            vector = demands[thread].as_vector()
+            committed = self.committed[node]
+            for i in range(3):
+                if committed[i] - vector[i] < -_EPS:
+                    raise SimulationError(
+                        f"releasing more than committed on {node!r} "
+                        f"for {thread!r}"
+                    )
+                committed[i] = max(0.0, committed[i] - vector[i])
+            if self._nodes is not None:
+                self._nodes[node].uncommit(vector[0], vector[1], vector[2])
+
+    # -- fault surface -------------------------------------------------------
+    def mark_failed(self, name: str) -> None:
+        """Exclude a crashed node from future placement."""
+        if name not in self._specs:
+            raise ConfigError(f"no node named {name!r}")
+        self.failed.add(name)
+
+    def mark_recovered(self, name: str) -> None:
+        self.failed.discard(name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        used = sum(c[0] for c in self.committed.values())
+        total = sum(self.capacity(n)[0] for n in self.committed)
+        return (f"<Scheduler {self.strategy.name} "
+                f"cpu {used:.1f}/{total:.1f} failed={sorted(self.failed)}>")

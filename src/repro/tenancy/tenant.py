@@ -1,0 +1,314 @@
+"""Tenants: independently-owned applications sharing one cluster.
+
+A :class:`TenantSpec` wraps any app (builtin name, ``TaskGraph``, or
+``StampedeApp``) with everything the cluster scheduler needs to place
+and account for it: a declared per-thread resource demand (the R-Storm
+CPU/memory/bandwidth vector), a priority and fairness weight, a private
+control policy and RNG seed, and an arrival/departure window on the
+simulation clock. The :class:`Tenant` runtime object tracks the spec
+through the admission state machine.
+
+Tenants are namespaced: every graph node of tenant ``t`` appears in the
+shared runtime graph as ``t/<local-name>``, so any number of tenants —
+including many instances of the *same* app — coexist in one engine run,
+contending for the same nodes and links.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, FrozenSet, Mapping, Optional, Tuple
+
+from repro.errors import ConfigError
+
+#: Tenant admission states.
+PENDING = "pending"      #: created, not yet offered to the scheduler
+QUEUED = "queued"        #: over capacity; waiting for departures
+RUNNING = "running"      #: placed and executing
+REJECTED = "rejected"    #: over capacity under ``admission="reject"``
+DEPARTED = "departed"    #: left voluntarily (departure time or teardown)
+EVICTED = "evicted"      #: lost its placement to a fault, not re-placeable
+
+TENANT_STATES = (PENDING, QUEUED, RUNNING, REJECTED, DEPARTED, EVICTED)
+
+
+@dataclass(frozen=True)
+class ResourceDemand:
+    """Declared per-thread demand: the R-Storm resource vector.
+
+    These are *reservations* the scheduler packs against node budgets
+    (:attr:`~repro.cluster.spec.NodeSpec.capacity_vector`) — they gate
+    admission and placement, never the data path: a tenant that bursts
+    past its declaration simply contends like any other thread.
+    """
+
+    cpu: float = 0.5
+    mem_bytes: int = 32 * 2**20
+    bandwidth_bps: int = 10_000_000
+
+    def __post_init__(self) -> None:
+        if self.cpu < 0 or self.mem_bytes < 0 or self.bandwidth_bps < 0:
+            raise ConfigError(
+                f"resource demand must be non-negative, got "
+                f"({self.cpu}, {self.mem_bytes}, {self.bandwidth_bps})"
+            )
+
+    def as_vector(self) -> Tuple[float, float, float]:
+        """``(cpu, mem_bytes, bandwidth_bps)`` as floats."""
+        return (float(self.cpu), float(self.mem_bytes),
+                float(self.bandwidth_bps))
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant, declaratively.
+
+    Attributes
+    ----------
+    name:
+        Unique tenant identifier; also the default namespace prefix.
+        Must not contain ``/`` (the namespace separator).
+    app / app_config:
+        What to run, in :class:`~repro.experiment.ExperimentSpec` terms:
+        a builtin app name (with optional per-app config) or a
+        ``TaskGraph``/``StampedeApp`` instance.
+    policy / scale_policy:
+        The tenant's private ARU rate policy and elastic-scale policy
+        (names resolve through the control-plane registries). Each
+        tenant gets its own feedback plane — one tenant's backwardSTP
+        never leaks into another's.
+    priority:
+        Admission priority (higher admits first); ties break by
+        declaration order.
+    weight:
+        Fairness weight for the weighted Jain index (> 0).
+    seed:
+        Private RNG seed for the tenant's task bodies. ``None`` derives
+        one from the run seed and the tenant name, so equal-seeded
+        tenants of the same app draw *identical* workloads.
+    arrival / departure:
+        Simulated seconds when the tenant arrives / departs. Arrival 0
+        admits before the run starts; ``departure=None`` stays to the
+        horizon.
+    demand / thread_demands:
+        Default per-thread :class:`ResourceDemand`, with optional
+        per-thread (local name) overrides.
+    namespace:
+        Graph-name prefix; ``None`` means ``f"{name}/"``. The empty
+        string runs the tenant unprefixed — at most one such tenant per
+        run (used by the single-tenant equivalence contract).
+    """
+
+    name: str
+    app: Any = "tracker"
+    app_config: Any = None
+    policy: Any = None
+    scale_policy: Any = None
+    priority: int = 0
+    weight: float = 1.0
+    seed: Optional[int] = None
+    arrival: float = 0.0
+    departure: Optional[float] = None
+    demand: ResourceDemand = field(default_factory=ResourceDemand)
+    thread_demands: Mapping[str, ResourceDemand] = field(default_factory=dict)
+    namespace: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("tenant name must be non-empty")
+        if "/" in self.name:
+            raise ConfigError(
+                f"tenant name {self.name!r} must not contain '/'"
+            )
+        if self.weight <= 0:
+            raise ConfigError(
+                f"tenant {self.name!r}: weight must be > 0, got {self.weight}"
+            )
+        if self.arrival < 0:
+            raise ConfigError(
+                f"tenant {self.name!r}: negative arrival {self.arrival}"
+            )
+        if self.departure is not None and self.departure <= self.arrival:
+            raise ConfigError(
+                f"tenant {self.name!r}: departure {self.departure} must be "
+                f"after arrival {self.arrival}"
+            )
+        if not isinstance(self.demand, ResourceDemand):
+            raise ConfigError(
+                f"tenant {self.name!r}: demand must be a ResourceDemand"
+            )
+        for thread, demand in dict(self.thread_demands).items():
+            if not isinstance(demand, ResourceDemand):
+                raise ConfigError(
+                    f"tenant {self.name!r}: thread_demands[{thread!r}] must "
+                    f"be a ResourceDemand"
+                )
+        if self.namespace is not None and self.namespace != "":
+            if not self.namespace.endswith("/"):
+                raise ConfigError(
+                    f"tenant {self.name!r}: namespace must end with '/' "
+                    f"(or be empty), got {self.namespace!r}"
+                )
+
+    def with_(self, **changes) -> "TenantSpec":
+        return replace(self, **changes)
+
+    @property
+    def prefix(self) -> str:
+        """The graph-name prefix this tenant's nodes live under."""
+        return f"{self.name}/" if self.namespace is None else self.namespace
+
+    # -- resolution (mirrors ExperimentSpec) ------------------------------
+    def resolve_graph(self):
+        """Build this tenant's private task graph."""
+        from repro.runtime.api import StampedeApp
+        from repro.runtime.graph import TaskGraph
+
+        app = self.app
+        if isinstance(app, StampedeApp):
+            app = app.graph
+        if isinstance(app, TaskGraph):
+            if self.app_config is not None:
+                raise ConfigError(
+                    f"tenant {self.name!r}: app_config only applies when "
+                    f"app is a builtin name"
+                )
+            return app
+        if not isinstance(app, str):
+            raise ConfigError(
+                f"tenant {self.name!r}: app must be a name, TaskGraph, or "
+                f"StampedeApp; got {app!r}"
+            )
+        if app == "tracker":
+            from repro.apps.tracker import build_tracker
+            return build_tracker(self.app_config)
+        if app == "gesture":
+            from repro.apps.gesture import build_gesture
+            return build_gesture(self.app_config)
+        if app == "stereo":
+            from repro.apps.stereo import build_stereo
+            return build_stereo(self.app_config)
+        raise ConfigError(
+            f"tenant {self.name!r}: unknown app {app!r}; expected "
+            f"tracker/gesture/stereo"
+        )
+
+    def resolve_policy(self):
+        from repro.aru.config import AruConfig, aru_disabled
+
+        if self.policy is None:
+            return aru_disabled()
+        if isinstance(self.policy, AruConfig):
+            return self.policy
+        from repro.control.registry import resolve_policy
+        return resolve_policy(self.policy)
+
+    def resolve_scale_policy(self):
+        from repro.control.registry import resolve_scale_policy
+        return resolve_scale_policy(self.scale_policy)
+
+    def derive_seed(self, root_seed: int) -> int:
+        """The tenant's task-RNG seed (explicit, or derived stably)."""
+        if self.seed is not None:
+            return self.seed
+        digest = hashlib.sha256(
+            f"{root_seed}:tenant.{self.name}".encode()
+        ).digest()
+        return int.from_bytes(digest[:8], "big")
+
+
+class Tenant:
+    """Live admission-state for one :class:`TenantSpec`."""
+
+    def __init__(self, spec: TenantSpec) -> None:
+        self.spec = spec
+        self.name = spec.name
+        self.prefix = spec.prefix
+        self.state = PENDING
+        #: Built lazily at first admission attempt.
+        self.graph = None
+        self.aru = None
+        self.scale = None
+        self.rngs = None
+        self._bus = None
+        #: local graph name -> namespaced shared-graph name (post-merge).
+        self.mapping: Dict[str, str] = {}
+        self.threads: Tuple[str, ...] = ()
+        self.buffers: Tuple[str, ...] = ()
+        self.stages: Tuple[str, ...] = ()
+        #: namespaced thread -> cluster node (and the local-keyed twin the
+        #: scheduler's reservation ledger is keyed by).
+        self.placement: Dict[str, str] = {}
+        self.placement_local: Dict[str, str] = {}
+        self.demands: Dict[str, ResourceDemand] = {}
+        self.admitted_at: Optional[float] = None
+        self.departed_at: Optional[float] = None
+        #: Free-form note for the last state transition (e.g. crash node).
+        self.detail = ""
+
+    @property
+    def priority(self) -> int:
+        return self.spec.priority
+
+    @property
+    def weight(self) -> float:
+        return self.spec.weight
+
+    def build(self, root_seed: int) -> None:
+        """Resolve graph/policies/RNG once (idempotent)."""
+        if self.graph is not None:
+            return
+        from repro.sim.rng import RngRegistry
+
+        graph = self.spec.resolve_graph()
+        graph.validate()
+        self.graph = graph
+        self.aru = self.spec.resolve_policy()
+        self.scale = self.spec.resolve_scale_policy()
+        self.rngs = RngRegistry(seed=self.spec.derive_seed(root_seed))
+        self.demands = {
+            t: self.demand_for(t) for t in graph.threads()
+        }
+
+    def demand_for(self, local_thread: str) -> ResourceDemand:
+        """The declared demand of one thread (per-thread override wins)."""
+        return self.spec.thread_demands.get(local_thread, self.spec.demand)
+
+    def bus(self, time_fn):
+        """The tenant's private feedback plane (created on first use)."""
+        if self._bus is None:
+            from repro.control.propagation import FeedbackBus
+
+            self._bus = FeedbackBus(self.aru, time_fn=time_fn)
+        return self._bus
+
+    def neighbors(self) -> Dict[str, FrozenSet[str]]:
+        """Thread adjacency (shared buffer = neighbor) for colocation."""
+        graph = self.graph
+        adjacency: Dict[str, set] = {t: set() for t in graph.threads()}
+        for buffer in graph.buffers():
+            producers = graph.producers_of(buffer)
+            consumers = graph.consumers_of(buffer)
+            for p in producers:
+                for c in consumers:
+                    if p != c:
+                        adjacency[p].add(c)
+                        adjacency[c].add(p)
+        return {t: frozenset(n) for t, n in adjacency.items()}
+
+    def local_name(self, shared_name: str) -> str:
+        """Strip this tenant's namespace prefix from a shared-graph name."""
+        if self.prefix and shared_name.startswith(self.prefix):
+            return shared_name[len(self.prefix):]
+        return shared_name
+
+    def residence(self, horizon: float) -> float:
+        """Seconds the tenant held a placement (0 if never admitted)."""
+        if self.admitted_at is None:
+            return 0.0
+        end = self.departed_at if self.departed_at is not None else horizon
+        return max(0.0, end - self.admitted_at)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Tenant {self.name!r} {self.state}>"

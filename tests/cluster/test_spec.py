@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cluster import ClusterSpec, LinkSpec, NodeSpec, config1_spec, config2_spec
+from repro.cluster.spec import PairLink, heterogeneous_spec, uniform_spec
 from repro.errors import ConfigError
 
 
@@ -59,6 +60,59 @@ class TestClusterSpec:
     def test_empty_rejected(self):
         with pytest.raises(ConfigError):
             ClusterSpec(nodes=())
+
+    def test_capacity_vector(self):
+        node = NodeSpec(name="n", ncpus=4, mem_bytes=100, bandwidth_bps=10)
+        assert node.capacity_vector == (4.0, 100, 10)
+
+
+class TestPairLink:
+    def _nodes(self):
+        return (NodeSpec(name="a"), NodeSpec(name="b"), NodeSpec(name="c"))
+
+    def test_override_wins_only_for_its_pair(self):
+        slow = LinkSpec(latency_s=0.1, bandwidth_bps=1_000)
+        spec = ClusterSpec(nodes=self._nodes(),
+                           links=(PairLink("a", "b", slow),))
+        assert spec.link_spec("a", "b") is slow
+        assert spec.link_spec("b", "a") is spec.link  # directed
+        assert spec.link_spec("a", "c") is spec.link
+
+    def test_empty_endpoint_rejected(self):
+        with pytest.raises(ConfigError, match="non-empty"):
+            PairLink("", "b")
+
+    def test_self_link_rejected(self):
+        with pytest.raises(ConfigError, match="self-link"):
+            PairLink("a", "a")
+
+    def test_duplicate_link_endpoints_rejected(self):
+        with pytest.raises(ConfigError, match="duplicate link"):
+            ClusterSpec(nodes=self._nodes(),
+                        links=(PairLink("a", "b"), PairLink("a", "b")))
+
+    def test_unknown_endpoint_rejected(self):
+        with pytest.raises(ConfigError, match="not a node"):
+            ClusterSpec(nodes=self._nodes(), links=(PairLink("a", "zz"),))
+
+    def test_non_pairlink_rejected(self):
+        with pytest.raises(ConfigError, match="PairLink"):
+            ClusterSpec(nodes=self._nodes(), links=(("a", "b"),))
+
+
+class TestSpecFactories:
+    def test_uniform_spec_shape(self):
+        spec = uniform_spec(3, ncpus=2)
+        assert spec.node_names == ["node0", "node1", "node2"]
+        assert all(n.ncpus == 2 for n in spec.nodes)
+
+    def test_heterogeneous_spec_shape(self):
+        spec = heterogeneous_spec(n_big=2, n_small=3)
+        names = spec.node_names
+        assert names == ["big0", "big1", "small0", "small1", "small2"]
+        big, small = spec.node_spec("big0"), spec.node_spec("small0")
+        assert big.ncpus > small.ncpus
+        assert big.bandwidth_bps > small.bandwidth_bps
 
 
 class TestPaperConfigs:

@@ -11,15 +11,19 @@ them afterwards, so registry mutations cannot escape a test.
 import pytest
 
 from repro.control import registry as _registry
+from repro.tenancy import placement as _placement
 
 
 @pytest.fixture(autouse=True)
 def _isolated_policy_registries():
-    """Snapshot/restore the rate and scale policy registries."""
+    """Snapshot/restore the rate, scale, and placement registries."""
     rate = dict(_registry._REGISTRY)
     scale = dict(_registry._SCALE_REGISTRY)
+    placements = dict(_placement._PLACEMENTS)
     yield
     _registry._REGISTRY.clear()
     _registry._REGISTRY.update(rate)
     _registry._SCALE_REGISTRY.clear()
     _registry._SCALE_REGISTRY.update(scale)
+    _placement._PLACEMENTS.clear()
+    _placement._PLACEMENTS.update(placements)

@@ -125,3 +125,46 @@ class TestUtilization:
         rec = TraceRecorder()
         rec.finalize(1.0)
         assert thread_utilization(rec, "ghost")["iterations"] == 0
+
+
+class TestLatencyByThread:
+    def test_groups_by_sink_thread(self):
+        from repro.metrics.performance import latency_samples_by_thread
+
+        rec = TraceRecorder()
+
+        def alloc(item_id, t, parents=()):
+            rec.on_alloc(item_id=item_id, channel="c", node="n", ts=item_id,
+                         size=1, producer="p", parents=parents, t=t)
+
+        # tenant a: frame at t=0 delivered at t=2
+        alloc(1, 0.0)
+        rec.on_iteration("a/gui", 1.8, 2.0, 0.1, 0, 0, (1,), (),
+                         is_sink=True)
+        # tenant b: frame at t=1 delivered at t=1.5
+        alloc(2, 1.0)
+        rec.on_iteration("b/gui", 1.2, 1.5, 0.1, 0, 0, (2,), (),
+                         is_sink=True)
+        rec.finalize(5.0)
+        grouped = latency_samples_by_thread(rec)
+        assert set(grouped) == {"a/gui", "b/gui"}
+        assert grouped["a/gui"] == [pytest.approx(2.0)]
+        assert grouped["b/gui"] == [pytest.approx(0.5)]
+
+    def test_warmup_filters_early_deliveries(self):
+        from repro.metrics.performance import latency_samples_by_thread
+
+        rec = TraceRecorder()
+        rec.on_alloc(item_id=1, channel="c", node="n", ts=1, size=1,
+                     producer="p", parents=(), t=0.0)
+        rec.on_iteration("gui", 0.5, 1.0, 0.1, 0, 0, (1,), (), is_sink=True)
+        rec.finalize(5.0)
+        assert latency_samples_by_thread(rec, warmup=2.0) == {}
+
+    def test_agrees_with_flat_samples(self):
+        from repro.metrics.performance import latency_samples_by_thread
+
+        rec = make_rec()
+        grouped = latency_samples_by_thread(rec)
+        flat = sorted(latency_samples(rec))
+        assert sorted(s for v in grouped.values() for s in v) == flat

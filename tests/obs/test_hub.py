@@ -194,3 +194,34 @@ class TestHooks:
         assert snap["enabled"] is True
         assert isinstance(snap["metrics"], list)
         pickle.dumps(snap)  # sweep workers ship snapshots across processes
+
+
+class TestTenantPath:
+    def test_tenant_handle_counts_deliveries(self):
+        hub = TelemetryHub()
+        handle = hub.tenant_handle("t0")
+        handle.inc()
+        handle.inc()
+        assert hub.metrics.value("repro_tenant_deliveries_total",
+                                 {"tenant": "t0"}) == 2.0
+
+    def test_tenant_handle_is_cached(self):
+        hub = TelemetryHub()
+        assert hub.tenant_handle("t0") is hub.tenant_handle("t0")
+        assert hub.tenant_handle("t0") is not hub.tenant_handle("t1")
+
+    def test_on_tenant_counts_lifecycle_phases(self):
+        hub = TelemetryHub()
+        hub.on_tenant("admitted", "t0", 0.0)
+        hub.on_tenant("admitted", "t1", 0.0)
+        hub.on_tenant("evicted", "t0", 3.0, detail="node0 died")
+        assert hub.metrics.value("repro_tenant_events_total",
+                                 {"phase": "admitted"}) == 2.0
+        assert hub.metrics.value("repro_tenant_events_total",
+                                 {"phase": "evicted"}) == 1.0
+
+    def test_null_hub_tenant_hooks_are_noops(self):
+        null = NullTelemetryHub()
+        null.on_tenant("admitted", "t0", 0.0)
+        handle = null.tenant_handle("t0")
+        handle.inc()  # NOOP_HANDLE swallows it

@@ -301,3 +301,38 @@ class TestCapacity:
         put(ch, prod, ts=0)
         ev2 = ch.wait_for_room()
         assert not ev2.triggered
+
+
+class TestDrain:
+    def test_drain_frees_unreferenced_items(self, harness_null_gc):
+        h = harness_null_gc
+        ch = h.channel()
+        prod = ch.register_producer("p")
+        for ts in range(4):
+            put(ch, prod, ts=ts, size=100)
+        assert h.node.mem_in_use == 400
+        freed = ch.drain(t=1.0)
+        assert freed == 4
+        assert len(ch) == 0
+        assert ch.bytes_held == 0
+        assert h.node.mem_in_use == 0
+
+    def test_drain_dooms_held_items(self, harness_null_gc):
+        h = harness_null_gc
+        ch = h.channel()
+        prod = ch.register_producer("p")
+        cons = ch.register_consumer("c")
+        put(ch, prod, ts=0, size=100)
+        view = ch.commit_get(cons, LATEST, t=0.0)
+        freed = ch.drain(t=1.0)
+        assert freed == 0  # the consumer still references it
+        assert h.node.mem_in_use == 100
+        ch.release(view._item, t=2.0)  # last reference drops -> freed
+        assert h.node.mem_in_use == 0
+
+    def test_drain_is_idempotent(self, harness_null_gc):
+        ch = harness_null_gc.channel()
+        prod = ch.register_producer("p")
+        put(ch, prod, ts=0)
+        assert ch.drain(t=1.0) == 1
+        assert ch.drain(t=2.0) == 0

@@ -118,3 +118,20 @@ class TestCapacityAndAru:
     def test_maybe_collect_noop(self, harness):
         q = harness.squeue()
         assert q.maybe_collect(0.0) == 0
+
+
+class TestDrain:
+    def test_drain_frees_everything_queued(self, harness):
+        h = harness
+        q = h.squeue()
+        prod = q.register_producer("p")
+        for ts in range(3):
+            put(q, prod, ts=ts, size=100)
+        assert h.node.mem_in_use == 300
+        assert q.drain(t=1.0) == 3
+        assert len(q) == 0
+        assert h.node.mem_in_use == 0
+
+    def test_drain_empty_queue_is_noop(self, harness):
+        q = harness.squeue()
+        assert q.drain(t=0.0) == 0

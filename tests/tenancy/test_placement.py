@@ -1,0 +1,197 @@
+"""Property tests for placement strategies and the registry."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.spec import heterogeneous_spec, uniform_spec
+from repro.errors import ConfigError
+from repro.tenancy import (
+    PlacementView,
+    Scheduler,
+    available_placements,
+    placements_help_text,
+    register_placement,
+    resolve_placement,
+)
+from repro.tenancy.tenant import ResourceDemand
+
+STRATEGIES = ("round-robin", "rstorm", "spread")
+
+
+def _demands(cpus):
+    return {f"t{i}": ResourceDemand(cpu=c, mem_bytes=1, bandwidth_bps=1)
+            for i, c in enumerate(cpus)}
+
+
+# -- hypothesis invariants ---------------------------------------------------
+
+cpu_lists = st.lists(
+    st.floats(min_value=0.1, max_value=4.0, allow_nan=False,
+              allow_infinity=False),
+    min_size=1, max_size=12,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(cpus=cpu_lists, n_nodes=st.integers(1, 6),
+       ncpus=st.integers(1, 8),
+       strategy=st.sampled_from(STRATEGIES))
+def test_placement_never_exceeds_node_budget(cpus, n_nodes, ncpus, strategy):
+    """Accepted placements fit; every node stays within capacity."""
+    scheduler = Scheduler(uniform_spec(n_nodes, ncpus=ncpus),
+                          placement=strategy)
+    demands = _demands(cpus)
+    placement = scheduler.admit("t", list(demands), demands)
+    if placement is None:
+        return
+    assert set(placement) == set(demands)
+    for node in scheduler.committed:
+        cap = scheduler.capacity(node)
+        committed = scheduler.committed[node]
+        for axis in range(3):
+            assert committed[axis] <= cap[axis] + 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(cpus=cpu_lists, n_nodes=st.integers(1, 6),
+       strategy=st.sampled_from(STRATEGIES))
+def test_placement_deterministic(cpus, n_nodes, strategy):
+    """Same cluster + same demands -> bit-identical placement."""
+    demands = _demands(cpus)
+
+    def run():
+        scheduler = Scheduler(uniform_spec(n_nodes, ncpus=8),
+                              placement=strategy)
+        return scheduler.admit("t", list(demands), demands)
+
+    assert run() == run()
+
+
+@settings(max_examples=40, deadline=None)
+@given(n_nodes=st.integers(1, 5), ncpus=st.integers(1, 4),
+       strategy=st.sampled_from(STRATEGIES))
+def test_full_cluster_rejects(n_nodes, ncpus, strategy):
+    """A saturated cluster refuses admission (None, ledger untouched)."""
+    scheduler = Scheduler(uniform_spec(n_nodes, ncpus=ncpus),
+                          placement=strategy)
+    filler = {f"f{i}": ResourceDemand(cpu=float(ncpus))
+              for i in range(n_nodes)}
+    assert scheduler.admit("filler", list(filler), filler) is not None
+    before = {n: list(v) for n, v in scheduler.committed.items()}
+    extra = {"x": ResourceDemand(cpu=0.5)}
+    assert scheduler.admit("late", ["x"], extra) is None
+    assert {n: list(v) for n, v in scheduler.committed.items()} == before
+
+
+@settings(max_examples=40, deadline=None)
+@given(cpus=cpu_lists, strategy=st.sampled_from(STRATEGIES))
+def test_failed_placement_has_no_side_effects(cpus, strategy):
+    """try_place never mutates the ledger, success or failure."""
+    scheduler = Scheduler(uniform_spec(2, ncpus=4), placement=strategy)
+    demands = _demands(cpus)
+    before = {n: list(v) for n, v in scheduler.committed.items()}
+    scheduler.try_place("t", list(demands), demands)
+    assert {n: list(v) for n, v in scheduler.committed.items()} == before
+
+
+# -- strategy behaviour -------------------------------------------------------
+
+
+class TestRStorm:
+    def test_colocates_neighbors(self):
+        scheduler = Scheduler(uniform_spec(4, ncpus=8), placement="rstorm")
+        demands = {t: ResourceDemand(cpu=1.0) for t in ("a", "b", "c")}
+        neighbors = {"a": frozenset({"b"}), "b": frozenset({"a", "c"}),
+                     "c": frozenset({"b"})}
+        placement = scheduler.admit("t", ["a", "b", "c"], demands, neighbors)
+        assert len(set(placement.values())) == 1
+
+    def test_packs_small_nodes_first(self):
+        # Min-distance packing fills the node whose remainder is
+        # smallest: a thin node beats a fat one for a small thread.
+        cluster = heterogeneous_spec(n_big=1, n_small=1, big_ncpus=16,
+                                     small_ncpus=2)
+        scheduler = Scheduler(cluster, placement="rstorm")
+        demands = {"a": ResourceDemand(cpu=1.0, mem_bytes=1,
+                                       bandwidth_bps=1)}
+        placement = scheduler.admit("t", ["a"], demands)
+        assert placement["a"] == "small0"
+
+    def test_big_thread_needs_big_node(self):
+        cluster = heterogeneous_spec(n_big=1, n_small=1, big_ncpus=16,
+                                     small_ncpus=2)
+        scheduler = Scheduler(cluster, placement="rstorm")
+        demands = {"a": ResourceDemand(cpu=8.0, mem_bytes=1,
+                                       bandwidth_bps=1)}
+        assert scheduler.admit("t", ["a"], demands)["a"] == "big0"
+
+
+class TestRoundRobin:
+    def test_cursor_cycles_across_admissions(self):
+        scheduler = Scheduler(uniform_spec(3, ncpus=8),
+                              placement="round-robin")
+        nodes = []
+        for i in range(3):
+            demands = {"a": ResourceDemand(cpu=1.0)}
+            nodes.append(scheduler.admit(f"t{i}", ["a"], demands)["a"])
+        assert nodes == ["node0", "node1", "node2"]
+
+
+class TestSpread:
+    def test_levels_load(self):
+        scheduler = Scheduler(uniform_spec(3, ncpus=8), placement="spread")
+        demands = {f"t{i}": ResourceDemand(cpu=1.0) for i in range(3)}
+        placement = scheduler.admit("t", list(demands), demands)
+        assert len(set(placement.values())) == 3
+
+
+# -- registry ----------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_builtins_listed(self):
+        assert set(STRATEGIES) <= set(available_placements())
+
+    def test_help_text_catalogs_all(self):
+        text = placements_help_text()
+        for name in STRATEGIES:
+            assert name in text
+
+    def test_unknown_name_suggests(self):
+        with pytest.raises(ConfigError, match="did you mean 'rstorm'"):
+            resolve_placement("rstrom")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigError, match="already registered"):
+            register_placement("rstorm", object)
+
+    def test_replace_and_custom(self):
+        class Custom:
+            name = "custom"
+
+            def place(self, tenant, threads, demands, view):
+                return None
+
+        register_placement("custom", Custom, help="test-only")
+        assert isinstance(resolve_placement("custom"), Custom)
+        # instances pass straight through
+        instance = Custom()
+        assert resolve_placement(instance) is instance
+
+    def test_none_defaults_to_rstorm(self):
+        assert resolve_placement(None).name == "rstorm"
+
+    def test_non_string_rejected(self):
+        with pytest.raises(ConfigError, match="registered name"):
+            resolve_placement(42)
+
+
+def test_view_fits_epsilon():
+    view = PlacementView(
+        nodes=("n",), capacity={"n": (1.0, 1.0, 1.0)},
+        available={"n": [1.0, 1.0, 1.0]},
+    )
+    # float-noise demand at the boundary still fits
+    assert view.fits("n", (1.0, 1.0, 1.0))
+    assert not view.fits("n", (1.0 + 1e-6, 1.0, 1.0))

@@ -1,0 +1,255 @@
+"""End-to-end multi-tenant runs: coexistence, fairness, dynamics."""
+
+import os
+
+import pytest
+
+from repro.cluster.spec import uniform_spec
+from repro.errors import ConfigError
+from repro.tenancy import (
+    TenancySpec,
+    TenantSpec,
+    churn,
+    poisson_arrivals,
+    run_tenants,
+    scaled_tracker_config,
+)
+from repro.tenancy.tenant import ResourceDemand
+
+CHEAP = scaled_tracker_config(0.1, frame_period=0.2, cv=0.0)
+
+
+def _fleet(n, **kwargs):
+    return tuple(TenantSpec(f"t{i}", app_config=CHEAP, **kwargs)
+                 for i in range(n))
+
+
+class TestCoexistence:
+    def test_tenants_share_one_engine(self):
+        result = run_tenants(TenancySpec(tenants=_fleet(3), cluster=4,
+                                         horizon=4.0))
+        runtime = result.runtime
+        # one engine, namespaced threads from every tenant
+        assert "t0/gui" in runtime.drivers
+        assert "t2/digitizer" in runtime.drivers
+        assert all(r.state == "running" for r in result.records.values())
+        assert all(r.deliveries > 0 for r in result.records.values())
+
+    def test_equal_tenants_equal_goodput(self):
+        # Identical derived workloads? No — each tenant derives its own
+        # seed. But with cv=0 costs the goodputs still match exactly.
+        result = run_tenants(TenancySpec(tenants=_fleet(6), cluster=6,
+                                         horizon=5.0))
+        deliveries = {r.deliveries for r in result.records.values()}
+        assert len(deliveries) == 1
+
+    def test_per_tenant_policies_are_private(self):
+        tenants = (
+            TenantSpec("throttled", app_config=CHEAP, policy="aru-max"),
+            TenantSpec("free", app_config=CHEAP),
+        )
+        result = run_tenants(TenancySpec(tenants=tenants, cluster=2,
+                                         horizon=5.0))
+        runtime = result.runtime
+        throttled = runtime.tenants["throttled"]
+        free = runtime.tenants["free"]
+        assert throttled.aru.enabled and not free.aru.enabled
+        assert throttled.bus(None) is not free.bus(None)
+
+    def test_jain_fairness_medium_fleet(self):
+        # The acceptance bar scaled to tier-1 budget: a few dozen
+        # equal-priority tenants under rstorm must share near-evenly.
+        n = 60
+        light = ResourceDemand(cpu=0.2, mem_bytes=2**20,
+                               bandwidth_bps=1_000_000)
+        result = run_tenants(TenancySpec(
+            tenants=_fleet(n, demand=light),
+            cluster=uniform_spec(8, ncpus=16),
+            horizon=3.0,
+        ))
+        assert len(result.admitted) == n
+        assert result.fairness.jain >= 0.9
+
+
+class TestDynamics:
+    def test_arrival_and_departure(self):
+        tenants = (
+            TenantSpec("early", app_config=CHEAP),
+            TenantSpec("late", app_config=CHEAP, arrival=2.0, departure=4.0),
+        )
+        result = run_tenants(TenancySpec(tenants=tenants, cluster=2,
+                                         horizon=6.0))
+        late = result.records["late"]
+        assert late.state == "departed"
+        assert late.admitted_at == pytest.approx(2.0)
+        assert late.departed_at == pytest.approx(4.0)
+        # a departed tenant's storage is reclaimed
+        runtime = result.runtime
+        for name in runtime.tenants["late"].buffers:
+            assert len(runtime.buffers[name]) == 0
+        assert result.records["early"].state == "running"
+
+    def test_queue_admission_waits_for_capacity(self):
+        demand = ResourceDemand(cpu=1.0)
+        tenants = (
+            TenantSpec("hog", app_config=CHEAP, demand=demand,
+                       departure=3.0),
+            TenantSpec("waiter", app_config=CHEAP, demand=demand,
+                       arrival=1.0),
+        )
+        result = run_tenants(TenancySpec(
+            tenants=tenants, cluster=uniform_spec(1, ncpus=6),
+            horizon=6.0))
+        waiter = result.records["waiter"]
+        assert waiter.state == "running"
+        # admitted only after the hog departed at t=3
+        assert waiter.admitted_at == pytest.approx(3.0)
+        decisions = [(t, n, d) for t, n, d, _ in result.admission_log]
+        assert (1.0, "waiter", "queued") in decisions
+
+    def test_reject_admission_is_terminal(self):
+        demand = ResourceDemand(cpu=1.0)
+        tenants = (
+            TenantSpec("hog", app_config=CHEAP, demand=demand,
+                       departure=2.0),
+            TenantSpec("turned-away", app_config=CHEAP, demand=demand,
+                       arrival=1.0),
+        )
+        result = run_tenants(TenancySpec(
+            tenants=tenants, cluster=uniform_spec(1, ncpus=6),
+            admission="reject", horizon=5.0))
+        assert result.records["turned-away"].state == "rejected"
+        assert result.records["turned-away"].deliveries == 0
+
+    def test_priority_orders_static_admission(self):
+        demand = ResourceDemand(cpu=1.0)
+        tenants = (
+            TenantSpec("low", app_config=CHEAP, demand=demand, priority=0),
+            TenantSpec("high", app_config=CHEAP, demand=demand, priority=5),
+        )
+        result = run_tenants(TenancySpec(
+            tenants=tenants, cluster=uniform_spec(1, ncpus=6),
+            admission="reject", horizon=3.0))
+        assert result.records["high"].state == "running"
+        assert result.records["low"].state == "rejected"
+
+    def test_departure_while_queued_leaves_queue(self):
+        demand = ResourceDemand(cpu=1.0)
+        tenants = (
+            TenantSpec("hog", app_config=CHEAP, demand=demand),
+            TenantSpec("gives-up", app_config=CHEAP, demand=demand,
+                       arrival=1.0, departure=2.0),
+        )
+        result = run_tenants(TenancySpec(
+            tenants=tenants, cluster=uniform_spec(1, ncpus=6),
+            horizon=4.0))
+        record = result.records["gives-up"]
+        assert record.state == "departed"
+        assert record.admitted_at is None
+        assert not result.runtime.queued
+
+
+class TestDeterminism:
+    def test_same_spec_same_results(self):
+        spec = TenancySpec(tenants=_fleet(4), cluster=4, horizon=3.0,
+                           seed=3)
+        a = run_tenants(spec)
+        b = run_tenants(spec)
+        assert {n: r.deliveries for n, r in a.records.items()} == \
+            {n: r.deliveries for n, r in b.records.items()}
+        assert a.stats["engine"]["events_processed"] == \
+            b.stats["engine"]["events_processed"]
+
+    def test_poisson_arrivals_deterministic(self):
+        base = _fleet(5)
+        a = poisson_arrivals(base, rate=2.0, seed=1)
+        b = poisson_arrivals(base, rate=2.0, seed=1)
+        assert [t.arrival for t in a] == [t.arrival for t in b]
+        assert all(t.arrival > 0 for t in a)
+        assert [t.arrival for t in poisson_arrivals(base, rate=2.0, seed=2)] \
+            != [t.arrival for t in a]
+
+    def test_churn_stamps_departures(self):
+        stamped = churn(_fleet(5), rate=2.0, mean_lifetime=3.0, seed=1)
+        for spec in stamped:
+            assert spec.departure > spec.arrival
+
+    def test_churn_run_completes(self):
+        tenants = churn(_fleet(6), rate=3.0, mean_lifetime=2.0, seed=5)
+        result = run_tenants(TenancySpec(tenants=tenants, cluster=4,
+                                         horizon=6.0))
+        states = {r.state for r in result.records.values()}
+        assert states <= {"running", "departed", "queued"}
+        assert "departed" in states
+
+
+class TestValidation:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigError, match="duplicate"):
+            TenancySpec(tenants=(TenantSpec("a"), TenantSpec("a")))
+
+    def test_two_blank_namespaces_rejected(self):
+        with pytest.raises(ConfigError, match="blank-namespace"):
+            TenancySpec(tenants=(TenantSpec("a", namespace=""),
+                                 TenantSpec("b", namespace="")))
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ConfigError, match="at least one"):
+            run_tenants(TenancySpec(horizon=1.0))
+
+    def test_bad_cluster_rejected(self):
+        with pytest.raises(ConfigError, match="cluster"):
+            TenancySpec(tenants=(TenantSpec("a"),),
+                        cluster="nope").resolve_cluster()
+
+    def test_scaled_tracker_config_validation(self):
+        with pytest.raises(ConfigError, match="factor"):
+            scaled_tracker_config(0)
+        cfg = scaled_tracker_config(0.5, cv=0.0)
+        assert cfg.grab_cost.mean == pytest.approx(0.003)
+        assert cfg.grab_cost.cv == 0.0
+
+
+class TestTelemetry:
+    def test_per_tenant_delivery_counters(self):
+        result = run_tenants(TenancySpec(tenants=_fleet(2), cluster=2,
+                                         horizon=3.0, telemetry=True))
+        from repro.obs import prometheus_text
+
+        hub = result.telemetry
+        text = prometheus_text(hub)
+        assert 'repro_tenant_deliveries_total{tenant="t0"}' in text
+        assert 'repro_tenant_events_total{phase="admitted"}' in text
+        # the counter agrees with the trace
+        for name, record in result.records.items():
+            value = hub.metrics.value("repro_tenant_deliveries_total",
+                                      {"tenant": name})
+            assert int(value) == record.deliveries
+
+
+@pytest.mark.perf
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_PERF"),
+    reason="wall-clock gate; set REPRO_PERF=1 to run",
+)
+def test_thousand_tenants_on_32_nodes():
+    """The acceptance-scale fleet: 1000 tenants, one engine, Jain >= 0.9."""
+    import time
+
+    cfg = scaled_tracker_config(0.02, frame_period=0.25, cv=0.0)
+    tenants = tuple(
+        TenantSpec(f"t{i}", app_config=cfg,
+                   demand=ResourceDemand(cpu=0.05, mem_bytes=2**20,
+                                         bandwidth_bps=1_000_000))
+        for i in range(1000)
+    )
+    t0 = time.perf_counter()
+    result = run_tenants(TenancySpec(
+        tenants=tenants,
+        cluster=uniform_spec(32, ncpus=16, bandwidth_bps=10**9),
+        horizon=3.0,
+    ))
+    wall = time.perf_counter() - t0
+    assert len(result.admitted) == 1000
+    assert result.fairness.jain >= 0.9
+    assert wall < 300, f"1000-tenant run took {wall:.0f}s"

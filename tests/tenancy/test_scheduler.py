@@ -1,0 +1,106 @@
+"""Scheduler ledger, admission modes, and fault surface."""
+
+import pytest
+
+from repro.cluster.spec import uniform_spec
+from repro.errors import ConfigError, SimulationError
+from repro.tenancy import Scheduler
+from repro.tenancy.tenant import ResourceDemand
+
+
+def _sched(**kwargs):
+    return Scheduler(uniform_spec(2, ncpus=4), **kwargs)
+
+
+class TestLedger:
+    def test_admit_commits_and_release_returns(self):
+        scheduler = _sched()
+        demands = {"a": ResourceDemand(cpu=2.0, mem_bytes=100,
+                                       bandwidth_bps=10)}
+        placement = scheduler.admit("t", ["a"], demands)
+        node = placement["a"]
+        assert scheduler.committed[node][0] == pytest.approx(2.0)
+        scheduler.release(placement, demands)
+        assert scheduler.committed[node] == [0.0, 0.0, 0.0]
+
+    def test_over_commit_raises(self):
+        scheduler = _sched()
+        demands = {"a": ResourceDemand(cpu=3.0)}
+        with pytest.raises(SimulationError, match="over-commit"):
+            scheduler.commit({"a": "node0", "b": "node0"},
+                             {"a": demands["a"], "b": ResourceDemand(cpu=3.0)})
+
+    def test_under_release_raises(self):
+        scheduler = _sched()
+        with pytest.raises(SimulationError, match="more than committed"):
+            scheduler.release({"a": "node0"}, {"a": ResourceDemand(cpu=1.0)})
+
+    def test_missing_demand_rejected(self):
+        scheduler = _sched()
+        with pytest.raises(ConfigError, match="no demand declared"):
+            scheduler.try_place("t", ["a"], {})
+
+    def test_available_tracks_commitments(self):
+        scheduler = _sched()
+        demands = {"a": ResourceDemand(cpu=1.5)}
+        placement = scheduler.admit("t", ["a"], demands)
+        node = placement["a"]
+        assert scheduler.available(node)[0] == pytest.approx(2.5)
+        assert scheduler.utilization()[node] == pytest.approx(1.5 / 4)
+
+
+class TestAdmissionModes:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ConfigError, match="admission"):
+            _sched(admission="maybe")
+
+    def test_modes_accepted(self):
+        assert _sched(admission="queue").admission == "queue"
+        assert _sched(admission="reject").admission == "reject"
+
+
+class TestFaultSurface:
+    def test_failed_node_excluded_from_placement(self):
+        scheduler = _sched()
+        scheduler.mark_failed("node0")
+        demands = {f"t{i}": ResourceDemand(cpu=1.0) for i in range(4)}
+        placement = scheduler.admit("t", list(demands), demands)
+        assert set(placement.values()) == {"node1"}
+
+    def test_all_failed_rejects(self):
+        scheduler = _sched()
+        scheduler.mark_failed("node0")
+        scheduler.mark_failed("node1")
+        assert scheduler.admit("t", ["a"],
+                               {"a": ResourceDemand(cpu=0.1)}) is None
+
+    def test_recovery_restores(self):
+        scheduler = _sched()
+        scheduler.mark_failed("node0")
+        scheduler.mark_recovered("node0")
+        assert not scheduler.failed
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(ConfigError, match="no node"):
+            _sched().mark_failed("nope")
+
+
+class TestNodeMirroring:
+    def test_bind_mirrors_commitments_into_nodes(self):
+        from repro.sim.engine import Engine
+        from repro.cluster.node import Node
+        from repro.sim.rng import RngRegistry
+
+        cluster = uniform_spec(1, ncpus=4)
+        scheduler = Scheduler(cluster)
+        demands = {"a": ResourceDemand(cpu=2.0, mem_bytes=64,
+                                       bandwidth_bps=8)}
+        placement = scheduler.admit("t", ["a"], demands)
+        engine = Engine()
+        rngs = RngRegistry(seed=0)
+        nodes = {s.name: Node(engine, s, rngs) for s in cluster.nodes}
+        scheduler.bind(nodes)
+        node = nodes[placement["a"]]
+        assert node.cpu_committed == pytest.approx(2.0)
+        scheduler.release(placement, demands)
+        assert node.cpu_committed == pytest.approx(0.0)

@@ -1,0 +1,131 @@
+"""The declarative tenancy-spec grammar (JSON -> TenancySpec)."""
+
+import pytest
+
+from repro.cluster.spec import ClusterSpec
+from repro.errors import ConfigError
+from repro.tenancy import ResourceDemand, TenancySpec, tenancy_from_dict
+from repro.tenancy.specfile import cluster_from_dict, demand_from_dict
+
+
+class TestDemandGrammar:
+    def test_unit_conversions(self):
+        demand = demand_from_dict(
+            {"cpu": 0.5, "mem_mb": 64, "bandwidth_mbps": 10}, "d")
+        assert demand.cpu == 0.5
+        assert demand.mem_bytes == 64 * 2**20
+        assert demand.bandwidth_bps == 10_000_000
+
+    def test_raw_units(self):
+        demand = demand_from_dict({"mem_bytes": 123, "bandwidth_bps": 456},
+                                  "d")
+        assert (demand.mem_bytes, demand.bandwidth_bps) == (123, 456)
+
+    def test_conflicting_units_rejected(self):
+        with pytest.raises(ConfigError, match="not both"):
+            demand_from_dict({"mem_mb": 1, "mem_bytes": 1}, "d")
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigError, match="unknown key"):
+            demand_from_dict({"gpus": 2}, "d")
+
+    def test_passthrough(self):
+        demand = ResourceDemand()
+        assert demand_from_dict(demand, "d") is demand
+
+
+class TestClusterGrammar:
+    def test_uniform(self):
+        cluster = cluster_from_dict({"nodes": 3, "ncpus": 2})
+        assert len(cluster.nodes) == 3
+        assert cluster.nodes[0].ncpus == 2
+
+    def test_heterogeneous(self):
+        cluster = cluster_from_dict(
+            {"kind": "heterogeneous", "n_big": 1, "n_small": 2})
+        names = [n.name for n in cluster.nodes]
+        assert names == ["big0", "small0", "small1"]
+
+    def test_int_and_none(self):
+        assert len(cluster_from_dict(2).nodes) == 2
+        assert len(cluster_from_dict(None).nodes) == 4
+
+    def test_mismatched_keys_rejected(self):
+        with pytest.raises(ConfigError, match="heterogeneous"):
+            cluster_from_dict({"n_big": 2})
+        with pytest.raises(ConfigError, match="unknown"):
+            cluster_from_dict({"kind": "heterogeneous", "ncpus": 4})
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError, match="unknown cluster kind"):
+            cluster_from_dict({"kind": "mesh"})
+
+
+class TestTenancyGrammar:
+    def test_full_round_trip(self):
+        spec = tenancy_from_dict({
+            "cluster": {"nodes": 8, "ncpus": 16},
+            "placement": "round-robin",
+            "admission": "reject",
+            "seed": 3,
+            "horizon": 20.0,
+            "tenants": [
+                {"name": "cam", "count": 3,
+                 "demand": {"cpu": 0.5, "mem_mb": 64},
+                 "tracker": {"frame_period": 0.1}},
+                {"name": "vip", "priority": 2, "weight": 2.0,
+                 "arrival": 5.0, "policy": "aru-max"},
+            ],
+        })
+        assert isinstance(spec, TenancySpec)
+        assert isinstance(spec.resolve_cluster(), ClusterSpec)
+        names = [t.name for t in spec.tenants]
+        assert names == ["cam-0", "cam-1", "cam-2", "vip"]
+        assert spec.tenants[0].app_config.frame_period == 0.1
+        assert spec.tenants[0].demand.mem_bytes == 64 * 2**20
+        vip = spec.tenants[-1]
+        assert vip.priority == 2 and vip.weight == 2.0
+        assert vip.policy.enabled
+        assert spec.placement == "round-robin"
+        assert spec.admission == "reject"
+
+    def test_count_expansion_derives_distinct_names(self):
+        spec = tenancy_from_dict({
+            "tenants": [{"name": "t", "count": 2}]})
+        a, b = spec.tenants
+        assert (a.name, b.name) == ("t-0", "t-1")
+        assert a.prefix != b.prefix
+
+    def test_thread_demand_overrides(self):
+        spec = tenancy_from_dict({
+            "tenants": [{"name": "a",
+                         "thread_demands": {"gui": {"cpu": 2.0}}}]})
+        assert spec.tenants[0].thread_demands["gui"].cpu == 2.0
+
+    def test_faults_parse(self):
+        spec = tenancy_from_dict({
+            "tenants": [{"name": "a"}],
+            "faults": [{"kind": "node_crash", "at": 3.0, "node": "node0"}],
+        })
+        assert spec.faults[0].kind == "node_crash"
+
+    def test_unknown_keys_fail_loudly(self):
+        with pytest.raises(ConfigError, match="unknown key"):
+            tenancy_from_dict({"tenants": [{"name": "a"}], "xyz": 1})
+        with pytest.raises(ConfigError, match="unknown key"):
+            tenancy_from_dict({"tenants": [{"name": "a", "cpu": 1}]})
+
+    def test_app_config_mismatch_rejected(self):
+        with pytest.raises(ConfigError, match="app is"):
+            tenancy_from_dict({
+                "tenants": [{"name": "a", "app": "gesture",
+                             "tracker": {"frame_period": 0.1}}]})
+
+    def test_missing_tenants_rejected(self):
+        with pytest.raises(ConfigError, match="tenants"):
+            tenancy_from_dict({})
+
+    def test_blank_namespace_cannot_expand(self):
+        with pytest.raises(ConfigError, match="blank namespace"):
+            tenancy_from_dict({
+                "tenants": [{"name": "a", "count": 2, "namespace": ""}]})

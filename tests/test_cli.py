@@ -338,3 +338,81 @@ def test_sweep_telemetry_writes_cell_snapshots(tmp_path, capsys):
     assert snap["enabled"] is True
     assert any(m["name"] == "repro_iterations_total"
                for m in snap["metrics"])
+
+
+def test_tenants_list_placements(capsys):
+    rc = main(["tenants", "--list-placements"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    for name in ("round-robin", "rstorm", "spread"):
+        assert name in out
+
+
+def test_tenants_synthetic_fleet(capsys):
+    rc = main(["tenants", "--tenants", "3", "--nodes", "2",
+               "--horizon", "3", "--seed", "1"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "3 declared, 3 admitted" in out
+    assert "placement=rstorm" in out
+    assert "tenant2" in out
+    assert "jain=" in out
+
+
+def test_tenants_json_output(capsys):
+    import json
+
+    rc = main(["tenants", "--tenants", "2", "--nodes", "2",
+               "--horizon", "3", "--json"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    payload = json.loads(out[out.index("{"):])
+    assert set(payload["tenants"]) == {"tenant0", "tenant1"}
+    assert payload["tenants"]["tenant0"]["state"] == "running"
+    assert 0.0 <= payload["jain"] <= 1.0
+
+
+def test_tenants_spec_file_round_trip(tmp_path, capsys):
+    import json
+
+    spec_path = tmp_path / "fleet.json"
+    spec_path.write_text(json.dumps({
+        "cluster": {"nodes": 2, "ncpus": 8},
+        "horizon": 3.0,
+        "tenants": [
+            {"name": "cam", "count": 2,
+             "tracker": {"frame_period": 0.2},
+             "demand": {"cpu": 0.25, "mem_mb": 16, "bandwidth_mbps": 1}},
+        ],
+    }))
+    rc = main(["tenants", str(spec_path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "cam-0" in out and "cam-1" in out
+    assert "2 declared, 2 admitted" in out
+
+
+def test_tenants_spec_file_placement_override(tmp_path, capsys):
+    import json
+
+    spec_path = tmp_path / "fleet.json"
+    spec_path.write_text(json.dumps({
+        "horizon": 2.0,
+        "tenants": [{"name": "a", "tracker": {"frame_period": 0.2}}],
+    }))
+    rc = main(["tenants", str(spec_path), "--placement", "spread"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "placement=spread" in out
+
+
+def test_tenants_unknown_placement_fails(capsys):
+    with pytest.raises(SystemExit, match="placement"):
+        main(["tenants", "--tenants", "1", "--placement", "rstrom"])
+
+
+def test_tenants_bad_spec_file_fails(tmp_path):
+    spec_path = tmp_path / "bad.json"
+    spec_path.write_text('{"tenants": [{"name": "a", "cpu": 1}]}')
+    with pytest.raises(SystemExit, match="unknown key"):
+        main(["tenants", str(spec_path)])

@@ -21,6 +21,7 @@ PUBLIC_SUBPACKAGES = (
     "repro.rt_threads",
     "repro.bench",
     "repro.obs",
+    "repro.tenancy",
 )
 
 #: The lazily re-exported top-level names. A frozen snapshot: adding a
@@ -41,6 +42,8 @@ TOP_LEVEL_API = {
     "TraceRecorder", "PostmortemAnalyzer",
     "build_tracker", "TrackerConfig",
     "run_experiment", "ExperimentSpec", "RunResult",
+    "TenancySpec", "TenantSpec", "TenancyResult", "ResourceDemand",
+    "Scheduler", "run_tenants", "register_placement",
     "TelemetryHub", "TelemetryConfig", "NULL_HUB",
     "__version__",
 }
