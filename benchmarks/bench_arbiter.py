@@ -1,0 +1,184 @@
+#!/usr/bin/env python
+"""Cross-tenant arbitration benchmark: pack-only vs. arbitrated.
+
+Two measurements over the same mixed fleet — six trackers alternating
+heavy/light rates and CPU demands, weights 1/2/3 — on a deliberately
+scarce 2-node cluster, committed to ``benchmarks/BENCH_arbiter.json``:
+
+1. **Static scarcity** — everyone arrives at t=0. Pack-only admits
+   the first tenant and starves the other five in the queue forever;
+   the proportional arbiter revokes over-share hogs on the DES clock
+   and time-shares the cluster by weight: nobody starves.
+
+2. **Churn** — the same fleet arriving/departing over the run
+   (``churn(rate=1.0, mean_lifetime=12)``). Tenants whose lifetime
+   expires while queued are losses the arbiter can only shrink, not
+   eliminate, so the contract here is *strict improvement*: higher
+   all-tenant Jain, lower aggregate p95, fewer starved.
+
+Reported per policy, over ALL declared tenants (a starved tenant
+contributes zero goodput — run_tenants' own Jain only covers tenants
+that ever ran):
+
+* ``jain_all``           — Jain fairness over per-tenant goodput;
+* ``p95_latency_mean_s`` — mean per-tenant p95 over tenants that
+  delivered at all (starved tenants have no latency to report; their
+  count rides in ``starved``);
+* ``starved``            — tenants with zero placement-holding seconds.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_arbiter.py             # print
+    PYTHONPATH=src python benchmarks/bench_arbiter.py --update    # re-baseline
+
+The committed shape is what matters, not the absolute rates: the
+arbitrated runs must strictly improve BOTH the all-tenant Jain index
+and the aggregate p95 over pack-only, starve nobody in the static
+scenario, and starve strictly fewer under churn.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_arbiter.json"
+
+SEED = 7
+HORIZON = 16.0
+
+
+def _fleet():
+    from repro.tenancy import TenantSpec, scaled_tracker_config
+    from repro.tenancy.tenant import ResourceDemand
+
+    heavy = scaled_tracker_config(0.15, frame_period=0.2, cv=0.0)
+    light = scaled_tracker_config(0.05, frame_period=0.2, cv=0.0)
+    return tuple(
+        TenantSpec(
+            f"t{i}",
+            app_config=heavy if i % 2 == 0 else light,
+            weight=float(1 + i % 3),
+            demand=ResourceDemand(cpu=1.0 if i % 2 == 0 else 0.75,
+                                  bandwidth_bps=100),
+        )
+        for i in range(6)
+    )
+
+
+def _arbiter():
+    from repro.tenancy.arbiter import ArbiterConfig
+
+    return ArbiterConfig(policy="proportional", interval=1.0, patience=1.5,
+                         min_residency=2.0, max_revocations=1)
+
+
+def _measure_pair(tenants) -> dict:
+    from repro.cluster.spec import uniform_spec
+    from repro.tenancy import TenancySpec, run_tenants
+    from repro.tenancy.fairness import jain_index
+
+    out = {}
+    for label, arbiter in (("pack-only", None), ("proportional", _arbiter())):
+        spec = TenancySpec(tenants=tenants, cluster=uniform_spec(2, ncpus=4),
+                           seed=SEED, horizon=HORIZON, arbiter=arbiter)
+        t0 = time.perf_counter()
+        result = run_tenants(spec)
+        wall = time.perf_counter() - t0
+        goodputs = [r.goodput for r in result.records.values()]
+        p95s = [r.latency_p95 for r in result.records.values()
+                if r.latency_p95 == r.latency_p95]
+        starved = [n for n, r in result.records.items() if r.residence == 0]
+        arb = result.arbitration or {}
+        out[label] = {
+            "jain_all": jain_index(goodputs),
+            "p95_latency_mean_s": float(np.mean(p95s)) if p95s else None,
+            "starved": starved,
+            "deliveries": {n: r.deliveries
+                           for n, r in result.records.items()},
+            "revocations": arb.get("revocations", 0),
+            "migrations": arb.get("migrations", 0),
+            "wall_s": wall,
+        }
+        print(f"  {label:12s}: jain_all={out[label]['jain_all']:.3f}  "
+              f"mean p95={out[label]['p95_latency_mean_s'] * 1e3:6.1f}ms  "
+              f"starved={len(starved)}  "
+              f"revocations={out[label]['revocations']}")
+    return out
+
+
+def measure_static() -> dict:
+    return _measure_pair(_fleet())
+
+
+def measure_churn() -> dict:
+    from repro.tenancy import churn
+
+    return _measure_pair(churn(_fleet(), rate=1.0, mean_lifetime=12.0,
+                               seed=SEED))
+
+
+def _check_pair(name: str, pair: dict, problems: list) -> None:
+    packed, arb = pair["pack-only"], pair["proportional"]
+    if not packed["starved"]:
+        problems.append(f"{name}: pack-only must actually starve someone "
+                        "(it is the arbiter's reason to exist)")
+    if arb["revocations"] <= 0:
+        problems.append(f"{name}: arbitrated run must revoke at least once")
+    if not arb["jain_all"] > packed["jain_all"]:
+        problems.append(
+            f"{name}: jain must strictly improve: {packed['jain_all']:.3f} "
+            f"-> {arb['jain_all']:.3f}")
+    if not ((arb["p95_latency_mean_s"] or 1e9)
+            < (packed["p95_latency_mean_s"] or 1e9)):
+        problems.append(
+            f"{name}: aggregate p95 must strictly improve: "
+            f"{packed['p95_latency_mean_s']} -> {arb['p95_latency_mean_s']}")
+
+
+def check(payload: dict) -> list:
+    """Shape checks on a measurement (machine-independent)."""
+    problems = []
+    _check_pair("static", payload["static"], problems)
+    _check_pair("churn", payload["churn"], problems)
+    if payload["static"]["proportional"]["starved"]:
+        problems.append(
+            "static: arbitrated run starved "
+            f"{payload['static']['proportional']['starved']}")
+    churned = payload["churn"]
+    if not (len(churned["proportional"]["starved"])
+            < len(churned["pack-only"]["starved"])):
+        problems.append("churn: arbitration must starve strictly fewer "
+                        "tenants than pack-only")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--update", action="store_true",
+                        help=f"rewrite {BASELINE_PATH.name}")
+    args = parser.parse_args(argv)
+
+    print("static scarcity (6 mixed tenants at t=0, 2x4-cpu nodes):")
+    static = measure_static()
+    print("churn (same fleet, Poisson arrivals, ~12s lifetimes):")
+    churned = measure_churn()
+    payload = {"static": static, "churn": churned}
+
+    problems = check(payload)
+    for p in problems:
+        print(f"FAIL: {p}")
+
+    if args.update:
+        BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {BASELINE_PATH}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

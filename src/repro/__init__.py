@@ -72,6 +72,9 @@ _LAZY = {
     "Scheduler": "repro.tenancy",
     "run_tenants": "repro.tenancy",
     "register_placement": "repro.tenancy",
+    "ArbiterConfig": "repro.tenancy",
+    "register_arbiter": "repro.tenancy",
+    "available_arbiters": "repro.tenancy",
     "TelemetryHub": "repro.obs",
     "TelemetryConfig": "repro.obs",
     "NULL_HUB": "repro.obs",

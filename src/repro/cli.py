@@ -410,6 +410,7 @@ def cmd_tenants(args) -> int:
     from repro.tenancy import (
         TenancySpec,
         TenantSpec,
+        arbiters_help_text,
         placements_help_text,
         run_tenants,
         scaled_tracker_config,
@@ -418,6 +419,9 @@ def cmd_tenants(args) -> int:
 
     if args.list_placements:
         print(placements_help_text())
+        return 0
+    if args.list_arbiters:
+        print(arbiters_help_text())
         return 0
     if _maybe_list_policies(args):
         return 0
@@ -429,6 +433,8 @@ def cmd_tenants(args) -> int:
                 spec = spec.with_(placement=args.placement)
             if args.horizon is not None:
                 spec = spec.with_(horizon=args.horizon)
+            if args.arbiter is not None:
+                spec = spec.with_(arbiter=args.arbiter)
         else:
             # Synthetic fleet: N equal scaled-down trackers.
             cfg = scaled_tracker_config(0.1, frame_period=0.2, cv=0.0)
@@ -441,6 +447,7 @@ def cmd_tenants(args) -> int:
                 cluster=args.nodes,
                 placement=args.placement or "rstorm",
                 admission=args.admission,
+                arbiter=args.arbiter,
                 seed=args.seed,
                 horizon=args.horizon if args.horizon is not None else 10.0,
             )
@@ -449,9 +456,13 @@ def cmd_tenants(args) -> int:
         raise SystemExit(f"error: {exc}") from None
     n = len(result.records)
     admitted = len(result.admitted)
+    arb = (result.arbitration["arbiter"] if result.arbitration else "none")
+    # Keep stdout pure JSON under --json so the output pipes into jq.
     print(f"tenants: {n} declared, {admitted} admitted, "
           f"placement={result.runtime.scheduler.strategy.name} "
-          f"admission={spec.admission} horizon={spec.horizon:.0f}s")
+          f"admission={spec.admission} arbiter={arb} "
+          f"horizon={spec.horizon:.0f}s",
+          file=sys.stderr if args.json else sys.stdout)
     if args.json:
         payload = {
             "tenants": {
@@ -466,7 +477,13 @@ def cmd_tenants(args) -> int:
             },
             "jain": result.fairness.jain,
             "weighted_jain": result.fairness.weighted_jain,
+            "utilization": result.fairness.utilization,
         }
+        if result.arbitration is not None:
+            payload["arbitration"] = {
+                k: v for k, v in result.arbitration.items()
+                if k != "actions"
+            }
         print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         print(result.format())
@@ -719,9 +736,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "--list-placements)")
     p_ten.add_argument("--list-placements", action="store_true",
                        help="print the placement-strategy catalog and exit")
-    p_ten.add_argument("--admission", default="queue",
-                       choices=("queue", "reject"),
-                       help="over-capacity behaviour (default queue)")
+    p_ten.add_argument("--admission", default="queue", metavar="MODE",
+                       help="over-capacity behaviour: queue or reject "
+                            "(default queue)")
+    p_ten.add_argument("--arbiter", default=None, metavar="NAME",
+                       help="cross-tenant arbiter (default none; see "
+                            "--list-arbiters)")
+    p_ten.add_argument("--list-arbiters", action="store_true",
+                       help="print the arbiter catalog and exit")
     p_ten.add_argument("--policy", default=None, metavar="NAME",
                        help="per-tenant ARU policy for the synthetic fleet "
                             "(default none)")

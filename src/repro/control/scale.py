@@ -379,6 +379,10 @@ class StageScaleController:
         self._undershoot_polls = 0
         #: ``(t, replicas, desired, applied)`` rows for diagnostics.
         self.decisions: List[Tuple[float, int, int, int]] = []
+        #: Scale-out replicas wanted but not delivered — node admission
+        #: or (under arbitration) tenant-budget denials. The signal that
+        #: the stage is throttled by its grant, not by its policy.
+        self.denied_total = 0
 
     def run(self) -> Generator:
         """The controller's DES process body."""
@@ -400,11 +404,13 @@ class StageScaleController:
         current = signals.replicas
         cfg = self.config
         applied = 0
+        attempted_out = 0
         if desired > current:
             self._undershoot_polls = 0
             if signals.now - self._last_action_t >= cfg.cooldown:
+                attempted_out = desired - current
                 applied = self.actuator.apply(
-                    desired - current,
+                    attempted_out,
                     reason=f"erlang: lambda={signals.arrival_rate:.1f}/s "
                            f"desired={desired}",
                 )
@@ -422,5 +428,7 @@ class StageScaleController:
         if applied:
             self._last_action_t = signals.now
             self._undershoot_polls = 0
+        if attempted_out and applied < attempted_out:
+            self.denied_total += attempted_out - applied
         self.decisions.append((signals.now, current, desired, applied))
         return applied

@@ -179,6 +179,7 @@ class NullTelemetryHub:
     def on_fault(self, *a, **k) -> None: ...
     def on_scale(self, *a, **k) -> None: ...
     def on_tenant(self, *a, **k) -> None: ...
+    def on_arbiter(self, *a, **k) -> None: ...
     def on_finalize(self, *a, **k) -> None: ...
 
     def put_handle(self, *a, **k):
@@ -573,6 +574,35 @@ class TelemetryHub:
             if detail:
                 args["detail"] = detail
             self.tracer.instant(f"tenant:{phase}", cat="tenant",
+                                track="tenants", t=t, args=args)
+
+    #: Arbitration action -> the counter it increments. Explicit names
+    #: (not a label on one counter) so dashboards alert on revocations
+    #: and denials without PromQL label gymnastics.
+    _ARBITER_COUNTERS = {
+        "revoke": "repro_arbiter_revocations_total",
+        "migrate": "repro_arbiter_migrations_total",
+        "deny": "repro_arbiter_grant_denials_total",
+        "grant": "repro_arbiter_grants_total",
+        "grow": "repro_arbiter_budget_changes_total",
+        "shrink": "repro_arbiter_budget_changes_total",
+    }
+
+    def on_arbiter(self, action: str, tenant: str, t: float,
+                   detail: str = "") -> None:
+        """An arbitration act: revoke/migrate/grow/shrink/grant/deny.
+
+        O(arbiter decisions) — a few per arbitration period — so ad-hoc
+        instruments, same as the scale and tenant paths."""
+        if self.metrics_on:
+            name = self._ARBITER_COUNTERS.get(
+                action, "repro_arbiter_actions_total")
+            self.metrics.counter(name, {"tenant": tenant}).inc()
+        if self.spans_on:
+            args: Dict[str, object] = {"tenant": tenant}
+            if detail:
+                args["detail"] = detail
+            self.tracer.instant(f"arbiter:{action}", cat="arbiter",
                                 track="tenants", t=t, args=args)
 
     # -- run lifecycle ------------------------------------------------------

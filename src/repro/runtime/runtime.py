@@ -430,13 +430,15 @@ class Runtime:
             return len(names)
         return sum(1 for n in names if self.thread_alive(n))
 
-    def _admit_replica(self, node_name: str) -> bool:
+    def _admit_replica(self, stage: str, node_name: str) -> bool:
         """R-Storm-style admission: charge the replica against the node.
 
         A new worker is admitted only while its target node is up and
         has an uncommitted CPU (alive resident threads < ``ncpus``) —
         spawning past the core count would just re-create the
-        oversubscription the scale-out is trying to relieve.
+        oversubscription the scale-out is trying to relieve. The
+        multi-tenant runtime overrides this to additionally draw the
+        replica's CPU from the owning tenant's ledger budget.
         """
         node = self.nodes[node_name]
         if node.failed:
@@ -446,6 +448,13 @@ class Runtime:
             if self._processes[t].is_alive
         )
         return alive < node.spec.ncpus
+
+    def _on_replica_spawned(self, stage: str, name: str,
+                            node_name: str) -> None:
+        """Hook: a replica admitted by :meth:`_admit_replica` went live."""
+
+    def _on_replica_retired(self, stage: str, name: str) -> None:
+        """Hook: a replica was retired; release anything it drew."""
 
     def scale_out(self, stage: str, reason: str = "scale-out") -> Optional[str]:
         """Spawn one more worker replica for ``stage``.
@@ -466,13 +475,14 @@ class Runtime:
             raise ConfigError(
                 f"stage {stage!r} placed on unknown node {node_name!r}"
             )
-        if not self._admit_replica(node_name):
+        if not self._admit_replica(stage, node_name):
             return None
         name = self.graph.add_replica(stage)
         self._thread_placement[name] = self._resolve_thread_node(name)
         driver = self._build_driver(name)
         self.drivers[name] = driver
         self._processes[name] = self.engine.process(driver.run(), name=name)
+        self._on_replica_spawned(stage, name, node_name)
         if self.obs.enabled:
             self.obs.on_scale(stage, "out", before, before + 1,
                               self.engine.now, reason, name)
@@ -522,6 +532,7 @@ class Runtime:
         del self._processes[name]
         del self._thread_placement[name]
         self.graph.remove_replica(stage, name)
+        self._on_replica_retired(stage, name)
         if self.obs.enabled:
             self.obs.on_scale(stage, "in", before,
                               self.replica_count(stage), now, reason, name)
@@ -629,6 +640,8 @@ class Runtime:
                     "replicas": self.replica_count(stage),
                     "decisions": (len(self.scalers[stage].decisions)
                                   if stage in self.scalers else 0),
+                    "denied": (self.scalers[stage].denied_total
+                               if stage in self.scalers else 0),
                 }
                 for stage in self.graph.replicated_stages()
             }

@@ -363,16 +363,19 @@ class ThreadDriver:
         view = buffer.commit_get(
             conn, request, t=self.now(), consumer_summary=self.my_summary()
         )
+        # Register ownership before any yield: commit_get took a reference,
+        # and a kill landing mid-transfer must still find it in the held
+        # set or the item stays pinned in the channel forever.
+        if hold:
+            self._retained[view.item_id] = (buffer, view)
+        else:
+            self._held.append((buffer, view))
         # Remote get: ship the item's bytes to the consumer's node. This is
         # production-path time, *included* in the STP.
         if buffer.node.name != self.node.name and view.size > 0:
             yield from self._remote_transfer(
                 buffer.node.name, self.node.name, view.size
             )
-        if hold:
-            self._retained[view.item_id] = (buffer, view)
-        else:
-            self._held.append((buffer, view))
         self._iter_inputs.append(view.item_id)
         return view
 

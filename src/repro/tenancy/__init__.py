@@ -9,11 +9,24 @@ plane, RNG streams, and namespaced graph slice. :func:`run_tenants` is
 the front door, mirroring :func:`repro.run_experiment`.
 
 Timescale separation (docs/multi-tenancy.md): the **scheduler** decides
-*where* threads run (arrival / departure / fault granularity); **ARU**
-decides *how fast* they consume (every iteration); **ScalePolicy**
-decides *how many* replicas run (every control period).
+*where* threads run (arrival / departure / fault granularity); the
+**arbiter** re-decides *how much* each tenant holds (every arbitration
+period — budgets, revocations, migrations); **ARU** decides *how fast*
+they consume (every iteration); **ScalePolicy** decides *how many*
+replicas run (every control period, drawing from the arbiter's budget).
 """
 
+from repro.tenancy.arbiter import (
+    Arbiter,
+    ArbiterConfig,
+    ArbiterView,
+    Decision,
+    TenantView,
+    arbiters_help_text,
+    available_arbiters,
+    register_arbiter,
+    resolve_arbiter_config,
+)
 from repro.tenancy.fairness import (
     FairnessReport,
     fairness_report,
@@ -36,8 +49,13 @@ from repro.tenancy.run import (
     run_tenants,
     scaled_tracker_config,
 )
+from repro.tenancy.ledger import ReservationLedger
 from repro.tenancy.runtime import TenantRuntime
-from repro.tenancy.scheduler import ADMISSION_MODES, Scheduler
+from repro.tenancy.scheduler import (
+    ADMISSION_MODES,
+    Scheduler,
+    resolve_admission,
+)
 from repro.tenancy.specfile import tenancy_from_dict
 from repro.tenancy.tenant import (
     TENANT_STATES,
@@ -48,8 +66,13 @@ from repro.tenancy.tenant import (
 
 __all__ = [
     "ADMISSION_MODES",
+    "Arbiter",
+    "ArbiterConfig",
+    "ArbiterView",
+    "Decision",
     "FairnessReport",
     "PlacementView",
+    "ReservationLedger",
     "ResourceDemand",
     "Scheduler",
     "TENANT_STATES",
@@ -59,13 +82,19 @@ __all__ = [
     "TenantRecord",
     "TenantRuntime",
     "TenantSpec",
+    "TenantView",
+    "arbiters_help_text",
+    "available_arbiters",
     "available_placements",
     "churn",
     "fairness_report",
     "jain_index",
     "placements_help_text",
     "poisson_arrivals",
+    "register_arbiter",
     "register_placement",
+    "resolve_admission",
+    "resolve_arbiter_config",
     "resolve_placement",
     "run_tenants",
     "scaled_tracker_config",

@@ -56,6 +56,10 @@ class FairnessReport:
     weights: Dict[str, float] = field(default_factory=dict)
     jain: float = float("nan")
     weighted_jain: float = float("nan")
+    #: node -> {"cpu": f, "mem": f, "bandwidth": f} committed fractions
+    #: at end of run — all three axes, because a memory- or
+    #: bandwidth-bound fleet saturates those first.
+    utilization: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     @property
     def shares(self) -> Dict[str, float]:
@@ -79,12 +83,30 @@ class FairnessReport:
                 f"  {name:<{width}}  goodput={self.goodput[name]:8.3f}/s "
                 f"share={shares[name]:6.1%} weight={self.weights[name]:g}"
             )
+        if self.utilization:
+            nwidth = max(len(n) for n in self.utilization)
+            lines.append("utilization:")
+            for node in sorted(self.utilization):
+                axes = self.utilization[node]
+                lines.append(
+                    f"  {node:<{nwidth}}  " + " ".join(
+                        f"{axis}={axes.get(axis, 0.0):6.1%}"
+                        for axis in ("cpu", "mem", "bandwidth")
+                    )
+                )
         return "\n".join(lines)
 
 
 def fairness_report(goodput: Mapping[str, float],
-                    weights: Mapping[str, float]) -> FairnessReport:
-    """Build the report for admitted tenants' goodput."""
+                    weights: Mapping[str, float],
+                    utilization: Mapping[str, Mapping[str, float]] = None,
+                    ) -> FairnessReport:
+    """Build the report for admitted tenants' goodput.
+
+    ``utilization`` is the scheduler's per-node, per-axis committed
+    fractions (cpu *and* mem *and* bandwidth — the CPU-only report hid
+    memory- and bandwidth-bound saturation).
+    """
     names = sorted(goodput)
     ws = {name: float(weights.get(name, 1.0)) for name in names}
     return FairnessReport(
@@ -95,4 +117,5 @@ def fairness_report(goodput: Mapping[str, float],
             (goodput[name] for name in names),
             (ws[name] for name in names),
         ),
+        utilization={n: dict(a) for n, a in (utilization or {}).items()},
     )

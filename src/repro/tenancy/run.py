@@ -55,6 +55,15 @@ class TenancySpec:
     admission:
         Over-capacity behaviour: ``"queue"`` (wait for departures) or
         ``"reject"``.
+    arbiter:
+        Cross-tenant arbitration: None (off — the pack-only plane, no
+        added engine events), a registered arbiter name
+        (``proportional`` / ``demand`` / ``null``), or an
+        :class:`~repro.tenancy.arbiter.ArbiterConfig`. When on, a
+        controller process periodically re-solves the allocation:
+        granting/shrinking elastic budgets, revoking over-share
+        tenants when the queue starves, and migrating tenants to
+        defragment or re-balance.
     gc / seed / retry / record_stp / telemetry / horizon:
         As in :class:`~repro.experiment.ExperimentSpec`. ``seed`` is the
         *root* seed tenant seeds derive from.
@@ -67,6 +76,7 @@ class TenancySpec:
     cluster: Any = None
     placement: Any = "rstorm"
     admission: str = "queue"
+    arbiter: Any = None
     gc: Any = "dgc"
     seed: int = 0
     horizon: float = 30.0
@@ -78,6 +88,9 @@ class TenancySpec:
     def __post_init__(self) -> None:
         if self.horizon <= 0:
             raise ConfigError(f"horizon must be positive, got {self.horizon}")
+        if self.arbiter is not None:
+            from repro.tenancy.arbiter import resolve_arbiter_config
+            resolve_arbiter_config(self.arbiter)  # fail fast on bad names
         seen = set()
         blank = None
         for spec in self.tenants:
@@ -160,6 +173,11 @@ class TenantRecord:
     drops: int = 0
     admitted_at: Optional[float] = None
     departed_at: Optional[float] = None
+    #: Cumulative placement-holding seconds (across revocations).
+    residence: float = 0.0
+    #: Arbitration acts the tenant was subject to.
+    revocations: int = 0
+    migrations: int = 0
     detail: str = ""
 
 
@@ -178,12 +196,16 @@ class TenancyResult:
     runtime: Any = None
     #: ``(t, tenant, decision, detail)`` admission history.
     admission_log: List[tuple] = field(default_factory=list)
+    #: The arbiter controller's end-of-run digest (None = arbitration
+    #: off): ticks, revocations, migrations, budget changes, per-tenant
+    #: grant/denial audit, and the full action log.
+    arbitration: Optional[Dict[str, Any]] = None
 
     @property
     def admitted(self) -> List[str]:
         """Tenants that held a placement at any point."""
         return [n for n, r in self.records.items()
-                if r.admitted_at is not None]
+                if r.admitted_at is not None or r.residence > 0]
 
     def format(self) -> str:
         """Human-readable run summary (CLI output)."""
@@ -198,6 +220,15 @@ class TenancyResult:
                 f" goodput={rec.goodput:8.3f}/s p95={lat}"
             )
         lines.append(self.fairness.format())
+        if self.arbitration is not None:
+            a = self.arbitration
+            lines.append(
+                f"arbitration: {a['arbiter']} ticks={a['ticks']}"
+                f" revocations={a['revocations']}"
+                f" migrations={a['migrations']}"
+                f" budget-changes={a['grows'] + a['shrinks']}"
+                f" grants={a['grants']} denials={a['grant_denials']}"
+            )
         return "\n".join(lines)
 
 
@@ -333,6 +364,18 @@ def run_tenants(spec: Union[TenancySpec, None] = None,
     ):
         runtime.arrive(tenant)
 
+    # Arbitration installs only when configured and non-null — the
+    # no-arbiter default stays event-for-event identical to pack-only.
+    controller = None
+    if spec.arbiter is not None:
+        from repro.tenancy.arbiter import (
+            install_arbiter,
+            resolve_arbiter_config,
+        )
+        controller = install_arbiter(
+            runtime, resolve_arbiter_config(spec.arbiter)
+        )
+
     # Faults install after static admissions so thread targets validate
     # against the populated graph.
     fault_log = None
@@ -396,20 +439,26 @@ def run_tenants(spec: Union[TenancySpec, None] = None,
             drops=drops,
             admitted_at=tenant.admitted_at,
             departed_at=tenant.departed_at,
+            residence=residence,
+            revocations=tenant.revocations,
+            migrations=tenant.migrations,
             detail=tenant.detail,
         )
-        if tenant.admitted_at is not None:
+        if tenant.admitted_at is not None or residence > 0:
             goodput[tenant.name] = rate
             weights[tenant.name] = tenant.weight
 
     return TenancyResult(
         spec=spec,
         records=records,
-        fairness=fairness_report(goodput, weights),
+        fairness=fairness_report(
+            goodput, weights, utilization=scheduler.utilization()
+        ),
         trace=trace,
         stats=runtime.stats(),
         telemetry=runtime.obs,
         fault_log=fault_log,
         runtime=runtime,
         admission_log=list(runtime.admission_log),
+        arbitration=controller.summary() if controller else None,
     )

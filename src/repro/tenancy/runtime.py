@@ -26,7 +26,7 @@ metrics fingerprint is bit-identical (asserted by
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ConfigError
 from repro.runtime.graph import TaskGraph
@@ -58,6 +58,14 @@ class TenantRuntime(Runtime):
         self.queued: List[Tenant] = []
         #: ``(t, tenant, decision, detail)`` admission history.
         self.admission_log: List[tuple] = []
+        #: The installed :class:`~repro.tenancy.arbiter.ArbiterController`
+        #: (None = arbitration off: scale-outs are not budget-gated and
+        #: the run is event-for-event identical to the pack-only plane).
+        self.arbiter = None
+        #: replica thread -> (tenant, stage, cpu, node) for every live
+        #: replica admitted through a ledger headroom grant.
+        self._replica_grants: Dict[str, Tuple[str, str, float, str]] = {}
+        self._pending_grant: Optional[Tuple[str, str, float, str]] = None
         super().__init__(TaskGraph(name="tenancy"), config)
         scheduler.bind(self.nodes)
 
@@ -107,6 +115,71 @@ class TenantRuntime(Runtime):
     def _scale_config_for(self, stage: str):
         tenant = self._owner_of(stage)
         return tenant.scale if tenant is not None else self.config.scale
+
+    # -- scale-plane budget gate ---------------------------------------------
+    def _admit_replica(self, stage: str, node_name: str) -> bool:
+        """Node admission, plus a ledger budget draw when arbitrated.
+
+        Without an arbiter the base R-Storm node check stands alone —
+        bit-identical to the pack-only plane. With one, a scale-out must
+        *also* draw the replica's CPU from the owning tenant's granted
+        elastic budget (:meth:`Scheduler.request_headroom`); a tenant
+        whose budget is exhausted gets its request denied — and counted
+        — no matter how idle the node is. That is the whole point: free
+        capacity belongs to whoever the arbiter granted it to.
+        """
+        if not super()._admit_replica(stage, node_name):
+            return False
+        if self.arbiter is None:
+            return True
+        tenant = self._owner_of(stage)
+        if tenant is None:
+            return True
+        cpu = tenant.demand_for(tenant.local_name(stage)).cpu
+        if not self.scheduler.request_headroom(tenant.name, cpu, node_name):
+            if self.obs.enabled:
+                self.obs.on_arbiter("deny", tenant.name, self.engine.now,
+                                    detail=f"{stage} on {node_name}")
+            return False
+        if self.obs.enabled:
+            self.obs.on_arbiter("grant", tenant.name, self.engine.now,
+                                detail=f"{stage} on {node_name}")
+        self._pending_grant = (tenant.name, stage, cpu, node_name)
+        return True
+
+    def _on_replica_spawned(self, stage: str, name: str,
+                            node_name: str) -> None:
+        grant = self._pending_grant
+        self._pending_grant = None
+        if grant is not None and grant[1] == stage:
+            self._replica_grants[name] = grant
+
+    def _on_replica_retired(self, stage: str, name: str) -> None:
+        grant = self._replica_grants.pop(name, None)
+        if grant is not None:
+            tenant, _, cpu, node = grant
+            self.scheduler.release_headroom(tenant, cpu, node)
+
+    def set_tenant_budget(self, tenant: Tenant, cpu: float) -> float:
+        """Set a tenant's elastic budget and enforce any shrink.
+
+        Returns the previous budget. Enforcement is immediate: replicas
+        drawing past the new allowance are retired (newest grant first)
+        until the draw fits — the ledger records allowances, but only
+        the runtime can drain and kill threads.
+        """
+        old = self.scheduler.set_budget(tenant.name, cpu)
+        ledger = self.scheduler.ledger
+        while ledger.used_budget(tenant.name) > cpu + 1e-9:
+            victim = None
+            for name, grant in reversed(list(self._replica_grants.items())):
+                if grant[0] == tenant.name:
+                    victim = (name, grant[1])
+                    break
+            if victim is None:
+                break  # draws without live replicas: nothing to retire
+            self.retire_replica(victim[1], victim[0], reason="budget shrink")
+        return old
 
     # -- admission -----------------------------------------------------------
     def admit_tenant(self, tenant: Tenant) -> bool:
@@ -175,6 +248,7 @@ class TenantRuntime(Runtime):
         tenant.state = RUNNING
         tenant.admitted_at = now
         tenant.departed_at = None
+        tenant.queued_at = None
         self.admission_log.append((now, tenant.name, "admitted", ""))
         if self.obs.enabled:
             self.obs.on_tenant("admitted", tenant.name, now)
@@ -187,6 +261,7 @@ class TenantRuntime(Runtime):
         now = self.engine.now
         if self.scheduler.admission == "queue":
             tenant.state = QUEUED
+            tenant.queued_at = now
             self.tenants.setdefault(tenant.name, tenant)
             self.queued.append(tenant)
             decision = "queued"
@@ -222,10 +297,12 @@ class TenantRuntime(Runtime):
 
     # -- departure -----------------------------------------------------------
     def depart_tenant(self, tenant: Tenant, reason: str = "departure",
-                      state: str = DEPARTED, release: bool = True) -> None:
+                      state: str = DEPARTED, release: bool = True,
+                      phase: Optional[str] = None) -> None:
         """Tear one tenant down: kill threads, reclaim storage, release
         reservations. The tenant's graph nodes stay in the shared graph
-        (dead), preserving trace attribution."""
+        (dead), preserving trace attribution. ``phase`` overrides the
+        logged transition (revocation departs to QUEUED as "revoked")."""
         if tenant.state != RUNNING:
             raise ConfigError(
                 f"tenant {tenant.name!r} is {tenant.state}, not running"
@@ -236,6 +313,13 @@ class TenantRuntime(Runtime):
             if process is not None and process.is_alive:
                 process.kill(reason)
             self.scalers.pop(stage, None)
+        # Elastic replicas spawned after admission are not in
+        # tenant.threads; retire them first so their connections,
+        # processes, and any ledger headroom draws go with the tenant.
+        for stage in tenant.stages:
+            for name in list(self.graph.replicas_of(stage)):
+                if name not in tenant.threads:
+                    self.retire_replica(stage, name, reason=reason)
         for name in tenant.threads:
             process = self._processes.get(name)
             if process is not None and process.is_alive:
@@ -258,13 +342,94 @@ class TenantRuntime(Runtime):
             if buffer is not None:
                 buffer.drain(now)
         if release:
-            self.scheduler.release(tenant.placement_local, tenant.demands)
+            self.scheduler.release(tenant.placement_local, tenant.demands,
+                                   tenant=tenant.name)
+        self.scheduler.ledger.clear_tenant(tenant.name)
+        if tenant.admitted_at is not None:
+            tenant.prior_residence += max(0.0, now - tenant.admitted_at)
         tenant.state = state
         tenant.departed_at = now
-        phase = "evicted" if state == EVICTED else "departed"
+        if phase is None:
+            phase = "evicted" if state == EVICTED else "departed"
         self.admission_log.append((now, tenant.name, phase, reason))
         if self.obs.enabled:
             self.obs.on_tenant(phase, tenant.name, now, detail=reason)
+
+    # -- arbitration surface --------------------------------------------------
+    def revoke_tenant(self, tenant: Tenant, reason: str = "revoked") -> None:
+        """Take a running tenant's reservation away and re-queue it.
+
+        The full departure teardown runs — extra replicas retired,
+        threads killed, buffers drained, reservations and budget
+        released — but the tenant lands back in the admission queue
+        instead of leaving: weighted time-sharing of a scarce cluster.
+        Readmission later restarts it cold through the normal path.
+        """
+        self.depart_tenant(tenant, reason=reason, state=QUEUED,
+                           phase="revoked")
+        now = self.engine.now
+        tenant.revocations += 1
+        tenant.queued_at = now
+        tenant.admitted_at = None
+        self.queued.append(tenant)
+
+    def migrate_tenant(self, tenant: Tenant, exclude=(),
+                       reason: str = "migrate") -> bool:
+        """Re-place a running tenant's threads through the scheduler.
+
+        Releases the tenant's reservations, asks the placement strategy
+        for a fresh packing over the surviving nodes minus ``exclude``,
+        and — when the answer differs — moves the tenant there: buffers
+        drained, every thread restarted cold (the crash-replace
+        machinery's discipline: a migrated tenant restarts as a unit).
+        Infeasible or unchanged placements re-commit the old one and
+        return False; the cluster is left exactly as found.
+        """
+        if tenant.state != RUNNING:
+            raise ConfigError(
+                f"tenant {tenant.name!r} is {tenant.state}, not running"
+            )
+        if any(g[0] == tenant.name for g in self._replica_grants.values()):
+            return False  # elastic replicas pin the current packing
+        now = self.engine.now
+        self.scheduler.release(tenant.placement_local, tenant.demands,
+                               tenant=tenant.name)
+        new_local = self.scheduler.admit(
+            tenant.name, tenant.graph.threads(), tenant.demands,
+            tenant.neighbors(), exclude=exclude,
+        )
+        if new_local is None or new_local == tenant.placement_local:
+            if new_local is not None:
+                self.scheduler.release(new_local, tenant.demands,
+                                       tenant=tenant.name)
+            self.scheduler.commit(tenant.placement_local, tenant.demands,
+                                  tenant=tenant.name)
+            return False
+        for local, node in new_local.items():
+            shared = tenant.mapping[local]
+            tenant.placement_local[local] = node
+            tenant.placement[shared] = node
+            self._thread_placement[shared] = node
+            self.config.placement[shared] = node
+        for stage in tenant.stages:
+            first = self.graph.replicas_of(stage)
+            if first:
+                self.config.placement[stage] = tenant.placement.get(
+                    first[0], self.config.placement.get(stage)
+                )
+        for name in tenant.buffers:
+            self.buffers[name].drain(now)
+        for name in tenant.threads:
+            self.restart_thread(name)
+        tenant.migrations += 1
+        detail = ",".join(
+            f"{l}->{n}" for l, n in sorted(new_local.items())
+        )
+        tenant.detail = f"migrated: {detail}"
+        self.admission_log.append((now, tenant.name, "migrated", detail))
+        if self.obs.enabled:
+            self.obs.on_tenant("migrated", tenant.name, now, detail=detail)
+        return True
 
     # -- fault surface --------------------------------------------------------
     def crash_node(self, name: str, reason: str = "node crash") -> None:
@@ -296,7 +461,7 @@ class TenantRuntime(Runtime):
         locals_ = [tenant.local_name(t) for t in threads]
         moved = {l: tenant.placement_local[l] for l in locals_}
         demands = {l: tenant.demands[l] for l in locals_}
-        self.scheduler.release(moved, demands)
+        self.scheduler.release(moved, demands, tenant=tenant.name)
         new_local = self.scheduler.admit(
             tenant.name, locals_, demands, tenant.neighbors()
         )
@@ -308,7 +473,8 @@ class TenantRuntime(Runtime):
                 if l not in moved
             }
             self.scheduler.release(
-                unaffected, {l: tenant.demands[l] for l in unaffected}
+                unaffected, {l: tenant.demands[l] for l in unaffected},
+                tenant=tenant.name,
             )
             self.depart_tenant(
                 tenant, reason=f"evicted: {crashed} crashed",

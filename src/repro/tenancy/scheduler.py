@@ -1,19 +1,21 @@
-"""The cluster scheduler: admission control plus reservation accounting.
+"""The cluster scheduler: the tenancy resource plane's decision layer.
 
-The :class:`Scheduler` owns the declarative side of multi-tenancy: a
-per-node ledger of committed CPU/memory/bandwidth reservations packed
-against each node's :attr:`~repro.cluster.spec.NodeSpec.capacity_vector`
-by a pluggable placement strategy. It is deliberately engine-free —
-admission decisions are pure functions of the ledger — so the property
-tests exercise it without a DES run; a live
-:class:`~repro.tenancy.runtime.TenantRuntime` binds it to real
-:class:`~repro.cluster.node.Node` objects, mirroring every reservation
-into their ``commit``/``uncommit`` accounting for observability.
+ISSUE 9 split the old monolithic scheduler in two. The *mechanism* —
+per-node reservation accounting and per-tenant elastic budgets — lives
+in :class:`~repro.tenancy.ledger.ReservationLedger`; this class is the
+*decision* layer that composes a pluggable placement strategy (where do
+a tenant's threads land?) with the ledger (what may they hold?). An
+:class:`~repro.tenancy.arbiter.Arbiter`, when configured, revises those
+decisions continuously: it reads the ledger, grants/shrinks budgets,
+and asks the runtime to revoke or migrate reservations the placement
+made earlier. The ledger's verbs are re-exposed here so existing
+callers (and the property tests) keep one front door.
 
 Timescale separation (see docs/multi-tenancy.md): the scheduler decides
-*where* threads run, at tenant arrival/departure/fault granularity; ARU
-decides *how fast* they run, every iteration; ScalePolicy decides *how
-many* replicas run, every control period.
+*where* threads run, at tenant arrival/departure/fault granularity; the
+arbiter re-decides *how much* each tenant holds, every arbitration
+period; ARU decides *how fast* threads run, every iteration; the
+ScalePolicy decides *how many* replicas run, every control period.
 """
 
 from __future__ import annotations
@@ -21,14 +23,20 @@ from __future__ import annotations
 from typing import Dict, List, Mapping, Optional, Set, Tuple
 
 from repro.cluster.spec import ClusterSpec
-from repro.errors import ConfigError, SimulationError
+from repro.errors import unknown_name_error
+from repro.tenancy.ledger import ReservationLedger
 from repro.tenancy.placement import PlacementView, resolve_placement
 from repro.tenancy.tenant import ResourceDemand
 
-_EPS = 1e-9
-
 #: Valid over-capacity behaviours.
 ADMISSION_MODES = ("queue", "reject")
+
+
+def resolve_admission(value: str) -> str:
+    """Validate an admission-mode name with the did-you-mean treatment."""
+    if value not in ADMISSION_MODES:
+        raise unknown_name_error("admission mode", value, ADMISSION_MODES)
+    return value
 
 
 class Scheduler:
@@ -36,58 +44,71 @@ class Scheduler:
 
     def __init__(self, cluster: ClusterSpec, placement="rstorm",
                  admission: str = "queue") -> None:
-        if admission not in ADMISSION_MODES:
-            raise ConfigError(
-                f"admission must be one of {ADMISSION_MODES}, "
-                f"got {admission!r}"
-            )
         self.cluster = cluster
         self.strategy = resolve_placement(placement)
-        self.admission = admission
-        self._specs = {n.name: n for n in cluster.nodes}
-        #: node -> [cpu, mem_bytes, bandwidth_bps] currently reserved.
-        self.committed: Dict[str, List[float]] = {
-            n.name: [0.0, 0.0, 0.0] for n in cluster.nodes
-        }
+        self.admission = resolve_admission(admission)
+        self.ledger = ReservationLedger(cluster)
         #: Nodes excluded from placement (crashed).
         self.failed: Set[str] = set()
-        #: Live Node objects to mirror reservations into (optional).
-        self._nodes = None
 
     def bind(self, nodes) -> "Scheduler":
         """Mirror present and future reservations into live nodes."""
-        self._nodes = nodes
-        for name, committed in self.committed.items():
-            node = nodes.get(name)
-            if node is not None and any(committed):
-                node.commit(committed[0], committed[1], committed[2])
+        self.ledger.bind(nodes)
         return self
 
-    # -- capacity queries --------------------------------------------------
+    # -- ledger passthrough ------------------------------------------------
+    # The reservation state moved into the ledger; these delegates keep
+    # the scheduler the single front door for admission-time callers.
+    @property
+    def committed(self) -> Dict[str, List[float]]:
+        """node -> [cpu, mem_bytes, bandwidth_bps] currently reserved."""
+        return self.ledger.committed
+
     def capacity(self, name: str) -> Tuple[float, float, float]:
-        spec = self._specs.get(name)
-        if spec is None:
-            raise ConfigError(f"no node named {name!r}")
-        return spec.capacity_vector
+        return self.ledger.capacity(name)
 
     def available(self, name: str) -> Tuple[float, float, float]:
         """Uncommitted capacity of one node (ignores failure state)."""
-        cap = self.capacity(name)
-        committed = self.committed[name]
-        return tuple(cap[i] - committed[i] for i in range(3))
+        return self.ledger.available(name)
 
-    def utilization(self) -> Dict[str, float]:
-        """Per-node committed-CPU fraction (diagnostics)."""
-        out = {}
-        for name in self.committed:
-            cap = self.capacity(name)
-            out[name] = self.committed[name][0] / cap[0] if cap[0] else 0.0
-        return out
+    def utilization(self) -> Dict[str, Dict[str, float]]:
+        """Per-node committed fraction on every axis: cpu/mem/bandwidth."""
+        return self.ledger.utilization()
+
+    def commit(self, placement: Mapping[str, str],
+               demands: Mapping[str, ResourceDemand],
+               tenant: str = None) -> None:
+        """Reserve each placed thread's demand on its node."""
+        self.ledger.commit(placement, demands, tenant=tenant)
+
+    def release(self, placement: Mapping[str, str],
+                demands: Mapping[str, ResourceDemand],
+                tenant: str = None) -> None:
+        """Return reservations made by :meth:`commit`."""
+        self.ledger.release(placement, demands, tenant=tenant)
+
+    # -- elastic budgets ----------------------------------------------------
+    def budget(self, tenant: str) -> float:
+        return self.ledger.budget(tenant)
+
+    def used_budget(self, tenant: str) -> float:
+        return self.ledger.used_budget(tenant)
+
+    def set_budget(self, tenant: str, cpu: float) -> float:
+        return self.ledger.set_budget(tenant, cpu)
+
+    def request_headroom(self, tenant: str, cpu: float, node: str) -> bool:
+        return self.ledger.request_headroom(tenant, cpu, node)
+
+    def release_headroom(self, tenant: str, cpu: float, node: str) -> None:
+        self.ledger.release_headroom(tenant, cpu, node)
 
     # -- placement ---------------------------------------------------------
-    def _view(self, neighbors: Optional[Mapping] = None) -> PlacementView:
+    def _view(self, neighbors: Optional[Mapping] = None,
+              exclude=()) -> PlacementView:
+        dead = self.failed.union(exclude)
         nodes = tuple(
-            n.name for n in self.cluster.nodes if n.name not in self.failed
+            n.name for n in self.cluster.nodes if n.name not in dead
         )
         return PlacementView(
             nodes=nodes,
@@ -98,9 +119,15 @@ class Scheduler:
 
     def try_place(self, tenant: str, threads,
                   demands: Mapping[str, ResourceDemand],
-                  neighbors: Optional[Mapping] = None
-                  ) -> Optional[Dict[str, str]]:
-        """A feasible thread->node map, or None — no ledger changes."""
+                  neighbors: Optional[Mapping] = None,
+                  exclude=()) -> Optional[Dict[str, str]]:
+        """A feasible thread->node map, or None — no ledger changes.
+
+        ``exclude`` removes extra nodes from the view beyond the failed
+        set (arbiters use it to migrate tenants *off* a hot node).
+        """
+        from repro.errors import ConfigError
+
         for thread in threads:
             if thread not in demands:
                 raise ConfigError(
@@ -108,59 +135,24 @@ class Scheduler:
                     f"thread {thread!r}"
                 )
         return self.strategy.place(
-            tenant, list(threads), demands, self._view(neighbors)
+            tenant, list(threads), demands, self._view(neighbors, exclude)
         )
 
     def admit(self, tenant: str, threads,
               demands: Mapping[str, ResourceDemand],
-              neighbors: Optional[Mapping] = None
-              ) -> Optional[Dict[str, str]]:
+              neighbors: Optional[Mapping] = None,
+              exclude=()) -> Optional[Dict[str, str]]:
         """Place and commit in one step; None leaves the ledger untouched."""
-        placement = self.try_place(tenant, threads, demands, neighbors)
+        placement = self.try_place(tenant, threads, demands, neighbors,
+                                   exclude=exclude)
         if placement is not None:
-            self.commit(placement, demands)
+            self.commit(placement, demands, tenant=tenant)
         return placement
-
-    # -- the reservation ledger --------------------------------------------
-    def commit(self, placement: Mapping[str, str],
-               demands: Mapping[str, ResourceDemand]) -> None:
-        """Reserve each placed thread's demand on its node."""
-        for thread, node in placement.items():
-            vector = demands[thread].as_vector()
-            committed = self.committed[node]
-            cap = self.capacity(node)
-            for i in range(3):
-                if committed[i] + vector[i] > cap[i] + _EPS:
-                    raise SimulationError(
-                        f"over-commit on node {node!r} placing "
-                        f"{thread!r}: axis {i} "
-                        f"{committed[i] + vector[i]:.3f} > {cap[i]:.3f}"
-                    )
-                committed[i] += vector[i]
-            if self._nodes is not None:
-                self._nodes[node].commit(vector[0], vector[1], vector[2])
-
-    def release(self, placement: Mapping[str, str],
-                demands: Mapping[str, ResourceDemand]) -> None:
-        """Return reservations made by :meth:`commit`."""
-        for thread, node in placement.items():
-            vector = demands[thread].as_vector()
-            committed = self.committed[node]
-            for i in range(3):
-                if committed[i] - vector[i] < -_EPS:
-                    raise SimulationError(
-                        f"releasing more than committed on {node!r} "
-                        f"for {thread!r}"
-                    )
-                committed[i] = max(0.0, committed[i] - vector[i])
-            if self._nodes is not None:
-                self._nodes[node].uncommit(vector[0], vector[1], vector[2])
 
     # -- fault surface -------------------------------------------------------
     def mark_failed(self, name: str) -> None:
         """Exclude a crashed node from future placement."""
-        if name not in self._specs:
-            raise ConfigError(f"no node named {name!r}")
+        self.ledger.capacity(name)  # validates the node exists
         self.failed.add(name)
 
     def mark_recovered(self, name: str) -> None:

@@ -35,12 +35,18 @@ from repro.apps.stereo import StereoConfig
 from repro.apps.tracker import TrackerConfig
 from repro.bench.specfile import _app_config, _check_keys, aru_from_dict
 from repro.cluster.spec import ClusterSpec, heterogeneous_spec, uniform_spec
-from repro.errors import ConfigError
+from repro.errors import ConfigError, unknown_name_error
+from repro.tenancy.arbiter import ArbiterConfig, resolve_arbiter_config
 from repro.tenancy.run import TenancySpec
+from repro.tenancy.scheduler import resolve_admission
 from repro.tenancy.tenant import ResourceDemand, TenantSpec
 
-_TOP_KEYS = {"cluster", "placement", "admission", "gc", "seed", "horizon",
-             "tenants", "faults", "telemetry"}
+_TOP_KEYS = {"cluster", "placement", "admission", "arbiter", "gc", "seed",
+             "horizon", "tenants", "faults", "telemetry"}
+
+_ARBITER_KEYS = {"policy", "interval", "patience", "min_residency",
+                 "target_utilization", "latency_bias", "defrag",
+                 "max_revocations"}
 
 _TENANT_KEYS = {"name", "count", "app", "policy", "scale_policy", "priority",
                 "weight", "seed", "arrival", "departure", "demand",
@@ -116,9 +122,36 @@ def cluster_from_dict(spec: Any) -> ClusterSpec:
             "cluster (kind='heterogeneous')",
         )
         return heterogeneous_spec(**spec)
-    raise ConfigError(
-        f"unknown cluster kind {kind!r}; expected uniform/heterogeneous"
+    raise unknown_name_error(
+        "cluster kind", kind, ("uniform", "heterogeneous")
     )
+
+
+def arbiter_from_dict(spec: Any):
+    """``None`` / ``"proportional"`` / ``{"policy": .., ...}`` -> config.
+
+    Returns whatever :class:`~repro.tenancy.TenancySpec` accepts for its
+    ``arbiter`` field; unknown policy names get the did-you-mean error.
+    """
+    if spec is None or isinstance(spec, (str, ArbiterConfig)):
+        return resolve_arbiter_config(spec)
+    if not isinstance(spec, dict):
+        raise ConfigError(
+            f"arbiter must be null, a name, or an object; got {spec!r}"
+        )
+    spec = dict(spec)
+    _check_keys(spec, _ARBITER_KEYS, "arbiter")
+    policy = spec.pop("policy", "proportional")
+    kwargs: Dict[str, Any] = {"policy": policy, "name": policy}
+    for key in ("interval", "patience", "min_residency",
+                "target_utilization", "latency_bias"):
+        if key in spec:
+            kwargs[key] = float(spec.pop(key))
+    if "defrag" in spec:
+        kwargs["defrag"] = bool(spec.pop("defrag"))
+    if "max_revocations" in spec:
+        kwargs["max_revocations"] = int(spec.pop("max_revocations"))
+    return resolve_arbiter_config(ArbiterConfig(**kwargs))
 
 
 def _expand_tenant(raw: Dict[str, Any], index: int) -> List[TenantSpec]:
@@ -203,7 +236,8 @@ def tenancy_from_dict(spec: Dict[str, Any]) -> TenancySpec:
         tenants=tuple(tenants),
         cluster=cluster_from_dict(spec.get("cluster")),
         placement=spec.get("placement", "rstorm"),
-        admission=spec.get("admission", "queue"),
+        admission=resolve_admission(spec.get("admission", "queue")),
+        arbiter=arbiter_from_dict(spec.get("arbiter")),
         gc=spec.get("gc", "dgc"),
         seed=int(spec.get("seed", 0)),
         horizon=float(spec.get("horizon", 30.0)),

@@ -189,9 +189,9 @@ class TenantSpec:
         if app == "stereo":
             from repro.apps.stereo import build_stereo
             return build_stereo(self.app_config)
-        raise ConfigError(
-            f"tenant {self.name!r}: unknown app {app!r}; expected "
-            f"tracker/gesture/stereo"
+        from repro.errors import unknown_name_error
+        raise unknown_name_error(
+            "app", app, ("tracker", "gesture", "stereo")
         )
 
     def resolve_policy(self):
@@ -244,6 +244,18 @@ class Tenant:
         self.demands: Dict[str, ResourceDemand] = {}
         self.admitted_at: Optional[float] = None
         self.departed_at: Optional[float] = None
+        #: When the tenant last entered the admission queue (None while
+        #: not queued); arbiters read it to detect starvation.
+        self.queued_at: Optional[float] = None
+        #: Placement-holding seconds accumulated over *completed*
+        #: residencies — a revoked-then-readmitted tenant's goodput is
+        #: computed over everything it actually held, not just the last
+        #: window.
+        self.prior_residence = 0.0
+        #: Times this tenant's reservation was revoked by an arbiter.
+        self.revocations = 0
+        #: Times this tenant was migrated (defrag / re-balance).
+        self.migrations = 0
         #: Free-form note for the last state transition (e.g. crash node).
         self.detail = ""
 
@@ -304,11 +316,15 @@ class Tenant:
         return shared_name
 
     def residence(self, horizon: float) -> float:
-        """Seconds the tenant held a placement (0 if never admitted)."""
-        if self.admitted_at is None:
-            return 0.0
-        end = self.departed_at if self.departed_at is not None else horizon
-        return max(0.0, end - self.admitted_at)
+        """Seconds the tenant held a placement (0 if never admitted).
+
+        Cumulative across residencies: revocation closes a window into
+        :attr:`prior_residence` and readmission opens a new one.
+        """
+        total = self.prior_residence
+        if self.state == RUNNING and self.admitted_at is not None:
+            total += max(0.0, horizon - self.admitted_at)
+        return total
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Tenant {self.name!r} {self.state}>"

@@ -359,6 +359,37 @@ class TestRemotePlacement:
         Runtime(g, RuntimeConfig(cluster=cluster)).run(until=10.0)
         assert times == [pytest.approx(2.0)]
 
+    def test_kill_mid_transfer_releases_the_reference(self):
+        # commit_get takes a reference before the bytes ship; a kill
+        # landing during the transfer must still release it, or the item
+        # stays pinned in the channel forever and poisons any later
+        # producer restart that reuses the timestamp (tenant revocation,
+        # crash recovery).
+        def src(ctx):
+            yield Put("c", ts=0, size=2_000_000)
+
+        def dst(ctx):
+            yield Get("c")
+            yield Sleep(100.0)
+
+        g = TaskGraph()
+        g.add_thread("src", src, node="node0")
+        g.add_thread("dst", dst, node="node1", sink=True)
+        g.add_channel("c")  # co-located with producer -> node0
+        g.connect("src", "c").connect("c", "dst")
+        cluster = quiet_cluster(n_nodes=2, latency=0.0, bandwidth=1_000_000)
+        rt = Runtime(g, RuntimeConfig(cluster=cluster))
+        rt.advance(1.0)  # the 2 MB transfer takes 2 s: dst is mid-shipment
+        buffer = rt.buffers["c"]
+        item = buffer.items_snapshot()[0]
+        assert item.refcount == 1
+        rt.kill_thread("dst", "mid-transfer crash")
+        rt.advance(0.1)  # deliver the kill
+        assert item.refcount == 0
+        buffer.drain(rt.engine.now)
+        assert item.freed
+        assert len(buffer) == 0
+
     def test_channel_default_colocation_with_producer(self):
         def src(ctx):
             yield Put("c", ts=0, size=1)

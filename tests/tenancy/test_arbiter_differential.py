@@ -1,0 +1,78 @@
+"""The arbitration zero-cost contract: ``arbiter=None`` and
+``arbiter="null"`` are indistinguishable — identical metrics
+fingerprint, identical engine event count — on a *churned* fleet, the
+very workload arbitration exists for. Turning the feature off must
+leave no residue in the schedule."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.bench.experiments import metrics_from_trace
+from repro.bench.identity import metrics_fingerprint
+from repro.cluster.spec import uniform_spec
+from repro.tenancy import (
+    TenancySpec,
+    TenantSpec,
+    churn,
+    run_tenants,
+    scaled_tracker_config,
+)
+from repro.tenancy.tenant import ResourceDemand
+
+SEED = 11
+HORIZON = 8.0
+
+
+def _fingerprint(trace):
+    metrics = metrics_from_trace("uniform2", "none", SEED, HORIZON, trace)
+    return metrics_fingerprint(SimpleNamespace(metrics=metrics, extras={}))
+
+
+def _spec(arbiter):
+    cfg = scaled_tracker_config(0.1, frame_period=0.2, cv=0.0)
+    tenants = churn(
+        tuple(
+            TenantSpec(f"t{i}", app_config=cfg,
+                       demand=ResourceDemand(cpu=0.75, bandwidth_bps=100))
+            for i in range(5)
+        ),
+        rate=1.0, mean_lifetime=4.0, seed=SEED,
+    )
+    return TenancySpec(
+        tenants=tenants, cluster=uniform_spec(2, ncpus=4),
+        seed=SEED, horizon=HORIZON, arbiter=arbiter,
+    )
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return run_tenants(_spec(None)), run_tenants(_spec("null"))
+
+
+def test_fingerprints_identical(runs):
+    off, null = runs
+    assert _fingerprint(off.trace) == _fingerprint(null.trace)
+
+
+def test_event_counts_identical(runs):
+    off, null = runs
+    assert off.stats["engine"]["events_processed"] == \
+        null.stats["engine"]["events_processed"]
+
+
+def test_neither_reports_arbitration(runs):
+    off, null = runs
+    assert off.arbitration is None
+    assert null.arbitration is None
+
+
+def test_live_arbiter_changes_the_schedule(runs):
+    # Sanity that the differential is meaningful: the proportional
+    # arbiter on the same churned fleet adds events (its controller
+    # ticks) — the contract is only that *off* costs nothing.
+    off, _ = runs
+    live = run_tenants(_spec("proportional"))
+    assert live.arbitration is not None
+    assert live.stats["engine"]["events_processed"] > \
+        off.stats["engine"]["events_processed"]

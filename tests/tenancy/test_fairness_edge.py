@@ -1,0 +1,94 @@
+"""Weighted-Jain edge cases the fleet reports actually hit: tenants
+that never delivered, degenerate weight vectors, single-tenant runs,
+and the utilization axes riding on the report."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.tenancy import (
+    FairnessReport,
+    fairness_report,
+    jain_index,
+    weighted_jain_index,
+)
+
+
+class TestJainEdges:
+    def test_empty_is_nan(self):
+        assert math.isnan(jain_index([]))
+
+    def test_all_zero_deliveries_is_perfectly_fair(self):
+        # A fleet where nobody delivered is (vacuously) fair — the
+        # 0/0 must not poison the report with nan.
+        assert jain_index([0.0, 0.0, 0.0]) == 1.0
+
+    def test_single_tenant_is_one(self):
+        assert jain_index([42.0]) == pytest.approx(1.0)
+
+    def test_one_zero_delivery_tenant_drags_index(self):
+        # n tenants, one starved: J = (n-1)/n exactly for equal others.
+        assert jain_index([5.0, 5.0, 5.0, 0.0]) == pytest.approx(3 / 4)
+
+    def test_negative_allocation_rejected(self):
+        with pytest.raises(ConfigError, match="non-negative"):
+            jain_index([1.0, -0.1])
+
+
+class TestWeightedJainEdges:
+    def test_zero_total_weight_rejected(self):
+        with pytest.raises(ConfigError, match="positive"):
+            weighted_jain_index([1.0, 2.0], [0.0, 0.0])
+
+    def test_any_nonpositive_weight_rejected(self):
+        with pytest.raises(ConfigError, match="positive"):
+            weighted_jain_index([1.0, 2.0], [1.0, -1.0])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigError, match="2 allocations but 1"):
+            weighted_jain_index([1.0, 2.0], [1.0])
+
+    def test_weight_proportional_allocation_scores_one(self):
+        assert weighted_jain_index([1.0, 2.0, 3.0],
+                                   [1.0, 2.0, 3.0]) == pytest.approx(1.0)
+
+    def test_zero_deliveries_with_weights_still_fair(self):
+        assert weighted_jain_index([0.0, 0.0], [1.0, 3.0]) == 1.0
+
+    def test_single_tenant_is_one(self):
+        assert weighted_jain_index([7.0], [2.0]) == pytest.approx(1.0)
+
+
+class TestReport:
+    def test_empty_report_is_nan_not_crash(self):
+        report = fairness_report({}, {})
+        assert math.isnan(report.jain)
+        assert math.isnan(report.weighted_jain)
+        assert report.format()  # renders without raising
+
+    def test_zero_delivery_tenant_included(self):
+        report = fairness_report({"a": 2.0, "b": 0.0}, {"a": 1.0, "b": 1.0})
+        assert report.jain == pytest.approx(0.5)
+        assert report.shares == {"a": 1.0, "b": 0.0}
+
+    def test_all_zero_shares_are_zero(self):
+        report = fairness_report({"a": 0.0, "b": 0.0}, {"a": 1.0, "b": 1.0})
+        assert report.shares == {"a": 0.0, "b": 0.0}
+        assert report.jain == 1.0
+
+    def test_missing_weight_defaults_to_one(self):
+        report = fairness_report({"a": 1.0, "b": 1.0}, {"a": 1.0})
+        assert report.weights["b"] == 1.0
+
+    def test_utilization_rides_along_and_formats(self):
+        util = {"node0": {"cpu": 0.5, "mem": 0.25, "bandwidth": 1.0}}
+        report = fairness_report({"a": 1.0}, {"a": 1.0}, utilization=util)
+        assert report.utilization == util
+        text = report.format()
+        assert "utilization:" in text
+        assert "bandwidth=100.0%" in text
+
+    def test_utilization_defaults_empty(self):
+        assert fairness_report({"a": 1.0}, {"a": 1.0}).utilization == {}
+        assert FairnessReport().utilization == {}

@@ -46,13 +46,33 @@ class TestLedger:
         placement = scheduler.admit("t", ["a"], demands)
         node = placement["a"]
         assert scheduler.available(node)[0] == pytest.approx(2.5)
-        assert scheduler.utilization()[node] == pytest.approx(1.5 / 4)
+        assert scheduler.utilization()[node]["cpu"] == pytest.approx(1.5 / 4)
+
+    def test_utilization_reports_every_axis(self):
+        # The CPU-only report hid memory/bandwidth saturation; every
+        # node must report all three committed fractions.
+        scheduler = _sched()
+        demands = {"a": ResourceDemand(cpu=1.0, mem_bytes=2**20,
+                                       bandwidth_bps=1000)}
+        placement = scheduler.admit("t", ["a"], demands)
+        node = placement["a"]
+        cap = scheduler.capacity(node)
+        util = scheduler.utilization()
+        assert set(util[node]) == {"cpu", "mem", "bandwidth"}
+        assert util[node]["mem"] == pytest.approx(2**20 / cap[1])
+        assert util[node]["bandwidth"] == pytest.approx(1000 / cap[2])
+        other = next(n for n in util if n != node)
+        assert util[other] == {"cpu": 0.0, "mem": 0.0, "bandwidth": 0.0}
 
 
 class TestAdmissionModes:
     def test_invalid_mode_rejected(self):
         with pytest.raises(ConfigError, match="admission"):
             _sched(admission="maybe")
+
+    def test_close_typo_gets_suggestion(self):
+        with pytest.raises(ConfigError, match="did you mean 'queue'"):
+            _sched(admission="qeue")
 
     def test_modes_accepted(self):
         assert _sched(admission="queue").admission == "queue"
@@ -83,6 +103,62 @@ class TestFaultSurface:
     def test_unknown_node_rejected(self):
         with pytest.raises(ConfigError, match="no node"):
             _sched().mark_failed("nope")
+
+
+class TestBudgets:
+    """The ledger's elastic-budget surface (the arbiter's grant plane)."""
+
+    def test_headroom_denied_without_budget(self):
+        scheduler = _sched()
+        assert not scheduler.request_headroom("t", 0.5, "node0")
+        assert scheduler.ledger.denials["t"] == 1
+        assert scheduler.committed["node0"][0] == 0.0
+
+    def test_grant_commits_and_release_returns(self):
+        scheduler = _sched()
+        scheduler.set_budget("t", 1.0)
+        assert scheduler.request_headroom("t", 0.5, "node0")
+        assert scheduler.used_budget("t") == pytest.approx(0.5)
+        assert scheduler.committed["node0"][0] == pytest.approx(0.5)
+        assert scheduler.ledger.grants["t"] == 1
+        scheduler.release_headroom("t", 0.5, "node0")
+        assert scheduler.used_budget("t") == 0.0
+        assert scheduler.committed["node0"][0] == 0.0
+
+    def test_budget_exhaustion_denies_even_on_idle_node(self):
+        scheduler = _sched()
+        scheduler.set_budget("t", 0.5)
+        assert scheduler.request_headroom("t", 0.5, "node0")
+        assert not scheduler.request_headroom("t", 0.5, "node1")
+        assert scheduler.ledger.denials["t"] == 1
+
+    def test_full_node_denies_even_with_budget(self):
+        scheduler = _sched()
+        demands = {"a": ResourceDemand(cpu=4.0)}
+        scheduler.commit({"a": "node0"}, demands, tenant="other")
+        scheduler.set_budget("t", 2.0)
+        assert not scheduler.request_headroom("t", 1.0, "node0")
+        assert scheduler.request_headroom("t", 1.0, "node1")
+
+    def test_clear_tenant_drops_budget_keeps_audit(self):
+        scheduler = _sched()
+        scheduler.set_budget("t", 1.0)
+        scheduler.request_headroom("t", 1.0, "node0")
+        scheduler.ledger.clear_tenant("t")
+        assert scheduler.budget("t") == 0.0
+        assert scheduler.ledger.audit()["t"]["grants"] == 1
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ConfigError, match="non-negative"):
+            _sched().set_budget("t", -1.0)
+
+    def test_tenant_committed_tracks_ownership(self):
+        scheduler = _sched()
+        demands = {"a": ResourceDemand(cpu=2.0)}
+        placement = scheduler.admit("t", ["a"], demands)
+        assert scheduler.ledger.tenant_committed["t"][0] == pytest.approx(2.0)
+        scheduler.release(placement, demands, tenant="t")
+        assert scheduler.ledger.tenant_committed["t"][0] == 0.0
 
 
 class TestNodeMirroring:

@@ -44,6 +44,7 @@ TOP_LEVEL_API = {
     "run_experiment", "ExperimentSpec", "RunResult",
     "TenancySpec", "TenantSpec", "TenancyResult", "ResourceDemand",
     "Scheduler", "run_tenants", "register_placement",
+    "ArbiterConfig", "register_arbiter", "available_arbiters",
     "TelemetryHub", "TelemetryConfig", "NULL_HUB",
     "__version__",
 }
