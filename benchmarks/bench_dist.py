@@ -1,0 +1,167 @@
+#!/usr/bin/env python
+"""DES-predicted vs proc-measured: the same spec on both substrates.
+
+The distributed backend's contract (docs/distributed.md) is *shape*,
+not digits: the DES predicts what the bundled tracker should sustain on
+config 2 under ARU-min, and the proc backend — real worker processes,
+channels over loopback TCP, wall-clock STP sensors — must land within a
+documented tolerance of that prediction. This bench runs the identical
+``ExperimentSpec`` through ``backend="sim"`` and ``backend="proc"`` and
+commits the comparison to ``benchmarks/BENCH_dist.json``.
+
+Reported per backend (post-warmup, so the feedback loop's cold start is
+excluded on both sides):
+
+* ``fps``      — delivered sink frames per second;
+* ``p95_ms``   — 95th-percentile source→sink latency;
+* ``frames``   — delivered frame count (sanity floor).
+
+The tolerance is deliberately wide — the proc backend pays for the GIL
+within each worker, OS scheduling, pickling, and TCP round-trips, and
+CI containers are noisy — but it is a *real* gate: a broken feedback
+plane (unthrottled producers, stalled cross-node channels) misses it by
+an order of magnitude, which is the failure this bench exists to catch.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_dist.py             # print + check
+    PYTHONPATH=src python benchmarks/bench_dist.py --update    # re-baseline
+
+The committed numbers are from one machine; fresh runs re-measure and
+re-check the tolerance rather than diffing against the committed
+digits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_dist.json"
+
+#: One spec, two substrates.
+CONFIG = "config2"
+POLICY = "aru-min"
+SEED = 0
+HORIZON = 6.0
+#: Ignore deliveries before the first summary-STP round trips settle.
+WARMUP = 1.0
+
+#: measured/predicted bounds. Throughput: the proc tracker may not beat
+#: the DES (ratio <= ~1.2 allows timer jitter) and must deliver at
+#: least a third of the prediction (GIL + wire overhead, CI noise).
+#: p95: wall-clock latency may stretch to 8x the simulated pipeline
+#: latency before we call the feedback plane broken.
+THROUGHPUT_RATIO = (1 / 3, 1.25)
+P95_RATIO = (0.25, 8.0)
+
+
+def _spec(backend: str):
+    from repro.experiment import ExperimentSpec
+
+    return ExperimentSpec(config=CONFIG, policy=POLICY, seed=SEED,
+                          horizon=HORIZON, backend=backend)
+
+
+def measure(backend: str) -> dict:
+    from repro.experiment import run_experiment
+    from repro.metrics.performance import latency_percentiles, throughput_fps
+
+    t0 = time.perf_counter()
+    result = run_experiment(_spec(backend))
+    wall = time.perf_counter() - t0
+    trace = result.trace
+    pct = latency_percentiles(trace, percentiles=(95,), warmup=WARMUP)
+    out = {
+        "fps": round(throughput_fps(trace, warmup=WARMUP), 3),
+        "p95_ms": round(pct[95] * 1e3, 2),
+        "frames": len(trace.sink_iterations()),
+        "wall_s": round(wall, 2),
+    }
+    if backend == "proc":
+        info = result.runtime
+        out["workers"] = len(info.workers)
+        out["network_bytes"] = result.stats["network"]["total_bytes"]
+    return out
+
+
+def check(payload: dict) -> list:
+    """Shape checks on a measurement (machine-independent)."""
+    problems = []
+    sim, proc = payload["sim"], payload["proc"]
+    delta = payload["delta"]
+    if sim["frames"] <= 0 or proc["frames"] <= 0:
+        problems.append("a backend delivered no frames")
+        return problems
+    lo, hi = payload["tolerance"]["throughput_ratio"]
+    if not (lo <= delta["throughput_ratio"] <= hi):
+        problems.append(
+            f"throughput ratio {delta['throughput_ratio']:.3f} outside "
+            f"[{lo:.3f}, {hi:.3f}] (DES {sim['fps']} fps, "
+            f"proc {proc['fps']} fps)")
+    lo, hi = payload["tolerance"]["p95_ratio"]
+    if not (lo <= delta["p95_ratio"] <= hi):
+        problems.append(
+            f"p95 ratio {delta['p95_ratio']:.3f} outside "
+            f"[{lo:.3f}, {hi:.3f}] (DES {sim['p95_ms']} ms, "
+            f"proc {proc['p95_ms']} ms)")
+    if proc.get("workers", 0) < 2:
+        problems.append("proc run used fewer than 2 worker processes")
+    if proc.get("network_bytes", 0) <= 0:
+        problems.append("proc run moved no bytes over the network")
+    return problems
+
+
+def run() -> dict:
+    print(f"tracker {CONFIG} / {POLICY} / seed {SEED} / "
+          f"horizon {HORIZON:.0f}s (warmup {WARMUP:.0f}s):")
+    sim = measure("sim")
+    print(f"  sim  (DES-predicted): {sim['fps']:6.2f} fps  "
+          f"p95 {sim['p95_ms']:7.1f} ms  ({sim['frames']} frames, "
+          f"{sim['wall_s']:.1f}s wall)")
+    proc = measure("proc")
+    print(f"  proc (measured)     : {proc['fps']:6.2f} fps  "
+          f"p95 {proc['p95_ms']:7.1f} ms  ({proc['frames']} frames, "
+          f"{proc['workers']} workers, {proc['network_bytes']} net bytes, "
+          f"{proc['wall_s']:.1f}s wall)")
+    delta = {
+        "throughput_ratio": round(proc["fps"] / sim["fps"], 3),
+        "p95_ratio": round(proc["p95_ms"] / sim["p95_ms"], 3),
+    }
+    print(f"  measured/predicted  : throughput x{delta['throughput_ratio']}"
+          f"  p95 x{delta['p95_ratio']}")
+    return {
+        "spec": {"config": CONFIG, "policy": POLICY, "seed": SEED,
+                 "horizon": HORIZON, "warmup": WARMUP},
+        "tolerance": {"throughput_ratio": list(THROUGHPUT_RATIO),
+                      "p95_ratio": list(P95_RATIO)},
+        "sim": sim,
+        "proc": proc,
+        "delta": delta,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--update", action="store_true",
+                        help=f"rewrite {BASELINE_PATH.name}")
+    args = parser.parse_args(argv)
+
+    payload = run()
+    problems = check(payload)
+    for p in problems:
+        print(f"FAIL: {p}")
+    if not problems:
+        print("OK: proc within documented tolerance of the DES prediction")
+
+    if args.update:
+        BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {BASELINE_PATH}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

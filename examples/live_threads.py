@@ -12,10 +12,10 @@ Run:  python examples/live_threads.py [--seconds 4] [--no-aru]
 
 import argparse
 
+import repro
 from repro.apps import vision
 from repro.aru import aru_disabled, aru_min
 from repro.metrics import PostmortemAnalyzer, throughput_fps
-from repro.rt_threads import ThreadedRuntime
 from repro.runtime import Get, PeriodicitySync, Put, Sleep, TaskGraph
 
 SHAPE = (240, 256, 3)  # big enough that detection is the bottleneck
@@ -82,9 +82,15 @@ def main() -> None:
 
     aru = aru_disabled() if args.no_aru else aru_min()
     graph = build()
-    executor = ThreadedRuntime(graph, aru=aru, compute_mode="noop")
+    spec = repro.ExperimentSpec(
+        app=graph,
+        policy=aru,
+        horizon=args.seconds,
+        backend="threads",
+        backend_options={"compute_mode": "noop"},
+    )
     print(f"Running {args.seconds:.0f}s of real threads with {aru.name} ...")
-    trace = executor.run(duration=args.seconds)
+    trace = repro.run_experiment(spec).trace
 
     pm = PostmortemAnalyzer(trace)
     produced = len(trace.iterations_of("camera"))

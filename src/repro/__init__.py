@@ -65,6 +65,9 @@ _LAZY = {
     "run_experiment": "repro.experiment",
     "ExperimentSpec": "repro.experiment",
     "RunResult": "repro.experiment",
+    "register_backend": "repro.backends",
+    "available_backends": "repro.backends",
+    "resolve_backend": "repro.backends",
     "TenancySpec": "repro.tenancy",
     "TenantSpec": "repro.tenancy",
     "TenancyResult": "repro.tenancy",

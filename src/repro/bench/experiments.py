@@ -176,6 +176,7 @@ def grid_specs(
     tracker_cfg: Optional[TrackerConfig] = None,
     gc: str = "dgc",
     telemetry: bool = False,
+    backend: str = "sim",
 ) -> List["CellSpec"]:
     """The paper's §5 grid as a flat list of sweep cell specs.
 
@@ -189,7 +190,7 @@ def grid_specs(
     return [
         CellSpec(config=config, policy=factory(), label=label, seed=seed,
                  horizon=horizon, tracker=tracker_cfg, gc=gc,
-                 telemetry=telemetry)
+                 telemetry=telemetry, backend=backend)
         for config in configs
         for label, factory in policies.items()
         for seed in seeds
@@ -206,6 +207,7 @@ def run_grid(
     runner: Optional["SweepRunner"] = None,
     workers: int = 1,
     telemetry: bool = False,
+    backend: str = "sim",
 ) -> Dict[Tuple[str, str], PolicyAggregate]:
     """Run the full (config x policy x seed) grid of the paper's §5.
 
@@ -218,7 +220,7 @@ def run_grid(
     from repro.bench.runner import SweepRunner
 
     specs = grid_specs(configs, policies, seeds, horizon, tracker_cfg, gc,
-                       telemetry=telemetry)
+                       telemetry=telemetry, backend=backend)
     runner = runner or SweepRunner(workers=workers)
     results = runner.run_metrics(specs)
     out: Dict[Tuple[str, str], PolicyAggregate] = {}

@@ -87,6 +87,10 @@ class CellSpec:
     #: :attr:`CellResult.telemetry` — deliberately NOT in ``extras``, so
     #: the determinism fingerprint is identical with telemetry on or off.
     telemetry: bool = False
+    #: Execution backend, by registered name (see repro.backends). The
+    #: default ``"sim"`` keeps cache keys and fingerprints of existing
+    #: sweeps unchanged.
+    backend: str = "sim"
 
     @property
     def aru(self) -> AruConfig:
@@ -211,12 +215,17 @@ def _execute_cell(spec: CellSpec) -> CellResult:
         loads=spec.loads,
         faults=spec.faults,
         telemetry=spec.telemetry,
+        backend=spec.backend,
     ))
     recorder = result.trace
     metrics = metrics_from_trace(spec.config, aru.name, spec.seed,
                                  spec.horizon, recorder)
     extras: Dict[str, float] = {}
     if spec.probe is not None:
+        if getattr(result.runtime, "graph", None) is None:
+            raise ConfigError(
+                f"probe {spec.probe!r} inspects runtime internals and "
+                f"requires backend='sim', not {spec.backend!r}")
         extras = resolve_probe(spec.probe)(
             result.runtime.graph, recorder, **dict(spec.probe_args)
         )

@@ -82,7 +82,32 @@ def _maybe_list_policies(args) -> bool:
     if getattr(args, "list_scale_policies", False):
         print(scale_policies_help_text())
         return True
+    if getattr(args, "list_backends", False):
+        from repro.backends import backends_help_text
+
+        print(backends_help_text())
+        return True
     return False
+
+
+def _check_backend(name: str) -> str:
+    """Validate a backend name eagerly (did-you-mean instead of a
+    traceback mid-run)."""
+    from repro.backends import resolve_backend
+
+    try:
+        resolve_backend(name)
+    except ConfigError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    return name
+
+
+def _add_backend_args(parser, default: str = "sim") -> None:
+    parser.add_argument("--backend", default=default, metavar="NAME",
+                        help=f"execution backend (default {default}; "
+                             f"see --list-backends)")
+    parser.add_argument("--list-backends", action="store_true",
+                        help="print the backend catalog and exit")
 
 
 def _scale_policy(name):
@@ -151,19 +176,25 @@ def cmd_run_tracker(args) -> int:
     if _maybe_list_policies(args):
         return 0
     config = f"config{args.config}"
-    if args.telemetry:
+    backend = _check_backend(args.backend)
+    if args.telemetry or backend != "sim":
         from repro.bench.experiments import metrics_from_trace
         from repro.experiment import ExperimentSpec, run_experiment
 
-        result = run_experiment(ExperimentSpec(
-            config=config, policy=_policy(args.policy), gc=args.gc,
-            seed=args.seed, horizon=args.horizon, telemetry=True,
-        ))
+        try:
+            result = run_experiment(ExperimentSpec(
+                config=config, policy=_policy(args.policy), gc=args.gc,
+                seed=args.seed, horizon=args.horizon,
+                telemetry=bool(args.telemetry), backend=backend,
+            ))
+        except ConfigError as exc:
+            raise SystemExit(f"error: {exc}") from None
         run = metrics_from_trace(config, _policy(args.policy).name,
                                  args.seed, args.horizon, result.trace)
         _print_run_summary(run)
-        _export_telemetry(result.telemetry, args.telemetry,
-                          f"tracker-{config}-{args.policy}-s{args.seed}")
+        if args.telemetry:
+            _export_telemetry(result.telemetry, args.telemetry,
+                              f"tracker-{config}-{args.policy}-s{args.seed}")
         if args.save_trace:
             from repro.metrics import save_trace
 
@@ -234,6 +265,7 @@ def cmd_sweep(args) -> int:
 
     if _maybe_list_policies(args):
         return 0
+    backend = _check_backend(args.backend)
     policies = None
     if args.policy is not None:
         cfg = _policy(args.policy)
@@ -262,7 +294,8 @@ def cmd_sweep(args) -> int:
           f"cache={'off' if cache is None else args.cache_dir} ...\n")
     t0 = time.perf_counter()
     grid = run_grid(seeds=seeds, horizon=args.horizon, runner=runner,
-                    policies=policies, telemetry=bool(args.telemetry))
+                    policies=policies, telemetry=bool(args.telemetry),
+                    backend=backend)
     wall = time.perf_counter() - t0
     if args.telemetry:
         print(f"per-cell telemetry snapshots in {args.telemetry}/\n")
@@ -280,10 +313,23 @@ def cmd_run_config(args) -> int:
     from repro.bench import run_experiment, summarize_trace
     from repro.metrics import save_trace
 
+    if _maybe_list_policies(args):
+        return 0
+    if args.spec is None:
+        raise SystemExit(
+            "run-config: a spec file is required (or use --list-backends)")
     spec = json.loads(Path(args.spec).read_text())
-    recorder = run_experiment(spec)
+    if args.backend is not None:
+        # CLI flag wins over the spec file's own "backend" key.
+        spec["backend"] = _check_backend(args.backend)
+    try:
+        recorder = run_experiment(spec)
+    except ConfigError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    backend_label = spec.get("backend", "sim")
+    unit = "simulated" if backend_label == "sim" else "wall-clock"
     print(f"experiment {args.spec} completed "
-          f"({recorder.duration:.1f}s simulated)")
+          f"({recorder.duration:.1f}s {unit}, backend={backend_label})")
     for key, value in summarize_trace(recorder).items():
         print(f"  {key:22s} {value:.6g}")
     if args.save_trace:
@@ -358,6 +404,7 @@ def cmd_elastic(args) -> int:
 
     if _maybe_list_policies(args):
         return 0
+    backend = _check_backend(args.backend)
     swing = (args.swing_start, args.swing_end, args.swing_factor)
     graph = elastic_pipeline(
         replicas=args.replicas,
@@ -366,15 +413,19 @@ def cmd_elastic(args) -> int:
         steady_period=args.period,
         swing=swing if args.swing_factor != 1.0 else None,
     )
-    result = run_experiment(ExperimentSpec(
-        app=graph,
-        config=f"config{args.config}",
-        policy=_policy(args.policy),
-        scale_policy=_scale_policy(args.scale_policy),
-        seed=args.seed,
-        horizon=args.horizon,
-        telemetry=bool(args.telemetry),
-    ))
+    try:
+        result = run_experiment(ExperimentSpec(
+            app=graph,
+            config=f"config{args.config}",
+            policy=_policy(args.policy),
+            scale_policy=_scale_policy(args.scale_policy),
+            seed=args.seed,
+            horizon=args.horizon,
+            telemetry=bool(args.telemetry),
+            backend=backend,
+        ))
+    except ConfigError as exc:
+        raise SystemExit(f"error: {exc}") from None
     recorder = result.trace
     runtime = result.runtime
     pct = latency_percentiles(recorder, percentiles=(50, 95))
@@ -388,7 +439,7 @@ def cmd_elastic(args) -> int:
     for stage, info in result.stats.get("scaling", {}).items():
         print(f"  stage {stage!r}: {info['replicas']} replicas at end, "
               f"{info['decisions']} control decisions")
-    for stage, ctl in runtime.scalers.items():
+    for stage, ctl in getattr(runtime, "scalers", {}).items():
         events = [(t, cur, des, ap) for (t, cur, des, ap) in ctl.decisions
                   if ap]
         for t, cur, des, applied in events:
@@ -492,9 +543,13 @@ def cmd_tenants(args) -> int:
 
 def cmd_compare(args) -> int:
     from repro.bench import compare_traces
+    from repro.metrics import rebase_trace
 
-    a = load_trace(args.trace_a)
-    b = load_trace(args.trace_b)
+    # Traces from live backends carry wall-clock bases (epoch seconds),
+    # so two runs land on disjoint time axes; normalize both to t=0
+    # before diffing.
+    a = rebase_trace(load_trace(args.trace_a))
+    b = rebase_trace(load_trace(args.trace_b))
     print(compare_traces(a, b, label_a=args.trace_a, label_b=args.trace_b))
     return 0
 
@@ -622,6 +677,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--telemetry", metavar="DIR", default=None,
                        help="record repro.obs telemetry and export it "
                             "(Chrome trace + JSONL + Prometheus text) to DIR")
+    _add_backend_args(p_run)
     p_run.set_defaults(func=cmd_run_tracker)
 
     p_tables = sub.add_parser("paper-tables",
@@ -655,12 +711,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--telemetry", metavar="DIR", default=None,
                          help="record telemetry per cell and write "
                               "snapshot JSONs into DIR")
+    _add_backend_args(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_rc = sub.add_parser("run-config",
                           help="run an experiment described by a JSON spec")
-    p_rc.add_argument("spec")
+    p_rc.add_argument("spec", nargs="?", default=None)
     p_rc.add_argument("--save-trace", metavar="PATH", default=None)
+    p_rc.add_argument("--backend", default=None, metavar="NAME",
+                      help="override the spec file's backend "
+                           "(see --list-backends)")
+    p_rc.add_argument("--list-backends", action="store_true",
+                      help="print the backend catalog and exit")
     p_rc.set_defaults(func=cmd_run_config)
 
     p_chaos = sub.add_parser(
@@ -717,6 +779,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_el.add_argument("--telemetry", metavar="DIR", default=None,
                       help="record repro.obs telemetry (incl. scale "
                            "events) and export it to DIR")
+    _add_backend_args(p_el)
     p_el.set_defaults(func=cmd_elastic)
 
     p_ten = sub.add_parser(

@@ -1,0 +1,121 @@
+"""Length-prefixed frame codec for the distributed backend's wire protocol.
+
+Every message between launcher, workers, and channel peers is one frame:
+
+    +------+----------------+=================+
+    | kind | payload length |  payload bytes  |
+    | 1 B  |  4 B big-end.  |  (pickled obj)  |
+    +------+----------------+=================+
+
+The codec layer is bytes-only (payload encoding lives in
+:mod:`repro.dist.wire`), incremental, and strict: an unknown kind byte or
+a length above :data:`MAX_FRAME` raises
+:class:`~repro.errors.FrameError` immediately — a corrupted stream must
+never be silently resynchronized. :class:`FrameDecoder` accepts
+arbitrarily fragmented input (``feed`` may deliver half a header, ten
+frames, or one byte at a time) which is exactly what TCP delivers.
+
+Control-plane kinds (launcher <-> worker) and data-plane kinds (channel
+proxy <-> channel server) share one numbering so feedback and data
+frames can interleave on a single connection.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from typing import List, NamedTuple
+
+from repro.errors import FrameError
+
+#: Refuse frames above this payload size (a length field this large is
+#: a corrupted or hostile stream, not a real item).
+MAX_FRAME = 64 * 1024 * 1024
+
+_HEADER = struct.Struct(">BI")
+HEADER_SIZE = _HEADER.size
+
+
+class FrameKind(enum.IntEnum):
+    """Every frame kind on the wire (control plane + data plane)."""
+
+    # -- control plane: launcher <-> worker ---------------------------
+    HELLO = 1          #: worker -> launcher: I exist (worker index, pid)
+    CONFIG = 2         #: launcher -> worker: the pickled spec + node
+    READY = 3          #: worker -> launcher: channels bound (data port)
+    PEERS = 4          #: launcher -> worker: node -> (host, port) map
+    START = 5          #: launcher -> worker: shared clock epoch t0
+    STOP = 6           #: launcher -> worker: wind down now
+    STATS = 7          #: worker -> launcher: trace + stats + telemetry
+    ERROR = 8          #: either direction: fatal error (traceback text)
+    BYE = 9            #: acknowledged shutdown
+
+    # -- data plane: channel proxy <-> channel server -----------------
+    OPEN = 16          #: register a producer/consumer connection
+    OPEN_OK = 17       #: registration reply (conn_id)
+    GET = 18           #: blocking get poll (carries consumer summary)
+    GET_REPLY = 19     #: item or none
+    TRY_GET = 20       #: non-blocking get (carries consumer summary)
+    PUT = 21           #: item insert
+    PUT_ACK = 22       #: put reply (carries channel summary feedback)
+    RELEASE = 23       #: consumer done with a held item
+    RELEASE_OK = 24    #: release reply
+    CHECK_DEAD = 25    #: producer probes consumer cursors
+    CHECK_DEAD_OK = 26 #: probe reply
+    FEEDBACK = 27      #: standalone summary-STP push (e.g. on reconnect)
+    FEEDBACK_OK = 28   #: feedback reply
+
+
+_KNOWN_KINDS = frozenset(int(k) for k in FrameKind)
+
+
+class Frame(NamedTuple):
+    """One decoded frame: its kind and raw payload bytes."""
+
+    kind: FrameKind
+    payload: bytes
+
+
+def encode_frame(kind: FrameKind, payload: bytes = b"") -> bytes:
+    """Serialize one frame to bytes."""
+    if len(payload) > MAX_FRAME:
+        raise FrameError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME}-byte limit"
+        )
+    return _HEADER.pack(int(FrameKind(kind)), len(payload)) + payload
+
+
+class FrameDecoder:
+    """Incremental frame decoder over a fragmented byte stream."""
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    @property
+    def mid_frame(self) -> bool:
+        """True when buffered bytes form a partial frame (an EOF here is
+        an abrupt peer close, not a clean shutdown)."""
+        return len(self._buf) > 0
+
+    def feed(self, data: bytes) -> List[Frame]:
+        """Absorb ``data``; return every frame completed by it."""
+        self._buf.extend(data)
+        frames: List[Frame] = []
+        while True:
+            if len(self._buf) < HEADER_SIZE:
+                return frames
+            kind, length = _HEADER.unpack_from(self._buf)
+            if kind not in _KNOWN_KINDS:
+                raise FrameError(f"unknown frame kind byte {kind}")
+            if length > MAX_FRAME:
+                raise FrameError(
+                    f"declared frame length {length} exceeds the "
+                    f"{MAX_FRAME}-byte limit"
+                )
+            end = HEADER_SIZE + length
+            if len(self._buf) < end:
+                return frames
+            payload = bytes(self._buf[HEADER_SIZE:end])
+            del self._buf[:end]
+            frames.append(Frame(FrameKind(kind), payload))

@@ -1,0 +1,77 @@
+"""Fold per-worker outcomes into one DES-shaped result.
+
+Each worker ships a stats dict in exactly the shape
+:meth:`repro.runtime.Runtime.stats` produces, restricted to its own
+node, channels, and threads. Because the plan partitions those key
+spaces disjointly, the merge is mostly dictionary union; only the
+engine block (shared wall clock) and the network block (per-worker byte
+counters) need arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import DistError
+
+
+def merge_stats(per_worker: Sequence[Dict[str, dict]]) -> Dict[str, dict]:
+    """Union per-node stats dicts into one run-wide stats dict."""
+    if not per_worker:
+        raise DistError("no worker stats to merge")
+    merged: Dict[str, dict] = {
+        "engine": {
+            "now": max(s["engine"]["now"] for s in per_worker),
+            "events_processed": sum(
+                s["engine"]["events_processed"] for s in per_worker
+            ),
+        },
+        "nodes": {},
+        "network": {
+            "total_bytes": sum(
+                s["network"]["total_bytes"] for s in per_worker
+            ),
+        },
+        "buffers": {},
+        "threads": {},
+    }
+    for section in ("nodes", "buffers", "threads"):
+        for stats in per_worker:
+            for name, entry in stats[section].items():
+                if name in merged[section]:
+                    raise DistError(
+                        f"{section[:-1]} {name!r} reported by two workers; "
+                        f"the partition plans disagree"
+                    )
+                merged[section][name] = entry
+    return merged
+
+
+@dataclass
+class WorkerInfo:
+    """One worker process's identity and exit, for post-run inspection."""
+
+    index: int
+    node: str
+    pid: Optional[int] = None
+    port: Optional[int] = None
+    returncode: Optional[int] = None
+
+
+@dataclass
+class DistRunInfo:
+    """What ``RunResult.runtime`` holds for a distributed run.
+
+    The live per-node runtimes died with their processes; this keeps
+    the partition plan, the worker roster, and the shared epoch so
+    reports and tests can still ask "what ran where".
+    """
+
+    plan: object
+    workers: List[WorkerInfo] = field(default_factory=list)
+    t0: float = 0.0
+
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        return tuple(w.node for w in self.workers)

@@ -1,0 +1,134 @@
+"""Framed TCP transport: sockets in, whole typed messages out.
+
+:class:`FramedConnection` wraps one connected socket with the
+:mod:`repro.dist.framing` codec and pickle payloads: ``send(kind, obj)``
+writes one frame atomically (a lock serializes concurrent senders);
+``recv()`` returns the next ``(kind, obj)``, reading and buffering as
+much of the stream as the OS delivers. Byte counters feed the merged
+``network.total_bytes`` statistic.
+
+End-of-stream is classified, because the distributed failure semantics
+depend on it: an EOF on a frame boundary raises
+:class:`ConnectionClosed` with ``clean=True`` (orderly peer shutdown);
+an EOF mid-frame raises it with ``clean=False`` (the peer died or the
+link dropped — the caller's :class:`~repro.runtime.retry.RetryPolicy`
+decides what happens next).
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import threading
+import time
+from typing import Any, Optional, Tuple
+
+from repro.dist.framing import FrameKind, FrameDecoder, encode_frame
+from repro.errors import DistError
+from repro.runtime.retry import RetryPolicy
+
+_RECV_CHUNK = 1 << 16
+
+
+class ConnectionClosed(DistError):
+    """The peer closed the connection.
+
+    ``clean`` distinguishes an orderly shutdown (EOF on a frame
+    boundary) from an abrupt drop mid-frame.
+    """
+
+    def __init__(self, message: str, clean: bool) -> None:
+        super().__init__(message)
+        self.clean = clean
+
+
+class FramedConnection:
+    """One framed, typed, thread-safe-to-send TCP connection."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+        self._decoder = FrameDecoder()
+        self._pending: list = []
+        self._send_lock = threading.Lock()
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def send(self, kind: FrameKind, obj: Any = None) -> None:
+        """Pickle ``obj`` and write it as one ``kind`` frame."""
+        data = encode_frame(kind, pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+        with self._send_lock:
+            try:
+                self._sock.sendall(data)
+            except OSError as exc:
+                raise ConnectionClosed(
+                    f"send of {FrameKind(kind).name} failed: {exc}", clean=False
+                ) from exc
+            self.bytes_sent += len(data)
+
+    def recv(self, timeout: Optional[float] = None) -> Tuple[FrameKind, Any]:
+        """Next ``(kind, payload object)``; blocks up to ``timeout``.
+
+        Raises :class:`ConnectionClosed` on EOF and
+        :class:`socket.timeout` when ``timeout`` elapses first.
+        """
+        while not self._pending:
+            self._sock.settimeout(timeout)
+            try:
+                data = self._sock.recv(_RECV_CHUNK)
+            except socket.timeout:
+                raise
+            except OSError as exc:
+                raise ConnectionClosed(f"recv failed: {exc}", clean=False) from exc
+            if not data:
+                if self._decoder.mid_frame:
+                    raise ConnectionClosed(
+                        "peer closed mid-frame (abrupt drop)", clean=False
+                    )
+                raise ConnectionClosed("peer closed the connection", clean=True)
+            self.bytes_received += len(data)
+            self._pending.extend(self._decoder.feed(data))
+        kind, payload = self._pending.pop(0)
+        return kind, pickle.loads(payload)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+
+def connect(host: str, port: int,
+            retry: Optional[RetryPolicy] = None,
+            connect_timeout: float = 5.0,
+            stop: Optional[threading.Event] = None) -> FramedConnection:
+    """Dial ``host:port``; retries under ``retry``'s backoff schedule.
+
+    A set ``stop`` event aborts the retry loop (shutdown must not wait
+    out an unbounded backoff schedule).
+    """
+    retry = retry or RetryPolicy()
+    attempt = 0
+    while True:
+        try:
+            sock = socket.create_connection((host, port), timeout=connect_timeout)
+            sock.settimeout(None)
+            return FramedConnection(sock)
+        except OSError as exc:
+            attempt += 1
+            if retry.exhausted(attempt) or (stop is not None and stop.is_set()):
+                raise DistError(
+                    f"could not connect to {host}:{port} after "
+                    f"{attempt} attempts: {exc}"
+                ) from exc
+            time.sleep(retry.backoff(attempt))

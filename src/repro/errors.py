@@ -61,6 +61,17 @@ class TraceError(ReproError):
     """The metrics trace is inconsistent (e.g. free before alloc)."""
 
 
+class DistError(ReproError):
+    """The distributed (multi-process) backend hit a transport or
+    protocol failure: malformed frames, dropped connections, a worker
+    process dying or missing its deadline."""
+
+
+class FrameError(DistError):
+    """A wire frame is malformed (unknown kind, oversized, truncated
+    header)."""
+
+
 class TelemetryError(ReproError):
     """The telemetry subsystem was misused (metric type clash, bad label
     set, export of an unbound hub...)."""

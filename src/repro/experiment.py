@@ -60,7 +60,16 @@ class ExperimentSpec:
         :class:`~repro.obs.TelemetryConfig`, or a pre-built
         :class:`~repro.obs.TelemetryHub`.
     horizon:
-        Simulated seconds to run.
+        Simulated seconds to run (wall-clock seconds on the live
+        ``threads``/``proc`` backends).
+    backend:
+        Which executor runs the spec: a name registered in
+        :mod:`repro.backends` (``"sim"``, ``"threads"``, ``"proc"``,
+        or an extension). The default ``"sim"`` is the deterministic
+        discrete-event simulation.
+    backend_options:
+        Backend-specific knobs (e.g. ``{"compute_mode": "spin"}`` for
+        the threads backend); must be empty for ``sim``.
     """
 
     app: Any = "tracker"
@@ -77,6 +86,8 @@ class ExperimentSpec:
     retry: Any = None
     record_stp: bool = True
     telemetry: Any = False
+    backend: str = "sim"
+    backend_options: Mapping[str, Any] = field(default_factory=dict)
 
     def with_(self, **changes) -> "ExperimentSpec":
         return replace(self, **changes)
@@ -211,6 +222,8 @@ def _spec_from_dict(raw: Mapping[str, Any]) -> ExperimentSpec:
 
     raw = dict(raw)
     telemetry = raw.pop("telemetry", False)
+    backend = raw.pop("backend", "sim")
+    backend_options = raw.pop("backend_options", {})
     faults = tuple(
         FaultSpec.from_dict(f) if isinstance(f, dict) else f
         for f in raw.pop("faults", ())
@@ -228,6 +241,8 @@ def _spec_from_dict(raw: Mapping[str, Any]) -> ExperimentSpec:
         loads=runtime_config.loads,
         faults=faults,
         telemetry=telemetry,
+        backend=backend,
+        backend_options=backend_options,
     )
 
 
@@ -255,6 +270,25 @@ def run_experiment(spec: Union[ExperimentSpec, Mapping[str, Any], None] = None,
     else:
         raise ConfigError(
             f"run_experiment takes an ExperimentSpec or dict, got {spec!r}"
+        )
+
+    from repro.backends import resolve_backend
+
+    runner = resolve_backend(spec.backend)
+    return runner(spec)
+
+
+def execute_simulated(spec: ExperimentSpec) -> RunResult:
+    """Run a spec on the discrete-event simulator (the ``sim`` backend).
+
+    This is the registered runner behind ``backend="sim"``; call
+    :func:`run_experiment` instead of this directly so the dispatch
+    stays in one place.
+    """
+    if spec.backend_options:
+        raise ConfigError(
+            f"the sim backend takes no backend_options, "
+            f"got {dict(spec.backend_options)!r}"
         )
 
     from repro.runtime.runtime import Runtime

@@ -31,6 +31,8 @@ from repro.metrics.postmortem import PostmortemAnalyzer
 from repro.metrics.recorder import TraceRecorder
 from repro.metrics.trace_io import (
     load_trace,
+    merge_traces,
+    rebase_trace,
     save_trace,
     trace_from_dict,
     trace_to_dict,
@@ -68,6 +70,8 @@ __all__ = [
     "throttle_duty",
     "save_trace",
     "load_trace",
+    "rebase_trace",
+    "merge_traces",
     "trace_to_dict",
     "trace_from_dict",
 ]

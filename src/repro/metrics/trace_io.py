@@ -135,6 +135,80 @@ def trace_from_dict(data: dict) -> TraceRecorder:
     return recorder
 
 
+def rebase_trace(recorder: TraceRecorder, t_start: float = 0.0) -> TraceRecorder:
+    """Shift every timestamp so the trace starts at ``t_start``.
+
+    Traces recorded by live backends carry wall-clock bases (each
+    process rebases its clock at a different instant), so two otherwise
+    comparable traces can sit on disjoint time axes — and time-ordered
+    analyses (footprint timelines, ``repro compare``) either crash or
+    silently mislead. Rebasing is a pure translation: every duration,
+    rate, and ordering is preserved. Mutates and returns ``recorder``.
+    """
+    if recorder.t_end is None:
+        raise TraceError("finalize the recorder before rebasing")
+    delta = float(t_start) - recorder.t_start
+    if delta == 0.0:
+        return recorder
+    recorder.t_start += delta
+    recorder.t_end += delta
+    for item in recorder.items.values():
+        item.t_alloc += delta
+        if item.t_free is not None:
+            item.t_free += delta
+        for touch in item.gets:
+            touch.t += delta
+        for touch in item.skips:
+            touch.t += delta
+    for it in recorder.iterations:
+        it.t_start += delta
+        it.t_end += delta
+    for s in recorder.stp_samples:
+        s.t += delta
+    return recorder
+
+
+def merge_traces(recorders) -> TraceRecorder:
+    """Merge per-worker traces (shared time base) into one recorder.
+
+    The distributed launcher collects one finalized trace per worker
+    process; item ids are disjoint by construction (each worker seeds
+    its id counter in a private range) and all workers share the
+    launcher's epoch, so merging is a union: items keyed by id,
+    iterations and STP samples re-sorted into completion order,
+    ``t_end`` the latest worker's. Per-thread iteration indexes are
+    renumbered in that order.
+    """
+    recorders = list(recorders)
+    if not recorders:
+        raise TraceError("merge_traces needs at least one trace")
+    merged = TraceRecorder()
+    merged.t_start = min(r.t_start for r in recorders)
+    t_end = None
+    iterations: list = []
+    for rec in recorders:
+        if rec.t_end is None:
+            raise TraceError("finalize every worker trace before merging")
+        t_end = rec.t_end if t_end is None else max(t_end, rec.t_end)
+        for item_id, item in rec.items.items():
+            if item_id in merged.items:
+                raise TraceError(
+                    f"duplicate item id {item_id} across worker traces"
+                )
+            merged.items[item_id] = item
+        iterations.extend(rec.iterations)
+        merged.stp_samples.extend(rec.stp_samples)
+    iterations.sort(key=lambda it: (it.t_end, it.thread, it.index))
+    counters: dict = {}
+    for it in iterations:
+        it.index = counters.get(it.thread, 0)
+        counters[it.thread] = it.index + 1
+    merged.iterations.extend(iterations)
+    merged.stp_samples.sort(key=lambda s: (s.t, s.thread))
+    merged.finalize(t_end)
+    return merged
+
+
 def save_trace(recorder: TraceRecorder, path: Union[str, Path]) -> None:
     """Write a finalized trace to ``path`` as JSON."""
     Path(path).write_text(json.dumps(trace_to_dict(recorder)))

@@ -41,6 +41,7 @@ from repro.obs.hub import (
     TelemetryHub,
     resolve_hub,
 )
+from repro.obs.merge import hub_from_snapshot, merge_snapshots
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -58,6 +59,8 @@ __all__ = [
     "TelemetryConfig",
     "TelemetryHub",
     "resolve_hub",
+    "merge_snapshots",
+    "hub_from_snapshot",
     "Counter",
     "Gauge",
     "Histogram",

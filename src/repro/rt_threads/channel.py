@@ -34,10 +34,12 @@ class ThreadChannel:
         clock,
         aru_state: Optional[BufferAruState] = None,
         recorder_lock: Optional[threading.Lock] = None,
+        node: str = "local",
     ) -> None:
         self.name = name
         self.recorder = recorder
         self.clock = clock
+        self.node = node
         self.aru = aru_state
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
@@ -61,6 +63,12 @@ class ThreadChannel:
         conn = InputConnection(buffer=self.name, thread=thread)
         self.in_conns.append(conn)
         return conn
+
+    def evict_consumer(self, thread: str) -> None:
+        """Drop ``thread``'s consumer cursors (a reconnecting remote peer
+        re-registers; its dead cursor must not freeze the DGC threshold)."""
+        with self._lock:
+            self.in_conns = [c for c in self.in_conns if c.thread != thread]
 
     def __len__(self) -> int:
         with self._lock:
@@ -93,7 +101,7 @@ class ThreadChannel:
             self.recorder.on_alloc(
                 item_id=item.item_id,
                 channel=self.name,
-                node="local",
+                node=self.node,
                 ts=item.ts,
                 size=item.size,
                 producer=item.producer,
@@ -176,6 +184,13 @@ class ThreadChannel:
             if self._match_locked(conn, request) is None:
                 return None
         return self.get(conn, request, consumer_summary)
+
+    def check_dead(self, ts: int) -> bool:
+        """True when every consumer's cursor has passed ``ts``."""
+        with self._lock:
+            if not self.in_conns:
+                return False
+            return all(c.last_got >= int(ts) for c in self.in_conns)
 
     def release(self, item: Item) -> None:
         """Consumer done with the item (end of iteration)."""

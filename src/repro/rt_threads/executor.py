@@ -75,6 +75,8 @@ class _ThreadDriver(threading.Thread):
         self._iter_compute = 0.0
         self._prev_blocked = 0.0
         self._iter_start = 0.0
+        self.iterations = 0
+        self.total_compute = 0.0
         self.error: Optional[BaseException] = None
 
     # ------------------------------------------------------------------
@@ -179,11 +181,7 @@ class _ThreadDriver(threading.Thread):
             return ex.clock.now()
         if isinstance(syscall, CheckDead):
             channel, _conn = self._conn(self.out_conns, syscall.channel)
-            conns = channel.in_conns
-            if not conns:
-                return False
-            ts = int(syscall.ts)
-            return all(c.last_got >= ts for c in conns)
+            return channel.check_dead(int(syscall.ts))
         raise SimulationError(
             f"thread {self.task_name!r} yielded {syscall!r}; expected a syscall"
         )
@@ -207,6 +205,7 @@ class _ThreadDriver(threading.Thread):
                 pass
         actual = self.executor.clock.now() - t0
         self._iter_compute += actual
+        self.total_compute += actual
         return actual
 
     def _do_sync(self):
@@ -236,6 +235,7 @@ class _ThreadDriver(threading.Thread):
             )
             ex.recorder.on_stp(self.task_name, t_end, stp, self.my_summary(),
                                target, slept)
+        self.iterations += 1
         self._release_held()
         self._iter_inputs = []
         self._iter_outputs = []
@@ -289,7 +289,8 @@ class ThreadedRuntime:
         self.graph = graph
         self.aru_config = aru or aru_disabled()
         self.compute_mode = compute_mode
-        self.clock = WallClock()
+        self.node_name = "local"
+        self.clock = self._make_clock()
         self.recorder = TraceRecorder()
         self.recorder_lock = threading.Lock()
         self.stop_event = threading.Event()
@@ -297,18 +298,44 @@ class ThreadedRuntime:
         self.feedback_bus = FeedbackBus(self.aru_config, time_fn=self.clock.now)
 
         self.channels: Dict[str, ThreadChannel] = {}
-        for name in graph.buffers():
-            aru_state = self.feedback_bus.buffer_state(
-                name, graph.attrs(name).get("compress_op")
-            )
-            self.channels[name] = ThreadChannel(
-                name, self.recorder, self.clock, aru_state, self.recorder_lock
-            )
+        for name in self._local_buffers():
+            self.channels[name] = self._make_channel(name)
 
         self.drivers: Dict[str, _ThreadDriver] = {}
-        for name in graph.threads():
+        for name in self._local_threads():
             self.drivers[name] = self._build_driver(name)
         self._ran = False
+
+    # -- overridable hooks (the distributed worker subclasses these) -------
+    def _make_clock(self):
+        """The executor's clock (workers share an epoch across processes)."""
+        return WallClock()
+
+    def _local_threads(self):
+        """Thread names this process hosts (a worker hosts its node's)."""
+        return self.graph.threads()
+
+    def _local_buffers(self):
+        """Buffer names this process hosts channel storage for."""
+        return self.graph.buffers()
+
+    def _make_channel(self, name: str) -> ThreadChannel:
+        """Build the local channel backing buffer ``name``."""
+        aru_state = self.feedback_bus.buffer_state(
+            name, self.graph.attrs(name).get("compress_op")
+        )
+        return ThreadChannel(
+            name, self.recorder, self.clock, aru_state, self.recorder_lock
+        )
+
+    def _channel_for(self, name: str, thread: str, role: str):
+        """The channel object a driver talks to for buffer ``name``.
+
+        ``role`` is ``"consumer"`` or ``"producer"``; the distributed
+        worker returns a TCP proxy here when the buffer lives on another
+        node.
+        """
+        return self.channels[name]
 
     def _build_driver(self, name: str) -> _ThreadDriver:
         attrs = self.graph.attrs(name)
@@ -334,28 +361,157 @@ class ThreadedRuntime:
         )
         driver = _ThreadDriver(self, name, attrs["fn"], ctx, controller)
         for buf in self.graph.inputs_of(name):
-            channel = self.channels[buf]
+            channel = self._channel_for(buf, name, "consumer")
             driver.in_conns[buf] = (channel, channel.register_consumer(name))
         for buf in self.graph.outputs_of(name):
-            channel = self.channels[buf]
+            channel = self._channel_for(buf, name, "producer")
             driver.out_conns[buf] = (channel, channel.register_producer(name))
         return driver
 
-    def run(self, duration: float) -> TraceRecorder:
-        """Run every task for ``duration`` wall seconds; returns the trace."""
+    # -- lifecycle ---------------------------------------------------------
+    # run() = start(); sleep; stop(); join() — split out so the
+    # distributed worker can drive the phases from its control protocol.
+    def start(self) -> None:
+        """Start every task thread (once)."""
         if self._ran:
             raise SimulationError("ThreadedRuntime.run() may only be called once")
-        if duration <= 0:
-            raise ConfigError("duration must be positive")
         self._ran = True
         for driver in self.drivers.values():
             driver.start()
-        time.sleep(duration)
+
+    def stop(self) -> None:
+        """Ask every task thread to wind down."""
         self.stop_event.set()
+
+    def join(self, timeout: float = 5.0) -> TraceRecorder:
+        """Wait for task threads, re-raise the first task error,
+        finalize and return the trace."""
         for driver in self.drivers.values():
-            driver.join(timeout=5.0)
+            driver.join(timeout=timeout)
         errors = [d.error for d in self.drivers.values() if d.error is not None]
         if errors:
             raise errors[0]
         self.recorder.finalize(self.clock.now())
         return self.recorder
+
+    def run(self, duration: float) -> TraceRecorder:
+        """Run every task for ``duration`` wall seconds; returns the trace."""
+        if duration <= 0:
+            raise ConfigError("duration must be positive")
+        self.start()
+        time.sleep(duration)
+        self.stop()
+        return self.join()
+
+    def stats(self) -> Dict[str, dict]:
+        """Post-run statistics in the same shape the DES produces.
+
+        Wall-clock analogue of :meth:`repro.runtime.Runtime.stats`:
+        ``engine.now`` is elapsed wall time, the single node's
+        ``busy_time`` is summed measured compute, and fields the live
+        executor cannot observe (cpu grants, network bytes here) are
+        zero rather than absent so downstream reports need no
+        per-backend cases.
+        """
+        busy = sum(d.total_compute for d in self.drivers.values())
+        return {
+            "engine": {
+                "now": self.clock.now(),
+                "events_processed": sum(
+                    d.iterations for d in self.drivers.values()
+                ),
+            },
+            "nodes": {
+                self.node_name: {
+                    "busy_time": busy,
+                    "mem_in_use": sum(
+                        c.bytes_held for c in self.channels.values()
+                    ),
+                    "mem_peak": 0,
+                    "cpu_grants": 0,
+                    "cpu_wait_time": 0.0,
+                }
+            },
+            "network": {"total_bytes": 0},
+            "buffers": {
+                name: {
+                    "kind": buf.kind,
+                    "depth": len(buf),
+                    "bytes_held": buf.bytes_held,
+                    "puts": buf.total_puts,
+                    "gets": buf.total_gets,
+                    "skips": buf.total_skips,
+                    "frees": buf.total_frees,
+                }
+                for name, buf in self.channels.items()
+            },
+            "threads": {
+                name: {
+                    "iterations": driver.iterations,
+                    "virtual_time": driver.total_compute,
+                    "blocked": driver.meter.total_blocked,
+                    "slept": driver.meter.total_slept,
+                }
+                for name, driver in self.drivers.items()
+            },
+        }
+
+
+def run_threaded_experiment(spec) -> "object":
+    """The registered runner behind ``backend="threads"``.
+
+    Runs the spec's graph on :class:`ThreadedRuntime` for
+    ``spec.horizon`` wall seconds and wraps the outcome in the same
+    :class:`~repro.experiment.RunResult` shape the simulator returns.
+    """
+    from repro.experiment import RunResult
+    from repro.obs import NULL_HUB
+
+    opts = dict(spec.backend_options)
+    compute_mode = opts.pop("compute_mode", "sleep")
+    if opts:
+        raise ConfigError(
+            f"unknown threads backend_options {sorted(opts)}; "
+            f"expected: compute_mode"
+        )
+    faults = spec.faults
+    if faults is not None:
+        from repro.faults import FaultSchedule
+
+        if not isinstance(faults, FaultSchedule):
+            faults = FaultSchedule(tuple(faults))
+        if not faults.is_empty:
+            raise ConfigError(
+                "the threads backend does not support fault injection; "
+                "use backend='sim' (scripted faults) or backend='proc' "
+                "(real worker kills)"
+            )
+    scale = spec.resolve_scale_policy()
+    if scale is not None and scale.enabled:
+        # A disabled ScaleConfig (e.g. the registered "no-scale") is a
+        # no-op and fine; only an *active* scaler needs the simulator.
+        raise ConfigError(
+            "the threads backend does not support elastic scaling; "
+            "use backend='sim'"
+        )
+    if spec.telemetry not in (False, None):
+        raise ConfigError(
+            "the threads backend is not instrumented for telemetry; "
+            "use backend='sim'"
+        )
+    graph = spec.resolve_graph()
+    runtime = ThreadedRuntime(
+        graph,
+        aru=spec.resolve_policy(),
+        seed=spec.seed,
+        compute_mode=compute_mode,
+    )
+    trace = runtime.run(duration=spec.horizon)
+    return RunResult(
+        spec=spec,
+        trace=trace,
+        stats=runtime.stats(),
+        telemetry=NULL_HUB,
+        fault_log=None,
+        runtime=runtime,
+    )

@@ -212,10 +212,31 @@ class StampedeApp:
         seed: int = 0,
         compute_mode: str = "sleep",
     ) -> TraceRecorder:
-        """Run on real OS threads for ``duration`` wall seconds."""
-        from repro.rt_threads.executor import ThreadedRuntime
+        """Run on real OS threads for ``duration`` wall seconds.
 
-        executor = ThreadedRuntime(
-            self.graph, aru=aru, seed=seed, compute_mode=compute_mode
+        .. deprecated::
+            Use ``repro.run_experiment(ExperimentSpec(app=app,
+            backend="threads"))`` — backends are picked by name through
+            the registry now, and the facade returns the full
+            :class:`~repro.experiment.RunResult`.
+        """
+        import warnings
+
+        warnings.warn(
+            "StampedeApp.run_threads() is deprecated; use "
+            "repro.run_experiment(ExperimentSpec(app=app, "
+            "backend='threads')) instead",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        return executor.run(duration=duration)
+        from repro.experiment import ExperimentSpec, run_experiment
+
+        spec = ExperimentSpec(
+            app=self.graph,
+            policy=aru or aru_disabled(),
+            seed=seed,
+            horizon=duration,
+            backend="threads",
+            backend_options={"compute_mode": compute_mode},
+        )
+        return run_experiment(spec).trace

@@ -27,6 +27,16 @@ def reset_item_ids() -> None:
     _next_item_id = itertools.count(1)
 
 
+def seed_item_ids(start: int) -> None:
+    """Start the global item-id counter at ``start``.
+
+    Distributed worker processes each seed a disjoint id range so the
+    merged trace never sees two items with the same id.
+    """
+    global _next_item_id
+    _next_item_id = itertools.count(int(start))
+
+
 class Item:
     """One timestamped item living in a channel or queue."""
 

@@ -1,6 +1,6 @@
 """Virtual time: timestamps, ranges, and clock abstractions."""
 
-from repro.vt.clock import Clock, ManualClock, SimClock, WallClock
+from repro.vt.clock import Clock, EpochClock, ManualClock, SimClock, WallClock
 from repro.vt.timestamp import EARLIEST, LATEST, Timestamp, TsRange, corresponds
 
 __all__ = [
@@ -12,5 +12,6 @@ __all__ = [
     "Clock",
     "SimClock",
     "WallClock",
+    "EpochClock",
     "ManualClock",
 ]

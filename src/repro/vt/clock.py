@@ -45,6 +45,31 @@ class WallClock:
         return time.monotonic() - self._t0
 
 
+class EpochClock:
+    """Wall-clock time measured from a shared epoch (UNIX seconds).
+
+    Distributed workers cannot use :class:`WallClock` — each process
+    would rebase to its own construction instant and the merged traces
+    would sit on disjoint time axes. The launcher broadcasts one epoch
+    ``t0`` in its START message; every worker rebases to it, so all
+    workers' ``now()`` share base ~0. Uses ``time.time()`` (the only
+    cross-process clock); NTP-grade skew applies and is documented in
+    ``docs/distributed.md``.
+    """
+
+    __slots__ = ("_epoch",)
+
+    def __init__(self, epoch: float = None) -> None:
+        self._epoch = time.time() if epoch is None else float(epoch)
+
+    def rebase(self, epoch: float) -> None:
+        """Adopt the shared epoch (before any timestamps are recorded)."""
+        self._epoch = float(epoch)
+
+    def now(self) -> float:
+        return time.time() - self._epoch
+
+
 class ManualClock:
     """A hand-advanced clock, handy in unit tests of time-based logic."""
 

@@ -10,16 +10,19 @@ them afterwards, so registry mutations cannot escape a test.
 
 import pytest
 
+from repro import backends as _backends
 from repro.control import registry as _registry
 from repro.tenancy import placement as _placement
 
 
 @pytest.fixture(autouse=True)
 def _isolated_policy_registries():
-    """Snapshot/restore the rate, scale, and placement registries."""
+    """Snapshot/restore the rate, scale, placement, and backend
+    registries."""
     rate = dict(_registry._REGISTRY)
     scale = dict(_registry._SCALE_REGISTRY)
     placements = dict(_placement._PLACEMENTS)
+    backends = dict(_backends._REGISTRY)
     yield
     _registry._REGISTRY.clear()
     _registry._REGISTRY.update(rate)
@@ -27,3 +30,5 @@ def _isolated_policy_registries():
     _registry._SCALE_REGISTRY.update(scale)
     _placement._PLACEMENTS.clear()
     _placement._PLACEMENTS.update(placements)
+    _backends._REGISTRY.clear()
+    _backends._REGISTRY.update(backends)

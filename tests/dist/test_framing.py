@@ -1,0 +1,159 @@
+"""Frame codec: the distributed backend's wire format, byte by byte.
+
+The decoder must survive exactly what TCP delivers — arbitrary
+fragmentation, many frames per read, interleaved control/data kinds —
+and must refuse corrupted streams (unknown kind bytes, absurd lengths)
+instead of resynchronizing.
+"""
+
+import struct
+
+import pytest
+
+from repro.dist.framing import (
+    HEADER_SIZE,
+    MAX_FRAME,
+    Frame,
+    FrameDecoder,
+    FrameKind,
+    encode_frame,
+)
+from repro.errors import FrameError
+
+
+def test_roundtrip_single_frame():
+    data = encode_frame(FrameKind.PUT, b"payload")
+    frames = FrameDecoder().feed(data)
+    assert frames == [Frame(FrameKind.PUT, b"payload")]
+
+
+def test_empty_payload():
+    data = encode_frame(FrameKind.STOP)
+    assert len(data) == HEADER_SIZE
+    assert FrameDecoder().feed(data) == [Frame(FrameKind.STOP, b"")]
+
+
+def test_partial_reads_one_byte_at_a_time():
+    data = encode_frame(FrameKind.GET, b"x" * 37)
+    decoder = FrameDecoder()
+    frames = []
+    for i in range(len(data)):
+        frames.extend(decoder.feed(data[i:i + 1]))
+    assert frames == [Frame(FrameKind.GET, b"x" * 37)]
+    assert not decoder.mid_frame
+
+
+def test_partial_header_then_rest():
+    data = encode_frame(FrameKind.HELLO, b"abc")
+    decoder = FrameDecoder()
+    assert decoder.feed(data[:3]) == []      # half a header
+    assert decoder.mid_frame
+    assert decoder.feed(data[3:]) == [Frame(FrameKind.HELLO, b"abc")]
+    assert not decoder.mid_frame
+
+
+def test_many_frames_in_one_feed():
+    blob = b"".join(
+        encode_frame(k, bytes([i]))
+        for i, k in enumerate((FrameKind.PUT, FrameKind.PUT_ACK,
+                               FrameKind.FEEDBACK))
+    )
+    frames = FrameDecoder().feed(blob)
+    assert [f.kind for f in frames] == [
+        FrameKind.PUT, FrameKind.PUT_ACK, FrameKind.FEEDBACK]
+
+
+def test_interleaved_feedback_and_data_frames():
+    # Feedback (summary-STP) frames share the stream with data frames;
+    # the decoder must keep their order and never merge payloads.
+    seq = [
+        (FrameKind.PUT, b"item-7"),
+        (FrameKind.FEEDBACK, b"stp=0.2"),
+        (FrameKind.PUT, b"item-8"),
+        (FrameKind.GET_REPLY, b""),
+        (FrameKind.FEEDBACK_OK, b"ok"),
+    ]
+    blob = b"".join(encode_frame(k, p) for k, p in seq)
+    # fragment pathologically: split inside every header and payload
+    decoder = FrameDecoder()
+    frames = []
+    step = 3
+    for i in range(0, len(blob), step):
+        frames.extend(decoder.feed(blob[i:i + step]))
+    assert [(f.kind, f.payload) for f in frames] == seq
+
+
+def test_unknown_kind_byte_raises():
+    bogus = struct.pack(">BI", 250, 0)
+    with pytest.raises(FrameError, match="unknown frame kind"):
+        FrameDecoder().feed(bogus)
+
+
+def test_zero_kind_byte_raises():
+    # All-zero garbage (e.g. a misdirected protocol) must not decode.
+    with pytest.raises(FrameError, match="unknown frame kind"):
+        FrameDecoder().feed(b"\x00" * HEADER_SIZE)
+
+
+def test_oversized_declared_length_raises_before_buffering():
+    header = struct.pack(">BI", int(FrameKind.PUT), MAX_FRAME + 1)
+    with pytest.raises(FrameError, match="exceeds"):
+        FrameDecoder().feed(header)
+
+
+def test_encode_refuses_oversized_payload():
+    class _FakeLen(bytes):
+        def __len__(self):
+            return MAX_FRAME + 1
+
+    with pytest.raises(FrameError, match="exceeds"):
+        encode_frame(FrameKind.PUT, _FakeLen())
+
+
+def test_mid_frame_flag_tracks_partial_state():
+    decoder = FrameDecoder()
+    assert not decoder.mid_frame          # clean boundary: EOF here is clean
+    decoder.feed(encode_frame(FrameKind.BYE)[:2])
+    assert decoder.mid_frame              # EOF here is an abrupt drop
+    decoder.feed(encode_frame(FrameKind.BYE)[2:])
+    assert not decoder.mid_frame
+
+
+def test_control_and_data_kinds_are_disjoint():
+    control = {k for k in FrameKind if k < FrameKind.OPEN}
+    data = {k for k in FrameKind if k >= FrameKind.OPEN}
+    assert control and data
+    assert not {int(k) for k in control} & {int(k) for k in data}
+
+
+# -- property tests -----------------------------------------------------------
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+_kinds = st.sampled_from(sorted(FrameKind))
+_payloads = st.binary(max_size=512)
+_frames = st.lists(st.tuples(_kinds, _payloads), max_size=20)
+
+
+@given(frames=_frames, data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_decoder_invariant_under_arbitrary_fragmentation(frames, data):
+    """Any fragmentation of any frame sequence decodes to that sequence."""
+    blob = b"".join(encode_frame(k, p) for k, p in frames)
+    decoder = FrameDecoder()
+    out = []
+    i = 0
+    while i < len(blob):
+        step = data.draw(st.integers(min_value=1, max_value=len(blob) - i))
+        out.extend(decoder.feed(blob[i:i + step]))
+        i += step
+    assert [(f.kind, f.payload) for f in out] == frames
+    assert not decoder.mid_frame
+
+
+@given(payload=_payloads, kind=_kinds)
+@settings(max_examples=60, deadline=None)
+def test_encode_decode_roundtrip(payload, kind):
+    frames = FrameDecoder().feed(encode_frame(kind, payload))
+    assert frames == [Frame(kind, payload)]

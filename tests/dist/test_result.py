@@ -1,0 +1,70 @@
+"""Merging per-worker outcomes into one DES-shaped result."""
+
+import pytest
+
+from repro.dist.result import DistRunInfo, WorkerInfo, merge_stats
+from repro.errors import DistError
+
+
+def _stats(now, events, net, node, buffers=(), threads=()):
+    return {
+        "engine": {"now": now, "events_processed": events},
+        "network": {"total_bytes": net},
+        "nodes": {node: {"mem_peak": 1, "busy_time": 0.5}},
+        "buffers": {b: {"puts": 1} for b in buffers},
+        "threads": {t: {"iterations": 2} for t in threads},
+    }
+
+
+def test_merge_unions_disjoint_sections():
+    merged = merge_stats([
+        _stats(5.0, 10, 100, "n0", buffers=("a",), threads=("t0",)),
+        _stats(7.0, 20, 250, "n1", buffers=("b",), threads=("t1",)),
+    ])
+    assert merged["engine"]["now"] == 7.0
+    assert merged["engine"]["events_processed"] == 30
+    assert merged["network"]["total_bytes"] == 350
+    assert set(merged["nodes"]) == {"n0", "n1"}
+    assert set(merged["buffers"]) == {"a", "b"}
+    assert set(merged["threads"]) == {"t0", "t1"}
+
+
+def test_merge_single_worker_is_identity_shaped():
+    one = _stats(3.0, 5, 42, "n0", buffers=("c",), threads=("t",))
+    merged = merge_stats([one])
+    assert merged["engine"] == one["engine"]
+    assert merged["network"] == one["network"]
+    assert merged["buffers"] == one["buffers"]
+
+
+def test_merge_empty_raises():
+    with pytest.raises(DistError, match="no worker stats"):
+        merge_stats([])
+
+
+def test_duplicate_thread_means_plans_disagree():
+    with pytest.raises(DistError, match="plans disagree"):
+        merge_stats([
+            _stats(1.0, 1, 0, "n0", threads=("dup",)),
+            _stats(1.0, 1, 0, "n1", threads=("dup",)),
+        ])
+
+
+def test_duplicate_buffer_means_plans_disagree():
+    with pytest.raises(DistError, match="plans disagree"):
+        merge_stats([
+            _stats(1.0, 1, 0, "n0", buffers=("c",)),
+            _stats(1.0, 1, 0, "n1", buffers=("c",)),
+        ])
+
+
+def test_dist_run_info_nodes_roster():
+    info = DistRunInfo(
+        plan=None,
+        workers=[WorkerInfo(index=0, node="n0", pid=10, port=5000,
+                            returncode=0),
+                 WorkerInfo(index=1, node="n1", pid=11, port=5001,
+                            returncode=0)],
+        t0=123.0,
+    )
+    assert info.nodes == ("n0", "n1")

@@ -1,0 +1,151 @@
+"""FramedConnection: typed frames over real sockets.
+
+End-of-stream classification is load-bearing for the distributed
+failure semantics — a clean EOF means the peer shut down in an orderly
+way (wind-down), an EOF mid-frame means it died (RetryPolicy territory)
+— so both paths get pinned here over real socketpairs.
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.dist.framing import FrameKind, encode_frame
+from repro.dist.wire import ConnectionClosed, FramedConnection, connect
+from repro.errors import DistError
+from repro.runtime.retry import RetryPolicy
+
+
+@pytest.fixture()
+def pair():
+    # A real TCP pair over loopback (not socketpair: FramedConnection
+    # sets TCP_NODELAY, which AF_UNIX sockets reject).
+    server = socket.socket()
+    server.bind(("127.0.0.1", 0))
+    server.listen(1)
+    a = socket.create_connection(server.getsockname(), timeout=5.0)
+    a.settimeout(None)
+    b, _ = server.accept()
+    server.close()
+    ca, cb = FramedConnection(a), FramedConnection(b)
+    yield ca, cb
+    ca.close()
+    cb.close()
+
+
+def test_send_recv_roundtrip(pair):
+    ca, cb = pair
+    ca.send(FrameKind.PUT, {"ts": 3, "size": 100})
+    kind, obj = cb.recv(timeout=5.0)
+    assert kind == FrameKind.PUT
+    assert obj == {"ts": 3, "size": 100}
+
+
+def test_none_payload(pair):
+    ca, cb = pair
+    ca.send(FrameKind.STOP)
+    assert cb.recv(timeout=5.0) == (FrameKind.STOP, None)
+
+
+def test_interleaved_kinds_preserve_order(pair):
+    ca, cb = pair
+    seq = [(FrameKind.PUT, 1), (FrameKind.FEEDBACK, 0.25),
+           (FrameKind.PUT, 2), (FrameKind.FEEDBACK, 0.5)]
+    for kind, obj in seq:
+        ca.send(kind, obj)
+    got = [cb.recv(timeout=5.0) for _ in seq]
+    assert got == seq
+
+
+def test_clean_eof_on_frame_boundary(pair):
+    ca, cb = pair
+    ca.send(FrameKind.BYE)
+    ca.close()
+    assert cb.recv(timeout=5.0) == (FrameKind.BYE, None)
+    with pytest.raises(ConnectionClosed) as exc:
+        cb.recv(timeout=5.0)
+    assert exc.value.clean
+
+
+def test_abrupt_close_mid_frame(pair):
+    ca, cb = pair
+    # Write half a frame straight to the socket, then vanish.
+    frame = encode_frame(FrameKind.PUT, b"x" * 64)
+    ca._sock.sendall(frame[: len(frame) // 2])
+    ca.close()
+    with pytest.raises(ConnectionClosed) as exc:
+        cb.recv(timeout=5.0)
+    assert not exc.value.clean
+
+
+def test_recv_timeout_raises_socket_timeout(pair):
+    _, cb = pair
+    with pytest.raises(socket.timeout):
+        cb.recv(timeout=0.05)
+
+
+def test_send_on_closed_peer_raises_connection_closed(pair):
+    ca, cb = pair
+    cb.close()
+    # The first send may land in the kernel buffer; sending until the
+    # broken pipe surfaces must raise ConnectionClosed, not raw OSError.
+    with pytest.raises(ConnectionClosed):
+        for _ in range(64):
+            ca.send(FrameKind.PUT, b"x" * 4096)
+
+
+def test_byte_counters(pair):
+    ca, cb = pair
+    ca.send(FrameKind.PUT, list(range(50)))
+    cb.recv(timeout=5.0)
+    assert ca.bytes_sent > 0
+    assert cb.bytes_received == ca.bytes_sent
+
+
+def test_concurrent_senders_do_not_corrupt_stream(pair):
+    ca, cb = pair
+    n, threads = 40, 4
+
+    def blast(tid):
+        for i in range(n):
+            ca.send(FrameKind.PUT, (tid, i))
+
+    workers = [threading.Thread(target=blast, args=(t,)) for t in range(threads)]
+    for w in workers:
+        w.start()
+    got = [cb.recv(timeout=10.0) for _ in range(n * threads)]
+    for w in workers:
+        w.join()
+    assert all(kind == FrameKind.PUT for kind, _ in got)
+    # Per-sender order is preserved even though the streams interleave.
+    per_tid = {}
+    for _, (tid, i) in got:
+        per_tid.setdefault(tid, []).append(i)
+    assert all(seq == sorted(seq) for seq in per_tid.values())
+
+
+def test_connect_gives_up_after_retry_budget():
+    # Grab a port and close the listener so nothing is accepting.
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    retry = RetryPolicy(max_attempts=2, backoff_base=0.01, backoff_max=0.02)
+    with pytest.raises(DistError, match="could not connect"):
+        connect("127.0.0.1", port, retry=retry, connect_timeout=0.2)
+
+
+def test_connect_succeeds_against_listener():
+    server = socket.socket()
+    server.bind(("127.0.0.1", 0))
+    server.listen(1)
+    port = server.getsockname()[1]
+    conn = connect("127.0.0.1", port, connect_timeout=2.0)
+    peer_sock, _ = server.accept()
+    peer = FramedConnection(peer_sock)
+    conn.send(FrameKind.HELLO, {"worker": 0})
+    assert peer.recv(timeout=5.0) == (FrameKind.HELLO, {"worker": 0})
+    conn.close()
+    peer.close()
+    server.close()

@@ -11,7 +11,7 @@ import pytest
 from repro.aru import aru_disabled, aru_min
 from repro.cluster import ClusterSpec, NodeSpec
 from repro.metrics import PostmortemAnalyzer
-from repro.rt_threads import ThreadedRuntime
+from repro.rt_threads.executor import ThreadedRuntime
 from repro.runtime import (
     Compute,
     Get,

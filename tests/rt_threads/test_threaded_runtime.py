@@ -9,7 +9,7 @@ import pytest
 from repro.aru import aru_disabled, aru_min
 from repro.errors import ConfigError
 from repro.metrics import PostmortemAnalyzer
-from repro.rt_threads import ThreadedRuntime
+from repro.rt_threads.executor import ThreadedRuntime
 from repro.runtime import (
     Compute,
     Get,

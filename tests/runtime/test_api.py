@@ -89,7 +89,8 @@ class TestStampedeApp:
         assert trace.sink_iterations()
 
     def test_run_threads(self):
-        trace = build_app().run_threads(duration=0.4, aru=aru_min())
+        with pytest.warns(DeprecationWarning, match="backend='threads'"):
+            trace = build_app().run_threads(duration=0.4, aru=aru_min())
         assert trace.iterations_of("src")
 
     def test_queue_alloc(self):

@@ -22,6 +22,7 @@ PUBLIC_SUBPACKAGES = (
     "repro.bench",
     "repro.obs",
     "repro.tenancy",
+    "repro.dist",
 )
 
 #: The lazily re-exported top-level names. A frozen snapshot: adding a
@@ -42,6 +43,7 @@ TOP_LEVEL_API = {
     "TraceRecorder", "PostmortemAnalyzer",
     "build_tracker", "TrackerConfig",
     "run_experiment", "ExperimentSpec", "RunResult",
+    "register_backend", "available_backends", "resolve_backend",
     "TenancySpec", "TenantSpec", "TenancyResult", "ResourceDemand",
     "Scheduler", "run_tenants", "register_placement",
     "ArbiterConfig", "register_arbiter", "available_arbiters",
